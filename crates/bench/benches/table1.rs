@@ -1,0 +1,48 @@
+//! Criterion bench regenerating Table 1's workload on host threads: the
+//! three solvers (sequential, preprocessed doacross, doconsider-rearranged
+//! doacross) on each of the paper's five triangular systems.
+//!
+//! The 16-processor table itself comes from the simulator binary
+//! (`--bin table1`); this bench tracks the real solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doacross_par::ThreadPool;
+use doacross_sparse::{Problem, ProblemKind};
+use doacross_trisolve::{seq::solve_sequential, DoacrossSolver, ReorderedSolver};
+use std::hint::black_box;
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let pool = ThreadPool::new(workers());
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for kind in ProblemKind::all() {
+        let sys = Problem::build(kind).triangular_system();
+        let name = kind.name();
+
+        group.bench_with_input(BenchmarkId::new("sequential", name), &sys, |b, sys| {
+            b.iter(|| black_box(solve_sequential(&sys.l, &sys.rhs)))
+        });
+
+        let mut plain = DoacrossSolver::new(sys.n());
+        group.bench_with_input(BenchmarkId::new("doacross", name), &sys, |b, sys| {
+            b.iter(|| black_box(plain.solve(&pool, &sys.l, &sys.rhs).expect("valid")))
+        });
+
+        let mut reordered = ReorderedSolver::new(sys.n());
+        reordered.prepare(&sys.l); // plan amortized, as in the paper
+        group.bench_with_input(BenchmarkId::new("rearranged", name), &sys, |b, sys| {
+            b.iter(|| black_box(reordered.solve(&pool, &sys.l, &sys.rhs).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # doacross-bench — the paper's evaluation, regenerated
+//!
+//! One module per experiment:
+//!
+//! * [`fig6`] — Figure 6: parallel efficiency of the preprocessed doacross
+//!   on the Figure 4 test loop, 16 processors, `N = 10000`, `M ∈ {1, 5}`,
+//!   `L = 1..14`. Regenerate with
+//!   `cargo run -p doacross-bench --release --bin fig6`.
+//! * [`table1`] — Table 1: sparse triangular solve times (sequential,
+//!   preprocessed doacross, doconsider-rearranged doacross) on SPE2, SPE5,
+//!   5-PT, 7-PT, 9-PT. Regenerate with
+//!   `cargo run -p doacross-bench --release --bin table1`.
+//! * [`host`] — real-thread measurements on the host machine (at host core
+//!   counts), cross-checking the simulator's direction at small `p`.
+//! * [`report`] — plain-text table rendering shared by the binaries.
+//!
+//! Every binary prints both the **simulated 16-processor** numbers (the
+//! hardware substitution — see DESIGN.md §4) and, where cheap enough,
+//! **host-thread** numbers at the host's parallelism.
+
+pub mod fig6;
+pub mod host;
+pub mod report;
+pub mod table1;
+
+/// Deterministic workspace-wide experiment seed (problems are seeded per
+/// kind on top of this).
+pub const EXPERIMENT_SEED: u64 = 0x1991_0815;

@@ -1,0 +1,417 @@
+//! §2.3's strip-mined (blocked) doacross: `L → L_outer × L_inner`.
+//!
+//! "It is possible to transform the original loop L into a pair of nested
+//! loops L_outer and L_inner. The inner loop L_inner would range over
+//! contiguous iterations of the original loop L. Loop L_inner would be
+//! parallelized using the preprocessed doacross methods described above;
+//! loop L_outer would be carried out in a sequential manner. Preprocessing
+//! and postprocessing involving arrays ready, iter, ynew, and yold is
+//! carried out before and after each set of L_inner iterations. This
+//! transformation reduces memory requirements because during each iteration
+//! of L_outer we can reuse ready and iter."
+//!
+//! [`BlockedDoacross`] implements exactly that: blocks of `block_size`
+//! contiguous iterations execute as flat preprocessed doacrosses, with the
+//! scratch arrays sized to the largest *element window* any block declares
+//! ([`crate::AccessPattern::block_window`]) instead of the full data space.
+//! Cross-block dependencies need no flags at all — each block's
+//! postprocessing copies results back into `y` before the next block
+//! starts, so later blocks simply read `y`.
+//!
+//! A semantic bonus the paper does not dwell on: because scratch state is
+//! reset between blocks, the injectivity requirement on `a` only applies
+//! *within* a block; loops whose output element is written by several
+//! sufficiently-separated iterations run correctly when blocked.
+
+use crate::error::DoacrossError;
+use crate::executor::run_executor;
+use crate::flags::{IterMap, ReadyFlags};
+use crate::inspector::{reset_scratch, run_inspector};
+use crate::oracle::InspectedWriter;
+use crate::pattern::DoacrossLoop;
+use crate::post::run_post;
+use crate::runtime::DoacrossConfig;
+use crate::stats::{RunStats, StatsSink};
+use doacross_par::{SharedSlice, ThreadPool};
+use std::time::Instant;
+
+/// Strip-mined preprocessed doacross runtime (see module docs).
+///
+/// ```
+/// use doacross_core::{seq::run_sequential, BlockedDoacross, TestLoop};
+/// use doacross_par::ThreadPool;
+///
+/// let loop_ = TestLoop::new(500, 2, 8);
+/// let pool = ThreadPool::new(2);
+/// let mut y = loop_.initial_y();
+/// let mut oracle = y.clone();
+///
+/// // 50 iterations per block: scratch shrinks to the block's window.
+/// let mut rt = BlockedDoacross::new(50).unwrap();
+/// let stats = rt.run(&pool, &loop_, &mut y).unwrap();
+/// run_sequential(&loop_, &mut oracle);
+/// assert_eq!(y, oracle);
+/// assert_eq!(stats.blocks, 10);
+/// assert!(rt.scratch_capacity() < y.len());
+/// ```
+#[derive(Debug)]
+pub struct BlockedDoacross {
+    config: DoacrossConfig,
+    block_size: usize,
+    /// Scratch capacity in elements (grows to the largest window seen).
+    capacity: usize,
+    iter: IterMap,
+    ready: ReadyFlags,
+    ynew: Vec<f64>,
+}
+
+impl BlockedDoacross {
+    /// Creates a blocked runtime executing `block_size` iterations per
+    /// `L_outer` step, with default configuration and an initially empty
+    /// scratch allocation (it grows to the largest block window on first
+    /// use).
+    pub fn new(block_size: usize) -> Result<Self, DoacrossError> {
+        Self::with_config(block_size, DoacrossConfig::default())
+    }
+
+    /// Creates a blocked runtime with explicit configuration.
+    pub fn with_config(
+        block_size: usize,
+        config: DoacrossConfig,
+    ) -> Result<Self, DoacrossError> {
+        if block_size == 0 {
+            return Err(DoacrossError::EmptyBlock);
+        }
+        Ok(Self {
+            config,
+            block_size,
+            capacity: 0,
+            iter: IterMap::new(0),
+            ready: ReadyFlags::new(0),
+            ynew: Vec::new(),
+        })
+    }
+
+    /// Iterations per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Current scratch capacity in elements — the §2.3 memory footprint.
+    /// Compare against `data_len` to see the reduction.
+    pub fn scratch_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &DoacrossConfig {
+        &self.config
+    }
+
+    /// Mutable configuration.
+    pub fn config_mut(&mut self) -> &mut DoacrossConfig {
+        &mut self.config
+    }
+
+    fn ensure_capacity(&mut self, len: usize) {
+        if len > self.capacity {
+            self.capacity = len;
+            self.iter = IterMap::new(len);
+            self.ready = ReadyFlags::new(len);
+            self.ynew = vec![0.0; len];
+        }
+    }
+
+    /// Runs the loop block by block, updating `y` in place exactly as the
+    /// sequential source loop would. The returned stats aggregate all
+    /// blocks (`stats.blocks` reports how many executed).
+    pub fn run<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+    ) -> Result<RunStats, DoacrossError> {
+        let data_len = loop_.data_len();
+        if y.len() != data_len {
+            return Err(DoacrossError::DataLenMismatch {
+                got: y.len(),
+                expected: data_len,
+            });
+        }
+        let n = loop_.iterations();
+        let schedule = self.config.schedule;
+        let wait = self.config.wait;
+        let mut total = RunStats {
+            workers: pool.threads(),
+            ..Default::default()
+        };
+        let t_start = Instant::now();
+
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + self.block_size).min(n);
+            let window = {
+                let w = loop_.block_window(lo..hi);
+                w.start.min(data_len)..w.end.min(data_len)
+            };
+            self.ensure_capacity(window.len());
+
+            let mut stats = RunStats {
+                iterations: hi - lo,
+                workers: pool.threads(),
+                blocks: 1,
+                ..Default::default()
+            };
+
+            // Per-block inspector.
+            let t0 = Instant::now();
+            if let Err(e) = run_inspector(
+                pool,
+                schedule,
+                loop_,
+                lo..hi,
+                window.clone(),
+                &self.iter,
+                self.config.validate_terms,
+            ) {
+                reset_scratch(pool, schedule, &self.iter, &self.ready, self.capacity);
+                return Err(e);
+            }
+            stats.inspector = t0.elapsed();
+
+            // Per-block executor.
+            let t1 = Instant::now();
+            let sink = StatsSink::new(pool.threads());
+            {
+                let oracle = InspectedWriter::new(&self.iter, window.clone());
+                let y_view = SharedSlice::new(&mut *y);
+                let ynew_view = SharedSlice::new(&mut self.ynew[..window.len()]);
+                run_executor(
+                    pool,
+                    schedule,
+                    wait,
+                    loop_,
+                    lo..hi,
+                    None,
+                    &oracle,
+                    y_view,
+                    ynew_view,
+                    &self.ready,
+                    window.start,
+                    &sink,
+                );
+            }
+            stats.executor = t1.elapsed();
+            sink.drain_into(&mut stats);
+
+            // Per-block postprocessing with copy-back.
+            let t2 = Instant::now();
+            {
+                let y_view = SharedSlice::new(&mut *y);
+                let ynew_view = SharedSlice::new(&mut self.ynew[..window.len()]);
+                run_post(
+                    pool,
+                    schedule,
+                    loop_,
+                    lo..hi,
+                    window.start,
+                    Some(&self.iter),
+                    &self.ready,
+                    y_view,
+                    ynew_view,
+                    true,
+                );
+            }
+            stats.post = t2.elapsed();
+            stats.total = stats.inspector + stats.executor + stats.post;
+            total.absorb(&stats);
+            lo = hi;
+        }
+        total.total = t_start.elapsed();
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{AccessPattern, IndirectLoop};
+    use crate::runtime::Doacross;
+    use crate::seq::run_sequential;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn mixed_loop(n: usize) -> IndirectLoop {
+        let dl = n + 8;
+        let a: Vec<usize> = (0..n).map(|i| i + 3).collect();
+        let rhs: Vec<Vec<usize>> = (0..n)
+            .map(|i| vec![i, (i + 5) % dl, i + 3])
+            .collect();
+        let coeff = vec![vec![0.5, 0.25, 0.125]; n];
+        IndirectLoop::new(dl, a, rhs, coeff).unwrap()
+    }
+
+    #[test]
+    fn blocked_matches_sequential_for_many_block_sizes() {
+        let l = mixed_loop(200);
+        let y0: Vec<f64> = (0..l.data_len()).map(|e| 1.0 + (e % 5) as f64).collect();
+        let mut oracle = y0.clone();
+        run_sequential(&l, &mut oracle);
+        for bs in [1usize, 2, 7, 32, 200, 1000] {
+            let mut rt = BlockedDoacross::new(bs).unwrap();
+            let mut y = y0.clone();
+            let stats = rt.run(&pool(), &l, &mut y).unwrap();
+            assert_eq!(y, oracle, "block_size={bs}");
+            assert_eq!(stats.blocks, 200usize.div_ceil(bs));
+            assert_eq!(stats.iterations, 200);
+        }
+    }
+
+    #[test]
+    fn blocked_agrees_with_flat_runtime() {
+        let l = mixed_loop(150);
+        let y0 = vec![2.0; l.data_len()];
+        let mut y_flat = y0.clone();
+        Doacross::for_loop(&l)
+            .run(&pool(), &l, &mut y_flat)
+            .unwrap();
+        let mut y_blocked = y0;
+        BlockedDoacross::new(16)
+            .unwrap()
+            .run(&pool(), &l, &mut y_blocked)
+            .unwrap();
+        assert_eq!(y_flat, y_blocked);
+    }
+
+    #[test]
+    fn scratch_is_window_sized_not_data_sized() {
+        // lhs(i) = i + 3 -> a block of 16 iterations has a window of 16
+        // elements, regardless of the data space (the §2.3 memory claim).
+        let l = mixed_loop(160);
+        let mut rt = BlockedDoacross::new(16).unwrap();
+        let mut y = vec![0.0; l.data_len()];
+        rt.run(&pool(), &l, &mut y).unwrap();
+        assert_eq!(rt.scratch_capacity(), 16);
+        assert!(rt.scratch_capacity() < l.data_len());
+    }
+
+    #[test]
+    fn zero_block_size_is_rejected() {
+        assert_eq!(
+            BlockedDoacross::new(0).unwrap_err(),
+            DoacrossError::EmptyBlock
+        );
+    }
+
+    #[test]
+    fn cross_block_duplicate_lhs_is_allowed() {
+        // Element 0 is written by iterations 0 and 2. Flat runtime rejects
+        // this; with block_size 1 the blocks serialize and sequential
+        // semantics hold.
+        let l = IndirectLoop::new(
+            2,
+            vec![0, 0],
+            vec![vec![1], vec![1]],
+            vec![vec![1.0], vec![2.0]],
+        )
+        .unwrap();
+        let mut flat = Doacross::for_loop(&l);
+        let mut y = vec![0.0, 3.0];
+        assert!(matches!(
+            flat.run(&pool(), &l, &mut y),
+            Err(DoacrossError::OutputDependency { element: 0 })
+        ));
+        let mut blocked = BlockedDoacross::new(1).unwrap();
+        let mut y2 = vec![0.0, 3.0];
+        blocked.run(&pool(), &l, &mut y2).unwrap();
+        let mut oracle = vec![0.0, 3.0];
+        run_sequential(&l, &mut oracle);
+        assert_eq!(y2, oracle);
+    }
+
+    #[test]
+    fn within_block_duplicate_lhs_is_still_rejected() {
+        let l = IndirectLoop::new(2, vec![0, 0], vec![vec![], vec![]], vec![vec![], vec![]])
+            .unwrap();
+        let mut blocked = BlockedDoacross::new(2).unwrap();
+        let mut y = vec![0.0, 0.0];
+        assert!(matches!(
+            blocked.run(&pool(), &l, &mut y),
+            Err(DoacrossError::OutputDependency { element: 0 })
+        ));
+    }
+
+    #[test]
+    fn cross_block_true_dependencies_flow_through_y() {
+        // Chain y[i+1] += y[i] with tiny blocks: every dependency crosses a
+        // block boundary and must be satisfied via copy-back.
+        let n = 64;
+        let a: Vec<usize> = (1..=n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let l = IndirectLoop::new(n + 1, a, rhs, vec![vec![1.0]; n]).unwrap();
+        let mut y = vec![1.0; n + 1];
+        BlockedDoacross::new(4)
+            .unwrap()
+            .run(&pool(), &l, &mut y)
+            .unwrap();
+        // y[k] = y[k] + y[k-1] resolves to k + 1 with all-ones input.
+        for (k, v) in y.iter().enumerate() {
+            assert_eq!(*v, (k + 1) as f64, "y[{k}]");
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_across_blocks() {
+        let l = mixed_loop(100);
+        let mut rt = BlockedDoacross::new(10).unwrap();
+        let mut y = vec![1.0; l.data_len()];
+        let stats = rt.run(&pool(), &l, &mut y).unwrap();
+        assert_eq!(stats.blocks, 10);
+        assert_eq!(stats.iterations, 100);
+        assert_eq!(stats.deps.total(), 300, "3 terms x 100 iterations");
+    }
+
+    #[test]
+    fn default_window_pattern_still_works() {
+        // A pattern that does not override block_window falls back to the
+        // full data space: correctness must be unaffected.
+        struct NoWindow(IndirectLoop);
+        impl AccessPattern for NoWindow {
+            fn iterations(&self) -> usize {
+                self.0.iterations()
+            }
+            fn data_len(&self) -> usize {
+                self.0.data_len()
+            }
+            fn lhs(&self, i: usize) -> usize {
+                self.0.lhs(i)
+            }
+            fn terms(&self, i: usize) -> usize {
+                self.0.terms(i)
+            }
+            fn term_element(&self, i: usize, j: usize) -> usize {
+                self.0.term_element(i, j)
+            }
+            // block_window: default (whole data space)
+        }
+        impl crate::pattern::DoacrossLoop for NoWindow {
+            fn init(&self, i: usize, old: f64) -> f64 {
+                self.0.init(i, old)
+            }
+            fn combine(&self, i: usize, j: usize, acc: f64, v: f64) -> f64 {
+                self.0.combine(i, j, acc, v)
+            }
+        }
+        let inner = mixed_loop(60);
+        let mut oracle = vec![1.0; inner.data_len()];
+        run_sequential(&inner, &mut oracle);
+        let wrapped = NoWindow(mixed_loop(60));
+        let mut y = vec![1.0; wrapped.data_len()];
+        let mut rt = BlockedDoacross::new(8).unwrap();
+        rt.run(&pool(), &wrapped, &mut y).unwrap();
+        assert_eq!(y, oracle);
+        assert_eq!(rt.scratch_capacity(), wrapped.data_len());
+    }
+}

@@ -1,0 +1,193 @@
+//! Error type for preprocessed-doacross runs.
+
+/// Reasons a doacross run can be rejected.
+///
+/// The paper's construct is only defined for loops without output
+/// dependencies ("no two elements of array a have the same value", §2.1) and
+/// with in-bounds subscripts; the runtime verifies both at execution time
+/// rather than silently computing garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DoacrossError {
+    /// Two iterations write the same element: `a` is not injective, so the
+    /// loop has an output dependency the construct cannot honor.
+    OutputDependency {
+        /// The element written twice.
+        element: usize,
+    },
+    /// A left-hand-side or right-hand-side subscript fell outside the data
+    /// space declared by [`crate::AccessPattern::data_len`].
+    SubscriptOutOfBounds {
+        /// The offending iteration.
+        iteration: usize,
+        /// The out-of-range element index.
+        element: usize,
+        /// The declared data-space size.
+        data_len: usize,
+    },
+    /// The `y` buffer handed to the runtime does not match the loop's
+    /// declared data space.
+    DataLenMismatch {
+        /// `y.len()` as provided.
+        got: usize,
+        /// Required length (`AccessPattern::data_len`).
+        expected: usize,
+    },
+    /// A blocked run was configured with a zero block size.
+    EmptyBlock,
+    /// A rearranged-iterations run was given an order whose length does not
+    /// match the loop's iteration count.
+    OrderLengthMismatch {
+        /// `order.len()` as provided.
+        got: usize,
+        /// The loop's iteration count.
+        expected: usize,
+    },
+    /// A rearranged-iterations run was given an order that is not a
+    /// permutation (some iteration is missing or duplicated).
+    OrderNotPermutation {
+        /// A duplicated or out-of-range entry.
+        entry: usize,
+    },
+    /// A rearranged-iterations run was given an order that violates a true
+    /// dependency: the writer would be claimed after its reader, risking
+    /// livelock on a small machine.
+    OrderNotTopological {
+        /// The reading iteration.
+        reader: usize,
+        /// The writing iteration that is ordered after it.
+        writer: usize,
+    },
+    /// A linear-subscript run (`a(i) = c·i + d`, §2.3) was requested but
+    /// the loop's actual left-hand-side subscript disagrees.
+    SubscriptNotLinear {
+        /// The iteration where the mismatch was observed.
+        iteration: usize,
+        /// `c·i + d` as claimed.
+        expected: usize,
+        /// `lhs(i)` as the loop reports it.
+        got: usize,
+    },
+    /// A block's writes escape the element window the pattern declared for
+    /// it, so windowed scratch arrays cannot represent the block.
+    WindowViolation {
+        /// The iteration whose write escapes.
+        iteration: usize,
+        /// Its target element.
+        element: usize,
+        /// The window declared for the block.
+        window_start: usize,
+        /// One past the window's last element.
+        window_end: usize,
+    },
+}
+
+impl std::fmt::Display for DoacrossError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DoacrossError::OutputDependency { element } => write!(
+                f,
+                "output dependency: element {element} is written by more than one iteration \
+                 (the preprocessed doacross requires an injective left-hand-side subscript)"
+            ),
+            DoacrossError::SubscriptOutOfBounds {
+                iteration,
+                element,
+                data_len,
+            } => write!(
+                f,
+                "iteration {iteration} references element {element}, outside the data space \
+                 of {data_len} elements"
+            ),
+            DoacrossError::DataLenMismatch { got, expected } => write!(
+                f,
+                "y buffer has {got} elements but the loop's data space is {expected}"
+            ),
+            DoacrossError::EmptyBlock => write!(f, "blocked doacross requires block size >= 1"),
+            DoacrossError::OrderLengthMismatch { got, expected } => write!(
+                f,
+                "iteration order has {got} entries but the loop has {expected} iterations"
+            ),
+            DoacrossError::OrderNotPermutation { entry } => write!(
+                f,
+                "iteration order is not a permutation: entry {entry} is missing, duplicated, \
+                 or out of range"
+            ),
+            DoacrossError::OrderNotTopological { reader, writer } => write!(
+                f,
+                "iteration order violates a true dependency: iteration {reader} reads a value \
+                 written by iteration {writer}, but {writer} is claimed later in the order"
+            ),
+            DoacrossError::SubscriptNotLinear {
+                iteration,
+                expected,
+                got,
+            } => write!(
+                f,
+                "left-hand-side subscript is not the declared linear function: iteration \
+                 {iteration} writes element {got}, but c*i + d = {expected}"
+            ),
+            DoacrossError::WindowViolation {
+                iteration,
+                element,
+                window_start,
+                window_end,
+            } => write!(
+                f,
+                "iteration {iteration} writes element {element}, outside its block's declared \
+                 window [{window_start}, {window_end})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DoacrossError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(DoacrossError, &str)> = vec![
+            (
+                DoacrossError::OutputDependency { element: 7 },
+                "element 7",
+            ),
+            (
+                DoacrossError::SubscriptOutOfBounds {
+                    iteration: 3,
+                    element: 99,
+                    data_len: 10,
+                },
+                "element 99",
+            ),
+            (
+                DoacrossError::DataLenMismatch {
+                    got: 5,
+                    expected: 6,
+                },
+                "5 elements",
+            ),
+            (DoacrossError::EmptyBlock, "block size"),
+            (
+                DoacrossError::WindowViolation {
+                    iteration: 1,
+                    element: 2,
+                    window_start: 4,
+                    window_end: 8,
+                },
+                "[4, 8)",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(DoacrossError::EmptyBlock);
+    }
+}

@@ -1,0 +1,92 @@
+//! # doacross-core — the preprocessed doacross loop
+//!
+//! A faithful, production-grade Rust implementation of
+//!
+//! > Joel H. Saltz and Ravi Mirchandaney, *The Preprocessed Doacross Loop*,
+//! > ICASE Interim Report 11 / NASA CR-182056 (May 1990); ICPP 1991.
+//!
+//! ## The problem
+//!
+//! A loop such as (paper Figure 1)
+//!
+//! ```fortran
+//! do i = 1, N
+//!     y(a(i)) = ... y(b(i)) ...
+//! end do
+//! ```
+//!
+//! has cross-iteration dependencies determined by the *runtime contents* of
+//! the index arrays `a` and `b`. A compiler cannot emit an ordinary doacross
+//! (which needs dependence distances at compile time), and a conservative
+//! sequential execution wastes all available parallelism.
+//!
+//! ## The preprocessed doacross
+//!
+//! The paper's answer is an inspector/executor construct with three fully
+//! parallel phases, all implemented here:
+//!
+//! 1. **Inspector** ([`inspector`]): `iter(a(i)) = i` for every iteration,
+//!    every other element `MAXINT` (paper Figure 3, left).
+//! 2. **Executor** ([`executor`]): a doacross in which iteration `i` writes
+//!    the shadow array `ynew(a(i))` and resolves every right-hand-side
+//!    reference `y(off)` with the three-way check of Figure 5:
+//!    `iter(off) < i` → busy-wait on `ready(off)` then read `ynew(off)`
+//!    (true dependency, statements S3–S5); `iter(off) > i` → read the old
+//!    `y(off)` (antidependency or never written, S6–S7); `iter(off) == i` →
+//!    read the iteration's own accumulator (intra-iteration, S8).
+//! 3. **Postprocessor** ([`post`]): resets `iter`/`ready` and copies
+//!    `ynew(a(i))` back into `y(a(i))` (Figure 3, right), so one set of
+//!    scratch arrays serves arbitrarily many loop instances.
+//!
+//! The §2.3 variants are implemented as well: the strip-mined / blocked
+//! doacross ([`blocked`]) and the linear-subscript executor that eliminates
+//! the inspector when `a(i) = c·i + d` ([`linear`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use doacross_core::{Doacross, IndirectLoop};
+//! use doacross_par::ThreadPool;
+//!
+//! // y[a[i]] = y[a[i]] + 0.5 * y[b[i]]  with runtime-determined a, b.
+//! let a = vec![2, 0, 3, 1, 4];
+//! let b = vec![0, 3, 1, 4, 2];
+//! let coeff = vec![vec![0.5]; 5];
+//! let rhs: Vec<Vec<usize>> = b.iter().map(|&e| vec![e]).collect();
+//! let loop_ = IndirectLoop::new(5, a, rhs, coeff).unwrap();
+//!
+//! let pool = ThreadPool::new(2);
+//! let mut y: Vec<f64> = (0..5).map(|i| i as f64).collect();
+//! let mut oracle = y.clone();
+//!
+//! let mut runtime = Doacross::for_loop(&loop_);
+//! let stats = runtime.run(&pool, &loop_, &mut y).unwrap();
+//! doacross_core::seq::run_sequential(&loop_, &mut oracle);
+//!
+//! assert_eq!(y, oracle);
+//! assert_eq!(stats.iterations, 5);
+//! ```
+
+pub mod blocked;
+pub mod error;
+pub mod executor;
+pub mod flags;
+pub mod inspector;
+pub mod linear;
+pub mod oracle;
+pub mod pattern;
+pub mod post;
+pub mod runtime;
+pub mod seq;
+pub mod stats;
+pub mod testloop;
+
+pub use blocked::BlockedDoacross;
+pub use error::DoacrossError;
+pub use flags::{IterMap, ReadyFlags, MAXINT};
+pub use linear::{LinearDoacross, LinearSubscript};
+pub use oracle::{InspectedWriter, LinearWriter, WriterOracle};
+pub use pattern::{AccessPattern, DoacrossLoop, IndirectLoop};
+pub use runtime::{Doacross, DoacrossConfig};
+pub use stats::{DepCounts, RunStats};
+pub use testloop::{DependencyCensus, TestLoop};

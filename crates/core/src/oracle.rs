@@ -1,0 +1,151 @@
+//! Writer oracles: "which iteration writes element `e`?"
+//!
+//! The executor's three-way check (Figure 5) needs, for every right-hand-
+//! side element, the index of the iteration that writes it (or `MAXINT`).
+//! The paper provides two ways to answer:
+//!
+//! * [`InspectedWriter`] — consult the `iter` array the inspector filled
+//!   (the general case, §2.1);
+//! * [`LinearWriter`] — compute it arithmetically when the left-hand-side
+//!   subscript is the known linear function `a(i) = c·i + d`, eliminating
+//!   both the inspector phase and the `iter` array (§2.3: "it is possible
+//!   to eliminate the execution time preprocessing phase along with the
+//!   need to allocate storage for array iter").
+
+use crate::flags::{IterMap, MAXINT};
+use std::ops::Range;
+
+/// Maps a data element to the iteration that writes it, or [`MAXINT`].
+pub trait WriterOracle: Sync {
+    /// The (global) index of the iteration writing `element`, or [`MAXINT`]
+    /// when no iteration in scope writes it.
+    fn writer(&self, element: usize) -> i64;
+}
+
+/// Oracle backed by the inspector-filled [`IterMap`], restricted to an
+/// element window (the window is the full data space for the flat
+/// construct, and a block's declared window for the strip-mined variant —
+/// elements outside the window are by construction not written by any
+/// in-scope iteration).
+#[derive(Debug, Clone)]
+pub struct InspectedWriter<'a> {
+    map: &'a IterMap,
+    window: Range<usize>,
+}
+
+impl<'a> InspectedWriter<'a> {
+    /// Wraps `map`, which holds writer entries for elements
+    /// `window.start..window.end` at map indices `0..window.len()`.
+    pub fn new(map: &'a IterMap, window: Range<usize>) -> Self {
+        debug_assert!(window.len() <= map.len());
+        Self { map, window }
+    }
+}
+
+impl WriterOracle for InspectedWriter<'_> {
+    #[inline]
+    fn writer(&self, element: usize) -> i64 {
+        if self.window.contains(&element) {
+            self.map.writer(element - self.window.start)
+        } else {
+            MAXINT
+        }
+    }
+}
+
+/// Arithmetic oracle for `a(i) = c·i + d` (0-based): element `e` is written
+/// iff `(e - d) mod c == 0` and the quotient is a valid iteration index —
+/// the test the paper gives verbatim for Figure 4's `a(i) = 2i`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearWriter {
+    c: i64,
+    d: i64,
+    iterations: i64,
+}
+
+impl LinearWriter {
+    /// Oracle for `a(i) = c·i + d` over `iterations` iterations.
+    ///
+    /// # Panics
+    /// Panics if `c == 0` (a constant subscript writes one element from
+    /// every iteration — an output dependency by definition).
+    pub fn new(c: usize, d: usize, iterations: usize) -> Self {
+        assert!(c > 0, "linear subscript requires stride c >= 1");
+        Self {
+            c: c as i64,
+            d: d as i64,
+            iterations: iterations as i64,
+        }
+    }
+}
+
+impl WriterOracle for LinearWriter {
+    #[inline]
+    fn writer(&self, element: usize) -> i64 {
+        let e = element as i64 - self.d;
+        if e < 0 || e % self.c != 0 {
+            return MAXINT;
+        }
+        let q = e / self.c;
+        if q < self.iterations {
+            q
+        } else {
+            MAXINT
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inspected_writer_reads_through_window() {
+        let map = IterMap::new(4);
+        map.record(0, 10); // element 5 in a window starting at 5
+        map.record(3, 11); // element 8
+        let oracle = InspectedWriter::new(&map, 5..9);
+        assert_eq!(oracle.writer(5), 10);
+        assert_eq!(oracle.writer(8), 11);
+        assert_eq!(oracle.writer(6), MAXINT, "in window, unwritten");
+        assert_eq!(oracle.writer(4), MAXINT, "below window");
+        assert_eq!(oracle.writer(9), MAXINT, "above window");
+    }
+
+    #[test]
+    fn linear_writer_matches_brute_force() {
+        for &(c, d, n) in &[(1usize, 0usize, 10usize), (2, 0, 8), (2, 16, 5), (3, 1, 7)] {
+            let oracle = LinearWriter::new(c, d, n);
+            // Brute-force the ground truth.
+            let mut truth = vec![MAXINT; c * n + d + 5];
+            for i in 0..n {
+                truth[c * i + d] = i as i64;
+            }
+            for (e, &t) in truth.iter().enumerate() {
+                assert_eq!(oracle.writer(e), t, "c={c} d={d} n={n} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_writer_out_of_range_iterations_are_maxint() {
+        let oracle = LinearWriter::new(2, 0, 3); // writes 0, 2, 4
+        assert_eq!(oracle.writer(6), MAXINT, "would be iteration 3, past N");
+        assert_eq!(oracle.writer(1), MAXINT, "wrong parity");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride c >= 1")]
+    fn linear_writer_zero_stride_panics() {
+        let _ = LinearWriter::new(0, 0, 4);
+    }
+
+    #[test]
+    fn linear_writer_paper_example() {
+        // §2.3 text for Figure 4: a(i) = 2i, test (off - d) mod c == 0,
+        // writer (off - d) / c.
+        let oracle = LinearWriter::new(2, 0, 10_000);
+        assert_eq!(oracle.writer(4242), 2121);
+        assert_eq!(oracle.writer(4243), MAXINT);
+    }
+}

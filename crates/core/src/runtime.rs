@@ -1,0 +1,541 @@
+//! [`Doacross`]: the user-facing preprocessed-doacross runtime.
+//!
+//! Owns the reusable scratch state — the `iter` writer map, the `ready`
+//! flags, and the shadow array `ynew` — and runs the three phases
+//! (inspector → executor → postprocessor) over any [`DoacrossLoop`].
+//! Reuse across many loop instances is the point of the paper's
+//! postprocessing phase: "In order to limit the cost of initialization and
+//! the use of memory associated with this implementation of the doacross
+//! construct, we reuse the same arrays iter and ready for multiple
+//! preprocessed doacross loops" (§2.1).
+
+use crate::error::DoacrossError;
+use crate::executor::run_executor;
+use crate::flags::{IterMap, ReadyFlags};
+use crate::inspector::{reset_scratch, run_inspector};
+use crate::oracle::InspectedWriter;
+use crate::pattern::{AccessPattern, DoacrossLoop};
+use crate::post::run_post;
+use crate::stats::{RunStats, StatsSink};
+use doacross_par::{Schedule, SharedSlice, ThreadPool, WaitStrategy};
+use std::time::Instant;
+
+/// Tunables of a doacross run.
+#[derive(Debug, Clone, Copy)]
+pub struct DoacrossConfig {
+    /// Iteration-to-worker assignment for all three phases. Default:
+    /// [`Schedule::multimax()`] (one-iteration self-scheduling).
+    pub schedule: Schedule,
+    /// Busy-wait policy for true-dependency stalls. Default: spin-then-
+    /// yield, which is safe under oversubscription.
+    pub wait: WaitStrategy,
+    /// When set (default), the inspector also bounds-checks every
+    /// right-hand-side subscript and reports
+    /// [`DoacrossError::SubscriptOutOfBounds`] instead of relying on the
+    /// executor's asserts. Disable to measure the paper-faithful inspector
+    /// cost (one store per iteration).
+    pub validate_terms: bool,
+    /// When set (default), postprocessing copies `ynew(a(i))` back into
+    /// `y(a(i))` (Figure 3). The paper notes the copy is only needed "in
+    /// many cases": consumers that read the result from the shadow array
+    /// directly (e.g. a solver returning a fresh vector) can disable it
+    /// and fetch values via [`Doacross::shadow`]. Ignored by the blocked
+    /// variant, where per-block copy-back carries cross-block
+    /// dependencies.
+    pub copy_back: bool,
+}
+
+impl Default for DoacrossConfig {
+    fn default() -> Self {
+        Self {
+            schedule: Schedule::multimax(),
+            wait: WaitStrategy::default(),
+            validate_terms: true,
+            copy_back: true,
+        }
+    }
+}
+
+/// Reusable preprocessed-doacross runtime (see module docs).
+///
+/// ```
+/// use doacross_core::{Doacross, IndirectLoop};
+/// use doacross_par::ThreadPool;
+///
+/// // Two loop instances sharing one runtime's scratch arrays.
+/// let l1 = IndirectLoop::new(4, vec![1, 2], vec![vec![0], vec![1]],
+///                            vec![vec![1.0], vec![1.0]]).unwrap();
+/// let l2 = IndirectLoop::new(4, vec![3], vec![vec![2]], vec![vec![2.0]]).unwrap();
+/// let pool = ThreadPool::new(2);
+/// let mut y = vec![1.0, 0.0, 0.0, 0.0];
+/// let mut rt = Doacross::for_loop(&l1);
+/// rt.run(&pool, &l1, &mut y).unwrap(); // y[1] += y[0]; y[2] += y[1]
+/// rt.run(&pool, &l2, &mut y).unwrap(); // y[3] += 2*y[2]
+/// assert_eq!(y, vec![1.0, 1.0, 1.0, 2.0]);
+/// ```
+#[derive(Debug)]
+pub struct Doacross {
+    config: DoacrossConfig,
+    data_len: usize,
+    iter: IterMap,
+    ready: ReadyFlags,
+    ynew: Vec<f64>,
+}
+
+impl Doacross {
+    /// Creates a runtime whose scratch arrays cover a data space of
+    /// `data_len` elements.
+    pub fn new(data_len: usize) -> Self {
+        Self::with_config(data_len, DoacrossConfig::default())
+    }
+
+    /// Creates a runtime sized for `pattern`'s data space.
+    pub fn for_loop<P: AccessPattern + ?Sized>(pattern: &P) -> Self {
+        Self::new(pattern.data_len())
+    }
+
+    /// Creates a runtime with explicit configuration.
+    pub fn with_config(data_len: usize, config: DoacrossConfig) -> Self {
+        Self {
+            config,
+            data_len,
+            iter: IterMap::new(data_len),
+            ready: ReadyFlags::new(data_len),
+            ynew: vec![0.0; data_len],
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &DoacrossConfig {
+        &self.config
+    }
+
+    /// Mutable configuration (e.g. to switch schedules between runs).
+    pub fn config_mut(&mut self) -> &mut DoacrossConfig {
+        &mut self.config
+    }
+
+    /// Size of the data space the scratch arrays cover.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Grows the scratch arrays to cover `len` elements (no-op if already
+    /// large enough). Newly added entries satisfy the reuse invariant.
+    pub fn ensure_data_len(&mut self, len: usize) {
+        if len > self.data_len {
+            self.data_len = len;
+            self.iter = IterMap::new(len);
+            self.ready = ReadyFlags::new(len);
+            self.ynew = vec![0.0; len];
+        }
+    }
+
+    /// Whether the scratch arrays satisfy the between-runs reuse invariant
+    /// (`iter` all `MAXINT`, `ready` all `NOTDONE`). O(data_len); intended
+    /// for tests.
+    pub fn scratch_is_clean(&self) -> bool {
+        self.iter.all_clear() && self.ready.all_clear()
+    }
+
+    /// The shadow array `ynew`. After a run with `copy_back = false`, the
+    /// loop's results live here at the written elements (`a(i)` positions);
+    /// all other entries are stale.
+    pub fn shadow(&self) -> &[f64] {
+        &self.ynew
+    }
+
+    /// Runs the full preprocessed doacross (inspector → executor →
+    /// postprocessor) for `loop_`, updating `y` in place exactly as the
+    /// sequential source loop would.
+    ///
+    /// On success the scratch arrays are restored to the reuse invariant;
+    /// on error they are reset wholesale before returning, so the runtime
+    /// stays usable either way.
+    pub fn run<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+    ) -> Result<RunStats, DoacrossError> {
+        self.run_with_order(pool, loop_, y, None)
+    }
+
+    /// Like [`Doacross::run`], but claims iterations in the supplied order
+    /// — the doconsider "rearranged iterations" mechanism of §3.2. The
+    /// order must be a permutation of `0..iterations` that is topologically
+    /// consistent with the loop's true dependencies; both properties are
+    /// verified (the topological check only in full-validation mode, since
+    /// it costs a pass over all references).
+    ///
+    /// Semantics are identical to the unordered run — the paper's point is
+    /// that reordering "leaves the inter-iteration dependencies unchanged
+    /// but reduces the effects of these dependencies on performance".
+    pub fn run_with_order<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+        order: Option<&[usize]>,
+    ) -> Result<RunStats, DoacrossError> {
+        let data_len = loop_.data_len();
+        if y.len() != data_len {
+            return Err(DoacrossError::DataLenMismatch {
+                got: y.len(),
+                expected: data_len,
+            });
+        }
+        self.ensure_data_len(data_len);
+        let n = loop_.iterations();
+        let schedule = self.config.schedule;
+        let wait = self.config.wait;
+        debug_assert!(self.scratch_is_clean(), "reuse invariant violated on entry");
+
+        let mut stats = RunStats {
+            iterations: n,
+            workers: pool.threads(),
+            blocks: 1,
+            ..Default::default()
+        };
+        let t_start = Instant::now();
+
+        // Phase 1: inspector (Figure 3, left).
+        let t0 = Instant::now();
+        if let Err(e) = run_inspector(
+            pool,
+            schedule,
+            loop_,
+            0..n,
+            0..data_len,
+            &self.iter,
+            self.config.validate_terms,
+        ) {
+            reset_scratch(pool, schedule, &self.iter, &self.ready, self.data_len);
+            return Err(e);
+        }
+        stats.inspector = t0.elapsed();
+
+        // Validate the claim order, if one was supplied. The inspector has
+        // already filled `iter`, so the topological check is a lookup per
+        // reference.
+        if let Some(ord) = order {
+            if let Err(e) = self.validate_order(pool, loop_, ord) {
+                reset_scratch(pool, schedule, &self.iter, &self.ready, self.data_len);
+                return Err(e);
+            }
+        }
+
+        // Phase 2: executor (Figure 5).
+        let t1 = Instant::now();
+        let sink = StatsSink::new(pool.threads());
+        {
+            let y_view = SharedSlice::new(y);
+            let ynew_view = SharedSlice::new(&mut self.ynew[..]);
+            let oracle = InspectedWriter::new(&self.iter, 0..data_len);
+            run_executor(
+                pool,
+                schedule,
+                wait,
+                loop_,
+                0..n,
+                order,
+                &oracle,
+                y_view,
+                ynew_view,
+                &self.ready,
+                0,
+                &sink,
+            );
+        }
+        stats.executor = t1.elapsed();
+        sink.drain_into(&mut stats);
+
+        // Phase 3: postprocessor (Figure 3, right), with copy-back unless
+        // the caller reads results from the shadow array.
+        let t2 = Instant::now();
+        {
+            let y_view = SharedSlice::new(y);
+            let ynew_view = SharedSlice::new(&mut self.ynew[..]);
+            run_post(
+                pool,
+                schedule,
+                loop_,
+                0..n,
+                0,
+                Some(&self.iter),
+                &self.ready,
+                y_view,
+                ynew_view,
+                self.config.copy_back,
+            );
+        }
+        stats.post = t2.elapsed();
+        stats.total = t_start.elapsed();
+        debug_assert!(self.scratch_is_clean(), "reuse invariant violated on exit");
+        Ok(stats)
+    }
+
+    /// Checks that `order` is a permutation of `0..n` and — in
+    /// full-validation mode — that no true dependency's writer is claimed
+    /// after its reader. Requires the inspector to have filled `iter`.
+    fn validate_order<L: DoacrossLoop + ?Sized>(
+        &self,
+        pool: &ThreadPool,
+        loop_: &L,
+        order: &[usize],
+    ) -> Result<(), DoacrossError> {
+        let n = loop_.iterations();
+        if order.len() != n {
+            return Err(DoacrossError::OrderLengthMismatch {
+                got: order.len(),
+                expected: n,
+            });
+        }
+        let mut position = vec![usize::MAX; n];
+        for (k, &i) in order.iter().enumerate() {
+            if i >= n || position[i] != usize::MAX {
+                return Err(DoacrossError::OrderNotPermutation { entry: i });
+            }
+            position[i] = k;
+        }
+        if self.config.validate_terms {
+            let violation = crate::inspector::ErrorSlot::new();
+            let position = &position[..];
+            let iter = &self.iter;
+            doacross_par::parallel_for(pool, n, self.config.schedule, |i| {
+                for j in 0..loop_.terms(i) {
+                    let w = iter.writer(loop_.term_element(i, j));
+                    if w != crate::flags::MAXINT && (w as usize) < i {
+                        let w = w as usize;
+                        if position[w] > position[i] {
+                            violation.try_set(i, w);
+                        }
+                    }
+                }
+            });
+            if let Some((reader, writer)) = violation.get() {
+                return Err(DoacrossError::OrderNotTopological { reader, writer });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{AccessPattern, IndirectLoop};
+    use crate::seq::run_sequential;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn chain_loop(n: usize) -> IndirectLoop {
+        let a: Vec<usize> = (1..=n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        IndirectLoop::new(n + 1, a, rhs, vec![vec![1.0]; n]).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_matches_sequential() {
+        let l = chain_loop(200);
+        let mut y = vec![1.0; 201];
+        let mut oracle = y.clone();
+        let mut rt = Doacross::for_loop(&l);
+        let stats = rt.run(&pool(), &l, &mut y).unwrap();
+        run_sequential(&l, &mut oracle);
+        assert_eq!(y, oracle);
+        assert_eq!(stats.iterations, 200);
+        assert_eq!(stats.blocks, 1);
+        assert!(rt.scratch_is_clean());
+    }
+
+    #[test]
+    fn runtime_is_reusable_across_loops() {
+        let l = chain_loop(64);
+        let mut rt = Doacross::for_loop(&l);
+        let p = pool();
+        let mut y_expect = vec![1.0; 65];
+        let mut y = vec![1.0; 65];
+        for _ in 0..5 {
+            rt.run(&p, &l, &mut y).unwrap();
+            run_sequential(&l, &mut y_expect);
+            assert_eq!(y, y_expect);
+            assert!(rt.scratch_is_clean());
+        }
+    }
+
+    #[test]
+    fn output_dependency_is_reported_and_scratch_restored() {
+        let l = IndirectLoop::new(
+            4,
+            vec![2, 2],
+            vec![vec![], vec![]],
+            vec![vec![], vec![]],
+        )
+        .unwrap();
+        let mut rt = Doacross::for_loop(&l);
+        let mut y = vec![0.0; 4];
+        let err = rt.run(&pool(), &l, &mut y).unwrap_err();
+        assert_eq!(err, DoacrossError::OutputDependency { element: 2 });
+        assert!(rt.scratch_is_clean(), "error path must restore invariant");
+        // Runtime remains usable.
+        let ok = chain_loop(3);
+        let mut y2 = vec![1.0; 4];
+        rt.run(&pool(), &ok, &mut y2).unwrap();
+    }
+
+    #[test]
+    fn data_len_mismatch_is_rejected() {
+        let l = chain_loop(4);
+        let mut rt = Doacross::for_loop(&l);
+        let mut y = vec![0.0; 3];
+        let err = rt.run(&pool(), &l, &mut y).unwrap_err();
+        assert!(matches!(err, DoacrossError::DataLenMismatch { got: 3, expected: 5 }));
+    }
+
+    #[test]
+    fn scratch_grows_on_demand() {
+        let small = chain_loop(2);
+        let big = chain_loop(50);
+        let mut rt = Doacross::for_loop(&small);
+        assert_eq!(rt.data_len(), 3);
+        let p = pool();
+        let mut y = vec![1.0; 51];
+        rt.run(&p, &big, &mut y).unwrap();
+        assert_eq!(rt.data_len(), 51);
+        let mut oracle = vec![1.0; 51];
+        run_sequential(&big, &mut oracle);
+        assert_eq!(y, oracle);
+    }
+
+    #[test]
+    fn empty_loop_succeeds() {
+        let l = IndirectLoop::new(0, vec![], vec![], vec![]).unwrap();
+        let mut rt = Doacross::for_loop(&l);
+        let mut y: Vec<f64> = vec![];
+        let stats = rt.run(&pool(), &l, &mut y).unwrap();
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.deps.total(), 0);
+    }
+
+    #[test]
+    fn config_is_adjustable() {
+        let l = chain_loop(32);
+        let mut rt = Doacross::for_loop(&l);
+        rt.config_mut().schedule = Schedule::StaticCyclic;
+        rt.config_mut().wait = WaitStrategy::Backoff { max_spin_batch: 8 };
+        rt.config_mut().validate_terms = false;
+        let mut y = vec![1.0; 33];
+        let mut oracle = y.clone();
+        rt.run(&pool(), &l, &mut y).unwrap();
+        run_sequential(&l, &mut oracle);
+        assert_eq!(y, oracle);
+    }
+
+    #[test]
+    fn copy_back_disabled_leaves_y_and_fills_shadow() {
+        let l = chain_loop(32);
+        let p = pool();
+        let mut expect = vec![1.0; 33];
+        run_sequential(&l, &mut expect);
+
+        let mut rt = Doacross::for_loop(&l);
+        rt.config_mut().copy_back = false;
+        let y0 = vec![1.0; 33];
+        let mut y = y0.clone();
+        rt.run(&p, &l, &mut y).unwrap();
+        assert_eq!(y, y0, "y untouched without copy-back");
+        // Written elements (1..=32) hold the results in the shadow array.
+        for i in 0..32 {
+            let e = l.lhs(i);
+            assert_eq!(rt.shadow()[e], expect[e], "element {e}");
+        }
+        assert!(rt.scratch_is_clean(), "flags/iter still reset");
+    }
+
+    #[test]
+    fn run_with_order_matches_unordered_semantics() {
+        let l = chain_loop(100);
+        let p = pool();
+        let mut expect = vec![1.0; 101];
+        run_sequential(&l, &mut expect);
+
+        // Identity order and the natural order itself.
+        let identity: Vec<usize> = (0..100).collect();
+        let mut y = vec![1.0; 101];
+        let mut rt = Doacross::for_loop(&l);
+        rt.run_with_order(&p, &l, &mut y, Some(&identity)).unwrap();
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn reordering_independent_iterations_is_legal() {
+        // Loop with no cross-iteration deps: any permutation is valid.
+        let n = 64;
+        let a: Vec<usize> = (0..n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let l = IndirectLoop::new(n, a, rhs, vec![vec![1.0]; n]).unwrap();
+        let reversed: Vec<usize> = (0..n).rev().collect();
+        let mut y: Vec<f64> = (0..n).map(|e| e as f64).collect();
+        let mut expect = y.clone();
+        run_sequential(&l, &mut expect);
+        let mut rt = Doacross::for_loop(&l);
+        rt.run_with_order(&pool(), &l, &mut y, Some(&reversed))
+            .unwrap();
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn non_topological_order_is_rejected() {
+        // Chain: iteration i depends on i-1; reversing the order puts every
+        // writer after its reader.
+        let l = chain_loop(8);
+        let reversed: Vec<usize> = (0..8).rev().collect();
+        let mut y = vec![1.0; 9];
+        let mut rt = Doacross::for_loop(&l);
+        let err = rt
+            .run_with_order(&pool(), &l, &mut y, Some(&reversed))
+            .unwrap_err();
+        assert!(matches!(err, DoacrossError::OrderNotTopological { .. }));
+        assert!(rt.scratch_is_clean(), "error path restores invariant");
+    }
+
+    #[test]
+    fn bad_orders_are_rejected() {
+        let l = chain_loop(4);
+        let mut rt = Doacross::for_loop(&l);
+        let mut y = vec![1.0; 5];
+        let short = vec![0usize, 1];
+        assert!(matches!(
+            rt.run_with_order(&pool(), &l, &mut y, Some(&short)),
+            Err(DoacrossError::OrderLengthMismatch { got: 2, expected: 4 })
+        ));
+        let dup = vec![0usize, 1, 1, 3];
+        assert!(matches!(
+            rt.run_with_order(&pool(), &l, &mut y, Some(&dup)),
+            Err(DoacrossError::OrderNotPermutation { entry: 1 })
+        ));
+        let oor = vec![0usize, 1, 2, 9];
+        assert!(matches!(
+            rt.run_with_order(&pool(), &l, &mut y, Some(&oor)),
+            Err(DoacrossError::OrderNotPermutation { entry: 9 })
+        ));
+        assert!(rt.scratch_is_clean());
+        // Still usable afterwards.
+        rt.run(&pool(), &l, &mut y).unwrap();
+    }
+
+    #[test]
+    fn stats_phases_are_populated() {
+        let l = chain_loop(500);
+        let mut rt = Doacross::for_loop(&l);
+        let mut y = vec![1.0; 501];
+        let stats = rt.run(&pool(), &l, &mut y).unwrap();
+        assert!(stats.total >= stats.executor);
+        // Iteration 0 reads the unwritten element 0; the rest are true deps.
+        assert_eq!(stats.deps.true_deps, 499);
+        assert_eq!(stats.workers, 4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Run instrumentation: phase timings and dependency/wait counters.
+//!
+//! §3.1 of the paper attributes the preprocessed doacross's overhead to
+//! (1) runtime pre- and postprocessing and (2) execution-time dependency
+//! checks (plus any busy waiting those checks trigger). [`RunStats`] exposes
+//! each of those contributions so the benchmark harness can reproduce the
+//! paper's overhead analysis rather than just end-to-end times.
+
+use doacross_par::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How the executor classified the right-hand-side references it resolved —
+/// one count per (iteration, term) pair, matching Figure 5's three-way
+/// branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepCounts {
+    /// `check < 0`: true dependency on an earlier iteration (S3–S5).
+    pub true_deps: u64,
+    /// `check > 0`: antidependency or never-written element — the old value
+    /// was used (S6–S7).
+    pub anti_or_unwritten: u64,
+    /// `check == 0`: intra-iteration reference served from the accumulator
+    /// (S8).
+    pub intra: u64,
+}
+
+impl DepCounts {
+    /// Total references resolved.
+    pub fn total(&self) -> u64 {
+        self.true_deps + self.anti_or_unwritten + self.intra
+    }
+}
+
+/// Everything measured about one preprocessed-doacross run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Outer-loop iterations executed.
+    pub iterations: usize,
+    /// Pool workers ("processors") used.
+    pub workers: usize,
+    /// Blocks executed (1 for the flat construct; ≥ 1 when strip-mined).
+    pub blocks: usize,
+    /// Inspector (preprocessing) wall time.
+    pub inspector: Duration,
+    /// Executor (doacross proper) wall time.
+    pub executor: Duration,
+    /// Postprocessing wall time.
+    pub post: Duration,
+    /// End-to-end wall time (≥ sum of phases; includes phase glue).
+    pub total: Duration,
+    /// Classification of every resolved right-hand-side reference.
+    pub deps: DepCounts,
+    /// True-dependency resolutions that actually stalled (the writer had
+    /// not finished at first poll).
+    pub stalls: u64,
+    /// Total failed `ready` polls across all stalls — the busy-wait bill.
+    pub wait_polls: u64,
+}
+
+impl RunStats {
+    /// Fraction of total time spent outside the executor: the paper's
+    /// "pre/postprocessing overhead". Returns 0 for an empty run.
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.total.as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.inspector + self.post).as_secs_f64() / total
+    }
+
+    /// Merges another run's statistics into this one (used by the blocked
+    /// variant to aggregate per-block runs).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.iterations += other.iterations;
+        self.workers = self.workers.max(other.workers);
+        self.blocks += other.blocks;
+        self.inspector += other.inspector;
+        self.executor += other.executor;
+        self.post += other.post;
+        self.total += other.total;
+        self.deps.true_deps += other.deps.true_deps;
+        self.deps.anti_or_unwritten += other.deps.anti_or_unwritten;
+        self.deps.intra += other.deps.intra;
+        self.stalls += other.stalls;
+        self.wait_polls += other.wait_polls;
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} iterations on {} workers in {:?} (inspector {:?}, executor {:?}, post {:?}); \
+             refs: {} true / {} old / {} intra; {} stalls, {} wait polls",
+            self.iterations,
+            self.workers,
+            self.total,
+            self.inspector,
+            self.executor,
+            self.post,
+            self.deps.true_deps,
+            self.deps.anti_or_unwritten,
+            self.deps.intra,
+            self.stalls,
+            self.wait_polls,
+        )
+    }
+}
+
+/// Counters a worker accumulates in registers during the executor phase and
+/// flushes once at region end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalCounters {
+    /// True-dependency resolutions (Figure 5 S3–S5).
+    pub true_deps: u64,
+    /// Old-value resolutions (S6–S7).
+    pub anti_or_unwritten: u64,
+    /// Intra-iteration resolutions (S8).
+    pub intra: u64,
+    /// True-dependency resolutions that found the writer unfinished.
+    pub stalls: u64,
+    /// Failed `ready` polls across all stalls.
+    pub wait_polls: u64,
+}
+
+/// Per-worker atomic cells (cache-padded against false sharing) that
+/// aggregate [`LocalCounters`] across a parallel region.
+#[derive(Debug, Default)]
+struct SinkCell {
+    true_deps: AtomicU64,
+    anti_or_unwritten: AtomicU64,
+    intra: AtomicU64,
+    stalls: AtomicU64,
+    wait_polls: AtomicU64,
+}
+
+/// Collects executor-side counters from all workers of a region.
+#[derive(Debug)]
+pub struct StatsSink {
+    cells: Vec<CachePadded<SinkCell>>,
+}
+
+impl StatsSink {
+    pub fn new(workers: usize) -> Self {
+        let mut cells = Vec::with_capacity(workers);
+        cells.resize_with(workers, || CachePadded::new(SinkCell::default()));
+        Self { cells }
+    }
+
+    /// Adds a worker's locally-accumulated counters. Relaxed ordering is
+    /// sufficient: the pool's region join orders these stores before the
+    /// dispatcher's reads in [`StatsSink::drain_into`].
+    pub fn deposit(&self, worker: usize, local: LocalCounters) {
+        let c = &self.cells[worker];
+        c.true_deps.fetch_add(local.true_deps, Ordering::Relaxed);
+        c.anti_or_unwritten
+            .fetch_add(local.anti_or_unwritten, Ordering::Relaxed);
+        c.intra.fetch_add(local.intra, Ordering::Relaxed);
+        c.stalls.fetch_add(local.stalls, Ordering::Relaxed);
+        c.wait_polls.fetch_add(local.wait_polls, Ordering::Relaxed);
+    }
+
+    /// Sums all workers' counters into `stats`.
+    pub fn drain_into(&self, stats: &mut RunStats) {
+        for c in &self.cells {
+            stats.deps.true_deps += c.true_deps.load(Ordering::Relaxed);
+            stats.deps.anti_or_unwritten += c.anti_or_unwritten.load(Ordering::Relaxed);
+            stats.deps.intra += c.intra.load(Ordering::Relaxed);
+            stats.stalls += c.stalls.load(Ordering::Relaxed);
+            stats.wait_polls += c.wait_polls.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dep_counts_total() {
+        let d = DepCounts {
+            true_deps: 3,
+            anti_or_unwritten: 4,
+            intra: 5,
+        };
+        assert_eq!(d.total(), 12);
+    }
+
+    #[test]
+    fn sink_aggregates_across_workers() {
+        let sink = StatsSink::new(3);
+        for w in 0..3 {
+            sink.deposit(
+                w,
+                LocalCounters {
+                    true_deps: 1,
+                    anti_or_unwritten: 2,
+                    intra: 3,
+                    stalls: 4,
+                    wait_polls: 5,
+                },
+            );
+        }
+        let mut stats = RunStats::default();
+        sink.drain_into(&mut stats);
+        assert_eq!(stats.deps.true_deps, 3);
+        assert_eq!(stats.deps.anti_or_unwritten, 6);
+        assert_eq!(stats.deps.intra, 9);
+        assert_eq!(stats.stalls, 12);
+        assert_eq!(stats.wait_polls, 15);
+    }
+
+    #[test]
+    fn absorb_accumulates_blocks() {
+        let mut a = RunStats {
+            iterations: 10,
+            workers: 4,
+            blocks: 1,
+            ..Default::default()
+        };
+        let b = RunStats {
+            iterations: 5,
+            workers: 2,
+            blocks: 1,
+            stalls: 7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.iterations, 15);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.blocks, 2);
+        assert_eq!(a.stalls, 7);
+    }
+
+    #[test]
+    fn overhead_fraction_is_bounded() {
+        let mut s = RunStats::default();
+        assert_eq!(s.overhead_fraction(), 0.0);
+        s.inspector = Duration::from_millis(10);
+        s.post = Duration::from_millis(10);
+        s.executor = Duration::from_millis(80);
+        s.total = Duration::from_millis(100);
+        let f = s.overhead_fraction();
+        assert!((f - 0.2).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = RunStats {
+            iterations: 42,
+            workers: 8,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("42 iterations"));
+        assert!(text.contains("8 workers"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # doacross-par — parallel runtime substrate
+//!
+//! The building blocks underneath the preprocessed doacross runtime
+//! (`doacross-core`): a fixed-size [`ThreadPool`] whose workers model the
+//! paper's "processors", self-scheduled [`parallel_for`] loops in the style
+//! of the Encore Multimax `parallel do`, busy-wait [`WaitStrategy`]
+//! primitives for the executor's `while (ready(..) != DONE)` loops, and
+//! [`SharedSlice`], the single audited `unsafe` abstraction through which
+//! concurrently-executing loop iterations touch shared arrays.
+//!
+//! The paper (Saltz & Mirchandaney, *The Preprocessed Doacross Loop*, ICPP
+//! 1991) ran its `parallel do` loops on a 16-processor Encore Multimax/320
+//! with self-scheduling: each processor repeatedly grabs the next unclaimed
+//! iteration (or chunk of iterations) from a shared counter. That policy is
+//! [`Schedule::Dynamic`]; static block and cyclic assignments are provided
+//! for ablation studies.
+//!
+//! ## Deadlock-freedom contract
+//!
+//! A doacross executor busy-waits for *earlier* iterations only (true
+//! dependencies always point backwards in the iteration space — see
+//! `doacross-core`). Every [`Schedule`] in this crate enumerates each
+//! worker's assigned iterations in increasing global order, which makes any
+//! backward-waiting loop deadlock-free: the lowest-numbered unexecuted
+//! iteration is always at the front of some worker's remaining work, and by
+//! definition none of its dependencies are pending. When the machine is
+//! oversubscribed (more workers than hardware threads) the waiting side must
+//! yield the CPU so the writer can run; that is [`WaitStrategy::SpinYield`]
+//! and [`WaitStrategy::Backoff`].
+
+pub mod parallel;
+pub mod pool;
+pub mod schedule;
+pub mod shared;
+pub mod sync;
+pub mod wait;
+
+pub use parallel::{parallel_for, parallel_for_with_id, parallel_reduce};
+pub use pool::ThreadPool;
+pub use schedule::Schedule;
+pub use shared::SharedSlice;
+pub use sync::{CachePadded, SpinBarrier};
+pub use wait::WaitStrategy;

@@ -1,0 +1,142 @@
+//! Triplet (COO) accumulation and conversion to CSR.
+
+use crate::csr::CsrMatrix;
+
+/// Accumulates `(row, col, value)` triplets in any order and converts them
+/// to a [`CsrMatrix`], summing duplicates — the standard assembly path for
+/// stencil and finite-difference operators.
+#[derive(Debug, Clone)]
+pub struct TripletBuilder {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletBuilder {
+    /// A builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates room for `n` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, n: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of accumulated triplets (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates are summed at build time.
+    ///
+    /// # Panics
+    /// Panics if the position is out of range.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.nrows, "row {row} out of range ({})", self.nrows);
+        assert!(col < self.ncols, "col {col} out of range ({})", self.ncols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Sorts, merges duplicates, and produces the CSR matrix.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|a| (a.0, a.1));
+        let mut row_counts = vec![0usize; self.nrows];
+        let mut col_idx: Vec<usize> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in self.entries {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("merge target exists") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_counts[r] += 1;
+                last = Some((r, c));
+            }
+        }
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        for r in 0..self.nrows {
+            row_ptr[r + 1] = row_ptr[r] + row_counts[r];
+        }
+        CsrMatrix::from_parts(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_any_order() {
+        let mut b = TripletBuilder::new(2, 3);
+        b.push(1, 2, 5.0);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 4.0);
+        b.push(0, 2, 3.0);
+        let m = b.build();
+        assert_eq!(
+            m.to_dense(),
+            vec![vec![1.0, 0.0, 3.0], vec![4.0, 0.0, 5.0]]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(0, 1, 2.5);
+        b.push(1, 1, 1.0);
+        b.push(0, 1, 0.5);
+        let m = b.build();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), Some(4.0));
+        assert_eq!(m.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_in_different_rows_not_merged() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(1, 1, 2.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 1), Some(2.0));
+    }
+
+    #[test]
+    fn empty_builder_yields_empty_matrix() {
+        let m = TripletBuilder::new(3, 3).build();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.nrows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        TripletBuilder::new(1, 1).push(0, 1, 1.0);
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut b = TripletBuilder::with_capacity(4, 4, 10);
+        assert!(b.is_empty());
+        b.push(0, 0, 1.0);
+        assert_eq!(b.len(), 1);
+    }
+}

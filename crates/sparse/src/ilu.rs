@@ -1,0 +1,237 @@
+//! ILU(0): incomplete LU factorization with zero fill-in.
+//!
+//! The paper's triangular systems "arise from incompletely factored
+//! matrices obtained from a variety of discretized partial differential
+//! equations" (§3.2, citing Baxter et al. 1988). ILU(0) computes `L` and
+//! `U` factors restricted to the sparsity pattern of `A`: for every stored
+//! position `(i,j)` of `A`, `(L·U)_{ij} = A_{ij}`, while positions outside
+//! the pattern are simply dropped. `L` is unit lower triangular — exactly
+//! the shape the Figure 7 solve loop consumes.
+
+use crate::csr::CsrMatrix;
+
+/// The result of [`ilu0`]: `A ≈ L·U` with `L` unit lower triangular
+/// (diagonal implicit, not stored) and `U` upper triangular including the
+/// diagonal. Both share `A`'s pattern split at the diagonal.
+#[derive(Debug, Clone)]
+pub struct IluFactors {
+    /// Strictly-lower part; unit diagonal implied.
+    pub l: CsrMatrix,
+    /// Upper part including the diagonal.
+    pub u: CsrMatrix,
+}
+
+/// Computes the ILU(0) factorization of a square matrix whose every row
+/// contains a diagonal entry.
+///
+/// The algorithm is the standard in-place IKJ sweep restricted to the
+/// pattern: for each row `i`, for each stored `k < i` in ascending order,
+/// `a_ik /= u_kk`, then `a_ij -= a_ik · u_kj` for every stored `j > k` of
+/// row `i` that is also stored in row `k`.
+///
+/// # Panics
+/// Panics if the matrix is not square, a row is missing its diagonal, or a
+/// pivot becomes zero (cannot happen for the diagonally dominant operators
+/// this crate generates).
+pub fn ilu0(a: &CsrMatrix) -> IluFactors {
+    assert_eq!(a.nrows(), a.ncols(), "ILU(0) requires a square matrix");
+    let n = a.nrows();
+    let mut values = a.values().to_vec();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+
+    // Position of each row's diagonal in the value array.
+    let mut diag_pos = vec![usize::MAX; n];
+    #[allow(clippy::needless_range_loop)] // CSR position arithmetic
+    for i in 0..n {
+        for p in row_ptr[i]..row_ptr[i + 1] {
+            if col_idx[p] == i {
+                diag_pos[i] = p;
+                break;
+            }
+        }
+        assert!(diag_pos[i] != usize::MAX, "row {i} has no diagonal entry");
+    }
+
+    // Dense scatter buffer marking, for the current row k being consumed,
+    // the value position of each column present in row k's upper part.
+    let mut upper_pos: Vec<usize> = vec![usize::MAX; n];
+
+    for i in 0..n {
+        let row = row_ptr[i]..row_ptr[i + 1];
+        for p in row.clone() {
+            let k = col_idx[p];
+            if k >= i {
+                break; // columns ascend; done with the lower part
+            }
+            // a_ik := a_ik / u_kk
+            let pivot = values[diag_pos[k]];
+            assert!(pivot != 0.0, "zero pivot at row {k}");
+            values[p] /= pivot;
+            let lik = values[p];
+
+            // Scatter row k's upper entries (j > k), then update row i.
+            for q in diag_pos[k] + 1..row_ptr[k + 1] {
+                upper_pos[col_idx[q]] = q;
+            }
+            for pj in p + 1..row.end {
+                let j = col_idx[pj];
+                let q = upper_pos[j];
+                if q != usize::MAX {
+                    values[pj] -= lik * values[q];
+                }
+            }
+            for q in diag_pos[k] + 1..row_ptr[k + 1] {
+                upper_pos[col_idx[q]] = usize::MAX;
+            }
+        }
+    }
+
+    // Split into strict-lower L and upper (incl. diagonal) U.
+    let mut l_rp = vec![0usize; n + 1];
+    let mut u_rp = vec![0usize; n + 1];
+    let mut l_ci = Vec::new();
+    let mut u_ci = Vec::new();
+    let mut l_v = Vec::new();
+    let mut u_v = Vec::new();
+    for i in 0..n {
+        for p in row_ptr[i]..row_ptr[i + 1] {
+            let j = col_idx[p];
+            if j < i {
+                l_ci.push(j);
+                l_v.push(values[p]);
+                l_rp[i + 1] += 1;
+            } else {
+                u_ci.push(j);
+                u_v.push(values[p]);
+                u_rp[i + 1] += 1;
+            }
+        }
+    }
+    for i in 0..n {
+        l_rp[i + 1] += l_rp[i];
+        u_rp[i + 1] += u_rp[i];
+    }
+    IluFactors {
+        l: CsrMatrix::from_parts(n, n, l_rp, l_ci, l_v),
+        u: CsrMatrix::from_parts(n, n, u_rp, u_ci, u_v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::matmul;
+    use crate::stencil::{five_point, nine_point, seven_point};
+
+    /// Checks the defining ILU(0) property: (L·U)_{ij} == A_{ij} for every
+    /// stored position (i,j) of A.
+    fn assert_ilu0_property(a: &CsrMatrix, tol: f64) {
+        let f = ilu0(a);
+        assert!(f.l.is_lower_triangular());
+        assert!(f.u.is_upper_triangular());
+        // Dense L with unit diagonal.
+        let n = a.nrows();
+        let mut ld = f.l.to_dense();
+        for (i, row) in ld.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let ud = f.u.to_dense();
+        let prod = matmul(&ld, &ud);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for (&j, &aij) in a.row_cols(i).iter().zip(a.row_values(i)) {
+                let err = (prod[i][j] - aij).abs();
+                assert!(
+                    err <= tol * (1.0 + aij.abs()),
+                    "(LU)[{i}][{j}] = {} vs A = {aij}",
+                    prod[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ilu0_exact_on_pattern_for_five_point() {
+        let a = five_point(6, 5, 3);
+        assert_ilu0_property(&a, 1e-12);
+    }
+
+    #[test]
+    fn ilu0_exact_on_pattern_for_seven_point() {
+        let a = seven_point(4, 3, 3, 4);
+        assert_ilu0_property(&a, 1e-12);
+    }
+
+    #[test]
+    fn ilu0_exact_on_pattern_for_nine_point() {
+        let a = nine_point(5, 5, 5);
+        assert_ilu0_property(&a, 1e-12);
+    }
+
+    #[test]
+    fn ilu0_exact_on_pattern_for_block_operator() {
+        let a = crate::block::block_seven_point(3, 2, 2, 2, 6);
+        assert_ilu0_property(&a, 1e-12);
+    }
+
+    #[test]
+    fn ilu0_is_exact_lu_for_tridiagonal() {
+        // A tridiagonal matrix has no fill-in, so ILU(0) == LU and
+        // L·U == A everywhere, not just on the pattern.
+        let a = five_point(6, 1, 9); // 1D chain = tridiagonal
+        let f = ilu0(&a);
+        let n = a.nrows();
+        let mut ld = f.l.to_dense();
+        for (i, row) in ld.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let prod = matmul(&ld, &f.u.to_dense());
+        let ad = a.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (prod[i][j] - ad[i][j]).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    prod[i][j],
+                    ad[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l_pattern_is_strict_lower_of_a() {
+        let a = five_point(5, 4, 8);
+        let f = ilu0(&a);
+        for i in 0..a.nrows() {
+            let expect: Vec<usize> = a.row_cols(i).iter().copied().filter(|&j| j < i).collect();
+            assert_eq!(f.l.row_cols(i), &expect[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn identity_factors_trivially() {
+        let a = CsrMatrix::identity(4);
+        let f = ilu0(&a);
+        assert_eq!(f.l.nnz(), 0);
+        assert_eq!(f.u.nnz(), 4);
+        for i in 0..4 {
+            assert_eq!(f.u.get(i, i), Some(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no diagonal entry")]
+    fn missing_diagonal_rejected() {
+        let a = CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]);
+        let _ = ilu0(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let a = CsrMatrix::from_parts(1, 2, vec![0, 1], vec![0], vec![1.0]);
+        let _ = ilu0(&a);
+    }
+}

@@ -1,0 +1,43 @@
+//! # doacross-sparse — sparse-matrix substrate for the Table 1 workloads
+//!
+//! The paper's §3.2 evaluates the preprocessed doacross on sparse
+//! triangular systems "derived from incompletely factored matrices obtained
+//! from a variety of discretized partial differential equations", with the
+//! appendix naming five systems:
+//!
+//! | name  | discretization                    | grid      | unknowns |
+//! |-------|-----------------------------------|-----------|----------|
+//! | SPE2  | block 7-point, 6×6 blocks         | 6×6×5     | 1080     |
+//! | SPE5  | block 7-point, 3×3 blocks         | 16×23×3   | 3312     |
+//! | 5-PT  | 5-point central difference        | 63×63     | 3969     |
+//! | 7-PT  | 7-point central difference        | 20×20×20  | 8000     |
+//! | 9-PT  | 9-point box scheme                | 63×63     | 3969     |
+//!
+//! This crate rebuilds that pipeline from scratch: CSR storage
+//! ([`CsrMatrix`]), the stencil operators ([`stencil`], [`block`]), ILU(0)
+//! incomplete factorization ([`ilu`]), and the [`tri::TriangularMatrix`]
+//! shape consumed by the Figure 7 solve loop. The original SPE matrices are
+//! proprietary reservoir-simulation data; we regenerate structurally
+//! identical operators with deterministic, diagonally dominant synthetic
+//! coefficients — the dependence structure of the triangular solve (the
+//! thing the paper measures) is a function of the sparsity pattern only.
+
+pub mod block;
+pub mod builder;
+pub mod csr;
+pub mod dense;
+pub mod ilu;
+pub mod io;
+pub mod problems;
+pub mod spmv;
+pub mod stencil;
+pub mod tri;
+pub mod vec_ops;
+
+pub use block::block_seven_point;
+pub use builder::TripletBuilder;
+pub use csr::CsrMatrix;
+pub use ilu::{ilu0, IluFactors};
+pub use problems::{table1_problems, Problem, ProblemKind, TriSystem};
+pub use stencil::{five_point, nine_point, seven_point};
+pub use tri::{TriangularMatrix, UpperTriangularMatrix};

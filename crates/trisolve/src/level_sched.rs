@@ -1,0 +1,188 @@
+//! Level-scheduled (barrier-per-wavefront) triangular solver.
+//!
+//! The classic alternative to the paper's flag-based doacross: execute one
+//! wavefront at a time as a doall, with a join between wavefronts. No
+//! per-element `ready` flags or busy waiting — but every level boundary is
+//! a full synchronization, so performance degrades when levels are narrow
+//! (many levels × few rows). Included as an ablation baseline: the paper's
+//! construct and this solver bracket the design space (fine-grained
+//! dataflow sync vs. coarse barrier sync) over the same wavefront
+//! preprocessing.
+
+use crate::plan::SolvePlan;
+use doacross_core::DoacrossError;
+use doacross_par::{parallel_for, Schedule, SharedSlice, ThreadPool};
+use doacross_sparse::TriangularMatrix;
+use std::time::{Duration, Instant};
+
+/// Timing breakdown of a level-scheduled solve.
+#[derive(Debug, Clone, Default)]
+pub struct LevelSolveStats {
+    /// Wavefronts executed.
+    pub levels: usize,
+    /// Rows solved.
+    pub rows: usize,
+    /// Total solve wall time (excludes planning).
+    pub solve_time: Duration,
+}
+
+/// Barrier-synchronized wavefront solver with a cached plan.
+#[derive(Debug)]
+pub struct LevelScheduledSolver {
+    schedule: Schedule,
+    plan: Option<SolvePlan>,
+}
+
+impl LevelScheduledSolver {
+    /// Solver using the default (self-scheduling) intra-level schedule.
+    pub fn new() -> Self {
+        Self {
+            schedule: Schedule::multimax(),
+            plan: None,
+        }
+    }
+
+    /// Solver with an explicit intra-level schedule.
+    pub fn with_schedule(schedule: Schedule) -> Self {
+        Self {
+            schedule,
+            plan: None,
+        }
+    }
+
+    /// Computes (or recomputes) and caches the wavefront plan for `l`.
+    pub fn prepare(&mut self, l: &TriangularMatrix) -> &SolvePlan {
+        self.plan = Some(SolvePlan::for_matrix(l));
+        self.plan.as_ref().expect("just set")
+    }
+
+    /// The cached plan, if any.
+    pub fn plan(&self) -> Option<&SolvePlan> {
+        self.plan.as_ref()
+    }
+
+    /// Solves `L y = rhs` one wavefront at a time. Bit-identical to the
+    /// sequential solve (same per-row reduction order).
+    pub fn solve(
+        &mut self,
+        pool: &ThreadPool,
+        l: &TriangularMatrix,
+        rhs: &[f64],
+    ) -> Result<(Vec<f64>, LevelSolveStats), DoacrossError> {
+        if rhs.len() != l.n() {
+            return Err(DoacrossError::DataLenMismatch {
+                got: rhs.len(),
+                expected: l.n(),
+            });
+        }
+        if self
+            .plan
+            .as_ref()
+            .map(|p| p.order.len() != l.n())
+            .unwrap_or(true)
+        {
+            self.prepare(l);
+        }
+        let plan = self.plan.as_ref().expect("plan prepared");
+        let mut y = vec![0.0; l.n()];
+        let start = Instant::now();
+        {
+            let y_view = SharedSlice::new(&mut y);
+            for level in 1..=plan.critical_path() {
+                let range = plan.level_range(level);
+                let order = &plan.order[range];
+                // Doall over one wavefront: every row's dependencies are in
+                // earlier wavefronts, already completed and published by the
+                // previous region's join.
+                parallel_for(pool, order.len(), self.schedule, |k| {
+                    let i = order[k];
+                    let mut acc = rhs[i];
+                    for (&col, &coeff) in l.row_cols(i).iter().zip(l.row_values(i)) {
+                        // SAFETY: col's level < i's level; its write was
+                        // ordered by the previous parallel_for join. Writes
+                        // within a level are disjoint (one row per k).
+                        acc -= coeff * unsafe { y_view.read(col) };
+                    }
+                    // SAFETY: row i belongs to exactly one wavefront slot.
+                    unsafe { y_view.write(i, acc) };
+                });
+            }
+        }
+        let stats = LevelSolveStats {
+            levels: plan.critical_path(),
+            rows: l.n(),
+            solve_time: start.elapsed(),
+        };
+        Ok((y, stats))
+    }
+}
+
+impl Default for LevelScheduledSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_sparse::{ilu0, stencil::seven_point, CsrMatrix, TriangularMatrix};
+
+    fn system(seed: u64) -> (TriangularMatrix, Vec<f64>) {
+        let a = seven_point(5, 4, 3, seed);
+        let l = TriangularMatrix::from_strict_lower(&ilu0(&a).l);
+        let rhs: Vec<f64> = (0..l.n()).map(|i| 0.5 + (i % 13) as f64).collect();
+        (l, rhs)
+    }
+
+    #[test]
+    fn matches_sequential_bitwise() {
+        let (l, rhs) = system(61);
+        let pool = ThreadPool::new(4);
+        let mut solver = LevelScheduledSolver::new();
+        let (y, stats) = solver.solve(&pool, &l, &rhs).unwrap();
+        assert_eq!(y, l.forward_solve(&rhs));
+        assert_eq!(stats.rows, l.n());
+        assert_eq!(stats.levels, SolvePlan::for_matrix(&l).critical_path());
+    }
+
+    #[test]
+    fn all_schedules_agree() {
+        let (l, rhs) = system(62);
+        let pool = ThreadPool::new(3);
+        let expect = l.forward_solve(&rhs);
+        for schedule in [
+            Schedule::StaticBlock,
+            Schedule::StaticCyclic,
+            Schedule::Dynamic { chunk: 2 },
+        ] {
+            let mut solver = LevelScheduledSolver::with_schedule(schedule);
+            let (y, _) = solver.solve(&pool, &l, &rhs).unwrap();
+            assert_eq!(y, expect, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let (l, _) = system(63);
+        let pool = ThreadPool::new(2);
+        let mut solver = LevelScheduledSolver::new();
+        let bad = vec![0.0; 3];
+        assert!(matches!(
+            solver.solve(&pool, &l, &bad),
+            Err(DoacrossError::DataLenMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn diagonal_system_single_level() {
+        let m = CsrMatrix::from_parts(6, 6, vec![0; 7], vec![], vec![]);
+        let l = TriangularMatrix::from_strict_lower(&m);
+        let pool = ThreadPool::new(2);
+        let mut solver = LevelScheduledSolver::new();
+        let rhs = vec![2.0; 6];
+        let (y, stats) = solver.solve(&pool, &l, &rhs).unwrap();
+        assert_eq!(y, rhs);
+        assert_eq!(stats.levels, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # doacross-trisolve — sparse triangular solvers (paper §3.2)
+//!
+//! The paper's application workload: solving unit lower-triangular systems
+//! from incomplete factorizations, whose row-to-row dependencies are
+//! "determined by the values assigned to the data structure column during
+//! program execution" (Figure 7) and therefore invisible to a compiler.
+//!
+//! Four solvers over the same [`TriangularMatrix`]:
+//!
+//! * [`seq::solve_sequential`] — Figure 7 verbatim; the paper's `T_seq`.
+//! * [`solver::DoacrossSolver`] — the preprocessed doacross solve
+//!   (Table 1 column "Preprocessed Doacross"). Because the output subscript
+//!   is the identity (`y(i)` ← row `i`), the §2.3 linear-subscript variant
+//!   applies: no inspector, no `iter` array.
+//! * [`reordered::ReorderedSolver`] — the same executor claiming rows in
+//!   the doconsider (wavefront-sorted) order (Table 1 column "Preprocessed
+//!   Doacross Iterations Rearranged").
+//! * [`level_sched::LevelScheduledSolver`] — a barrier-per-wavefront
+//!   solver, the classic alternative, included as an ablation baseline.
+//!
+//! All four produce bit-identical results (same per-row reduction order),
+//! which the test suites exploit.
+//!
+//! [`TriangularMatrix`]: doacross_sparse::TriangularMatrix
+
+pub mod blocked_solver;
+pub mod fig7;
+pub mod level_sched;
+pub mod plan;
+pub mod precond;
+pub mod reordered;
+pub mod seq;
+pub mod solver;
+pub mod upper;
+pub mod verify;
+
+pub use blocked_solver::BlockedSolver;
+pub use fig7::TriSolveLoop;
+pub use level_sched::LevelScheduledSolver;
+pub use plan::SolvePlan;
+pub use precond::IluPreconditioner;
+pub use reordered::ReorderedSolver;
+pub use solver::DoacrossSolver;
+pub use upper::{UpperSolveLoop, UpperSolver};

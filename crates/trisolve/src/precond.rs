@@ -1,0 +1,127 @@
+//! ILU(0) preconditioner application `z = U⁻¹ L⁻¹ r` with both halves run
+//! as preprocessed doacross loops — the paper's motivating context:
+//! "The solution of these sparse triangular systems accounts for a large
+//! fraction of the sequential execution time of linear solvers that use
+//! Krylov methods" (§3.2, citing Baxter et al. 1988).
+//!
+//! The preconditioner owns both solvers and their doconsider plans, so the
+//! per-structure preprocessing is paid once and amortized over the many
+//! applications a Krylov iteration performs — the same amortization the
+//! paper's postprocessing phase is designed around.
+
+use crate::reordered::ReorderedSolver;
+use crate::upper::UpperSolver;
+use doacross_core::DoacrossError;
+use doacross_par::ThreadPool;
+use doacross_sparse::{ilu0, CsrMatrix, TriangularMatrix, UpperTriangularMatrix};
+
+/// An ILU(0) preconditioner with doacross-parallel forward and backward
+/// solves.
+///
+/// ```
+/// use doacross_par::ThreadPool;
+/// use doacross_sparse::stencil::five_point;
+/// use doacross_trisolve::IluPreconditioner;
+///
+/// let a = five_point(6, 6, 11);
+/// let mut m = IluPreconditioner::new(&a);
+/// let pool = ThreadPool::new(2);
+/// let r = vec![1.0; m.n()];
+/// let z = m.apply(&pool, &r).unwrap();       // U^-1 L^-1 r, both doacross
+/// assert_eq!(z, m.apply_sequential(&r));     // bit-identical
+/// ```
+#[derive(Debug)]
+pub struct IluPreconditioner {
+    l: TriangularMatrix,
+    u: UpperTriangularMatrix,
+    lower: ReorderedSolver,
+    upper: UpperSolver,
+}
+
+impl IluPreconditioner {
+    /// Factors `a` with ILU(0) and prepares both solvers (including their
+    /// doconsider reorderings).
+    pub fn new(a: &CsrMatrix) -> Self {
+        let factors = ilu0(a);
+        let l = TriangularMatrix::from_strict_lower(&factors.l);
+        let u = UpperTriangularMatrix::from_upper(&factors.u);
+        let mut lower = ReorderedSolver::new(l.n());
+        lower.prepare(&l);
+        let upper = UpperSolver::new(u.n()).with_reordering();
+        Self { l, u, lower, upper }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.l.n()
+    }
+
+    /// The unit lower-triangular factor.
+    pub fn l(&self) -> &TriangularMatrix {
+        &self.l
+    }
+
+    /// The upper-triangular factor.
+    pub fn u(&self) -> &UpperTriangularMatrix {
+        &self.u
+    }
+
+    /// Applies the preconditioner: returns `z = U⁻¹ L⁻¹ r`.
+    pub fn apply(&mut self, pool: &ThreadPool, r: &[f64]) -> Result<Vec<f64>, DoacrossError> {
+        let (w, _) = self.lower.solve(pool, &self.l, r)?;
+        let (z, _) = self.upper.solve(pool, &self.u, &w)?;
+        Ok(z)
+    }
+
+    /// Sequential reference application (for validation): same two solves
+    /// with the scalar kernels.
+    pub fn apply_sequential(&self, r: &[f64]) -> Vec<f64> {
+        let w = self.l.forward_solve(r);
+        self.u.backward_solve(&w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_sparse::spmv::csr_matvec;
+    use doacross_sparse::stencil::five_point;
+    use doacross_sparse::vec_ops::max_abs_diff;
+
+    #[test]
+    fn parallel_apply_matches_sequential_bitwise() {
+        let a = five_point(10, 9, 101);
+        let mut p = IluPreconditioner::new(&a);
+        let pool = ThreadPool::new(4);
+        let r: Vec<f64> = (0..p.n()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let z_par = p.apply(&pool, &r).unwrap();
+        let z_seq = p.apply_sequential(&r);
+        assert_eq!(z_par, z_seq);
+    }
+
+    #[test]
+    fn preconditioner_approximates_inverse() {
+        // For a diagonally dominant A, M = (LU)^{-1} should reduce the
+        // residual substantially in one Richardson step:
+        //   x1 = M^{-1} b  =>  ||b - A x1|| << ||b||.
+        let a = five_point(12, 12, 103);
+        let mut p = IluPreconditioner::new(&a);
+        let pool = ThreadPool::new(2);
+        let b = vec![1.0; p.n()];
+        let x1 = p.apply(&pool, &b).unwrap();
+        let ax1 = csr_matvec(&a, &x1);
+        let res = max_abs_diff(&ax1, &b);
+        assert!(res < 0.5, "one preconditioned step should cut the residual: {res}");
+    }
+
+    #[test]
+    fn apply_is_repeatable() {
+        let a = five_point(6, 6, 107);
+        let mut p = IluPreconditioner::new(&a);
+        let pool = ThreadPool::new(2);
+        let r = vec![1.0; p.n()];
+        let z1 = p.apply(&pool, &r).unwrap();
+        let z2 = p.apply(&pool, &r).unwrap();
+        assert_eq!(z1, z2, "scratch reuse must be clean across applications");
+    }
+}

@@ -1,0 +1,45 @@
+//! Solution verification helpers shared by tests, examples and benches.
+
+use doacross_sparse::{vec_ops::max_abs_diff, TriangularMatrix};
+
+/// Max-norm residual `‖L y − rhs‖_∞` (unit diagonal included in `L y`).
+pub fn residual(l: &TriangularMatrix, y: &[f64], rhs: &[f64]) -> f64 {
+    max_abs_diff(&l.matvec(y), rhs)
+}
+
+/// Asserts that `y` solves `L y = rhs` to within `tol` (relative to the
+/// right-hand side's magnitude) — panics with a diagnostic otherwise.
+pub fn assert_solves(l: &TriangularMatrix, y: &[f64], rhs: &[f64], tol: f64) {
+    let r = residual(l, y, rhs);
+    let scale = rhs.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    assert!(
+        r <= tol * scale,
+        "residual {r} exceeds tolerance {tol} (scale {scale})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_sparse::{ilu0, stencil::five_point};
+
+    #[test]
+    fn residual_zero_for_exact_solve() {
+        let a = five_point(7, 7, 91);
+        let l = TriangularMatrix::from_strict_lower(&ilu0(&a).l);
+        let rhs: Vec<f64> = (0..l.n()).map(|i| i as f64).collect();
+        let y = l.forward_solve(&rhs);
+        assert!(residual(&l, &y, &rhs) < 1e-9);
+        assert_solves(&l, &y, &rhs, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tolerance")]
+    fn bad_solution_detected() {
+        let a = five_point(4, 4, 92);
+        let l = TriangularMatrix::from_strict_lower(&ilu0(&a).l);
+        let rhs = vec![1.0; l.n()];
+        let wrong = vec![9.0; l.n()];
+        assert_solves(&l, &wrong, &rhs, 1e-9);
+    }
+}

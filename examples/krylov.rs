@@ -1,0 +1,70 @@
+//! The paper's motivating context, end to end: an ILU(0)-preconditioned
+//! iterative solver whose inner triangular solves — "a large fraction of
+//! the sequential execution time of linear solvers that use Krylov
+//! methods" (§3.2) — run as preprocessed doacross loops.
+//!
+//! Solves `A x = b` for a 5-point operator with preconditioned Richardson
+//! iteration: `x ← x + M⁻¹ (b − A x)`, `M = L·U` from ILU(0). Both halves
+//! of every `M⁻¹` application (forward and backward substitution) are
+//! doacross-parallel, with their doconsider reorderings computed once and
+//! amortized across all iterations.
+//!
+//! Run: `cargo run --release --example krylov`
+
+use preprocessed_doacross::par::ThreadPool;
+use preprocessed_doacross::sparse::{
+    spmv::csr_matvec, stencil::five_point, vec_ops::norm2,
+};
+use preprocessed_doacross::trisolve::IluPreconditioner;
+
+fn main() {
+    let (nx, ny) = (48usize, 48usize);
+    let a = five_point(nx, ny, 7_1991);
+    let n = a.nrows();
+    println!("A: 5-point operator on a {nx}x{ny} grid ({n} unknowns)");
+
+    // Manufactured problem: b = A * x_true.
+    let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+    let b = csr_matvec(&a, &x_true);
+
+    println!("factoring with ILU(0) and planning both doacross solves...");
+    let mut precond = IluPreconditioner::new(&a);
+    println!(
+        "  L: {} deps; U: {} deps",
+        precond.l().nnz(),
+        precond.u().nnz()
+    );
+
+    let workers = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2);
+    let pool = ThreadPool::new(workers);
+
+    // Preconditioned Richardson: x += M^-1 (b - A x).
+    let mut x = vec![0.0; n];
+    let b_norm = norm2(&b);
+    println!("\npreconditioned Richardson iteration ({workers} workers):");
+    for iter in 0..30 {
+        let ax = csr_matvec(&a, &x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let rel = norm2(&r) / b_norm;
+        if iter % 5 == 0 || rel < 1e-10 {
+            println!("  iter {iter:>2}: ||r|| / ||b|| = {rel:.3e}");
+        }
+        if rel < 1e-10 {
+            break;
+        }
+        // Two preprocessed-doacross triangular solves per application.
+        let z = precond.apply(&pool, &r).expect("valid solves");
+        for (xi, zi) in x.iter_mut().zip(&z) {
+            *xi += zi;
+        }
+    }
+
+    let err = x
+        .iter()
+        .zip(&x_true)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nmax |x - x_true| = {err:.3e}");
+    assert!(err < 1e-8, "Richardson with ILU(0) must converge on this A");
+    println!("converged: every inner triangular solve ran as a preprocessed doacross.");
+}

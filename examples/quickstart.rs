@@ -1,0 +1,56 @@
+//! Quickstart: parallelize a loop whose dependencies are only known at
+//! run time (the paper's Figure 1 situation).
+//!
+//! ```fortran
+//! do i = 1, N
+//!     y(a(i)) = y(a(i)) + c * y(b(i))
+//! end do
+//! ```
+//!
+//! `a` and `b` are data read from somewhere at run time — no compiler can
+//! prove which iterations depend on which. The preprocessed doacross
+//! figures it out on the fly and runs the loop in parallel anyway.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use preprocessed_doacross::core::{seq::run_sequential, Doacross, IndirectLoop};
+use preprocessed_doacross::par::ThreadPool;
+
+fn main() {
+    // A scrambled dependency pattern: iteration i writes y[a[i]] and reads
+    // y[b[i]]. Some reads hit elements written by earlier iterations (true
+    // dependencies), some by later ones (antidependencies), some never
+    // written at all.
+    let n = 12usize;
+    let a: Vec<usize> = vec![5, 2, 9, 0, 7, 11, 4, 1, 8, 3, 10, 6];
+    let b: Vec<usize> = vec![2, 9, 0, 7, 5, 4, 2, 8, 11, 0, 3, 9];
+    let rhs: Vec<Vec<usize>> = b.iter().map(|&e| vec![e]).collect();
+    let coeff = vec![vec![0.5]; n];
+    let loop_ = IndirectLoop::new(n, a.clone(), rhs, coeff).expect("valid loop");
+
+    let y0: Vec<f64> = (0..n).map(|e| e as f64).collect();
+
+    // Sequential oracle.
+    let mut y_seq = y0.clone();
+    run_sequential(&loop_, &mut y_seq);
+
+    // Preprocessed doacross on a 4-worker pool: inspector fills iter(a(i)),
+    // the executor resolves every y[b[i]] against it (busy-waiting only on
+    // true dependencies), postprocessing resets the scratch for reuse.
+    let pool = ThreadPool::new(4);
+    let mut runtime = Doacross::for_loop(&loop_);
+    let mut y_par = y0;
+    let stats = runtime.run(&pool, &loop_, &mut y_par).expect("no output deps");
+
+    println!("sequential : {y_seq:?}");
+    println!("doacross   : {y_par:?}");
+    assert_eq!(y_seq, y_par, "bit-identical results");
+
+    println!("\nrun statistics: {stats}");
+    println!(
+        "reference classification: {} true deps, {} old-value reads, {} intra",
+        stats.deps.true_deps, stats.deps.anti_or_unwritten, stats.deps.intra
+    );
+    println!("\nThe runtime is reusable: its iter/ready scratch arrays were reset");
+    println!("by the postprocessing phase (clean = {}).", runtime.scratch_is_clean());
+}

@@ -1,0 +1,47 @@
+//! # preprocessed-doacross
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > Joel H. Saltz and Ravi Mirchandaney, *The Preprocessed Doacross
+//! > Loop*, ICASE Interim Report 11 / NASA CR-182056 (May 1990); ICPP
+//! > 1991.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the preprocessed doacross runtime itself (inspector /
+//!   executor / postprocessor, plus the §2.3 blocked and linear-subscript
+//!   variants).
+//! * [`par`] — the parallel substrate (thread pool, self-scheduled
+//!   `parallel do`, busy-wait primitives).
+//! * [`sparse`] — sparse-matrix substrate: stencil operators, ILU(0), and
+//!   the five Table 1 triangular systems.
+//! * [`doconsider`] — the iteration-reordering transformation of §3.2.
+//! * [`trisolve`] — the triangular solvers the evaluation compares.
+//! * [`sim`] — the 16-processor Encore Multimax discrete-event model used
+//!   to regenerate Figure 6 and Table 1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use preprocessed_doacross::core::{Doacross, IndirectLoop};
+//! use preprocessed_doacross::par::ThreadPool;
+//!
+//! // A loop whose dependencies exist only at run time:
+//! //   y[a[i]] += 0.5 * y[b[i]]
+//! let a = vec![1, 2, 3, 4];
+//! let b = vec![0, 1, 2, 3];
+//! let rhs: Vec<Vec<usize>> = b.iter().map(|&e| vec![e]).collect();
+//! let loop_ = IndirectLoop::new(5, a, rhs, vec![vec![0.5]; 4]).unwrap();
+//!
+//! let pool = ThreadPool::new(2);
+//! let mut y = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+//! Doacross::for_loop(&loop_).run(&pool, &loop_, &mut y).unwrap();
+//! assert_eq!(y, vec![1.0, 0.5, 0.25, 0.125, 0.0625]);
+//! ```
+
+pub use doacross_core as core;
+pub use doacross_doconsider as doconsider;
+pub use doacross_par as par;
+pub use doacross_sim as sim;
+pub use doacross_sparse as sparse;
+pub use doacross_trisolve as trisolve;

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full pipeline from PDE operator to
+//! parallel triangular solve, and the doacross runtime on the paper's
+//! workloads, at host scale.
+
+use preprocessed_doacross::core::{
+    seq::run_sequential, BlockedDoacross, Doacross, DoacrossConfig, LinearDoacross, TestLoop,
+};
+use preprocessed_doacross::par::{Schedule, ThreadPool, WaitStrategy};
+use preprocessed_doacross::sparse::{Problem, ProblemKind};
+use preprocessed_doacross::trisolve::{
+    seq::solve_sequential, verify::assert_solves, DoacrossSolver, LevelScheduledSolver,
+    ReorderedSolver,
+};
+
+fn pool() -> ThreadPool {
+    ThreadPool::new(4)
+}
+
+#[test]
+fn all_table1_systems_solve_with_all_solvers() {
+    let pool = pool();
+    for kind in ProblemKind::all() {
+        let sys = Problem::build(kind).triangular_system();
+        let expect = solve_sequential(&sys.l, &sys.rhs);
+        assert_solves(&sys.l, &expect, &sys.rhs, 1e-9);
+
+        let (y_plain, stats) = DoacrossSolver::new(sys.n())
+            .solve(&pool, &sys.l, &sys.rhs)
+            .expect("valid system");
+        assert_eq!(y_plain, expect, "{}: doacross", kind.name());
+        assert_eq!(stats.iterations, sys.n());
+
+        let (y_re, _) = ReorderedSolver::new(sys.n())
+            .solve(&pool, &sys.l, &sys.rhs)
+            .expect("valid system");
+        assert_eq!(y_re, expect, "{}: rearranged", kind.name());
+
+        let (y_lvl, _) = LevelScheduledSolver::new()
+            .solve(&pool, &sys.l, &sys.rhs)
+            .expect("valid system");
+        assert_eq!(y_lvl, expect, "{}: level-scheduled", kind.name());
+
+        // Accuracy against the manufactured solution.
+        let max_err = expect
+            .iter()
+            .zip(&sys.solution)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-8, "{}: err {max_err}", kind.name());
+    }
+}
+
+#[test]
+fn figure6_grid_matches_sequential_on_host_threads() {
+    let pool = pool();
+    for l in 1..=14 {
+        for m in [1usize, 5] {
+            let loop_ = TestLoop::new(500, m, l);
+            let mut expect = loop_.initial_y();
+            run_sequential(&loop_, &mut expect);
+
+            let mut y = loop_.initial_y();
+            Doacross::for_loop(&loop_)
+                .run(&pool, &loop_, &mut y)
+                .expect("valid loop");
+            assert_eq!(y, expect, "inspected L={l} M={m}");
+
+            let mut y2 = loop_.initial_y();
+            LinearDoacross::new(y2.len())
+                .run(&pool, &loop_, loop_.linear_subscript(), &mut y2)
+                .expect("linear subscript");
+            assert_eq!(y2, expect, "linear L={l} M={m}");
+
+            let mut y3 = loop_.initial_y();
+            BlockedDoacross::new(64)
+                .expect("nonzero block")
+                .run(&pool, &loop_, &mut y3)
+                .expect("valid loop");
+            assert_eq!(y3, expect, "blocked L={l} M={m}");
+        }
+    }
+}
+
+#[test]
+fn one_runtime_serves_many_loop_instances() {
+    // The reuse story of §2.1: one scratch allocation, many loops.
+    let pool = pool();
+    let mut runtime = Doacross::new(0);
+    for l in [3usize, 4, 8, 11] {
+        let loop_ = TestLoop::new(300, 2, l);
+        let mut expect = loop_.initial_y();
+        run_sequential(&loop_, &mut expect);
+        let mut y = loop_.initial_y();
+        runtime.run(&pool, &loop_, &mut y).expect("valid loop");
+        assert_eq!(y, expect, "L={l}");
+        assert!(runtime.scratch_is_clean(), "L={l}");
+    }
+}
+
+#[test]
+fn doacross_runs_under_every_configuration() {
+    let pool = pool();
+    let loop_ = TestLoop::new(400, 3, 6);
+    let mut expect = loop_.initial_y();
+    run_sequential(&loop_, &mut expect);
+    for schedule in [
+        Schedule::StaticBlock,
+        Schedule::StaticCyclic,
+        Schedule::Dynamic { chunk: 1 },
+        Schedule::Dynamic { chunk: 32 },
+        Schedule::Guided { min_chunk: 4 },
+    ] {
+        for wait in [
+            WaitStrategy::Spin,
+            WaitStrategy::SpinYield { spins: 32 },
+            WaitStrategy::Backoff { max_spin_batch: 32 },
+        ] {
+            for validate in [true, false] {
+                let mut rt = Doacross::with_config(
+                    loop_.initial_y().len(),
+                    DoacrossConfig {
+                        schedule,
+                        wait,
+                        validate_terms: validate,
+                        ..Default::default()
+                    },
+                );
+                let mut y = loop_.initial_y();
+                rt.run(&pool, &loop_, &mut y).expect("valid loop");
+                assert_eq!(y, expect, "{schedule:?} {wait:?} validate={validate}");
+            }
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_pool_still_correct() {
+    // 16 workers on a small host: waits must yield and the solve must
+    // still complete and agree (the Multimax-on-a-laptop case).
+    let big_pool = ThreadPool::new(16);
+    let sys = Problem::build(ProblemKind::Spe2).triangular_system();
+    let expect = solve_sequential(&sys.l, &sys.rhs);
+    let (y, _) = DoacrossSolver::new(sys.n())
+        .solve(&big_pool, &sys.l, &sys.rhs)
+        .expect("valid system");
+    assert_eq!(y, expect);
+
+    let loop_ = TestLoop::new(2_000, 1, 4); // distance-1 chain
+    let mut expect2 = loop_.initial_y();
+    run_sequential(&loop_, &mut expect2);
+    let mut y2 = loop_.initial_y();
+    Doacross::for_loop(&loop_)
+        .run(&big_pool, &loop_, &mut y2)
+        .expect("valid loop");
+    assert_eq!(y2, expect2);
+}
+
+#[test]
+fn reordered_solver_reduces_stalls_on_host() {
+    // The Table 1 mechanism, observed on real threads: same solve, fewer
+    // stalls under the doconsider order.
+    let pool = pool();
+    let sys = Problem::build(ProblemKind::FivePt).triangular_system();
+    let (_, plain) = DoacrossSolver::new(sys.n())
+        .solve(&pool, &sys.l, &sys.rhs)
+        .expect("valid");
+    let mut reordered = ReorderedSolver::new(sys.n());
+    reordered.prepare(&sys.l);
+    let (_, re) = reordered.solve(&pool, &sys.l, &sys.rhs).expect("valid");
+    assert_eq!(plain.deps.true_deps, re.deps.true_deps, "same dependencies");
+    assert!(
+        re.stalls <= plain.stalls,
+        "reordering should not increase stalls: {} -> {}",
+        plain.stalls,
+        re.stalls
+    );
+}

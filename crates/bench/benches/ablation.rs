@@ -9,7 +9,9 @@ use doacross_par::{Schedule, ThreadPool, WaitStrategy};
 use std::hint::black_box;
 
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2)
 }
 
 /// Scheduling policies on a dependence-bearing loop (L=8, M=3).

@@ -13,7 +13,9 @@ use doacross_par::ThreadPool;
 use std::hint::black_box;
 
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2)
 }
 
 fn bench_fig6(c: &mut Criterion) {

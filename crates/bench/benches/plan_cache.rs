@@ -1,0 +1,79 @@
+//! Criterion bench of the plan-cache amortization curve: how the cost of
+//! `k` triangular solves of one structure scales under per-call
+//! re-inspection, per-call planning, and cached plans (k = 1, 10, 100).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doacross_bench::amortize::amortization_curve;
+use doacross_core::DoacrossConfig;
+use doacross_par::ThreadPool;
+use doacross_sparse::{Problem, ProblemKind};
+use doacross_trisolve::{solver::SolverBackend, DoacrossSolver, PlanCachedSolver};
+use std::hint::black_box;
+
+fn host_pool() -> ThreadPool {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    ThreadPool::new(workers)
+}
+
+/// Per-solve cost of each policy in steady state (cache warm, inspector
+/// warm): the marginal cost a long-running solver pays.
+fn bench_steady_state(c: &mut Criterion) {
+    let pool = host_pool();
+    let sys = Problem::build(ProblemKind::FivePt).triangular_system();
+
+    let mut group = c.benchmark_group("plan_cache_steady");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let mut reinspect = DoacrossSolver::with_config(
+        sys.l.n(),
+        SolverBackend::Inspected,
+        DoacrossConfig::default(),
+    );
+    group.bench_function("reinspect_per_call", |b| {
+        b.iter(|| black_box(reinspect.solve(&pool, &sys.l, &sys.rhs).expect("valid")))
+    });
+
+    let mut cold = PlanCachedSolver::new(0); // capacity 0: plan every call
+    group.bench_function("plan_per_call", |b| {
+        b.iter(|| black_box(cold.solve(&pool, &sys.l, &sys.rhs).expect("valid")))
+    });
+
+    let mut cached = PlanCachedSolver::new(2);
+    cached
+        .solve(&pool, &sys.l, &sys.rhs)
+        .expect("warm the cache");
+    group.bench_function("cached_hit", |b| {
+        b.iter(|| black_box(cached.solve(&pool, &sys.l, &sys.rhs).expect("valid")))
+    });
+    group.finish();
+}
+
+/// Whole-sequence cost at 1 / 10 / 100 reuses, including each policy's
+/// preprocessing — the amortization curve itself.
+fn bench_amortization_curve(c: &mut Criterion) {
+    let pool = host_pool();
+    let sys = Problem::build(ProblemKind::FivePt).triangular_system();
+
+    let mut group = c.benchmark_group("plan_cache_amortization");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for reuses in [1usize, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("sequence", reuses),
+            &reuses,
+            |b, &reuses| {
+                b.iter(|| black_box(amortization_curve(&pool, &sys, &[reuses])));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state, bench_amortization_curve);
+criterion_main!(benches);

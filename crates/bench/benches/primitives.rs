@@ -14,7 +14,9 @@ use doacross_par::{parallel_for, Schedule, ThreadPool};
 use std::hint::black_box;
 
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2)
 }
 
 fn bench_pool_dispatch(c: &mut Criterion) {

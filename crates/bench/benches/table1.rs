@@ -12,7 +12,9 @@ use doacross_trisolve::{seq::solve_sequential, DoacrossSolver, ReorderedSolver};
 use std::hint::black_box;
 
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2)
 }
 
 fn bench_table1(c: &mut Criterion) {

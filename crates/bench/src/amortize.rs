@@ -1,0 +1,125 @@
+//! Plan-cache amortization: the experiment the `doacross-plan` subsystem
+//! exists for.
+//!
+//! Three ways to run `k` triangular solves of one structure:
+//!
+//! * **re-inspect** — the inspected flat doacross, inspector on every
+//!   call: what the paper's construct costs when nothing is amortized.
+//! * **cold plan** — a full plan (fingerprint + census + cost model +
+//!   capture) built on every call: the worst case of the plan subsystem,
+//!   bounding what a cache miss costs.
+//! * **cached plan** — [`PlanCachedSolver`]: one plan build, then `k − 1`
+//!   cache hits that skip preprocessing entirely.
+//!
+//! The cached curve must drop under the re-inspect curve once the build
+//! cost is spread over enough reuses (in practice immediately: a hit does
+//! strictly less work per solve).
+
+use doacross_core::DoacrossConfig;
+use doacross_par::ThreadPool;
+use doacross_sparse::TriSystem;
+use doacross_trisolve::{solver::SolverBackend, DoacrossSolver, PlanCachedSolver};
+use std::time::{Duration, Instant};
+
+/// Total wall time of `reuses` consecutive solves under each policy.
+#[derive(Debug, Clone, Copy)]
+pub struct AmortizationPoint {
+    /// Solves performed on the fixed structure.
+    pub reuses: usize,
+    /// Inspector-per-call flat doacross.
+    pub reinspect: Duration,
+    /// Plan built per call (cache disabled).
+    pub cold_plan: Duration,
+    /// Plan built once, then cache hits.
+    pub cached: Duration,
+}
+
+impl AmortizationPoint {
+    /// Speedup of cached over per-call re-inspection.
+    pub fn speedup_vs_reinspect(&self) -> f64 {
+        self.reinspect.as_secs_f64() / self.cached.as_secs_f64().max(1e-12)
+    }
+}
+
+fn time<F: FnMut()>(mut f: F) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Measures the amortization curve for `sys` at the given reuse counts.
+///
+/// Each policy's timer covers the whole sequence of solves including its
+/// (re)preprocessing, which is the quantity a caller actually pays.
+pub fn amortization_curve(
+    pool: &ThreadPool,
+    sys: &TriSystem,
+    reuse_counts: &[usize],
+) -> Vec<AmortizationPoint> {
+    reuse_counts
+        .iter()
+        .map(|&reuses| {
+            // Inspector on every call.
+            let mut reinspect_solver = DoacrossSolver::with_config(
+                sys.l.n(),
+                SolverBackend::Inspected,
+                DoacrossConfig::default(),
+            );
+            let reinspect = time(|| {
+                for _ in 0..reuses {
+                    let (y, _) = reinspect_solver
+                        .solve(pool, &sys.l, &sys.rhs)
+                        .expect("valid");
+                    std::hint::black_box(y);
+                }
+            });
+
+            // Full plan built per call: capacity-0 cache never stores.
+            let mut cold_solver = PlanCachedSolver::new(0);
+            let cold_plan = time(|| {
+                for _ in 0..reuses {
+                    let (y, _) = cold_solver.solve(pool, &sys.l, &sys.rhs).expect("valid");
+                    std::hint::black_box(y);
+                }
+            });
+
+            // Plan built once, then hits.
+            let mut cached_solver = PlanCachedSolver::new(2);
+            let cached = time(|| {
+                for _ in 0..reuses {
+                    let (y, _) = cached_solver.solve(pool, &sys.l, &sys.rhs).expect("valid");
+                    std::hint::black_box(y);
+                }
+            });
+            debug_assert_eq!(cached_solver.cache_stats().misses, 1);
+
+            AmortizationPoint {
+                reuses,
+                reinspect,
+                cold_plan,
+                cached,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_sparse::{Problem, ProblemKind};
+
+    #[test]
+    fn curve_measures_every_point() {
+        let sys = Problem::build_seeded(ProblemKind::FivePt, 1).triangular_system();
+        let pool = ThreadPool::new(2);
+        let points = amortization_curve(&pool, &sys, &[1, 4]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.reinspect > Duration::ZERO);
+            assert!(p.cold_plan > Duration::ZERO);
+            assert!(p.cached > Duration::ZERO);
+        }
+        assert_eq!(points[0].reuses, 1);
+        assert_eq!(points[1].reuses, 4);
+    }
+}

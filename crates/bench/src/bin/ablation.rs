@@ -31,7 +31,12 @@ fn main() {
 fn chunk_sweep() {
     println!("Ablation 1 — self-scheduling chunk size (simulated, 16 processors)\n");
     let machine = Machine::multimax();
-    let mut t = Table::new(["chunk", "eff (L=7 doall)", "eff (L=8, deps)", "stalls (L=8)"]);
+    let mut t = Table::new([
+        "chunk",
+        "eff (L=7 doall)",
+        "eff (L=8, deps)",
+        "stalls (L=8)",
+    ]);
     for chunk in [1usize, 2, 4, 8, 16, 64] {
         let opts = SimOptions {
             chunk,
@@ -170,7 +175,13 @@ fn processor_scaling() {
     let loop_ = TriSolveLoop::new(&sys.l, &sys.rhs);
     let plan = SolvePlan::for_matrix(&sys.l);
     let opts = doacross_bench::table1::solve_sim_options();
-    let mut t = Table::new(["p", "eff plain", "eff rearranged", "speedup plain", "speedup rearr"]);
+    let mut t = Table::new([
+        "p",
+        "eff plain",
+        "eff rearranged",
+        "speedup plain",
+        "speedup rearr",
+    ]);
     for p in [1usize, 2, 4, 8, 16, 32, 64] {
         let machine = Machine::new(p);
         let plain = machine.simulate_doacross(&loop_, None, opts);

@@ -5,8 +5,8 @@
 //! Usage: `cargo run -p doacross-bench --release --bin calibrate`
 
 use doacross_bench::report::Table;
-use doacross_sim::{calibrate, CostModel, Machine, SimOptions};
 use doacross_core::TestLoop;
+use doacross_sim::{calibrate, CostModel, Machine, SimOptions};
 
 fn main() {
     println!("Calibrating cost model on this host (best of 7)...\n");
@@ -14,16 +14,32 @@ fn main() {
     let host = &calibrated.model;
     let preset = CostModel::multimax();
 
-    let mut t = Table::new(["cost (units of one sequential term)", "Multimax preset", "this host"]);
+    let mut t = Table::new([
+        "cost (units of one sequential term)",
+        "Multimax preset",
+        "this host",
+    ]);
     for (name, a, b) in [
         ("schedule_grab", preset.schedule_grab, host.schedule_grab),
-        ("iteration_setup", preset.iteration_setup, host.iteration_setup),
+        (
+            "iteration_setup",
+            preset.iteration_setup,
+            host.iteration_setup,
+        ),
         ("check", preset.check, host.check),
         ("term", preset.term, host.term),
         ("publish", preset.publish, host.publish),
-        ("inspect_per_iter", preset.inspect_per_iter, host.inspect_per_iter),
+        (
+            "inspect_per_iter",
+            preset.inspect_per_iter,
+            host.inspect_per_iter,
+        ),
         ("post_per_iter", preset.post_per_iter, host.post_per_iter),
-        ("region_dispatch", preset.region_dispatch, host.region_dispatch),
+        (
+            "region_dispatch",
+            preset.region_dispatch,
+            host.region_dispatch,
+        ),
         ("seq_iter", preset.seq_iter, host.seq_iter),
     ] {
         t.row([name.to_string(), format!("{a:.2}"), format!("{b:.2}")]);
@@ -51,7 +67,10 @@ fn main() {
     let r1 = machine.simulate_doacross(&TestLoop::new(10_000, 1, 7), None, SimOptions::default());
     let r5 = machine.simulate_doacross(&TestLoop::new(10_000, 5, 7), None, SimOptions::default());
     println!("simulated 16x this-host machine, Figure 4 loop, odd L:");
-    println!("  M=1: efficiency {:.3}   M=5: efficiency {:.3}", r1.efficiency, r5.efficiency);
+    println!(
+        "  M=1: efficiency {:.3}   M=5: efficiency {:.3}",
+        r1.efficiency, r5.efficiency
+    );
     println!("(paper's machine: 0.33 / 0.50 — note the inversion: a modern core runs the");
     println!(" plain loop at ~1 ns/term, so the construct's atomics and scheduling cost");
     println!(" relatively MORE than on the 13 MHz Multimax. The paper's overhead band was");

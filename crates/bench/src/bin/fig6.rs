@@ -15,11 +15,20 @@ fn main() {
     let n = 10_000;
     let machine = Machine::multimax();
     println!("Figure 6 — Effect of Loop Parameters on Efficiency of Preprocessed Doacross");
-    println!("Simulated Encore Multimax/320: {} processors, N = {n}\n", machine.processors);
+    println!(
+        "Simulated Encore Multimax/320: {} processors, N = {n}\n",
+        machine.processors
+    );
 
     let (m1, m5) = figure6(&machine, n);
     let mut table = Table::new([
-        "L", "eff M=1", "eff M=5", "speedup M=1", "speedup M=5", "true deps M=5", "stalls M=5",
+        "L",
+        "eff M=1",
+        "eff M=5",
+        "speedup M=1",
+        "speedup M=5",
+        "true deps M=5",
+        "stalls M=5",
     ]);
     for (a, b) in m1.iter().zip(&m5) {
         table.row([

@@ -16,8 +16,8 @@ use doacross_sparse::{
     ilu0, io::read_matrix_market, stencil::five_point, CsrMatrix, TriangularMatrix,
 };
 use doacross_trisolve::{
-    seq::time_sequential, verify::residual, BlockedSolver, DoacrossSolver,
-    LevelScheduledSolver, ReorderedSolver, SolvePlan,
+    seq::time_sequential, verify::residual, BlockedSolver, DoacrossSolver, LevelScheduledSolver,
+    ReorderedSolver, SolvePlan,
 };
 use std::io::BufReader;
 use std::time::Instant;
@@ -34,7 +34,9 @@ fn parse_args() -> Args {
     let mut args = Args {
         path: None,
         solver: "all".to_string(),
-        workers: std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2),
+        workers: std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(2),
         reps: 5,
         block: 256,
     };
@@ -71,8 +73,7 @@ fn load_matrix(path: &Option<String>) -> CsrMatrix {
     match path {
         Some(p) => {
             let file = std::fs::File::open(p).unwrap_or_else(|e| panic!("open {p:?}: {e}"));
-            read_matrix_market(BufReader::new(file))
-                .unwrap_or_else(|e| panic!("parse {p:?}: {e}"))
+            read_matrix_market(BufReader::new(file)).unwrap_or_else(|e| panic!("parse {p:?}: {e}"))
         }
         None => {
             eprintln!("(no matrix given: using a built-in 63x63 five-point demo operator)");
@@ -85,12 +86,7 @@ fn main() {
     let args = parse_args();
     let a = load_matrix(&args.path);
     assert_eq!(a.nrows(), a.ncols(), "matrix must be square");
-    println!(
-        "A: {} x {} with {} nonzeros",
-        a.nrows(),
-        a.ncols(),
-        a.nnz()
-    );
+    println!("A: {} x {} with {} nonzeros", a.nrows(), a.ncols(), a.nnz());
 
     let t0 = Instant::now();
     let factors = ilu0(&a);

@@ -55,12 +55,22 @@ mod tests {
         let machine = Machine::multimax();
         let (m1, m5) = figure6(&machine, 10_000);
         for p in m1.iter().filter(|p| p.l % 2 == 1) {
-            assert!((p.efficiency - 0.33).abs() < 0.02, "M=1 L={}: {}", p.l, p.efficiency);
+            assert!(
+                (p.efficiency - 0.33).abs() < 0.02,
+                "M=1 L={}: {}",
+                p.l,
+                p.efficiency
+            );
             assert!(p.census.is_doall());
             assert_eq!(p.stalls, 0);
         }
         for p in m5.iter().filter(|p| p.l % 2 == 1) {
-            assert!((p.efficiency - 0.50).abs() < 0.02, "M=5 L={}: {}", p.l, p.efficiency);
+            assert!(
+                (p.efficiency - 0.50).abs() < 0.02,
+                "M=5 L={}: {}",
+                p.l,
+                p.efficiency
+            );
         }
     }
 

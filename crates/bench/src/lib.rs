@@ -12,12 +12,18 @@
 //!   `cargo run -p doacross-bench --release --bin table1`.
 //! * [`host`] — real-thread measurements on the host machine (at host core
 //!   counts), cross-checking the simulator's direction at small `p`.
+//! * [`amortize`] — the plan-cache amortization experiment: per-call
+//!   re-inspection vs. per-call planning vs. cached plans over 1..100
+//!   reuses of one triangular structure. Regenerate with
+//!   `cargo run -p doacross-bench --release --bin amortize`, or bench with
+//!   `cargo bench -p doacross-bench --bench plan_cache`.
 //! * [`report`] — plain-text table rendering shared by the binaries.
 //!
 //! Every binary prints both the **simulated 16-processor** numbers (the
 //! hardware substitution — see DESIGN.md §4) and, where cheap enough,
 //! **host-thread** numbers at the host's parallelism.
 
+pub mod amortize;
 pub mod fig6;
 pub mod host;
 pub mod report;

@@ -75,10 +75,7 @@ impl BlockedDoacross {
     }
 
     /// Creates a blocked runtime with explicit configuration.
-    pub fn with_config(
-        block_size: usize,
-        config: DoacrossConfig,
-    ) -> Result<Self, DoacrossError> {
+    pub fn with_config(block_size: usize, config: DoacrossConfig) -> Result<Self, DoacrossError> {
         if block_size == 0 {
             return Err(DoacrossError::EmptyBlock);
         }
@@ -246,9 +243,7 @@ mod tests {
     fn mixed_loop(n: usize) -> IndirectLoop {
         let dl = n + 8;
         let a: Vec<usize> = (0..n).map(|i| i + 3).collect();
-        let rhs: Vec<Vec<usize>> = (0..n)
-            .map(|i| vec![i, (i + 5) % dl, i + 3])
-            .collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 5) % dl, i + 3]).collect();
         let coeff = vec![vec![0.5, 0.25, 0.125]; n];
         IndirectLoop::new(dl, a, rhs, coeff).unwrap()
     }
@@ -333,8 +328,8 @@ mod tests {
 
     #[test]
     fn within_block_duplicate_lhs_is_still_rejected() {
-        let l = IndirectLoop::new(2, vec![0, 0], vec![vec![], vec![]], vec![vec![], vec![]])
-            .unwrap();
+        let l =
+            IndirectLoop::new(2, vec![0, 0], vec![vec![], vec![]], vec![vec![], vec![]]).unwrap();
         let mut blocked = BlockedDoacross::new(2).unwrap();
         let mut y = vec![0.0, 0.0];
         assert!(matches!(

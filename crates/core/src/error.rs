@@ -67,6 +67,19 @@ pub enum DoacrossError {
         /// `lhs(i)` as the loop reports it.
         got: usize,
     },
+    /// A prebuilt inspection (execution plan) was applied to a loop whose
+    /// shape it does not match — the plan was built for a different
+    /// iteration count or data space.
+    PlanMismatch {
+        /// Iterations the plan was built for.
+        plan_iterations: usize,
+        /// Data-space size the plan was built for.
+        plan_data_len: usize,
+        /// The loop's actual iteration count.
+        loop_iterations: usize,
+        /// The loop's actual data-space size.
+        loop_data_len: usize,
+    },
     /// A block's writes escape the element window the pattern declared for
     /// it, so windowed scratch arrays cannot represent the block.
     WindowViolation {
@@ -126,6 +139,17 @@ impl std::fmt::Display for DoacrossError {
                 "left-hand-side subscript is not the declared linear function: iteration \
                  {iteration} writes element {got}, but c*i + d = {expected}"
             ),
+            DoacrossError::PlanMismatch {
+                plan_iterations,
+                plan_data_len,
+                loop_iterations,
+                loop_data_len,
+            } => write!(
+                f,
+                "execution plan was built for {plan_iterations} iterations over \
+                 {plan_data_len} elements, but the loop has {loop_iterations} iterations \
+                 over {loop_data_len} elements"
+            ),
             DoacrossError::WindowViolation {
                 iteration,
                 element,
@@ -149,10 +173,7 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let cases: Vec<(DoacrossError, &str)> = vec![
-            (
-                DoacrossError::OutputDependency { element: 7 },
-                "element 7",
-            ),
+            (DoacrossError::OutputDependency { element: 7 }, "element 7"),
             (
                 DoacrossError::SubscriptOutOfBounds {
                     iteration: 3,

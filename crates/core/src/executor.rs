@@ -167,7 +167,16 @@ mod tests {
         let dl = loop_.data_len();
         let map = IterMap::new(dl);
         let ready = ReadyFlags::new(dl);
-        run_inspector(&pool, schedule, loop_, 0..loop_.iterations(), 0..dl, &map, true).unwrap();
+        run_inspector(
+            &pool,
+            schedule,
+            loop_,
+            0..loop_.iterations(),
+            0..dl,
+            &map,
+            true,
+        )
+        .unwrap();
         let mut y_buf = y.to_vec();
         let mut ynew_buf = vec![0.0; dl];
         let y_view = SharedSlice::new(&mut y_buf);
@@ -273,9 +282,7 @@ mod tests {
         let rhs: Vec<Vec<usize>> = (0..n)
             .map(|i| vec![(i * 13 + 1) % dl, (i * 5 + 11) % dl])
             .collect();
-        let coeff: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![0.25 + (i % 3) as f64, 0.5])
-            .collect();
+        let coeff: Vec<Vec<f64>> = (0..n).map(|i| vec![0.25 + (i % 3) as f64, 0.5]).collect();
         let l = IndirectLoop::new(dl, a, rhs, coeff).unwrap();
         let y0: Vec<f64> = (0..dl).map(|e| (e % 17) as f64 * 0.125).collect();
         let expect = oracle_result(&l, &y0);

@@ -170,16 +170,7 @@ mod tests {
     fn fills_writer_map() {
         let l = loop_with_lhs(vec![3, 1, 4, 0], 6);
         let map = IterMap::new(6);
-        run_inspector(
-            &pool(),
-            Schedule::multimax(),
-            &l,
-            0..4,
-            0..6,
-            &map,
-            true,
-        )
-        .unwrap();
+        run_inspector(&pool(), Schedule::multimax(), &l, 0..4, 0..6, &map, true).unwrap();
         assert_eq!(map.writer(3), 0);
         assert_eq!(map.writer(1), 1);
         assert_eq!(map.writer(4), 2);
@@ -192,16 +183,8 @@ mod tests {
     fn detects_output_dependency() {
         let l = loop_with_lhs(vec![2, 5, 2], 6);
         let map = IterMap::new(6);
-        let err = run_inspector(
-            &pool(),
-            Schedule::multimax(),
-            &l,
-            0..3,
-            0..6,
-            &map,
-            false,
-        )
-        .unwrap_err();
+        let err =
+            run_inspector(&pool(), Schedule::multimax(), &l, 0..3, 0..6, &map, false).unwrap_err();
         assert_eq!(err, DoacrossError::OutputDependency { element: 2 });
     }
 
@@ -240,7 +223,10 @@ mod tests {
             true,
         )
         .unwrap_err();
-        assert!(matches!(err, DoacrossError::SubscriptOutOfBounds { element: 3, .. }));
+        assert!(matches!(
+            err,
+            DoacrossError::SubscriptOutOfBounds { element: 3, .. }
+        ));
 
         // Without term validation the same pattern passes the inspector.
         let map2 = IterMap::new(2);
@@ -260,16 +246,8 @@ mod tests {
     fn detects_window_escape() {
         let l = loop_with_lhs(vec![1, 7], 8);
         let map = IterMap::new(4);
-        let err = run_inspector(
-            &pool(),
-            Schedule::multimax(),
-            &l,
-            0..2,
-            0..4,
-            &map,
-            false,
-        )
-        .unwrap_err();
+        let err =
+            run_inspector(&pool(), Schedule::multimax(), &l, 0..2, 0..4, &map, false).unwrap_err();
         assert!(matches!(
             err,
             DoacrossError::WindowViolation {
@@ -285,16 +263,7 @@ mod tests {
     fn windowed_inspector_uses_relative_indices() {
         let l = loop_with_lhs(vec![10, 12], 16);
         let map = IterMap::new(4);
-        run_inspector(
-            &pool(),
-            Schedule::multimax(),
-            &l,
-            0..2,
-            10..14,
-            &map,
-            false,
-        )
-        .unwrap();
+        run_inspector(&pool(), Schedule::multimax(), &l, 0..2, 10..14, &map, false).unwrap();
         assert_eq!(map.writer(0), 0, "element 10 -> slot 0");
         assert_eq!(map.writer(2), 1, "element 12 -> slot 2");
     }
@@ -303,18 +272,13 @@ mod tests {
     fn sub_range_inspection_records_global_iteration_numbers() {
         let l = loop_with_lhs(vec![0, 1, 2, 3], 4);
         let map = IterMap::new(4);
-        run_inspector(
-            &pool(),
-            Schedule::multimax(),
-            &l,
-            2..4,
-            0..4,
-            &map,
-            false,
-        )
-        .unwrap();
+        run_inspector(&pool(), Schedule::multimax(), &l, 2..4, 0..4, &map, false).unwrap();
         assert_eq!(map.writer(0), MAXINT);
-        assert_eq!(map.writer(2), 2, "global iteration index, not block-relative");
+        assert_eq!(
+            map.writer(2),
+            2,
+            "global iteration index, not block-relative"
+        );
         assert_eq!(map.writer(3), 3);
     }
 

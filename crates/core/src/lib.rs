@@ -76,6 +76,7 @@ pub mod linear;
 pub mod oracle;
 pub mod pattern;
 pub mod post;
+pub mod prepared;
 pub mod runtime;
 pub mod seq;
 pub mod stats;
@@ -87,6 +88,7 @@ pub use flags::{IterMap, ReadyFlags, MAXINT};
 pub use linear::{LinearDoacross, LinearSubscript};
 pub use oracle::{InspectedWriter, LinearWriter, WriterOracle};
 pub use pattern::{AccessPattern, DoacrossLoop, IndirectLoop};
+pub use prepared::PreparedInspection;
 pub use runtime::{Doacross, DoacrossConfig};
-pub use stats::{DepCounts, RunStats};
+pub use stats::{DepCounts, PlanProvenance, RunStats};
 pub use testloop::{DependencyCensus, TestLoop};

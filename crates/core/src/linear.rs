@@ -356,7 +356,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            DoacrossError::SubscriptNotLinear { iteration: 0, expected: 0, got: 1 }
+            DoacrossError::SubscriptNotLinear {
+                iteration: 0,
+                expected: 0,
+                got: 1
+            }
         ));
     }
 

@@ -1,0 +1,159 @@
+//! Reusable inspection artifacts: preprocessing as a value.
+//!
+//! The paper's central economic argument is amortization: "the
+//! preprocessing phase needs to be performed just once, while the doacross
+//! loop may be executed many times" (§2.1). [`crate::Doacross::run`]
+//! nevertheless re-runs the inspector on every call, because the runtime's
+//! scratch `iter` map is consumed (reset) by postprocessing. A
+//! [`PreparedInspection`] breaks that coupling: it owns a *persistent*
+//! writer map filled by one inspector pass, which
+//! [`crate::Doacross::run_planned`] can consult on any number of subsequent
+//! runs without ever touching it — inspect once, execute many times, with
+//! the skip observable through [`crate::stats::PlanProvenance`].
+//!
+//! The higher-level `doacross-plan` crate wraps this in fingerprint-keyed
+//! caching and cost-model variant selection; this type is the core-side
+//! primitive those layers stand on.
+
+use crate::error::DoacrossError;
+use crate::flags::IterMap;
+use crate::inspector::run_inspector;
+use crate::oracle::InspectedWriter;
+use crate::pattern::AccessPattern;
+use doacross_par::{Schedule, ThreadPool};
+
+/// The product of one inspector pass over a loop's access pattern: a
+/// writer map (`iter(a(i)) = i`) that outlives the run that built it.
+///
+/// The map is immutable after construction — executor runs read it through
+/// [`PreparedInspection::oracle`] and postprocessing leaves it alone — so
+/// one artifact can back arbitrarily many concurrent or sequential
+/// executions of loops with the same access pattern.
+#[derive(Debug)]
+pub struct PreparedInspection {
+    iterations: usize,
+    data_len: usize,
+    map: IterMap,
+}
+
+impl PreparedInspection {
+    /// Runs the inspector once over `pattern` (in parallel on `pool`) and
+    /// captures the writer map.
+    ///
+    /// Validation matches [`crate::Doacross::run`]: output dependencies and
+    /// out-of-bounds left-hand sides are always detected; right-hand-side
+    /// bounds are checked when `validate_terms` is set.
+    pub fn inspect<P: AccessPattern + ?Sized>(
+        pool: &ThreadPool,
+        schedule: Schedule,
+        pattern: &P,
+        validate_terms: bool,
+    ) -> Result<Self, DoacrossError> {
+        let iterations = pattern.iterations();
+        let data_len = pattern.data_len();
+        let map = IterMap::new(data_len);
+        // On error the partially-filled map is simply dropped; unlike the
+        // runtime's scratch map there is no reuse invariant to restore.
+        run_inspector(
+            pool,
+            schedule,
+            pattern,
+            0..iterations,
+            0..data_len,
+            &map,
+            validate_terms,
+        )?;
+        Ok(Self {
+            iterations,
+            data_len,
+            map,
+        })
+    }
+
+    /// Iteration count of the loop this inspection was built for.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Data-space size of the loop this inspection was built for.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// The captured writer map.
+    pub fn map(&self) -> &IterMap {
+        &self.map
+    }
+
+    /// The iteration writing `element`, or [`crate::flags::MAXINT`].
+    #[inline]
+    pub fn writer(&self, element: usize) -> i64 {
+        self.map.writer(element)
+    }
+
+    /// A writer oracle over the captured map, as the executor consumes it.
+    pub fn oracle(&self) -> InspectedWriter<'_> {
+        InspectedWriter::new(&self.map, 0..self.data_len)
+    }
+
+    /// Whether this inspection matches `pattern`'s shape (iteration count
+    /// and data space). A cheap sanity check — it cannot detect two
+    /// different patterns of identical shape; that is the plan cache's
+    /// fingerprint's job.
+    pub fn matches_shape<P: AccessPattern + ?Sized>(&self, pattern: &P) -> bool {
+        self.iterations == pattern.iterations() && self.data_len == pattern.data_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::MAXINT;
+    use crate::oracle::WriterOracle;
+    use crate::pattern::IndirectLoop;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn loop_with_lhs(a: Vec<usize>, data_len: usize) -> IndirectLoop {
+        let n = a.len();
+        IndirectLoop::new(data_len, a, vec![vec![]; n], vec![vec![]; n]).unwrap()
+    }
+
+    #[test]
+    fn captures_the_writer_map() {
+        let l = loop_with_lhs(vec![3, 1, 4], 6);
+        let prepared =
+            PreparedInspection::inspect(&pool(), Schedule::multimax(), &l, true).unwrap();
+        assert_eq!(prepared.iterations(), 3);
+        assert_eq!(prepared.data_len(), 6);
+        assert_eq!(prepared.writer(3), 0);
+        assert_eq!(prepared.writer(1), 1);
+        assert_eq!(prepared.writer(4), 2);
+        assert_eq!(prepared.writer(0), MAXINT);
+        let oracle = prepared.oracle();
+        assert_eq!(oracle.writer(1), 1);
+        assert_eq!(oracle.writer(5), MAXINT);
+    }
+
+    #[test]
+    fn output_dependency_is_detected() {
+        let l = loop_with_lhs(vec![2, 2], 4);
+        let err =
+            PreparedInspection::inspect(&pool(), Schedule::multimax(), &l, false).unwrap_err();
+        assert_eq!(err, DoacrossError::OutputDependency { element: 2 });
+    }
+
+    #[test]
+    fn shape_matching() {
+        let l = loop_with_lhs(vec![0, 1], 4);
+        let prepared =
+            PreparedInspection::inspect(&pool(), Schedule::multimax(), &l, true).unwrap();
+        assert!(prepared.matches_shape(&l));
+        let other = loop_with_lhs(vec![0, 1, 2], 4);
+        assert!(!prepared.matches_shape(&other));
+        let other2 = loop_with_lhs(vec![0, 1], 5);
+        assert!(!prepared.matches_shape(&other2));
+    }
+}

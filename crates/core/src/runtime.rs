@@ -16,7 +16,8 @@ use crate::inspector::{reset_scratch, run_inspector};
 use crate::oracle::InspectedWriter;
 use crate::pattern::{AccessPattern, DoacrossLoop};
 use crate::post::run_post;
-use crate::stats::{RunStats, StatsSink};
+use crate::prepared::PreparedInspection;
+use crate::stats::{PlanProvenance, RunStats, StatsSink};
 use doacross_par::{Schedule, SharedSlice, ThreadPool, WaitStrategy};
 use std::time::Instant;
 
@@ -188,7 +189,6 @@ impl Doacross {
         self.ensure_data_len(data_len);
         let n = loop_.iterations();
         let schedule = self.config.schedule;
-        let wait = self.config.wait;
         debug_assert!(self.scratch_is_clean(), "reuse invariant violated on entry");
 
         let mut stats = RunStats {
@@ -219,57 +219,105 @@ impl Doacross {
         // already filled `iter`, so the topological check is a lookup per
         // reference.
         if let Some(ord) = order {
-            if let Err(e) = self.validate_order(pool, loop_, ord) {
+            if let Err(e) = self.validate_order(pool, loop_, ord, &self.iter) {
                 reset_scratch(pool, schedule, &self.iter, &self.ready, self.data_len);
                 return Err(e);
             }
         }
 
-        // Phase 2: executor (Figure 5).
-        let t1 = Instant::now();
-        let sink = StatsSink::new(pool.threads());
-        {
-            let y_view = SharedSlice::new(y);
-            let ynew_view = SharedSlice::new(&mut self.ynew[..]);
-            let oracle = InspectedWriter::new(&self.iter, 0..data_len);
-            run_executor(
-                pool,
-                schedule,
-                wait,
-                loop_,
-                0..n,
-                order,
-                &oracle,
-                y_view,
-                ynew_view,
-                &self.ready,
-                0,
-                &sink,
-            );
-        }
-        stats.executor = t1.elapsed();
-        sink.drain_into(&mut stats);
+        // Phases 2 + 3: executor (Figure 5), then postprocessor (Figure 3,
+        // right) — the post pass clears this run's `iter` entries to
+        // restore the reuse invariant.
+        let oracle = InspectedWriter::new(&self.iter, 0..data_len);
+        exec_and_post(
+            pool,
+            &self.config,
+            loop_,
+            y,
+            &mut self.ynew,
+            &self.ready,
+            &oracle,
+            order,
+            Some(&self.iter),
+            &mut stats,
+        );
+        stats.total = t_start.elapsed();
+        debug_assert!(self.scratch_is_clean(), "reuse invariant violated on exit");
+        Ok(stats)
+    }
 
-        // Phase 3: postprocessor (Figure 3, right), with copy-back unless
-        // the caller reads results from the shadow array.
-        let t2 = Instant::now();
-        {
-            let y_view = SharedSlice::new(y);
-            let ynew_view = SharedSlice::new(&mut self.ynew[..]);
-            run_post(
-                pool,
-                schedule,
-                loop_,
-                0..n,
-                0,
-                Some(&self.iter),
-                &self.ready,
-                y_view,
-                ynew_view,
-                self.config.copy_back,
-            );
+    /// Runs the executor and postprocessor phases against a prebuilt
+    /// inspection, skipping the inspector entirely — the paper's
+    /// inspect-once / execute-many amortization made concrete.
+    ///
+    /// `prepared` must have been built for this loop's access pattern
+    /// (shape mismatches are rejected with [`DoacrossError::PlanMismatch`];
+    /// *content* equality is the caller's contract — the `doacross-plan`
+    /// crate enforces it with structural fingerprints). The prepared map is
+    /// only read: postprocessing resets this runtime's `ready` flags but
+    /// leaves the artifact untouched, so it serves arbitrarily many runs.
+    ///
+    /// The returned stats report `inspector == Duration::ZERO` and
+    /// [`PlanProvenance::PlanCold`]; plan caches overwrite the provenance
+    /// with [`PlanProvenance::PlanCached`] on hits.
+    pub fn run_planned<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+        prepared: &PreparedInspection,
+        order: Option<&[usize]>,
+    ) -> Result<RunStats, DoacrossError> {
+        let data_len = loop_.data_len();
+        if y.len() != data_len {
+            return Err(DoacrossError::DataLenMismatch {
+                got: y.len(),
+                expected: data_len,
+            });
         }
-        stats.post = t2.elapsed();
+        if !prepared.matches_shape(loop_) {
+            return Err(DoacrossError::PlanMismatch {
+                plan_iterations: prepared.iterations(),
+                plan_data_len: prepared.data_len(),
+                loop_iterations: loop_.iterations(),
+                loop_data_len: data_len,
+            });
+        }
+        self.ensure_data_len(data_len);
+        let n = loop_.iterations();
+        debug_assert!(self.scratch_is_clean(), "reuse invariant violated on entry");
+
+        let mut stats = RunStats {
+            iterations: n,
+            workers: pool.threads(),
+            blocks: 1,
+            provenance: PlanProvenance::PlanCold,
+            ..Default::default()
+        };
+        let t_start = Instant::now();
+
+        // No inspector phase: the prepared map already holds every writer.
+        // The runtime's own scratch map stays all-MAXINT throughout, so no
+        // reset is needed on the validation error path either.
+        if let Some(ord) = order {
+            self.validate_order(pool, loop_, ord, prepared.map())?;
+        }
+
+        // Executor + postprocessor; `post_map: None` — the prepared
+        // artifact must survive this run, only the `ready` flags reset.
+        let oracle = prepared.oracle();
+        exec_and_post(
+            pool,
+            &self.config,
+            loop_,
+            y,
+            &mut self.ynew,
+            &self.ready,
+            &oracle,
+            order,
+            None,
+            &mut stats,
+        );
         stats.total = t_start.elapsed();
         debug_assert!(self.scratch_is_clean(), "reuse invariant violated on exit");
         Ok(stats)
@@ -277,12 +325,14 @@ impl Doacross {
 
     /// Checks that `order` is a permutation of `0..n` and — in
     /// full-validation mode — that no true dependency's writer is claimed
-    /// after its reader. Requires the inspector to have filled `iter`.
+    /// after its reader. Requires `iter` (the runtime's own scratch map or
+    /// a prebuilt inspection's) to hold the loop's writer entries.
     fn validate_order<L: DoacrossLoop + ?Sized>(
         &self,
         pool: &ThreadPool,
         loop_: &L,
         order: &[usize],
+        iter: &IterMap,
     ) -> Result<(), DoacrossError> {
         let n = loop_.iterations();
         if order.len() != n {
@@ -301,7 +351,6 @@ impl Doacross {
         if self.config.validate_terms {
             let violation = crate::inspector::ErrorSlot::new();
             let position = &position[..];
-            let iter = &self.iter;
             doacross_par::parallel_for(pool, n, self.config.schedule, |i| {
                 for j in 0..loop_.terms(i) {
                     let w = iter.writer(loop_.term_element(i, j));
@@ -319,6 +368,72 @@ impl Doacross {
         }
         Ok(())
     }
+}
+
+/// The executor + postprocessor phases shared by [`Doacross::run_with_order`]
+/// (oracle over the runtime's own scratch map, which the post pass clears)
+/// and [`Doacross::run_planned`] (oracle over a persistent prepared map,
+/// `post_map: None`). Fills `stats.executor`, `stats.post`, and the
+/// executor-side counters.
+#[allow(clippy::too_many_arguments)]
+fn exec_and_post<L: DoacrossLoop + ?Sized>(
+    pool: &ThreadPool,
+    config: &DoacrossConfig,
+    loop_: &L,
+    y: &mut [f64],
+    ynew: &mut [f64],
+    ready: &ReadyFlags,
+    oracle: &InspectedWriter<'_>,
+    order: Option<&[usize]>,
+    post_map: Option<&IterMap>,
+    stats: &mut RunStats,
+) {
+    let n = loop_.iterations();
+
+    // Executor (Figure 5).
+    let t1 = Instant::now();
+    let sink = StatsSink::new(pool.threads());
+    {
+        let y_view = SharedSlice::new(y);
+        let ynew_view = SharedSlice::new(&mut ynew[..]);
+        run_executor(
+            pool,
+            config.schedule,
+            config.wait,
+            loop_,
+            0..n,
+            order,
+            oracle,
+            y_view,
+            ynew_view,
+            ready,
+            0,
+            &sink,
+        );
+    }
+    stats.executor = t1.elapsed();
+    sink.drain_into(stats);
+
+    // Postprocessor (Figure 3, right), with copy-back unless the caller
+    // reads results from the shadow array.
+    let t2 = Instant::now();
+    {
+        let y_view = SharedSlice::new(y);
+        let ynew_view = SharedSlice::new(&mut ynew[..]);
+        run_post(
+            pool,
+            config.schedule,
+            loop_,
+            0..n,
+            0,
+            post_map,
+            ready,
+            y_view,
+            ynew_view,
+            config.copy_back,
+        );
+    }
+    stats.post = t2.elapsed();
 }
 
 #[cfg(test)]
@@ -368,13 +483,8 @@ mod tests {
 
     #[test]
     fn output_dependency_is_reported_and_scratch_restored() {
-        let l = IndirectLoop::new(
-            4,
-            vec![2, 2],
-            vec![vec![], vec![]],
-            vec![vec![], vec![]],
-        )
-        .unwrap();
+        let l =
+            IndirectLoop::new(4, vec![2, 2], vec![vec![], vec![]], vec![vec![], vec![]]).unwrap();
         let mut rt = Doacross::for_loop(&l);
         let mut y = vec![0.0; 4];
         let err = rt.run(&pool(), &l, &mut y).unwrap_err();
@@ -392,7 +502,13 @@ mod tests {
         let mut rt = Doacross::for_loop(&l);
         let mut y = vec![0.0; 3];
         let err = rt.run(&pool(), &l, &mut y).unwrap_err();
-        assert!(matches!(err, DoacrossError::DataLenMismatch { got: 3, expected: 5 }));
+        assert!(matches!(
+            err,
+            DoacrossError::DataLenMismatch {
+                got: 3,
+                expected: 5
+            }
+        ));
     }
 
     #[test]
@@ -510,7 +626,10 @@ mod tests {
         let short = vec![0usize, 1];
         assert!(matches!(
             rt.run_with_order(&pool(), &l, &mut y, Some(&short)),
-            Err(DoacrossError::OrderLengthMismatch { got: 2, expected: 4 })
+            Err(DoacrossError::OrderLengthMismatch {
+                got: 2,
+                expected: 4
+            })
         ));
         let dup = vec![0usize, 1, 1, 3];
         assert!(matches!(
@@ -525,6 +644,80 @@ mod tests {
         assert!(rt.scratch_is_clean());
         // Still usable afterwards.
         rt.run(&pool(), &l, &mut y).unwrap();
+    }
+
+    #[test]
+    fn run_planned_matches_sequential_and_skips_inspector() {
+        let l = chain_loop(150);
+        let p = pool();
+        let mut expect = vec![1.0; 151];
+        run_sequential(&l, &mut expect);
+
+        let prepared = PreparedInspection::inspect(&p, Schedule::multimax(), &l, true).unwrap();
+        let mut rt = Doacross::for_loop(&l);
+        // Many runs against one inspection artifact.
+        for round in 0..3 {
+            let mut y = vec![1.0; 151];
+            let stats = rt.run_planned(&p, &l, &mut y, &prepared, None).unwrap();
+            assert_eq!(y, expect, "round {round}");
+            assert_eq!(stats.inspector, std::time::Duration::ZERO);
+            assert_eq!(stats.provenance, PlanProvenance::PlanCold);
+            assert!(rt.scratch_is_clean(), "round {round}");
+        }
+        // The artifact itself is untouched.
+        assert_eq!(prepared.writer(1), 0);
+    }
+
+    #[test]
+    fn run_planned_with_order_matches_unordered() {
+        let l = chain_loop(64);
+        let p = pool();
+        let mut expect = vec![1.0; 65];
+        run_sequential(&l, &mut expect);
+        let prepared = PreparedInspection::inspect(&p, Schedule::multimax(), &l, true).unwrap();
+        let identity: Vec<usize> = (0..64).collect();
+        let mut y = vec![1.0; 65];
+        let mut rt = Doacross::for_loop(&l);
+        rt.run_planned(&p, &l, &mut y, &prepared, Some(&identity))
+            .unwrap();
+        assert_eq!(y, expect);
+        // A non-topological order is still rejected, using the prepared map.
+        let reversed: Vec<usize> = (0..64).rev().collect();
+        let err = rt
+            .run_planned(&p, &l, &mut y, &prepared, Some(&reversed))
+            .unwrap_err();
+        assert!(matches!(err, DoacrossError::OrderNotTopological { .. }));
+        assert!(rt.scratch_is_clean());
+    }
+
+    #[test]
+    fn run_planned_rejects_mismatched_plan() {
+        let small = chain_loop(4);
+        let big = chain_loop(8);
+        let p = pool();
+        let prepared = PreparedInspection::inspect(&p, Schedule::multimax(), &small, true).unwrap();
+        let mut rt = Doacross::for_loop(&big);
+        let mut y = vec![1.0; 9];
+        let err = rt
+            .run_planned(&p, &big, &mut y, &prepared, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DoacrossError::PlanMismatch {
+                plan_iterations: 4,
+                loop_iterations: 8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn inline_runs_report_inline_provenance() {
+        let l = chain_loop(16);
+        let mut rt = Doacross::for_loop(&l);
+        let mut y = vec![1.0; 17];
+        let stats = rt.run(&pool(), &l, &mut y).unwrap();
+        assert_eq!(stats.provenance, PlanProvenance::Inline);
     }
 
     #[test]

@@ -32,6 +32,43 @@ impl DepCounts {
     }
 }
 
+/// Where a run's preprocessing came from — how the executor learned the
+/// writer of every element.
+///
+/// The paper's amortization argument (§2.1: inspect once, execute many
+/// times) is only real if callers can *observe* that a given run skipped
+/// the inspector. This enum is that observation: plan-driven runs report
+/// whether their preprocessing products were built for this call or served
+/// from a cache, and a planned run's `inspector` duration is exactly zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlanProvenance {
+    /// Preprocessing (if any) ran inside this call — the classic
+    /// inspector-per-run construct.
+    #[default]
+    Inline,
+    /// A prebuilt execution plan was supplied and its preprocessing was
+    /// performed for this call (a cache miss or an explicit plan).
+    PlanCold,
+    /// The execution plan was served from a plan cache: no planning work
+    /// (fingerprint census, dependence analysis, variant selection,
+    /// inspection capture) happened in this call. Whatever preprocessing is
+    /// *inherent to the selected variant* still runs — notably the
+    /// strip-mined variant re-inspects per block, because its windowed
+    /// scratch arrays cannot outlive a block; check `inspector` for the
+    /// per-run bill. The flat planned variants report `inspector == 0`.
+    PlanCached,
+}
+
+impl std::fmt::Display for PlanProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanProvenance::Inline => write!(f, "inline"),
+            PlanProvenance::PlanCold => write!(f, "plan:cold"),
+            PlanProvenance::PlanCached => write!(f, "plan:cached"),
+        }
+    }
+}
+
 /// Everything measured about one preprocessed-doacross run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -56,6 +93,9 @@ pub struct RunStats {
     pub stalls: u64,
     /// Total failed `ready` polls across all stalls — the busy-wait bill.
     pub wait_polls: u64,
+    /// Where this run's preprocessing came from (inline inspection vs. a
+    /// prebuilt or cached execution plan).
+    pub provenance: PlanProvenance,
 }
 
 impl RunStats {
@@ -92,7 +132,7 @@ impl std::fmt::Display for RunStats {
         write!(
             f,
             "{} iterations on {} workers in {:?} (inspector {:?}, executor {:?}, post {:?}); \
-             refs: {} true / {} old / {} intra; {} stalls, {} wait polls",
+             refs: {} true / {} old / {} intra; {} stalls, {} wait polls; preprocessing {}",
             self.iterations,
             self.workers,
             self.total,
@@ -104,6 +144,7 @@ impl std::fmt::Display for RunStats {
             self.deps.intra,
             self.stalls,
             self.wait_polls,
+            self.provenance,
         )
     }
 }

@@ -56,7 +56,11 @@ impl TestLoop {
     /// # Panics
     /// Panics if `l == 0` or `l > MAX_L`.
     pub fn new(n: usize, m: usize, l: usize) -> Self {
-        assert!((1..=Self::MAX_L).contains(&l), "L must be in 1..={}", Self::MAX_L);
+        assert!(
+            (1..=Self::MAX_L).contains(&l),
+            "L must be in 1..={}",
+            Self::MAX_L
+        );
         // val(j): fixed, reproducible coefficients; kept small so long
         // dependence chains stay in a numerically benign range.
         let val: Vec<f64> = (0..m).map(|j| 0.25 / (j + 1) as f64).collect();
@@ -128,12 +132,10 @@ impl TestLoop {
                     Some(w) if w < i => {
                         census.true_deps += 1;
                         let d = i - w;
-                        census.min_true_distance = Some(
-                            census.min_true_distance.map_or(d, |m| m.min(d)),
-                        );
-                        census.max_true_distance = Some(
-                            census.max_true_distance.map_or(d, |m| m.max(d)),
-                        );
+                        census.min_true_distance =
+                            Some(census.min_true_distance.map_or(d, |m| m.min(d)));
+                        census.max_true_distance =
+                            Some(census.max_true_distance.map_or(d, |m| m.max(d)));
                     }
                     Some(w) if w == i => census.intra += 1,
                     Some(_) => census.anti_deps += 1,

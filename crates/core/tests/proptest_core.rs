@@ -2,34 +2,33 @@
 //! Figure 4 grid points, linear-vs-inspected equivalence on arbitrary
 //! strided loops, and measured-vs-ground-truth dependence classification.
 
-use doacross_core::{
-    seq::run_sequential, AccessPattern, BlockedDoacross, Doacross, LinearDoacross,
-    LinearSubscript, TestLoop,
-};
 use doacross_core::IndirectLoop;
+use doacross_core::{
+    seq::run_sequential, AccessPattern, BlockedDoacross, Doacross, LinearDoacross, LinearSubscript,
+    TestLoop,
+};
 use doacross_par::ThreadPool;
 use proptest::prelude::*;
 
 /// An arbitrary loop with a linear lhs `a(i) = c·i + d` and in-bounds rhs.
 fn arb_strided_loop() -> impl Strategy<Value = (IndirectLoop, LinearSubscript, Vec<f64>)> {
-    (1usize..4, 0usize..6, 1usize..40).prop_flat_map(|(c, d, n)| {
-        let data_len = c * n + d + 4;
-        let rhs = proptest::collection::vec(
-            proptest::collection::vec(0..data_len, 0..3),
-            n..=n,
-        );
-        let y0 = proptest::collection::vec(-1.0..1.0f64, data_len..=data_len);
-        (Just((c, d, n, data_len)), rhs, y0)
-    })
-    .prop_map(|((c, d, n, data_len), rhs, y0)| {
-        let a: Vec<usize> = (0..n).map(|i| c * i + d).collect();
-        let coeff: Vec<Vec<f64>> = rhs
-            .iter()
-            .map(|r| r.iter().map(|_| 0.375).collect())
-            .collect();
-        let loop_ = IndirectLoop::new(data_len, a, rhs, coeff).expect("valid");
-        (loop_, LinearSubscript::new(c, d), y0)
-    })
+    (1usize..4, 0usize..6, 1usize..40)
+        .prop_flat_map(|(c, d, n)| {
+            let data_len = c * n + d + 4;
+            let rhs =
+                proptest::collection::vec(proptest::collection::vec(0..data_len, 0..3), n..=n);
+            let y0 = proptest::collection::vec(-1.0..1.0f64, data_len..=data_len);
+            (Just((c, d, n, data_len)), rhs, y0)
+        })
+        .prop_map(|((c, d, n, data_len), rhs, y0)| {
+            let a: Vec<usize> = (0..n).map(|i| c * i + d).collect();
+            let coeff: Vec<Vec<f64>> = rhs
+                .iter()
+                .map(|r| r.iter().map(|_| 0.375).collect())
+                .collect();
+            let loop_ = IndirectLoop::new(data_len, a, rhs, coeff).expect("valid");
+            (loop_, LinearSubscript::new(c, d), y0)
+        })
 }
 
 proptest! {

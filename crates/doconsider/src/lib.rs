@@ -33,6 +33,4 @@ pub mod reorder;
 
 pub use dag::DependenceDag;
 pub use levels::{level_histogram, LevelAssignment};
-pub use reorder::{
-    doconsider_order, invert_permutation, is_topological_order, min_dependence_gap,
-};
+pub use reorder::{doconsider_order, invert_permutation, is_topological_order, min_dependence_gap};

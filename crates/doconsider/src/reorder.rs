@@ -170,8 +170,13 @@ mod tests {
 
     #[test]
     fn dependence_gap_of_chain_is_one_either_way() {
-        let dag =
-            crate::dag::DependenceDag::from_predecessors(5, |i| if i > 0 { vec![i - 1] } else { vec![] });
+        let dag = crate::dag::DependenceDag::from_predecessors(5, |i| {
+            if i > 0 {
+                vec![i - 1]
+            } else {
+                vec![]
+            }
+        });
         let natural: Vec<usize> = (0..5).collect();
         assert_eq!(min_dependence_gap(&dag, &natural), Some(1));
     }

@@ -190,8 +190,14 @@ mod tests {
     #[test]
     fn every_schedule_covers_exactly_once_in_order() {
         for sched in all_schedules() {
-            for &(nworkers, n) in &[(1usize, 0usize), (1, 17), (3, 17), (4, 4), (5, 3), (16, 100)]
-            {
+            for &(nworkers, n) in &[
+                (1usize, 0usize),
+                (1, 17),
+                (3, 17),
+                (4, 4),
+                (5, 3),
+                (16, 100),
+            ] {
                 let a = collect_assignment(sched, nworkers, n);
                 assert_exact_coverage(&a, n);
                 assert_increasing(&a);
@@ -218,7 +224,14 @@ mod tests {
 
     #[test]
     fn block_range_partitions_exactly() {
-        for &(n, p) in &[(0usize, 1usize), (1, 1), (10, 3), (10, 4), (3, 5), (100, 16)] {
+        for &(n, p) in &[
+            (0usize, 1usize),
+            (1, 1),
+            (10, 3),
+            (10, 4),
+            (3, 5),
+            (100, 16),
+        ] {
             let mut total = 0;
             let mut next = 0;
             for w in 0..p {
@@ -264,7 +277,10 @@ mod tests {
         // all indices exactly once (the atomic counter is the arbiter).
         use std::sync::Mutex;
         const N: usize = 10_000;
-        for sched in [Schedule::Dynamic { chunk: 3 }, Schedule::Guided { min_chunk: 2 }] {
+        for sched in [
+            Schedule::Dynamic { chunk: 3 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
             let counter = AtomicUsize::new(0);
             let hits = Mutex::new(vec![0u8; N]);
             std::thread::scope(|s| {

@@ -1,0 +1,370 @@
+//! Fingerprint-keyed LRU cache of execution plans.
+//!
+//! This is where the amortization the paper argues for in §2.1 becomes a
+//! systems feature: a solver iterating on a fixed sparse structure, or a
+//! service replaying the same loop shapes for many requests, pays
+//! inspection + dependence analysis + ordering once per *structure*
+//! instead of once per *run*. The cache is a plain LRU over
+//! [`PatternFingerprint`] keys — a doubly-linked recency list threaded
+//! through a slab, O(1) hit, insert, and eviction — with hit/miss/eviction
+//! counters so the skip is observable from the outside.
+
+use crate::fingerprint::PatternFingerprint;
+use crate::plan::ExecutionPlan;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NIL: usize = usize::MAX;
+
+/// Cache traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Plans evicted to make room.
+    pub evictions: u64,
+    /// Plans stored, including same-key replacements.
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: PatternFingerprint,
+    plan: Arc<ExecutionPlan>,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU cache of [`ExecutionPlan`]s keyed by [`PatternFingerprint`].
+///
+/// Plans are handed out as [`Arc`]s, so a caller can keep executing a plan
+/// that has since been evicted.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    map: HashMap<PatternFingerprint, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Cache holding up to `capacity` plans. A capacity of 0 is legal and
+    /// makes every lookup a miss (useful for measuring the uncached
+    /// baseline).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of plans held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Plans currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether a plan for `key` is cached (does not touch recency or
+    /// counters).
+    pub fn contains(&self, key: &PatternFingerprint) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Drops every plan (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &PatternFingerprint) -> Option<Arc<ExecutionPlan>> {
+        self.get_matching(key, |_| true)
+    }
+
+    /// Looks up `key`, but counts an entry failing `matches` as a miss —
+    /// used to reject plans whose pricing context (e.g. the worker count)
+    /// no longer applies. The stale entry stays until a subsequent
+    /// [`PlanCache::insert`] for the same key replaces it.
+    pub fn get_matching(
+        &mut self,
+        key: &PatternFingerprint,
+        matches: impl FnOnce(&ExecutionPlan) -> bool,
+    ) -> Option<Arc<ExecutionPlan>> {
+        match self.map.get(key) {
+            Some(&slot) if matches(&self.slab[slot].plan) => {
+                self.stats.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                Some(Arc::clone(&self.slab[slot].plan))
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `plan` under its own fingerprint, evicting the least
+    /// recently used entry if full. Replaces any existing plan for the
+    /// same fingerprint.
+    pub fn insert(&mut self, plan: Arc<ExecutionPlan>) {
+        let key = *plan.fingerprint();
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].plan = plan;
+            self.unlink(slot);
+            self.push_front(slot);
+            self.stats.insertions += 1;
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+            self.stats.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Entry {
+                    key,
+                    plan,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(Entry {
+                    key,
+                    plan,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        self.stats.insertions += 1;
+    }
+
+    /// Looks up `key`; on a miss, builds a plan with `build`, stores it,
+    /// and returns it. The boolean is `true` on a hit.
+    pub fn get_or_build<E>(
+        &mut self,
+        key: &PatternFingerprint,
+        build: impl FnOnce() -> Result<ExecutionPlan, E>,
+    ) -> Result<(Arc<ExecutionPlan>, bool), E> {
+        if let Some(plan) = self.get(key) {
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(build()?);
+        self.insert(Arc::clone(&plan));
+        Ok((plan, false))
+    }
+
+    /// Keys from most to least recently used (for tests and diagnostics).
+    pub fn keys_by_recency(&self) -> Vec<PatternFingerprint> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut slot = self.head;
+        while slot != NIL {
+            keys.push(self.slab[slot].key);
+            slot = self.slab[slot].next;
+        }
+        keys
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use doacross_core::IndirectLoop;
+    use doacross_par::ThreadPool;
+
+    fn plan_for(n: usize) -> (PatternFingerprint, Arc<ExecutionPlan>) {
+        let a: Vec<usize> = (0..n).collect();
+        let l = IndirectLoop::new(n, a, vec![vec![]; n], vec![vec![]; n]).unwrap();
+        let pool = ThreadPool::new(2);
+        let plan = Planner::new().plan(&pool, &l).unwrap();
+        (*plan.fingerprint(), Arc::new(plan))
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let mut cache = PlanCache::new(4);
+        let (key, plan) = plan_for(10);
+        assert!(cache.get(&key).is_none());
+        cache.insert(plan);
+        assert!(cache.get(&key).is_some());
+        assert!(cache.contains(&key));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        let (k1, p1) = plan_for(1);
+        let (k2, p2) = plan_for(2);
+        let (k3, p3) = plan_for(3);
+        cache.insert(p1);
+        cache.insert(p2);
+        // Touch k1 so k2 becomes the LRU.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(p3);
+        assert!(cache.contains(&k1), "recently used survives");
+        assert!(!cache.contains(&k2), "LRU evicted");
+        assert!(cache.contains(&k3));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.keys_by_recency(), vec![k3, k1]);
+    }
+
+    #[test]
+    fn eviction_churn_preserves_linkage() {
+        let mut cache = PlanCache::new(3);
+        let plans: Vec<_> = (1..=10).map(plan_for).collect();
+        for (_, p) in &plans {
+            cache.insert(Arc::clone(p));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 7);
+        // The three most recent survive, in recency order.
+        assert_eq!(
+            cache.keys_by_recency(),
+            vec![plans[9].0, plans[8].0, plans[7].0]
+        );
+        // Touch the middle one and insert another: oldest goes.
+        assert!(cache.get(&plans[8].0).is_some());
+        let (_, extra) = plan_for(11);
+        cache.insert(extra);
+        assert!(!cache.contains(&plans[7].0));
+        assert!(cache.contains(&plans[8].0));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut cache = PlanCache::new(0);
+        let (key, plan) = plan_for(5);
+        cache.insert(plan);
+        assert!(cache.is_empty());
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_without_eviction() {
+        let mut cache = PlanCache::new(2);
+        let (key, p1) = plan_for(6);
+        let (_, p1b) = plan_for(6);
+        cache.insert(p1);
+        cache.insert(p1b);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn get_or_build_builds_once() {
+        let mut cache = PlanCache::new(2);
+        let a: Vec<usize> = (0..8).collect();
+        let l = IndirectLoop::new(8, a, vec![vec![]; 8], vec![vec![]; 8]).unwrap();
+        let pool = ThreadPool::new(2);
+        let planner = Planner::new();
+        let key = crate::PatternFingerprint::of(&l);
+        let mut builds = 0;
+        for round in 0..3 {
+            let (plan, hit) = cache
+                .get_or_build(&key, || {
+                    builds += 1;
+                    planner.plan(&pool, &l)
+                })
+                .unwrap();
+            assert_eq!(hit, round > 0);
+            assert_eq!(plan.fingerprint(), &key);
+        }
+        assert_eq!(builds, 1);
+        // Arc keeps an evicted plan alive.
+        let (held, _) = cache
+            .get_or_build::<std::convert::Infallible>(&key, || unreachable!())
+            .unwrap();
+        cache.clear();
+        assert_eq!(held.fingerprint(), &key);
+    }
+}

@@ -1,0 +1,262 @@
+//! Dependence census: the structural facts variant selection runs on.
+//!
+//! One preprocessing pass classifies every right-hand-side reference the
+//! way the executor's three-way check (Figure 5) would — true dependency /
+//! antidependency / intra-iteration / unwritten — and extracts the
+//! schedule-relevant aggregates: dependence distances, the wavefront
+//! critical path, and average parallelism. For loops whose left-hand side
+//! is *not* injective (illegal for the flat construct) it instead measures
+//! the minimum gap between writes to the same element, which bounds the
+//! legal block size for the §2.3 strip-mined fallback.
+
+use doacross_core::{AccessPattern, MAXINT};
+
+/// Everything the planner knows about a pattern's dependence structure.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanCensus {
+    /// Outer-loop iterations.
+    pub iterations: usize,
+    /// Data-space size.
+    pub data_len: usize,
+    /// Total right-hand-side references.
+    pub total_terms: u64,
+    /// References to elements written by an earlier iteration.
+    pub true_deps: u64,
+    /// References to elements written by a later iteration.
+    pub anti_deps: u64,
+    /// References to the iteration's own output element.
+    pub intra: u64,
+    /// References to elements no iteration writes.
+    pub unwritten: u64,
+    /// Smallest true-dependency distance (`i − writer`), if any.
+    pub min_true_distance: Option<usize>,
+    /// Largest true-dependency distance, if any.
+    pub max_true_distance: Option<usize>,
+    /// Whether the left-hand-side subscript is injective (the flat
+    /// construct's legality requirement).
+    pub injective: bool,
+    /// For non-injective patterns: the smallest iteration gap between two
+    /// writes to the same element. Blocks of at most this many contiguous
+    /// iterations are collision-free, making the strip-mined variant legal.
+    pub min_duplicate_write_gap: Option<usize>,
+    /// Wavefront critical path (0 for an empty loop; only computed for
+    /// injective patterns).
+    pub critical_path: usize,
+    /// `iterations / critical_path` (0 for an empty loop).
+    pub average_parallelism: f64,
+    /// First `(iteration, element)` reference outside the declared data
+    /// space, if any. A pattern with out-of-bounds subscripts cannot be
+    /// planned (or legally executed); the planner surfaces this as
+    /// [`doacross_core::DoacrossError::SubscriptOutOfBounds`].
+    pub first_out_of_bounds: Option<(usize, usize)>,
+}
+
+impl PlanCensus {
+    /// Builds the census in O(data space + references).
+    pub fn of<P: AccessPattern + ?Sized>(pattern: &P) -> Self {
+        let n = pattern.iterations();
+        let data_len = pattern.data_len();
+        let mut census = PlanCensus {
+            iterations: n,
+            data_len,
+            injective: true,
+            ..Default::default()
+        };
+
+        // Writer map as the inspector would fill it (last writer wins),
+        // plus duplicate-write detection for the blocked fallback.
+        let mut writer = vec![MAXINT; data_len];
+        for i in 0..n {
+            let lhs = pattern.lhs(i);
+            if lhs >= data_len {
+                census.first_out_of_bounds.get_or_insert((i, lhs));
+                continue;
+            }
+            let prev = writer[lhs];
+            if prev != MAXINT {
+                census.injective = false;
+                let gap = i - prev as usize;
+                census.min_duplicate_write_gap =
+                    Some(census.min_duplicate_write_gap.map_or(gap, |g| g.min(gap)));
+            }
+            writer[lhs] = i as i64;
+        }
+
+        if !census.injective {
+            // The flat construct is illegal; reference classification
+            // against a collided writer map would be meaningless. Still
+            // bounds-check every reference — a plan must never certify an
+            // unexecutable pattern — then count the references and stop.
+            for i in 0..n {
+                for j in 0..pattern.terms(i) {
+                    census.total_terms += 1;
+                    let e = pattern.term_element(i, j);
+                    if e >= data_len {
+                        census.first_out_of_bounds.get_or_insert((i, e));
+                    }
+                }
+            }
+            return census;
+        }
+
+        // Classify every reference and compute wavefront levels in the same
+        // pass (a predecessor's level is final before its readers are
+        // visited, since true dependencies point backwards).
+        let mut levels = vec![0usize; n];
+        let mut critical_path = 0usize;
+        for i in 0..n {
+            let mut level = 1usize;
+            for j in 0..pattern.terms(i) {
+                census.total_terms += 1;
+                let e = pattern.term_element(i, j);
+                if e >= data_len {
+                    census.first_out_of_bounds.get_or_insert((i, e));
+                    continue;
+                }
+                let w = writer[e];
+                if w == MAXINT {
+                    census.unwritten += 1;
+                } else {
+                    let w = w as usize;
+                    match w.cmp(&i) {
+                        std::cmp::Ordering::Less => {
+                            census.true_deps += 1;
+                            let d = i - w;
+                            census.min_true_distance =
+                                Some(census.min_true_distance.map_or(d, |m| m.min(d)));
+                            census.max_true_distance =
+                                Some(census.max_true_distance.map_or(d, |m| m.max(d)));
+                            level = level.max(levels[w] + 1);
+                        }
+                        std::cmp::Ordering::Equal => census.intra += 1,
+                        std::cmp::Ordering::Greater => census.anti_deps += 1,
+                    }
+                }
+            }
+            levels[i] = level;
+            critical_path = critical_path.max(level);
+        }
+        census.critical_path = if n == 0 { 0 } else { critical_path };
+        census.average_parallelism = if census.critical_path == 0 {
+            0.0
+        } else {
+            n as f64 / census.critical_path as f64
+        };
+        census
+    }
+
+    /// Whether the loop is a doall (no cross- or intra-iteration
+    /// dependencies at all — the odd-`L` regime of Figure 6).
+    pub fn is_doall(&self) -> bool {
+        self.injective && self.true_deps == 0 && self.anti_deps == 0 && self.intra == 0
+    }
+
+    /// Mean references per iteration (0 for an empty loop).
+    pub fn terms_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.total_terms as f64 / self.iterations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_core::{IndirectLoop, TestLoop};
+
+    fn chain(n: usize) -> IndirectLoop {
+        let a: Vec<usize> = (1..=n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        IndirectLoop::new(n + 1, a, rhs, vec![vec![1.0]; n]).unwrap()
+    }
+
+    #[test]
+    fn chain_census() {
+        let c = PlanCensus::of(&chain(10));
+        assert!(c.injective);
+        assert_eq!(c.true_deps, 9, "iteration 0 reads unwritten element 0");
+        assert_eq!(c.unwritten, 1);
+        assert_eq!(c.min_true_distance, Some(1));
+        assert_eq!(c.max_true_distance, Some(1));
+        assert_eq!(c.critical_path, 10);
+        assert_eq!(c.average_parallelism, 1.0);
+        assert!(!c.is_doall());
+    }
+
+    #[test]
+    fn census_agrees_with_testloop_ground_truth() {
+        for l in 1..=14usize {
+            for m in [1usize, 5] {
+                let t = TestLoop::new(300, m, l);
+                let truth = t.census();
+                let c = PlanCensus::of(&t);
+                assert_eq!(c.true_deps, truth.true_deps, "L={l} M={m}");
+                assert_eq!(c.anti_deps, truth.anti_deps, "L={l} M={m}");
+                assert_eq!(c.intra, truth.intra, "L={l} M={m}");
+                assert_eq!(c.unwritten, truth.unwritten, "L={l} M={m}");
+                assert_eq!(c.min_true_distance, truth.min_true_distance, "L={l} M={m}");
+                assert_eq!(c.max_true_distance, truth.max_true_distance, "L={l} M={m}");
+                assert_eq!(c.is_doall(), truth.is_doall(), "L={l} M={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn doall_census() {
+        let n = 20;
+        let a: Vec<usize> = (0..n).collect();
+        let l = IndirectLoop::new(n, a, vec![vec![]; n], vec![vec![]; n]).unwrap();
+        let c = PlanCensus::of(&l);
+        assert!(c.is_doall());
+        assert_eq!(c.critical_path, 1);
+        assert_eq!(c.average_parallelism, n as f64);
+    }
+
+    #[test]
+    fn non_injective_census_measures_write_gap() {
+        // Element 0 written by iterations 0 and 3 → min gap 3.
+        let l = IndirectLoop::new(
+            4,
+            vec![0, 1, 2, 0],
+            vec![vec![], vec![], vec![], vec![]],
+            vec![vec![], vec![], vec![], vec![]],
+        )
+        .unwrap();
+        let c = PlanCensus::of(&l);
+        assert!(!c.injective);
+        assert_eq!(c.min_duplicate_write_gap, Some(3));
+        assert!(!c.is_doall(), "non-injective is never a doall");
+
+        let tight = IndirectLoop::new(
+            3,
+            vec![1, 1, 1],
+            vec![vec![], vec![], vec![]],
+            vec![vec![], vec![], vec![]],
+        )
+        .unwrap();
+        assert_eq!(PlanCensus::of(&tight).min_duplicate_write_gap, Some(1));
+    }
+
+    #[test]
+    fn wavefront_structure_of_interleaved_chains() {
+        // Two distance-2 chains: levels [1,1,2,2], critical path 2.
+        let a = vec![4, 5, 6, 7];
+        let rhs = vec![vec![], vec![], vec![4], vec![5]];
+        let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![1.0; r.len()]).collect();
+        let l = IndirectLoop::new(8, a, rhs, coeff).unwrap();
+        let c = PlanCensus::of(&l);
+        assert_eq!(c.critical_path, 2);
+        assert_eq!(c.average_parallelism, 2.0);
+    }
+
+    #[test]
+    fn empty_loop_census() {
+        let l = IndirectLoop::new(0, vec![], vec![], vec![]).unwrap();
+        let c = PlanCensus::of(&l);
+        assert_eq!(c.critical_path, 0);
+        assert_eq!(c.average_parallelism, 0.0);
+        assert!(c.is_doall());
+    }
+}

@@ -1,0 +1,228 @@
+//! Structural fingerprints of access patterns.
+//!
+//! A plan cache needs a key that (a) is identical for two loops with the
+//! same runtime dependence structure and (b) is cheap relative to the
+//! preprocessing it lets callers skip. [`PatternFingerprint`] hashes the
+//! information [`AccessPattern`] exposes — iteration count, data-space
+//! size, every `lhs(i)`, and every `term_element(i, j)` — with two
+//! independently-seeded 64-bit FNV-1a streams plus exact structural totals.
+//! Cost: one multiply-xor per subscript, a single sequential scan; the
+//! planner's inspection + dependence analysis + ordering is several passes
+//! and allocations on top of that, which is exactly the spread the cache
+//! amortizes.
+//!
+//! Collisions require two different index-array contents to agree on both
+//! 64-bit streams *and* on all exact counts — probability ≈ 2⁻¹²⁸ per pair;
+//! we accept that, as every content-addressed cache does.
+
+use doacross_core::AccessPattern;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Second stream: different offset basis (splitmix of the first) so the two
+/// streams are not trivially correlated.
+const FNV_OFFSET_2: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn fnv_step(h: u64, word: u64) -> u64 {
+    // FNV-1a over the word's 8 bytes, unrolled as one xor-multiply per byte
+    // would be; hashing the whole word per step keeps the scan at one
+    // multiply per subscript.
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// A 128-bit structural hash plus exact shape totals of an access pattern.
+///
+/// Two patterns with equal fingerprints have (with cache-grade confidence)
+/// identical iteration counts, data spaces, left-hand-side subscripts, and
+/// right-hand-side subscripts — i.e. identical dependence structure, which
+/// is everything the preprocessed doacross's inspector, census, and
+/// reordering depend on. Coefficient *values* are deliberately excluded:
+/// they do not affect preprocessing, so loops differing only in values
+/// share a plan (the triangular-solve case: one structure, many right-hand
+/// sides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternFingerprint {
+    hash: u64,
+    hash2: u64,
+    iterations: usize,
+    data_len: usize,
+    total_terms: u64,
+}
+
+impl PatternFingerprint {
+    /// Fingerprints `pattern` in one sequential scan.
+    pub fn of<P: AccessPattern + ?Sized>(pattern: &P) -> Self {
+        let iterations = pattern.iterations();
+        let data_len = pattern.data_len();
+        let mut h1 = fnv_step(fnv_step(FNV_OFFSET, iterations as u64), data_len as u64);
+        let mut h2 = fnv_step(fnv_step(FNV_OFFSET_2, data_len as u64), iterations as u64);
+        let mut total_terms = 0u64;
+        for i in 0..iterations {
+            let lhs = pattern.lhs(i) as u64;
+            h1 = fnv_step(h1, lhs);
+            h2 = fnv_step(h2, lhs.rotate_left(17));
+            let terms = pattern.terms(i);
+            h1 = fnv_step(h1, terms as u64);
+            total_terms += terms as u64;
+            for j in 0..terms {
+                let e = pattern.term_element(i, j) as u64;
+                h1 = fnv_step(h1, e);
+                h2 = fnv_step(h2, e.rotate_left(31));
+            }
+        }
+        Self {
+            hash: h1,
+            hash2: h2,
+            iterations,
+            data_len,
+            total_terms,
+        }
+    }
+
+    /// Iteration count of the fingerprinted pattern.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Data-space size of the fingerprinted pattern.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Total right-hand-side references of the fingerprinted pattern.
+    pub fn total_terms(&self) -> u64 {
+        self.total_terms
+    }
+}
+
+impl std::fmt::Display for PatternFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:016x}{:016x} (n={}, data={}, refs={})",
+            self.hash, self.hash2, self.iterations, self.data_len, self.total_terms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_core::{IndirectLoop, TestLoop};
+
+    fn sample() -> IndirectLoop {
+        IndirectLoop::new(
+            8,
+            vec![1, 3, 5],
+            vec![vec![0, 2], vec![1], vec![3, 4]],
+            vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stable_across_calls_and_instances() {
+        let a = PatternFingerprint::of(&sample());
+        let b = PatternFingerprint::of(&sample());
+        assert_eq!(a, b);
+        assert_eq!(a.iterations(), 3);
+        assert_eq!(a.data_len(), 8);
+        assert_eq!(a.total_terms(), 5);
+    }
+
+    #[test]
+    fn coefficients_do_not_affect_the_fingerprint() {
+        let structure_only = IndirectLoop::new(
+            8,
+            vec![1, 3, 5],
+            vec![vec![0, 2], vec![1], vec![3, 4]],
+            vec![vec![9.0, 9.0], vec![9.0], vec![9.0, 9.0]],
+        )
+        .unwrap();
+        assert_eq!(
+            PatternFingerprint::of(&sample()),
+            PatternFingerprint::of(&structure_only),
+            "values are not structure"
+        );
+    }
+
+    #[test]
+    fn any_subscript_change_changes_the_fingerprint() {
+        let base = PatternFingerprint::of(&sample());
+        let lhs_changed = IndirectLoop::new(
+            8,
+            vec![1, 3, 6],
+            vec![vec![0, 2], vec![1], vec![3, 4]],
+            vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0]],
+        )
+        .unwrap();
+        assert_ne!(base, PatternFingerprint::of(&lhs_changed));
+        let rhs_changed = IndirectLoop::new(
+            8,
+            vec![1, 3, 5],
+            vec![vec![0, 2], vec![2], vec![3, 4]],
+            vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0]],
+        )
+        .unwrap();
+        assert_ne!(base, PatternFingerprint::of(&rhs_changed));
+        let data_len_changed = IndirectLoop::new(
+            9,
+            vec![1, 3, 5],
+            vec![vec![0, 2], vec![1], vec![3, 4]],
+            vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0]],
+        )
+        .unwrap();
+        assert_ne!(base, PatternFingerprint::of(&data_len_changed));
+    }
+
+    #[test]
+    fn term_boundaries_matter() {
+        // Same flattened reference stream, different per-iteration split:
+        // [ [0,2], [1] ] vs [ [0], [2,1] ].
+        let a = IndirectLoop::new(
+            4,
+            vec![0, 1],
+            vec![vec![0, 2], vec![1]],
+            vec![vec![1.0; 2], vec![1.0]],
+        )
+        .unwrap();
+        let b = IndirectLoop::new(
+            4,
+            vec![0, 1],
+            vec![vec![0], vec![2, 1]],
+            vec![vec![1.0], vec![1.0; 2]],
+        )
+        .unwrap();
+        assert_ne!(PatternFingerprint::of(&a), PatternFingerprint::of(&b));
+    }
+
+    #[test]
+    fn testloop_parameterizations_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for l in 1..=14 {
+            for m in [1usize, 5] {
+                assert!(
+                    seen.insert(PatternFingerprint::of(&TestLoop::new(100, m, l))),
+                    "L={l} M={m} collided"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_fingerprints() {
+        let e = IndirectLoop::new(0, vec![], vec![], vec![]).unwrap();
+        let fp = PatternFingerprint::of(&e);
+        assert_eq!(fp.iterations(), 0);
+        assert_eq!(fp.total_terms(), 0);
+        assert_eq!(fp, PatternFingerprint::of(&e));
+    }
+
+    #[test]
+    fn display_includes_shape() {
+        let text = PatternFingerprint::of(&sample()).to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("refs=5"));
+    }
+}

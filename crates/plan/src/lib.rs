@@ -1,0 +1,63 @@
+//! # doacross-plan — execution plans for preprocessed doacross loops
+//!
+//! The paper's construct (Saltz & Mirchandaney, *The Preprocessed Doacross
+//! Loop*, ICPP 1991) earns its keep through amortization: "the
+//! preprocessing phase needs to be performed just once, while the doacross
+//! loop may be executed many times" (§2.1). This crate makes that economy
+//! a first-class subsystem — preprocessing becomes a reusable, cached,
+//! cost-model-selected **artifact** instead of a per-call phase:
+//!
+//! * [`PatternFingerprint`] — a one-scan 128-bit structural hash (plus
+//!   exact shape totals) of an access pattern's index arrays. Two loops
+//!   with equal fingerprints share their entire dependence structure, so
+//!   they can share a plan; coefficient values are excluded on purpose
+//!   (one triangular structure, many right-hand sides → one plan).
+//! * [`PlanCensus`] — the classified dependence structure: true/anti/
+//!   intra/unwritten reference counts, dependence distances, wavefront
+//!   critical path, average parallelism, and (for non-injective patterns)
+//!   the minimum duplicate-write gap that bounds a legal block size.
+//! * [`Planner`] — prices every legal variant (sequential, inspected flat
+//!   doacross, §2.3 linear-subscript, doconsider-reordered, §2.3
+//!   strip-mined) with the calibrated [`doacross_sim::CostModel`] and
+//!   picks the cheapest; see [`planner`] for the formulas.
+//! * [`ExecutionPlan`] — the captured products the chosen variant needs:
+//!   prebuilt inspector writer map, doconsider claim order, detected
+//!   linear subscript, block size, plus the census and candidate prices.
+//! * [`PlanCache`] — an LRU over fingerprints with hit/miss/eviction
+//!   stats: repeated structures (solver iterations, repeated service
+//!   traffic) skip inspection entirely.
+//! * [`PlannedDoacross`] — the façade runtime: fingerprint → cached plan →
+//!   variant dispatch, with the skip observable via
+//!   [`doacross_core::PlanProvenance`] in the returned stats.
+//!
+//! ```
+//! use doacross_par::ThreadPool;
+//! use doacross_plan::PlannedDoacross;
+//! use doacross_core::{PlanProvenance, TestLoop};
+//!
+//! let pool = ThreadPool::new(2);
+//! let loop_ = TestLoop::new(1_000, 1, 8);
+//! let mut rt = PlannedDoacross::new(16);
+//!
+//! let mut y = loop_.initial_y();
+//! let first = rt.run(&pool, &loop_, &mut y).unwrap();
+//! assert_eq!(first.provenance, PlanProvenance::PlanCold);
+//!
+//! let second = rt.run(&pool, &loop_, &mut y).unwrap();
+//! assert_eq!(second.provenance, PlanProvenance::PlanCached);
+//! assert_eq!(rt.cache_stats().hits, 1);
+//! ```
+
+pub mod cache;
+pub mod census;
+pub mod fingerprint;
+pub mod plan;
+pub mod planner;
+pub mod runtime;
+
+pub use cache::{CacheStats, PlanCache};
+pub use census::PlanCensus;
+pub use fingerprint::PatternFingerprint;
+pub use plan::{ExecutionPlan, PlanVariant, VariantCosts};
+pub use planner::{detect_linear, Planner};
+pub use runtime::PlannedDoacross;

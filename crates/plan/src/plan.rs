@@ -1,0 +1,159 @@
+//! The execution plan: captured preprocessing products plus the chosen
+//! variant.
+
+use crate::census::PlanCensus;
+use crate::fingerprint::PatternFingerprint;
+use doacross_core::{LinearSubscript, PreparedInspection};
+use std::time::Duration;
+
+/// Which runtime the planner selected for the pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanVariant {
+    /// Run the source loop sequentially: the dependence structure (or loop
+    /// size) leaves no profitable parallelism.
+    Sequential,
+    /// The flat preprocessed doacross, consuming the plan's prebuilt writer
+    /// map (no inspector at run time).
+    Doacross,
+    /// The §2.3 linear-subscript executor `a(i) = c·i + d`: no inspector
+    /// *and* no writer map at all.
+    Linear(LinearSubscript),
+    /// The flat doacross claiming iterations in the plan's doconsider
+    /// (wavefront-sorted) order, consuming the prebuilt writer map.
+    Reordered,
+    /// The §2.3 strip-mined doacross — the legal fallback for loops whose
+    /// left-hand side repeats elements at iteration gaps ≥ `block_size`.
+    Blocked {
+        /// Iterations per `L_outer` step.
+        block_size: usize,
+    },
+}
+
+impl std::fmt::Display for PlanVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanVariant::Sequential => write!(f, "sequential"),
+            PlanVariant::Doacross => write!(f, "doacross"),
+            PlanVariant::Linear(s) => write!(f, "linear(a(i) = {}*i + {})", s.c, s.d),
+            PlanVariant::Reordered => write!(f, "reordered"),
+            PlanVariant::Blocked { block_size } => write!(f, "blocked({block_size})"),
+        }
+    }
+}
+
+/// Predicted per-run cost (abstract cost-model cycles) of every candidate
+/// the planner evaluated; `None` means the variant was not legal or not
+/// applicable for the pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VariantCosts {
+    pub sequential: f64,
+    pub doacross: Option<f64>,
+    pub linear: Option<f64>,
+    pub reordered: Option<f64>,
+    pub blocked: Option<f64>,
+}
+
+/// A reusable, cached execution recipe for one access pattern: the
+/// preprocessing products the paper computes per run, captured once.
+///
+/// Everything in here is a pure function of the pattern's *structure*
+/// (which the [`PatternFingerprint`] key guards), so one plan serves every
+/// execution of every loop sharing that structure — different coefficient
+/// values, different right-hand sides, different `y` contents.
+#[derive(Debug)]
+pub struct ExecutionPlan {
+    pub(crate) fingerprint: PatternFingerprint,
+    /// Worker count the cost model priced the variants for.
+    pub(crate) processors: usize,
+    pub(crate) variant: PlanVariant,
+    pub(crate) census: PlanCensus,
+    /// Writer map for [`PlanVariant::Doacross`] / [`PlanVariant::Reordered`].
+    pub(crate) prepared: Option<PreparedInspection>,
+    /// Doconsider claim order for [`PlanVariant::Reordered`].
+    pub(crate) order: Option<Vec<usize>>,
+    /// Detected linear subscript (kept even when another variant won, for
+    /// introspection).
+    pub(crate) linear: Option<LinearSubscript>,
+    pub(crate) costs: VariantCosts,
+    /// Wall time spent building this plan — the cost a cache hit saves.
+    pub(crate) build_time: Duration,
+}
+
+impl ExecutionPlan {
+    /// The fingerprint of the pattern this plan was built for.
+    pub fn fingerprint(&self) -> &PatternFingerprint {
+        &self.fingerprint
+    }
+
+    /// The selected variant.
+    pub fn variant(&self) -> PlanVariant {
+        self.variant
+    }
+
+    /// The worker count the cost model priced the variants for. A plan
+    /// applied under a different pool size still computes correct results,
+    /// but its variant choice may no longer be the cheapest —
+    /// [`crate::PlannedDoacross`] treats such a cache entry as a miss and
+    /// replans.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// The dependence census the selection was based on.
+    pub fn census(&self) -> &PlanCensus {
+        &self.census
+    }
+
+    /// The prebuilt writer map, when the variant consumes one.
+    pub fn prepared(&self) -> Option<&PreparedInspection> {
+        self.prepared.as_ref()
+    }
+
+    /// The doconsider claim order, when the variant uses one.
+    pub fn order(&self) -> Option<&[usize]> {
+        self.order.as_deref()
+    }
+
+    /// The detected linear left-hand-side subscript, if any.
+    pub fn linear_subscript(&self) -> Option<LinearSubscript> {
+        self.linear
+    }
+
+    /// Predicted per-run costs of all evaluated candidates.
+    pub fn costs(&self) -> &VariantCosts {
+        &self.costs
+    }
+
+    /// Wall time spent building the plan.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Approximate heap footprint in bytes (writer map + order), for cache
+    /// sizing decisions.
+    pub fn memory_bytes(&self) -> usize {
+        let map = self
+            .prepared
+            .as_ref()
+            .map_or(0, |p| p.data_len() * std::mem::size_of::<i64>());
+        let order = self
+            .order
+            .as_ref()
+            .map_or(0, |o| o.len() * std::mem::size_of::<usize>());
+        map + order
+    }
+}
+
+impl std::fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan {} for {} ({} true deps, critical path {}, built in {:?})",
+            self.variant,
+            self.fingerprint,
+            self.census.true_deps,
+            self.census.critical_path,
+            self.build_time,
+        )
+    }
+}

@@ -1,0 +1,472 @@
+//! Cost-model-driven variant selection.
+//!
+//! The planner turns a [`PlanCensus`] into a [`PlanVariant`] choice by
+//! pricing each legal candidate with the calibrated [`CostModel`] from
+//! `doacross-sim` (the same constants that reproduce the paper's Figure 6
+//! plateaus). All prices are *per planned run* — the inspector does not
+//! appear in any parallel candidate's price, because a plan pays it once at
+//! build time; that asymmetry is the whole point of the subsystem.
+//!
+//! ## The model
+//!
+//! With `p` processors, `n` iterations, `T` references, and per-action
+//! costs `c`:
+//!
+//! * per-iteration executor overhead `e = grab + setup + publish`,
+//!   per-reference work `r = term + check`, serial iteration cost
+//!   `chain = e + (T/n)·r`;
+//! * total executor work `W = n·e + T·r`;
+//! * the critical path bounds any schedule: `t ≥ CP · chain`;
+//! * a true dependency whose writer is claimed `g` slots earlier stalls its
+//!   reader roughly `chain · max(0, p − g)/p` (with one claim per slot,
+//!   `p` consecutive slots run concurrently, so a gap below `p` leaves the
+//!   writer `(p − g)/p` of an iteration short of finished when the reader
+//!   wants its value) — summed over the dependence edges this prices a
+//!   claim order, which is what separates the natural from the doconsider
+//!   order on Table 1-like structures;
+//! * executor estimate `max((W + stalls)/p, CP · chain)`, plus
+//!   postprocessing `n · post/p` and two region dispatches.
+//!
+//! Sequential is priced with the paper's `T_seq` model and wins ties (it
+//! uses the fewest resources); the linear variant wins ties against the
+//! inspected one (it carries no writer map).
+
+use crate::census::PlanCensus;
+use crate::fingerprint::PatternFingerprint;
+use crate::plan::{ExecutionPlan, PlanVariant, VariantCosts};
+use doacross_core::{AccessPattern, DoacrossError, LinearSubscript, PreparedInspection};
+use doacross_doconsider::{
+    invert_permutation, reorder::order_from_levels, DependenceDag, LevelAssignment,
+};
+use doacross_par::{Schedule, ThreadPool};
+use doacross_sim::CostModel;
+use std::time::Instant;
+
+/// Builds [`ExecutionPlan`]s for access patterns.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    costs: CostModel,
+    schedule: Schedule,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Planner {
+    /// Planner with the Multimax-calibrated cost model.
+    pub fn new() -> Self {
+        Self::with_costs(CostModel::multimax())
+    }
+
+    /// Planner with explicit cost constants (e.g. from
+    /// `doacross_sim::calibrate` for host-accurate selection).
+    pub fn with_costs(costs: CostModel) -> Self {
+        Self {
+            costs,
+            schedule: Schedule::multimax(),
+        }
+    }
+
+    /// The cost constants selection runs on.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Builds a plan for `pattern`, using `pool` both as the processor
+    /// count the cost model prices for and to parallelize the inspection
+    /// capture.
+    ///
+    /// Fails only on genuinely unexecutable patterns (out-of-bounds
+    /// subscripts); loops the flat construct rejects (non-injective
+    /// left-hand sides) get a legal [`PlanVariant::Blocked`] or
+    /// [`PlanVariant::Sequential`] plan instead of an error.
+    pub fn plan<P: AccessPattern + ?Sized>(
+        &self,
+        pool: &ThreadPool,
+        pattern: &P,
+    ) -> Result<ExecutionPlan, DoacrossError> {
+        self.plan_with_fingerprint(pool, pattern, PatternFingerprint::of(pattern))
+    }
+
+    /// Like [`Planner::plan`] with an already-computed fingerprint, so
+    /// cache-miss paths that fingerprinted the pattern for the lookup do
+    /// not scan the index arrays a second time.
+    pub fn plan_with_fingerprint<P: AccessPattern + ?Sized>(
+        &self,
+        pool: &ThreadPool,
+        pattern: &P,
+        fingerprint: PatternFingerprint,
+    ) -> Result<ExecutionPlan, DoacrossError> {
+        let start = Instant::now();
+        let census = PlanCensus::of(pattern);
+        if let Some((iteration, element)) = census.first_out_of_bounds {
+            return Err(DoacrossError::SubscriptOutOfBounds {
+                iteration,
+                element,
+                data_len: census.data_len,
+            });
+        }
+        let linear = detect_linear(pattern);
+        let p = pool.threads();
+
+        if !census.injective {
+            return Ok(self.plan_non_injective(fingerprint, census, linear, p, start));
+        }
+
+        let n = census.iterations as f64;
+        let t_seq = self
+            .costs
+            .sequential_time(census.iterations, census.total_terms as usize);
+        let chain = self.chain_cost(&census);
+        let work = n * self.exec_per_iter() + census.total_terms as f64 * self.per_term();
+        let cp_bound = census.critical_path as f64 * chain;
+        let post = n * self.costs.post_per_iter / p as f64;
+        let dispatch = 2.0 * self.costs.region_dispatch;
+
+        // Stall pricing needs the dependence edges; skip the DAG entirely
+        // for dependence-free loops. The doconsider order is derived from
+        // the same DAG (via its level assignment) rather than rebuilt.
+        let (order, stall_natural, stall_reordered) = if census.true_deps == 0 {
+            (None, 0.0, 0.0)
+        } else {
+            let dag = DependenceDag::build(pattern);
+            let order = order_from_levels(&LevelAssignment::compute(&dag));
+            let pos = invert_permutation(&order);
+            let stall_nat = self.stall_sum(&dag, None, p, chain);
+            let stall_reo = self.stall_sum(&dag, Some(&pos), p, chain);
+            (Some(order), stall_nat, stall_reo)
+        };
+
+        let parallel = |stalls: f64| dispatch + ((work + stalls) / p as f64).max(cp_bound) + post;
+        let t_doacross = parallel(stall_natural);
+        let t_reordered = parallel(stall_reordered);
+        let costs = VariantCosts {
+            sequential: t_seq,
+            doacross: Some(t_doacross),
+            linear: linear.map(|_| t_doacross),
+            reordered: order.as_ref().map(|_| t_reordered),
+            blocked: None,
+        };
+
+        // Selection: cheapest wins; sequential wins ties (fewest
+        // resources); among equal parallel candidates, linear beats
+        // inspected (no writer map), and the natural order beats the
+        // reordered one (no order array) unless reordering is a real
+        // improvement.
+        let best_parallel = t_doacross.min(t_reordered);
+        let variant = if t_seq <= best_parallel {
+            PlanVariant::Sequential
+        } else if t_reordered < t_doacross {
+            PlanVariant::Reordered
+        } else if let Some(subscript) = linear {
+            PlanVariant::Linear(subscript)
+        } else {
+            PlanVariant::Doacross
+        };
+
+        // Capture only what the chosen variant consumes.
+        let prepared =
+            match variant {
+                PlanVariant::Doacross | PlanVariant::Reordered => Some(
+                    PreparedInspection::inspect(pool, self.schedule, pattern, true)?,
+                ),
+                _ => None,
+            };
+        let order = match variant {
+            PlanVariant::Reordered => order,
+            _ => None,
+        };
+
+        Ok(ExecutionPlan {
+            fingerprint,
+            processors: p,
+            variant,
+            census,
+            prepared,
+            order,
+            linear,
+            costs,
+            build_time: start.elapsed(),
+        })
+    }
+
+    /// Plans a loop the flat construct rejects: blocked if duplicate writes
+    /// are far enough apart to leave room for parallelism, else sequential.
+    fn plan_non_injective(
+        &self,
+        fingerprint: PatternFingerprint,
+        census: PlanCensus,
+        linear: Option<LinearSubscript>,
+        p: usize,
+        start: Instant,
+    ) -> ExecutionPlan {
+        let n = census.iterations as f64;
+        let t_seq = self
+            .costs
+            .sequential_time(census.iterations, census.total_terms as usize);
+        let gap = census.min_duplicate_write_gap.unwrap_or(1);
+        // Two writes `d` apart can only collide within one block of size
+        // `B > d`, so any `B ≤ gap` is collision-free.
+        let block_size = gap.max(1);
+        let nblocks = census.iterations.div_ceil(block_size.max(1)).max(1) as f64;
+        // Each block pays three parallel regions (inspector, executor,
+        // post) and the per-iteration inspector cost stays in the run —
+        // blocked runs cannot reuse a prebuilt map across blocks.
+        let work = n
+            * (self.exec_per_iter() + self.costs.inspect_per_iter + self.costs.post_per_iter)
+            + census.total_terms as f64 * self.per_term();
+        let t_blocked = nblocks * 3.0 * self.costs.region_dispatch + work / p as f64;
+        let costs = VariantCosts {
+            sequential: t_seq,
+            blocked: (block_size > 1).then_some(t_blocked),
+            ..Default::default()
+        };
+        let variant = if block_size > 1 && t_blocked < t_seq {
+            PlanVariant::Blocked { block_size }
+        } else {
+            PlanVariant::Sequential
+        };
+        ExecutionPlan {
+            fingerprint,
+            processors: p,
+            variant,
+            census,
+            prepared: None,
+            order: None,
+            linear,
+            costs,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Per-iteration executor overhead `e`.
+    fn exec_per_iter(&self) -> f64 {
+        self.costs.schedule_grab + self.costs.iteration_setup + self.costs.publish
+    }
+
+    /// Per-reference executor work `r`.
+    fn per_term(&self) -> f64 {
+        self.costs.term + self.costs.check
+    }
+
+    /// Serial cost of one average iteration.
+    fn chain_cost(&self, census: &PlanCensus) -> f64 {
+        self.exec_per_iter() + census.terms_per_iteration() * self.per_term()
+    }
+
+    /// Total predicted stall (processor-cycles) of a claim order: for each
+    /// true-dependence edge with claim gap `g`, `chain · max(0, p − g)/p`.
+    fn stall_sum(&self, dag: &DependenceDag, pos: Option<&[usize]>, p: usize, chain: f64) -> f64 {
+        let mut total = 0.0;
+        for i in 0..dag.len() {
+            for &w in dag.predecessors(i) {
+                let gap = match pos {
+                    Some(pos) => pos[i] - pos[w],
+                    None => i - w,
+                };
+                if gap < p {
+                    total += chain * (p - gap) as f64 / p as f64;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Detects a linear left-hand-side subscript `a(i) = c·i + d` with `c ≥ 1`.
+///
+/// Loops with fewer than two iterations are trivially linear (`c = 1`,
+/// `d = lhs(0)`), matching what the §2.3 arithmetic oracle needs.
+pub fn detect_linear<P: AccessPattern + ?Sized>(pattern: &P) -> Option<LinearSubscript> {
+    let n = pattern.iterations();
+    if n == 0 {
+        return Some(LinearSubscript::new(1, 0));
+    }
+    let d = pattern.lhs(0);
+    if n == 1 {
+        return Some(LinearSubscript::new(1, d));
+    }
+    let second = pattern.lhs(1);
+    if second <= d {
+        return None; // stride must be ≥ 1 for injectivity
+    }
+    let c = second - d;
+    for i in 2..n {
+        if pattern.lhs(i) != c * i + d {
+            return None;
+        }
+    }
+    Some(LinearSubscript::new(c, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_core::{IndirectLoop, TestLoop};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn chain(n: usize) -> IndirectLoop {
+        let a: Vec<usize> = (1..=n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        IndirectLoop::new(n + 1, a, rhs, vec![vec![1.0]; n]).unwrap()
+    }
+
+    #[test]
+    fn linear_detection() {
+        let t = TestLoop::new(100, 2, 6);
+        let sub = detect_linear(&t).expect("a(i) = 2i + PAD + 2");
+        assert_eq!(sub, t.linear_subscript());
+
+        let scattered = IndirectLoop::new(
+            8,
+            vec![3, 1, 6],
+            vec![vec![], vec![], vec![]],
+            vec![vec![], vec![], vec![]],
+        )
+        .unwrap();
+        assert_eq!(detect_linear(&scattered), None);
+
+        let identity = chain(5); // lhs = i + 1
+        assert_eq!(detect_linear(&identity), Some(LinearSubscript::new(1, 1)));
+    }
+
+    #[test]
+    fn doall_linear_pattern_selects_linear() {
+        // Odd L: dependence-free Figure 4 loop with a linear subscript.
+        let t = TestLoop::new(2_000, 1, 7);
+        let plan = Planner::new().plan(&pool(), &t).unwrap();
+        assert!(matches!(plan.variant(), PlanVariant::Linear(_)), "{plan}");
+        assert!(plan.prepared().is_none(), "linear variant needs no map");
+        assert!(plan.census().is_doall());
+    }
+
+    #[test]
+    fn serial_chain_selects_sequential() {
+        // Critical path == n: no parallelism to buy back the overhead.
+        let plan = Planner::new().plan(&pool(), &chain(500)).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Sequential, "{plan}");
+        assert!(plan.costs().sequential <= plan.costs().doacross.unwrap());
+    }
+
+    #[test]
+    fn tight_interleaved_chains_select_reordered() {
+        // Many independent distance-1 chains interleaved: natural claim
+        // order stalls on every edge, the doconsider order does not.
+        let chains = 32usize;
+        let len = 16usize;
+        let n = chains * len;
+        // Iteration k = chain (k % chains), link (k / chains)... use
+        // layout: iteration i writes element i; link j of chain c is
+        // iteration c*len + j, reading its predecessor (distance 1).
+        let a: Vec<usize> = (0..n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i % len == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![0.5; r.len()]).collect();
+        let l = IndirectLoop::new(n, a, rhs, coeff).unwrap();
+        let plan = Planner::new().plan(&pool(), &l).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Reordered, "{plan}");
+        let order = plan.order().expect("reordered plan carries its order");
+        assert_eq!(order.len(), n);
+        assert!(plan.prepared().is_some());
+        assert!(
+            plan.costs().reordered.unwrap() < plan.costs().doacross.unwrap(),
+            "{:?}",
+            plan.costs()
+        );
+    }
+
+    #[test]
+    fn scattered_doall_selects_doacross() {
+        // Dependence-free but non-linear lhs: the inspected flat doacross
+        // is the only parallel candidate.
+        let n = 4_000usize;
+        // Injective scatter: reverse order is non-linear (stride would be
+        // negative).
+        let a: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
+        let l = IndirectLoop::new(n, a, vec![vec![]; n], vec![vec![]; n]).unwrap();
+        let plan = Planner::new().plan(&pool(), &l).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Doacross, "{plan}");
+        assert!(plan.prepared().is_some());
+        assert_eq!(plan.prepared().unwrap().writer(n - 1), 0);
+    }
+
+    #[test]
+    fn non_injective_with_wide_gaps_selects_blocked() {
+        // Element reuse at distance 512: blocked with block_size <= 512 is
+        // legal, and with real per-reference work the strip-mined run
+        // beats the sequential loop.
+        let n = 4_096usize;
+        let period = 512usize;
+        let a: Vec<usize> = (0..n).map(|i| i % period).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 7) % period]).collect();
+        let l = IndirectLoop::new(period, a, rhs, vec![vec![0.25]; n]).unwrap();
+        let plan = Planner::new().plan(&pool(), &l).unwrap();
+        assert_eq!(
+            plan.variant(),
+            PlanVariant::Blocked { block_size: 512 },
+            "{plan}"
+        );
+    }
+
+    #[test]
+    fn non_injective_adjacent_duplicates_select_sequential() {
+        let l =
+            IndirectLoop::new(2, vec![0, 0], vec![vec![], vec![]], vec![vec![], vec![]]).unwrap();
+        let plan = Planner::new().plan(&pool(), &l).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Sequential);
+        assert_eq!(plan.census().min_duplicate_write_gap, Some(1));
+    }
+
+    #[test]
+    fn out_of_bounds_patterns_are_rejected() {
+        // `injective: true` → classified path; `false` → duplicate lhs, the
+        // non-injective early path. Both must reject out-of-bounds terms.
+        struct Lying {
+            injective: bool,
+        }
+        impl AccessPattern for Lying {
+            fn iterations(&self) -> usize {
+                2
+            }
+            fn data_len(&self) -> usize {
+                2
+            }
+            fn lhs(&self, i: usize) -> usize {
+                if self.injective {
+                    i
+                } else {
+                    0
+                }
+            }
+            fn terms(&self, _: usize) -> usize {
+                1
+            }
+            fn term_element(&self, _: usize, _: usize) -> usize {
+                7
+            }
+        }
+        for injective in [true, false] {
+            let err = Planner::new()
+                .plan(&pool(), &Lying { injective })
+                .unwrap_err();
+            assert!(
+                matches!(err, DoacrossError::SubscriptOutOfBounds { element: 7, .. }),
+                "injective={injective}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_loop_plans_sequential() {
+        let l = IndirectLoop::new(0, vec![], vec![], vec![]).unwrap();
+        let plan = Planner::new().plan(&pool(), &l).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Sequential);
+    }
+}

@@ -1,0 +1,402 @@
+//! [`PlannedDoacross`]: the planned, cached, self-selecting runtime.
+//!
+//! One façade over every execution strategy the workspace implements:
+//! `run` fingerprints the loop, fetches or builds an [`ExecutionPlan`]
+//! (LRU-cached), and dispatches to the variant the cost model selected —
+//! sequential, flat doacross against the plan's prebuilt writer map,
+//! linear-subscript, doconsider-reordered, or strip-mined. On a cache hit
+//! no planning work (fingerprint census, dependence analysis, variant
+//! selection, inspection capture) happens, and the returned [`RunStats`]
+//! say so ([`PlanProvenance::PlanCached`]). The flat variants additionally
+//! report `inspector == 0`; a [`PlanVariant::Blocked`] plan is the one
+//! exception — strip-mined execution re-inspects per block by construction
+//! (§2.3 reuses one windowed scratch allocation across blocks), so a
+//! cached blocked plan skips the planning but keeps its per-block
+//! inspector time.
+//!
+//! Plan-driven runs skip per-run validation (the plan already proved the
+//! structure in-bounds, injective where required, and its order
+//! topological; the fingerprint key guarantees the structure has not
+//! changed) — the executor's release-mode bounds asserts remain as the
+//! final defense.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::fingerprint::PatternFingerprint;
+use crate::plan::{ExecutionPlan, PlanVariant};
+use crate::planner::Planner;
+use doacross_core::{
+    seq::run_sequential, BlockedDoacross, Doacross, DoacrossConfig, DoacrossError, DoacrossLoop,
+    LinearDoacross, PlanProvenance, RunStats,
+};
+use doacross_par::ThreadPool;
+use std::time::Instant;
+
+/// Plan-driven doacross runtime with an LRU plan cache (see module docs).
+///
+/// ```
+/// use doacross_par::ThreadPool;
+/// use doacross_plan::PlannedDoacross;
+/// use doacross_core::{seq::run_sequential, PlanProvenance, TestLoop};
+///
+/// let pool = ThreadPool::new(2);
+/// let loop_ = TestLoop::new(500, 2, 8);
+/// let mut rt = PlannedDoacross::new(8);
+///
+/// let mut y1 = loop_.initial_y();
+/// let cold = rt.run(&pool, &loop_, &mut y1).unwrap();
+/// assert_eq!(cold.provenance, PlanProvenance::PlanCold);
+///
+/// let mut y2 = loop_.initial_y();
+/// let hot = rt.run(&pool, &loop_, &mut y2).unwrap();
+/// assert_eq!(hot.provenance, PlanProvenance::PlanCached);
+///
+/// let mut oracle = loop_.initial_y();
+/// run_sequential(&loop_, &mut oracle);
+/// assert_eq!(y1, oracle);
+/// assert_eq!(y2, oracle);
+/// ```
+#[derive(Debug)]
+pub struct PlannedDoacross {
+    planner: Planner,
+    cache: PlanCache,
+    config: DoacrossConfig,
+    inspected: Doacross,
+    linear: LinearDoacross,
+    blocked: Option<BlockedDoacross>,
+}
+
+impl PlannedDoacross {
+    /// Runtime with the default (Multimax-calibrated) planner and a plan
+    /// cache of `cache_capacity` entries.
+    pub fn new(cache_capacity: usize) -> Self {
+        Self::with_parts(cache_capacity, Planner::new(), DoacrossConfig::default())
+    }
+
+    /// Runtime with an explicit planner and doacross configuration.
+    /// `schedule` and `wait` are honored; `validate_terms` is forced off
+    /// (validation happened at plan time) and `copy_back` is forced on —
+    /// results always land in `y`, uniformly across variants (a
+    /// shadow-array protocol would behave differently depending on which
+    /// variant the cost model picked, and this runtime exposes no shadow
+    /// accessor).
+    pub fn with_parts(cache_capacity: usize, planner: Planner, config: DoacrossConfig) -> Self {
+        let config = DoacrossConfig {
+            validate_terms: false,
+            copy_back: true,
+            ..config
+        };
+        Self {
+            planner,
+            cache: PlanCache::new(cache_capacity),
+            config,
+            inspected: Doacross::with_config(0, config),
+            linear: LinearDoacross::with_config(0, config),
+            blocked: None,
+        }
+    }
+
+    /// The planner in use.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Mutable access to the plan cache (e.g. to clear it or pre-warm it).
+    pub fn cache_mut(&mut self) -> &mut PlanCache {
+        &mut self.cache
+    }
+
+    /// Shortcut for the cache's traffic counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs `loop_`, planning (and caching the plan) on first sight of its
+    /// access pattern and skipping all preprocessing thereafter.
+    ///
+    /// Results are bit-identical to [`run_sequential`] for every variant
+    /// the planner can select. The returned stats carry
+    /// [`PlanProvenance::PlanCold`] when the plan was built by this call
+    /// and [`PlanProvenance::PlanCached`] when it was served from cache.
+    pub fn run<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+    ) -> Result<RunStats, DoacrossError> {
+        let fingerprint = PatternFingerprint::of(loop_);
+        // A plan priced for a different worker count computes the same
+        // results but may pick the wrong variant; treat it as a miss and
+        // replan (the insert below replaces the stale entry).
+        let processors = pool.threads();
+        let cached = self
+            .cache
+            .get_matching(&fingerprint, |plan| plan.processors() == processors);
+        let (plan, hit) = match cached {
+            Some(plan) => (plan, true),
+            None => {
+                let plan = std::sync::Arc::new(self.planner.plan_with_fingerprint(
+                    pool,
+                    loop_,
+                    fingerprint,
+                )?);
+                self.cache.insert(std::sync::Arc::clone(&plan));
+                (plan, false)
+            }
+        };
+        let mut stats = self.execute(pool, loop_, y, &plan)?;
+        stats.provenance = if hit {
+            PlanProvenance::PlanCached
+        } else {
+            PlanProvenance::PlanCold
+        };
+        Ok(stats)
+    }
+
+    /// Runs `loop_` under an explicitly supplied plan, bypassing the cache
+    /// (stats report [`PlanProvenance::PlanCold`]).
+    pub fn run_with_plan<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+        plan: &ExecutionPlan,
+    ) -> Result<RunStats, DoacrossError> {
+        self.execute(pool, loop_, y, plan)
+    }
+
+    fn execute<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+        plan: &ExecutionPlan,
+    ) -> Result<RunStats, DoacrossError> {
+        let data_len = loop_.data_len();
+        if plan.census().iterations != loop_.iterations() || plan.census().data_len != data_len {
+            return Err(DoacrossError::PlanMismatch {
+                plan_iterations: plan.census().iterations,
+                plan_data_len: plan.census().data_len,
+                loop_iterations: loop_.iterations(),
+                loop_data_len: data_len,
+            });
+        }
+        if y.len() != data_len {
+            return Err(DoacrossError::DataLenMismatch {
+                got: y.len(),
+                expected: data_len,
+            });
+        }
+        match plan.variant() {
+            PlanVariant::Sequential => {
+                let start = Instant::now();
+                run_sequential(loop_, y);
+                Ok(RunStats {
+                    iterations: loop_.iterations(),
+                    workers: 1,
+                    blocks: 1,
+                    total: start.elapsed(),
+                    provenance: PlanProvenance::PlanCold,
+                    ..Default::default()
+                })
+            }
+            PlanVariant::Doacross => {
+                let prepared = plan.prepared().expect("doacross plan carries a map");
+                self.inspected.run_planned(pool, loop_, y, prepared, None)
+            }
+            PlanVariant::Reordered => {
+                let prepared = plan.prepared().expect("reordered plan carries a map");
+                let order = plan.order().expect("reordered plan carries an order");
+                self.inspected
+                    .run_planned(pool, loop_, y, prepared, Some(order))
+            }
+            PlanVariant::Linear(subscript) => {
+                let mut stats = self.linear.run(pool, loop_, subscript, y)?;
+                stats.provenance = PlanProvenance::PlanCold;
+                Ok(stats)
+            }
+            PlanVariant::Blocked { block_size } => {
+                let rebuild = self
+                    .blocked
+                    .as_ref()
+                    .is_none_or(|b| b.block_size() != block_size);
+                if rebuild {
+                    self.blocked = Some(BlockedDoacross::with_config(block_size, self.config)?);
+                }
+                let blocked = self.blocked.as_mut().expect("just ensured");
+                let mut stats = blocked.run(pool, loop_, y)?;
+                stats.provenance = PlanProvenance::PlanCold;
+                Ok(stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_core::{IndirectLoop, TestLoop};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn oracle<L: DoacrossLoop + ?Sized>(loop_: &L, y0: &[f64]) -> Vec<f64> {
+        let mut y = y0.to_vec();
+        run_sequential(loop_, &mut y);
+        y
+    }
+
+    #[test]
+    fn cold_then_cached_runs_match_oracle_bitwise() {
+        let p = pool();
+        let mut rt = PlannedDoacross::new(4);
+        for l in [2usize, 7, 8] {
+            let loop_ = TestLoop::new(400, 3, l);
+            let y0 = loop_.initial_y();
+            let expect = oracle(&loop_, &y0);
+            let mut y_cold = y0.clone();
+            let cold = rt.run(&p, &loop_, &mut y_cold).unwrap();
+            assert_eq!(cold.provenance, PlanProvenance::PlanCold, "L={l}");
+            assert_eq!(y_cold, expect, "L={l} cold");
+            for round in 0..3 {
+                let mut y_hot = y0.clone();
+                let hot = rt.run(&p, &loop_, &mut y_hot).unwrap();
+                assert_eq!(
+                    hot.provenance,
+                    PlanProvenance::PlanCached,
+                    "L={l} round {round}"
+                );
+                assert_eq!(
+                    hot.inspector,
+                    std::time::Duration::ZERO,
+                    "cache hits never inspect"
+                );
+                assert_eq!(y_hot, expect, "L={l} round {round}");
+            }
+        }
+        assert_eq!(rt.cache_stats().misses, 3);
+        assert_eq!(rt.cache_stats().hits, 9);
+    }
+
+    #[test]
+    fn every_variant_matches_the_oracle() {
+        let p = pool();
+        let mut rt = PlannedDoacross::new(8);
+
+        // Sequential (serial chain).
+        let n = 60;
+        let a: Vec<usize> = (1..=n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let chain = IndirectLoop::new(n + 1, a, rhs, vec![vec![1.0]; n]).unwrap();
+        let y0 = vec![1.0; n + 1];
+        let mut y = y0.clone();
+        rt.run(&p, &chain, &mut y).unwrap();
+        assert_eq!(y, oracle(&chain, &y0));
+
+        // Blocked (non-injective, wide write gap, real work per term).
+        let n2 = 2_048usize;
+        let period = 256usize;
+        let a2: Vec<usize> = (0..n2).map(|i| i % period).collect();
+        let rhs2: Vec<Vec<usize>> = (0..n2).map(|i| vec![(i + 3) % period]).collect();
+        let dup = IndirectLoop::new(period, a2, rhs2, vec![vec![0.5]; n2]).unwrap();
+        let y0 = vec![1.0; period];
+        let mut y = y0.clone();
+        let stats = rt.run(&p, &dup, &mut y).unwrap();
+        assert_eq!(y, oracle(&dup, &y0));
+        assert!(stats.blocks >= 2, "blocked plan executes in blocks");
+
+        // Reordered (interleaved tight chains).
+        let chains = 16usize;
+        let len = 12usize;
+        let n3 = chains * len;
+        let a3: Vec<usize> = (0..n3).collect();
+        let rhs3: Vec<Vec<usize>> = (0..n3)
+            .map(|i| if i % len == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        let coeff3: Vec<Vec<f64>> = rhs3.iter().map(|r| vec![0.5; r.len()]).collect();
+        let braided = IndirectLoop::new(n3, a3, rhs3, coeff3).unwrap();
+        let y0 = vec![1.0; n3];
+        let mut y = y0.clone();
+        rt.run(&p, &braided, &mut y).unwrap();
+        assert_eq!(y, oracle(&braided, &y0));
+    }
+
+    #[test]
+    fn pool_size_change_replans_instead_of_reusing_a_stale_plan() {
+        // A wide doall: 1 worker can't beat sequential, 4 workers can —
+        // the same fingerprint must not serve both pool sizes.
+        let loop_ = TestLoop::new(4_000, 1, 7);
+        let mut rt = PlannedDoacross::new(4);
+        let one = ThreadPool::new(1);
+        let four = ThreadPool::new(4);
+
+        let mut y = loop_.initial_y();
+        let first = rt.run(&one, &loop_, &mut y).unwrap();
+        assert_eq!(first.provenance, PlanProvenance::PlanCold);
+
+        // Different worker count: the cached plan's pricing is stale, so
+        // this must be a fresh (cold) plan, not a cache hit.
+        let mut y = loop_.initial_y();
+        let repriced = rt.run(&four, &loop_, &mut y).unwrap();
+        assert_eq!(repriced.provenance, PlanProvenance::PlanCold);
+
+        // Same worker count again: now it hits.
+        let mut y = loop_.initial_y();
+        let hot = rt.run(&four, &loop_, &mut y).unwrap();
+        assert_eq!(hot.provenance, PlanProvenance::PlanCached);
+        assert_eq!(rt.cache_stats().misses, 2);
+        assert_eq!(rt.cache_stats().hits, 1);
+        assert_eq!(rt.cache().len(), 1, "replacement, not a second entry");
+    }
+
+    #[test]
+    fn explicit_plan_bypasses_the_cache() {
+        let p = pool();
+        let loop_ = TestLoop::new(200, 1, 7);
+        let plan = Planner::new().plan(&p, &loop_).unwrap();
+        let mut rt = PlannedDoacross::new(2);
+        let y0 = loop_.initial_y();
+        let mut y = y0.clone();
+        let stats = rt.run_with_plan(&p, &loop_, &mut y, &plan).unwrap();
+        assert_eq!(y, oracle(&loop_, &y0));
+        assert_eq!(stats.provenance, PlanProvenance::PlanCold);
+        assert!(rt.cache().is_empty());
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected() {
+        let p = pool();
+        let small = TestLoop::new(50, 1, 7);
+        let big = TestLoop::new(60, 1, 7);
+        let plan = Planner::new().plan(&p, &small).unwrap();
+        let mut rt = PlannedDoacross::new(2);
+        let mut y = big.initial_y();
+        let err = rt.run_with_plan(&p, &big, &mut y, &plan).unwrap_err();
+        assert!(matches!(err, DoacrossError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn structure_sharing_across_value_changes() {
+        // Same structure, different coefficients: one plan, many runs.
+        let p = pool();
+        let mut rt = PlannedDoacross::new(2);
+        for coeff in [0.25f64, 0.5, 0.75] {
+            let n = 300;
+            let a: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+            let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + n - 3) % n]).collect();
+            let loop_ = IndirectLoop::new(n, a, rhs, vec![vec![coeff]; n]).unwrap();
+            let y0: Vec<f64> = (0..n).map(|e| 1.0 + (e % 5) as f64).collect();
+            let mut y = y0.clone();
+            rt.run(&p, &loop_, &mut y).unwrap();
+            assert_eq!(y, oracle(&loop_, &y0), "coeff {coeff}");
+        }
+        let s = rt.cache_stats();
+        assert_eq!(s.misses, 1, "structure planned once");
+        assert_eq!(s.hits, 2, "value changes hit the cached plan");
+    }
+}

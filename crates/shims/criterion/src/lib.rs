@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock measurement loop: warm up for `warm_up_time`, then time
+//! `sample_size` samples whose batch size targets `measurement_time`, and
+//! print the median ns/iteration. No statistics beyond min/median/max, no
+//! HTML reports, no comparison to saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/second).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Choose a batch size so that sample_size batches roughly fill the
+        // measurement budget.
+        let target_batch =
+            self.measurement_time.as_secs_f64() / (self.sample_size as f64 * per_iter.max(1e-9));
+        let batch = target_batch.ceil().max(1.0) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            result_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            result_ns: f64::NAN,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, bencher: &Bencher) {
+        let ns = bencher.result_ns;
+        let time = if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("{}/{:<40} {:>12}/iter{}", self.name, id.id, time, rate);
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id.id), bencher.result_ns));
+    }
+}
+
+/// The benchmark manager passed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(full id, median ns/iter)` for everything run so far.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// One-off benchmark outside any group (default sampling parameters).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Re-export for convenience, as real criterion does.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. --bench); nothing to parse.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_finite_sample() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1.is_finite() && c.results[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

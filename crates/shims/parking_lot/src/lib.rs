@@ -1,0 +1,113 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! exact API surface the workspace uses — `Mutex` with a non-poisoning
+//! `lock()` and `Condvar::wait(&mut guard)` — backed by `std::sync`.
+//! Poisoned locks are recovered transparently (`parking_lot` has no poison
+//! concept; the pool's panic handling latches failures separately).
+
+use std::ops::{Deref, DerefMut};
+
+/// Mutex with `parking_lot`'s panic-free `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(
+            self.0.lock().unwrap_or_else(|poison| poison.into_inner()),
+        ))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]. The inner `Option` is only `None`
+/// transiently inside [`Condvar::wait`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Condition variable with `parking_lot`'s `wait(&mut guard)` signature.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let inner = self
+            .0
+            .wait(inner)
+            .unwrap_or_else(|poison| poison.into_inner());
+        guard.0 = Some(inner);
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Mutex::new(0usize);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 1);
+        assert_eq!(m.into_inner(), 1);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared2 = Arc::clone(&shared);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*shared2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        {
+            let (lock, cv) = &*shared;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+}

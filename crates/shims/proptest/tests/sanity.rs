@@ -1,0 +1,46 @@
+//! Harness sanity: the `proptest!` macro must actually run the configured
+//! number of accepted cases, honor `prop_assume!` rejections, and report
+//! `prop_assert!` failures as panics.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static ACCEPTED: AtomicU32 = AtomicU32::new(0);
+
+// Not a #[test] itself: invoked (and therefore counted) exactly once by
+// `accepted_case_count_is_exact` below.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[allow(dead_code)]
+    fn counts_cases(x in 0usize..100, v in proptest::collection::vec(0usize..10, 0..5)) {
+        // Reject ~one fifth of inputs; the harness must regenerate until 48
+        // cases were *accepted*.
+        prop_assume!(x >= 20);
+        prop_assert!(v.len() < 5);
+        ACCEPTED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn accepted_case_count_is_exact() {
+    counts_cases();
+    assert_eq!(ACCEPTED.load(Ordering::Relaxed), 48);
+}
+
+#[test]
+fn failures_panic_with_location() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            #[allow(unused)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    });
+    let msg = *result.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("proptest case failed"), "{msg}");
+    assert!(msg.contains("x was"), "{msg}");
+}

@@ -167,11 +167,7 @@ mod tests {
             processors: 16,
             costs: c.model,
         };
-        let r = machine.simulate_doacross(
-            &TestLoop::new(2_000, 1, 7),
-            None,
-            SimOptions::default(),
-        );
+        let r = machine.simulate_doacross(&TestLoop::new(2_000, 1, 7), None, SimOptions::default());
         assert!(r.efficiency > 0.0 && r.efficiency <= 1.0);
     }
 }

@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn multimax_calibration_hits_paper_plateaus() {
         let c = CostModel::multimax();
-        assert!((c.doall_efficiency(1) - 1.0 / 3.0).abs() < 0.01, "M=1 -> 0.33");
+        assert!(
+            (c.doall_efficiency(1) - 1.0 / 3.0).abs() < 0.01,
+            "M=1 -> 0.33"
+        );
         assert!((c.doall_efficiency(5) - 0.5).abs() < 0.01, "M=5 -> 0.50");
     }
 

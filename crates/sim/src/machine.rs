@@ -304,16 +304,10 @@ mod tests {
     fn short_distance_dependencies_serialize() {
         // L=4, M=1: distance-1 chain -> far below the doall plateau.
         let machine = Machine::multimax();
-        let chained = machine.simulate_doacross(
-            &TestLoop::new(10_000, 1, 4),
-            None,
-            SimOptions::default(),
-        );
-        let free = machine.simulate_doacross(
-            &TestLoop::new(10_000, 1, 7),
-            None,
-            SimOptions::default(),
-        );
+        let chained =
+            machine.simulate_doacross(&TestLoop::new(10_000, 1, 4), None, SimOptions::default());
+        let free =
+            machine.simulate_doacross(&TestLoop::new(10_000, 1, 7), None, SimOptions::default());
         assert!(chained.efficiency < free.efficiency / 2.0);
         assert!(chained.stalls > 0);
         assert!(chained.wait_cycles > 0.0);
@@ -322,11 +316,7 @@ mod tests {
     #[test]
     fn single_processor_has_no_stalls_and_overhead_bound_efficiency() {
         let machine = Machine::new(1);
-        let r = machine.simulate_doacross(
-            &TestLoop::new(2_000, 1, 4),
-            None,
-            SimOptions::default(),
-        );
+        let r = machine.simulate_doacross(&TestLoop::new(2_000, 1, 4), None, SimOptions::default());
         assert_eq!(r.stalls, 0, "in-order single processor never waits");
         // Efficiency at p=1 is the pure overhead ratio.
         assert!((r.efficiency - machine.costs.doall_efficiency(1)).abs() < 0.05);
@@ -478,8 +468,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "partition")]
     fn level_sizes_must_partition() {
-        let l = IndirectLoop::new(2, vec![0, 1], vec![vec![], vec![]], vec![vec![], vec![]])
-            .unwrap();
+        let l =
+            IndirectLoop::new(2, vec![0, 1], vec![vec![], vec![]], vec![vec![], vec![]]).unwrap();
         let machine = Machine::new(2);
         let _ = machine.simulate_level_scheduled(&l, &[0, 1], &[1]);
     }

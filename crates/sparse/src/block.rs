@@ -32,10 +32,10 @@ pub fn block_seven_point(nx: usize, ny: usize, nz: usize, b: usize, seed: u64) -
     let mut row_offdiag = vec![0.0f64; n];
 
     let couple = |builder: &mut TripletBuilder,
-                      rng: &mut SmallRng,
-                      row_offdiag: &mut [f64],
-                      p: usize,
-                      q: usize| {
+                  rng: &mut SmallRng,
+                  row_offdiag: &mut [f64],
+                  p: usize,
+                  q: usize| {
         // Dense b×b coupling block between grid points p (rows) and q
         // (cols). Off-diagonal blocks are weaker than the diagonal block's
         // off-diagonal entries to mimic the banded reservoir operators.
@@ -59,22 +59,58 @@ pub fn block_seven_point(nx: usize, ny: usize, nz: usize, b: usize, seed: u64) -
                 let p = idx(x, y, z);
                 couple(&mut builder, &mut rng, &mut row_offdiag, p, p);
                 if x > 0 {
-                    couple(&mut builder, &mut rng, &mut row_offdiag, p, idx(x - 1, y, z));
+                    couple(
+                        &mut builder,
+                        &mut rng,
+                        &mut row_offdiag,
+                        p,
+                        idx(x - 1, y, z),
+                    );
                 }
                 if x + 1 < nx {
-                    couple(&mut builder, &mut rng, &mut row_offdiag, p, idx(x + 1, y, z));
+                    couple(
+                        &mut builder,
+                        &mut rng,
+                        &mut row_offdiag,
+                        p,
+                        idx(x + 1, y, z),
+                    );
                 }
                 if y > 0 {
-                    couple(&mut builder, &mut rng, &mut row_offdiag, p, idx(x, y - 1, z));
+                    couple(
+                        &mut builder,
+                        &mut rng,
+                        &mut row_offdiag,
+                        p,
+                        idx(x, y - 1, z),
+                    );
                 }
                 if y + 1 < ny {
-                    couple(&mut builder, &mut rng, &mut row_offdiag, p, idx(x, y + 1, z));
+                    couple(
+                        &mut builder,
+                        &mut rng,
+                        &mut row_offdiag,
+                        p,
+                        idx(x, y + 1, z),
+                    );
                 }
                 if z > 0 {
-                    couple(&mut builder, &mut rng, &mut row_offdiag, p, idx(x, y, z - 1));
+                    couple(
+                        &mut builder,
+                        &mut rng,
+                        &mut row_offdiag,
+                        p,
+                        idx(x, y, z - 1),
+                    );
                 }
                 if z + 1 < nz {
-                    couple(&mut builder, &mut rng, &mut row_offdiag, p, idx(x, y, z + 1));
+                    couple(
+                        &mut builder,
+                        &mut rng,
+                        &mut row_offdiag,
+                        p,
+                        idx(x, y, z + 1),
+                    );
                 }
             }
         }

@@ -53,8 +53,7 @@ impl TripletBuilder {
 
     /// Sorts, merges duplicates, and produces the CSR matrix.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut row_counts = vec![0usize; self.nrows];
         let mut col_idx: Vec<usize> = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
@@ -89,10 +88,7 @@ mod tests {
         b.push(1, 0, 4.0);
         b.push(0, 2, 3.0);
         let m = b.build();
-        assert_eq!(
-            m.to_dense(),
-            vec![vec![1.0, 0.0, 3.0], vec![4.0, 0.0, 5.0]]
-        );
+        assert_eq!(m.to_dense(), vec![vec![1.0, 0.0, 3.0], vec![4.0, 0.0, 5.0]]);
     }
 
     #[test]

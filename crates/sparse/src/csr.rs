@@ -32,14 +32,22 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr must have nrows+1 entries");
+        assert_eq!(
+            row_ptr.len(),
+            nrows + 1,
+            "row_ptr must have nrows+1 entries"
+        );
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         assert_eq!(
             *row_ptr.last().unwrap(),
             col_idx.len(),
             "row_ptr must end at nnz"
         );
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
         for i in 0..nrows {
             assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
             let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
@@ -240,13 +248,7 @@ mod tests {
 
     #[test]
     fn triangularity_checks() {
-        let lower = CsrMatrix::from_parts(
-            3,
-            3,
-            vec![0, 1, 3, 4],
-            vec![0, 0, 1, 2],
-            vec![1.0; 4],
-        );
+        let lower = CsrMatrix::from_parts(3, 3, vec![0, 1, 3, 4], vec![0, 0, 1, 2], vec![1.0; 4]);
         assert!(lower.is_lower_triangular());
         assert!(!lower.is_upper_triangular());
         assert!(!sample().is_lower_triangular());

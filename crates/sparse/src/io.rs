@@ -55,10 +55,11 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MmError> {
     let mut lines = reader.lines();
 
     // Header.
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty input"))??;
-    let h: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))??;
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err(parse_err(format!("bad header line: {header:?}")));
     }
@@ -88,10 +89,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MmError> {
     let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size token {t:?}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(format!("bad size token {t:?}")))
+        })
         .collect::<Result<_, _>>()?;
     let [nrows, ncols, nnz] = dims[..] else {
-        return Err(parse_err(format!("size line needs 3 fields: {size_line:?}")));
+        return Err(parse_err(format!(
+            "size line needs 3 fields: {size_line:?}"
+        )));
     };
 
     let mut builder = TripletBuilder::with_capacity(nrows, ncols, nnz);
@@ -131,7 +137,9 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MmError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(format!("size line promised {nnz} entries, found {seen}")));
+        return Err(parse_err(format!(
+            "size line promised {nnz} entries, found {seen}"
+        )));
     }
     Ok(builder.build())
 }
@@ -208,7 +216,9 @@ mod tests {
     fn rejects_malformed_inputs() {
         assert!(parse("").is_err());
         assert!(parse("%%MatrixMarket matrix array real general\n1 1\n1.0\n").is_err());
-        assert!(parse("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n").is_err());
+        assert!(
+            parse("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n").is_err()
+        );
         assert!(
             parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n").is_err(),
             "out-of-range index"

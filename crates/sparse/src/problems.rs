@@ -139,7 +139,10 @@ impl TriSystem {
 
 /// Builds all five Table 1 problems (deterministic).
 pub fn table1_problems() -> Vec<Problem> {
-    ProblemKind::all().iter().map(|&k| Problem::build(k)).collect()
+    ProblemKind::all()
+        .iter()
+        .map(|&k| Problem::build(k))
+        .collect()
 }
 
 #[cfg(test)]

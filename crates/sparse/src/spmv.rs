@@ -55,8 +55,14 @@ mod tests {
     #[test]
     fn residual_zero_for_exact_solution() {
         let i = CsrMatrix::identity(3);
-        assert_eq!(residual_inf_norm(&i, &[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
-        assert_eq!(residual_inf_norm(&i, &[1.0, 2.0, 3.0], &[1.0, 2.0, 4.0]), 1.0);
+        assert_eq!(
+            residual_inf_norm(&i, &[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]),
+            0.0
+        );
+        assert_eq!(
+            residual_inf_norm(&i, &[1.0, 2.0, 3.0], &[1.0, 2.0, 4.0]),
+            1.0
+        );
     }
 
     #[test]

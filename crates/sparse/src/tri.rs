@@ -163,7 +163,11 @@ impl UpperTriangularMatrix {
     /// Panics if the matrix is not square, has an entry below the
     /// diagonal, is missing a diagonal entry, or has a zero diagonal.
     pub fn from_upper(m: &CsrMatrix) -> Self {
-        assert_eq!(m.nrows(), m.ncols(), "upper triangular matrix must be square");
+        assert_eq!(
+            m.nrows(),
+            m.ncols(),
+            "upper triangular matrix must be square"
+        );
         let n = m.nrows();
         let mut diag = vec![0.0f64; n];
         let mut row_ptr = vec![0usize; n + 1];
@@ -278,13 +282,7 @@ mod tests {
 
     fn small_tri() -> TriangularMatrix {
         // L = [[1,0,0],[0.5,1,0],[0.25,-1,1]] (strict lower stored)
-        let m = CsrMatrix::from_parts(
-            3,
-            3,
-            vec![0, 0, 1, 3],
-            vec![0, 0, 1],
-            vec![0.5, 0.25, -1.0],
-        );
+        let m = CsrMatrix::from_parts(3, 3, vec![0, 0, 1, 3], vec![0, 0, 1], vec![0.5, 0.25, -1.0]);
         TriangularMatrix::from_strict_lower(&m)
     }
 

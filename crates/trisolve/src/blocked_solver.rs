@@ -28,10 +28,7 @@ impl BlockedSolver {
     }
 
     /// Solver with explicit doacross configuration.
-    pub fn with_config(
-        block_size: usize,
-        config: DoacrossConfig,
-    ) -> Result<Self, DoacrossError> {
+    pub fn with_config(block_size: usize, config: DoacrossConfig) -> Result<Self, DoacrossError> {
         Ok(Self {
             runtime: BlockedDoacross::with_config(block_size, config)?,
         })

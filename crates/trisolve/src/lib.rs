@@ -18,12 +18,19 @@
 //! * [`level_sched::LevelScheduledSolver`] — a barrier-per-wavefront
 //!   solver, the classic alternative, included as an ablation baseline.
 //!
+//! On top of these, [`cached::PlanCachedSolver`] routes solves through the
+//! `doacross-plan` subsystem: per-structure execution plans (cost-model
+//! selected variant + captured preprocessing) held in an LRU cache, so
+//! repeated solves — the Krylov-iteration workload — skip preprocessing
+//! entirely.
+//!
 //! All four produce bit-identical results (same per-row reduction order),
 //! which the test suites exploit.
 //!
 //! [`TriangularMatrix`]: doacross_sparse::TriangularMatrix
 
 pub mod blocked_solver;
+pub mod cached;
 pub mod fig7;
 pub mod level_sched;
 pub mod plan;
@@ -35,6 +42,7 @@ pub mod upper;
 pub mod verify;
 
 pub use blocked_solver::BlockedSolver;
+pub use cached::PlanCachedSolver;
 pub use fig7::TriSolveLoop;
 pub use level_sched::LevelScheduledSolver;
 pub use plan::SolvePlan;

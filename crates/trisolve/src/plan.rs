@@ -66,13 +66,7 @@ mod tests {
 
     #[test]
     fn plan_for_bidiagonal_chain() {
-        let m = CsrMatrix::from_parts(
-            4,
-            4,
-            vec![0, 0, 1, 2, 3],
-            vec![0, 1, 2],
-            vec![1.0; 3],
-        );
+        let m = CsrMatrix::from_parts(4, 4, vec![0, 0, 1, 2, 3], vec![0, 1, 2], vec![1.0; 3]);
         let l = TriangularMatrix::from_strict_lower(&m);
         let plan = SolvePlan::for_matrix(&l);
         assert_eq!(plan.critical_path(), 4);

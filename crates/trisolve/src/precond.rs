@@ -111,7 +111,10 @@ mod tests {
         let x1 = p.apply(&pool, &b).unwrap();
         let ax1 = csr_matvec(&a, &x1);
         let res = max_abs_diff(&ax1, &b);
-        assert!(res < 0.5, "one preconditioned step should cut the residual: {res}");
+        assert!(
+            res < 0.5,
+            "one preconditioned step should cut the residual: {res}"
+        );
     }
 
     #[test]

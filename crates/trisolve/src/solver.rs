@@ -126,8 +126,7 @@ mod tests {
         let expect = l.forward_solve(&rhs);
         let pool = ThreadPool::new(4);
         for backend in [SolverBackend::Linear, SolverBackend::Inspected] {
-            let mut solver =
-                DoacrossSolver::with_config(l.n(), backend, DoacrossConfig::default());
+            let mut solver = DoacrossSolver::with_config(l.n(), backend, DoacrossConfig::default());
             let (y, stats) = solver.solve(&pool, &l, &rhs).unwrap();
             assert_eq!(y, expect, "{backend:?}");
             assert_eq!(stats.iterations, l.n());
@@ -146,7 +145,10 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let (l, rhs) = grid_system(9, 7, seed);
             let (y, _) = solver.solve(&pool, &l, &rhs).unwrap();
-            assert!(max_abs_diff(&y, &l.forward_solve(&rhs)) == 0.0, "seed {seed}");
+            assert!(
+                max_abs_diff(&y, &l.forward_solve(&rhs)) == 0.0,
+                "seed {seed}"
+            );
         }
     }
 

@@ -176,7 +176,8 @@ impl UpperSolver {
         let mut x = vec![0.0; u.n()];
         let stats = if self.reorder {
             let order = self.plan_for(u).order.clone();
-            self.runtime.run_with_order(pool, &loop_, &mut x, Some(&order))?
+            self.runtime
+                .run_with_order(pool, &loop_, &mut x, Some(&order))?
         } else {
             self.runtime.run(pool, &loop_, &mut x)?
         };
@@ -232,13 +233,7 @@ mod tests {
 
     #[test]
     fn diagonal_only_system() {
-        let m = CsrMatrix::from_parts(
-            3,
-            3,
-            vec![0, 1, 2, 3],
-            vec![0, 1, 2],
-            vec![2.0, 4.0, 8.0],
-        );
+        let m = CsrMatrix::from_parts(3, 3, vec![0, 1, 2, 3], vec![0, 1, 2], vec![2.0, 4.0, 8.0]);
         let u = UpperTriangularMatrix::from_upper(&m);
         let pool = ThreadPool::new(2);
         let mut solver = UpperSolver::new(3);

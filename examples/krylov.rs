@@ -12,9 +12,7 @@
 //! Run: `cargo run --release --example krylov`
 
 use preprocessed_doacross::par::ThreadPool;
-use preprocessed_doacross::sparse::{
-    spmv::csr_matvec, stencil::five_point, vec_ops::norm2,
-};
+use preprocessed_doacross::sparse::{spmv::csr_matvec, stencil::five_point, vec_ops::norm2};
 use preprocessed_doacross::trisolve::IluPreconditioner;
 
 fn main() {
@@ -35,7 +33,9 @@ fn main() {
         precond.u().nnz()
     );
 
-    let workers = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2);
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2);
     let pool = ThreadPool::new(workers);
 
     // Preconditioned Richardson: x += M^-1 (b - A x).

@@ -40,7 +40,9 @@ fn main() {
     let pool = ThreadPool::new(4);
     let mut runtime = Doacross::for_loop(&loop_);
     let mut y_par = y0;
-    let stats = runtime.run(&pool, &loop_, &mut y_par).expect("no output deps");
+    let stats = runtime
+        .run(&pool, &loop_, &mut y_par)
+        .expect("no output deps");
 
     println!("sequential : {y_seq:?}");
     println!("doacross   : {y_par:?}");
@@ -52,5 +54,8 @@ fn main() {
         stats.deps.true_deps, stats.deps.anti_or_unwritten, stats.deps.intra
     );
     println!("\nThe runtime is reusable: its iter/ready scratch arrays were reset");
-    println!("by the postprocessing phase (clean = {}).", runtime.scratch_is_clean());
+    println!(
+        "by the postprocessing phase (clean = {}).",
+        runtime.scratch_is_clean()
+    );
 }

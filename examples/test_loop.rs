@@ -6,9 +6,7 @@
 //! Run: `cargo run --release --example test_loop [L] [M]`
 //! (defaults: L = 8, M = 5)
 
-use preprocessed_doacross::core::{
-    seq::run_sequential, Doacross, LinearDoacross, TestLoop,
-};
+use preprocessed_doacross::core::{seq::run_sequential, Doacross, LinearDoacross, TestLoop};
 use preprocessed_doacross::par::ThreadPool;
 use preprocessed_doacross::sim::{Machine, SimOptions};
 
@@ -34,7 +32,9 @@ fn main() {
     }
 
     // Host-thread execution: full pipeline vs. sequential oracle.
-    let workers = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2);
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2);
     let pool = ThreadPool::new(workers);
     let mut y_seq = loop_.initial_y();
     run_sequential(&loop_, &mut y_seq);

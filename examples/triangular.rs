@@ -22,7 +22,10 @@ fn main() {
         _ => ProblemKind::FivePt,
     };
 
-    println!("building {} (as specified in the paper's appendix)...", kind.name());
+    println!(
+        "building {} (as specified in the paper's appendix)...",
+        kind.name()
+    );
     let problem = Problem::build(kind);
     let sys = problem.triangular_system();
     println!(
@@ -31,7 +34,9 @@ fn main() {
         sys.l.nnz()
     );
 
-    let workers = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2);
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2);
     let pool = ThreadPool::new(workers);
 
     // 1. Sequential (Figure 7 verbatim).

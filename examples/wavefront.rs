@@ -27,7 +27,10 @@ fn main() {
     let dag = DependenceDag::from_predecessors(l.n(), |i| l.row_cols(i).iter().copied());
     let levels = LevelAssignment::compute(&dag);
     let hist = level_histogram(&levels);
-    println!("wavefront levels (critical path = {}):", levels.critical_path());
+    println!(
+        "wavefront levels (critical path = {}):",
+        levels.critical_path()
+    );
     for (k, width) in hist.iter().enumerate() {
         println!("  level {:>2}: {}", k + 1, "#".repeat(*width));
     }
@@ -45,8 +48,10 @@ fn main() {
     println!("\nnatural claim order : 0 1 2 3 ... (row-major; consecutive claims are dependent)");
     let shown = 16.min(plan.order.len());
     let head: Vec<String> = plan.order[..shown].iter().map(|i| i.to_string()).collect();
-    println!("doconsider order    : {} ... (wavefront-major; consecutive claims independent)",
-        head.join(" "));
+    println!(
+        "doconsider order    : {} ... (wavefront-major; consecutive claims independent)",
+        head.join(" ")
+    );
 
     // What the 16-processor machine does with each order.
     let rhs = vec![1.0; l.n()];

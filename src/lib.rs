@@ -19,6 +19,11 @@
 //! * [`trisolve`] — the triangular solvers the evaluation compares.
 //! * [`sim`] — the 16-processor Encore Multimax discrete-event model used
 //!   to regenerate Figure 6 and Table 1.
+//! * [`plan`] — the execution-plan subsystem: pattern fingerprinting,
+//!   cost-model variant selection (sequential / doacross / linear /
+//!   reordered / blocked), and an LRU plan cache that amortizes
+//!   preprocessing across repeated loop structures (§2.1's "performed just
+//!   once, executed many times", as a system component).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +47,7 @@
 pub use doacross_core as core;
 pub use doacross_doconsider as doconsider;
 pub use doacross_par as par;
+pub use doacross_plan as plan;
 pub use doacross_sim as sim;
 pub use doacross_sparse as sparse;
 pub use doacross_trisolve as trisolve;

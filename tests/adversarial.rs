@@ -61,7 +61,9 @@ fn total_fan_in() {
 fn total_fan_out_hot_flag() {
     let n = 500;
     let a: Vec<usize> = (0..n).collect();
-    let rhs: Vec<Vec<usize>> = (0..n).map(|i| if i == 0 { vec![] } else { vec![0] }).collect();
+    let rhs: Vec<Vec<usize>> = (0..n)
+        .map(|i| if i == 0 { vec![] } else { vec![0] })
+        .collect();
     let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![2.0; r.len()]).collect();
     let l = IndirectLoop::new(n, a, rhs, coeff).unwrap();
     let y0 = vec![1.0; n];
@@ -120,15 +122,23 @@ fn single_iteration_loops() {
 #[test]
 fn error_recovery_across_repeated_failures() {
     let p = pool(3);
-    let bad = IndirectLoop::new(4, vec![1, 1], vec![vec![], vec![]], vec![vec![], vec![]])
-        .unwrap();
-    let good = IndirectLoop::new(4, vec![2, 3], vec![vec![0], vec![2]], vec![vec![1.0], vec![1.0]])
-        .unwrap();
+    let bad = IndirectLoop::new(4, vec![1, 1], vec![vec![], vec![]], vec![vec![], vec![]]).unwrap();
+    let good = IndirectLoop::new(
+        4,
+        vec![2, 3],
+        vec![vec![0], vec![2]],
+        vec![vec![1.0], vec![1.0]],
+    )
+    .unwrap();
     let mut rt = Doacross::new(4);
     for round in 0..5 {
         let mut y = vec![1.0, 2.0, 3.0, 4.0];
         let err = rt.run(&p, &bad, &mut y).unwrap_err();
-        assert_eq!(err, DoacrossError::OutputDependency { element: 1 }, "round {round}");
+        assert_eq!(
+            err,
+            DoacrossError::OutputDependency { element: 1 },
+            "round {round}"
+        );
         assert!(rt.scratch_is_clean(), "round {round}");
 
         let mut y2 = vec![1.0, 2.0, 3.0, 4.0];

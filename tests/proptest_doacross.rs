@@ -18,10 +18,8 @@ fn arb_loop(max_n: usize) -> impl Strategy<Value = (IndirectLoop, Vec<f64>)> {
             let lhs = Just((0..data_len).collect::<Vec<usize>>())
                 .prop_shuffle()
                 .prop_map(move |perm| perm[..n].to_vec());
-            let rhs = proptest::collection::vec(
-                proptest::collection::vec(0..data_len, 0..4),
-                n..=n,
-            );
+            let rhs =
+                proptest::collection::vec(proptest::collection::vec(0..data_len, 0..4), n..=n);
             let y0 = proptest::collection::vec(-2.0..2.0f64, data_len..=data_len);
             (lhs, rhs, y0, Just(n), Just(data_len))
         })
@@ -37,7 +35,8 @@ fn arb_loop(max_n: usize) -> impl Strategy<Value = (IndirectLoop, Vec<f64>)> {
                         .collect()
                 })
                 .collect();
-            let loop_ = IndirectLoop::new(data_len, lhs, rhs, coeff).expect("valid by construction");
+            let loop_ =
+                IndirectLoop::new(data_len, lhs, rhs, coeff).expect("valid by construction");
             let _ = n;
             (loop_, y0)
         })

@@ -14,14 +14,12 @@ use preprocessed_doacross::trisolve::{SolvePlan, TriSolveLoop};
 use proptest::prelude::*;
 
 /// An arbitrary square diagonally-dominant sparse matrix.
-fn arb_dominant_matrix(max_n: usize) -> impl Strategy<Value = preprocessed_doacross::sparse::CsrMatrix>
-{
+fn arb_dominant_matrix(
+    max_n: usize,
+) -> impl Strategy<Value = preprocessed_doacross::sparse::CsrMatrix> {
     (2..=max_n)
         .prop_flat_map(|n| {
-            let offdiag = proptest::collection::vec(
-                ((0..n), (0..n), 0.1..1.0f64),
-                0..(3 * n),
-            );
+            let offdiag = proptest::collection::vec(((0..n), (0..n), 0.1..1.0f64), 0..(3 * n));
             (Just(n), offdiag)
         })
         .prop_map(|(n, offdiag)| {

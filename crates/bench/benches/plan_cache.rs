@@ -1,20 +1,25 @@
 //! Criterion bench of the plan-cache amortization curve: how the cost of
 //! `k` triangular solves of one structure scales under per-call
-//! re-inspection, per-call planning, and cached plans (k = 1, 10, 100).
+//! re-inspection, per-call planning, and cached plans (k = 1, 10, 100) —
+//! plus shared-engine concurrency (≥2 solve threads through one engine).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use doacross_bench::amortize::amortization_curve;
+use doacross_bench::amortize::{amortization_curve, concurrent_throughput};
 use doacross_core::DoacrossConfig;
+use doacross_engine::Engine;
 use doacross_par::ThreadPool;
 use doacross_sparse::{Problem, ProblemKind};
-use doacross_trisolve::{solver::SolverBackend, DoacrossSolver, PlanCachedSolver};
+use doacross_trisolve::{solver::SolverBackend, DoacrossSolver, EngineSolver};
 use std::hint::black_box;
 
-fn host_pool() -> ThreadPool {
-    let workers = std::thread::available_parallelism()
+fn host_workers() -> usize {
+    std::thread::available_parallelism()
         .map(|p| p.get().min(8))
-        .unwrap_or(4);
-    ThreadPool::new(workers)
+        .unwrap_or(4)
+}
+
+fn host_pool() -> ThreadPool {
+    ThreadPool::new(host_workers())
 }
 
 /// Per-solve cost of each policy in steady state (cache warm, inspector
@@ -37,18 +42,56 @@ fn bench_steady_state(c: &mut Criterion) {
         b.iter(|| black_box(reinspect.solve(&pool, &sys.l, &sys.rhs).expect("valid")))
     });
 
-    let mut cold = PlanCachedSolver::new(0); // capacity 0: plan every call
+    // Capacity 0: plan every call.
+    let cold = EngineSolver::new(
+        Engine::builder()
+            .workers(host_workers())
+            .cache_capacity(0)
+            .build(),
+    );
     group.bench_function("plan_per_call", |b| {
-        b.iter(|| black_box(cold.solve(&pool, &sys.l, &sys.rhs).expect("valid")))
+        b.iter(|| black_box(cold.solve(&sys.l, &sys.rhs).expect("valid")))
     });
 
-    let mut cached = PlanCachedSolver::new(2);
-    cached
-        .solve(&pool, &sys.l, &sys.rhs)
-        .expect("warm the cache");
+    let cached = EngineSolver::new(
+        Engine::builder()
+            .workers(host_workers())
+            .cache_capacity(2)
+            .build(),
+    );
+    cached.solve(&sys.l, &sys.rhs).expect("warm the cache");
     group.bench_function("cached_hit", |b| {
-        b.iter(|| black_box(cached.solve(&pool, &sys.l, &sys.rhs).expect("valid")))
+        b.iter(|| black_box(cached.solve(&sys.l, &sys.rhs).expect("valid")))
     });
+    group.finish();
+}
+
+/// ≥2 solve threads through one shared engine: the multi-tenant serving
+/// shape, with the hit rate asserted nonzero.
+fn bench_shared_engine_concurrency(c: &mut Criterion) {
+    let sys = Problem::build(ProblemKind::FivePt).triangular_system();
+    let engine = Engine::builder()
+        .workers(host_workers())
+        .cache_capacity(8)
+        .build();
+
+    let mut group = c.benchmark_group("plan_cache_concurrent");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let r = concurrent_throughput(&engine, &sys, threads, 10);
+                    assert!(r.stats.hits > 0, "shared cache must serve hits");
+                    black_box(r)
+                });
+            },
+        );
+    }
     group.finish();
 }
 
@@ -75,5 +118,10 @@ fn bench_amortization_curve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_steady_state, bench_amortization_curve);
+criterion_group!(
+    benches,
+    bench_steady_state,
+    bench_amortization_curve,
+    bench_shared_engine_concurrency
+);
 criterion_main!(benches);

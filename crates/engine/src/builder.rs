@@ -1,0 +1,172 @@
+//! [`EngineBuilder`]: engine configuration, including host calibration.
+
+use crate::engine::Engine;
+use doacross_core::DoacrossConfig;
+use doacross_par::ThreadPool;
+use doacross_plan::{ConcurrentPlanCache, Planner};
+
+/// Default total plan capacity across shards.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+/// Default shard count (power of two).
+pub const DEFAULT_SHARDS: usize = 8;
+/// Calibration repetitions used by [`EngineBuilder::calibrated`] — enough
+/// to suppress scheduler noise without a perceptible build pause.
+pub const CALIBRATION_REPS: usize = 3;
+
+/// Configures and builds an [`Engine`].
+///
+/// ```
+/// use doacross_engine::Engine;
+///
+/// let engine = Engine::builder()
+///     .workers(2)
+///     .cache_capacity(32)
+///     .shards(4)
+///     .build();
+/// assert_eq!(engine.threads(), 2);
+/// assert_eq!(engine.shards(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    workers: Option<usize>,
+    cache_capacity: usize,
+    shards: usize,
+    planner: Planner,
+    config: DoacrossConfig,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// Builder with defaults: host-sized worker count, a
+    /// [`DEFAULT_CACHE_CAPACITY`]-plan cache over [`DEFAULT_SHARDS`]
+    /// shards, the Multimax-calibrated planner, and the default doacross
+    /// configuration.
+    pub fn new() -> Self {
+        Self {
+            workers: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            shards: DEFAULT_SHARDS,
+            planner: Planner::new(),
+            config: DoacrossConfig::default(),
+        }
+    }
+
+    /// Worker thread count (the paper's processor count `p`). Defaults to
+    /// the host's available parallelism, capped at 8 — oversubscribing
+    /// busy-wait executors degrades everyone.
+    ///
+    /// # Panics
+    /// [`EngineBuilder::build`] panics if `workers` is 0.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Total plan capacity, spread over the shards (0 disables caching —
+    /// every prepare replans; useful for measuring the uncached baseline).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Shard count for the concurrent plan cache (rounded up to a power
+    /// of two). More shards mean less lock contention between unrelated
+    /// structures; capacity per shard shrinks correspondingly.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Explicit planner (e.g. [`Planner::with_costs`] with custom
+    /// constants).
+    pub fn planner(mut self, planner: Planner) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Doacross configuration for executions. `schedule` and `wait` are
+    /// honored; `validate_terms` is forced off and `copy_back` forced on
+    /// (see [`doacross_plan::PlanExecutor`]).
+    pub fn config(mut self, config: DoacrossConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the planner's cost model with one measured on *this host*
+    /// via [`doacross_sim::calibrate`] — sequential per-term/per-iteration
+    /// costs, doacross executor overheads, and pool dispatch latency, in
+    /// normalized units. Selection then prices variants for the machine
+    /// actually running them instead of the paper's Encore Multimax.
+    ///
+    /// Costs a few milliseconds of measurement at build time; worth it for
+    /// long-lived engines, skippable for throwaways.
+    pub fn calibrated(mut self) -> Self {
+        self.planner = Planner::with_costs(doacross_sim::calibrate(CALIBRATION_REPS).model);
+        self
+    }
+
+    /// Builds the engine: spawns the worker pool and assembles the shared
+    /// session state.
+    pub fn build(self) -> Engine {
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(2)
+                .min(8)
+        });
+        Engine::from_parts(
+            ThreadPool::new(workers),
+            self.planner,
+            self.config,
+            ConcurrentPlanCache::new(self.cache_capacity, self.shards),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_core::{seq::run_sequential, TestLoop};
+
+    #[test]
+    fn defaults_are_sane() {
+        let engine = EngineBuilder::new().workers(2).build();
+        assert_eq!(engine.threads(), 2);
+        assert_eq!(engine.shards(), DEFAULT_SHARDS);
+        assert!(engine.cache_stats().hits == 0 && engine.cache_len() == 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let engine = Engine::builder().workers(2).cache_capacity(0).build();
+        let loop_ = TestLoop::new(200, 1, 8);
+        for _ in 0..2 {
+            let mut y = loop_.initial_y();
+            engine.run(&loop_, &mut y).unwrap();
+        }
+        let s = engine.cache_stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2);
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn calibrated_engine_still_computes_correctly() {
+        // Calibration changes pricing, never semantics: any selected
+        // variant must match the sequential oracle bit for bit.
+        let engine = Engine::builder().workers(2).calibrated().build();
+        for l in [7usize, 8] {
+            let loop_ = TestLoop::new(800, 2, l);
+            let mut y = loop_.initial_y();
+            engine.run(&loop_, &mut y).unwrap();
+            let mut oracle = loop_.initial_y();
+            run_sequential(&loop_, &mut oracle);
+            assert_eq!(y, oracle, "L={l}");
+        }
+    }
+}

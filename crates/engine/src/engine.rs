@@ -1,0 +1,315 @@
+//! [`Engine`]: the Arc-shareable doacross session.
+
+use crate::builder::EngineBuilder;
+use crate::error::EngineError;
+use crate::prepared::PreparedLoop;
+use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, RunStats};
+use doacross_par::ThreadPool;
+use doacross_plan::{
+    CacheStats, ConcurrentPlanCache, ExecutionPlan, PatternFingerprint, PlanExecutor, Planner,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared state behind every [`Engine`] clone and [`PreparedLoop`] handle.
+pub(crate) struct EngineInner {
+    pub(crate) pool: ThreadPool,
+    pub(crate) planner: Planner,
+    pub(crate) config: DoacrossConfig,
+    pub(crate) cache: ConcurrentPlanCache,
+    /// Checked-out-and-returned scratch executors: each concurrent
+    /// execution borrows a private one (per-variant scratch arrays are
+    /// `&mut` state), and returning it keeps the paper's scratch-reuse
+    /// economics across calls. Grows to the peak concurrency ever seen.
+    executors: Mutex<Vec<PlanExecutor>>,
+}
+
+impl EngineInner {
+    /// Executes `plan` against `loop_` with a checked-out scratch executor.
+    pub(crate) fn execute_plan<L: DoacrossLoop + ?Sized>(
+        &self,
+        loop_: &L,
+        y: &mut [f64],
+        plan: &ExecutionPlan,
+    ) -> Result<RunStats, EngineError> {
+        let mut executor = self
+            .executors
+            .lock()
+            .pop()
+            .unwrap_or_else(|| PlanExecutor::new(self.config));
+        let result = executor.execute(&self.pool, loop_, y, plan);
+        self.executors.lock().push(executor);
+        result.map_err(EngineError::from)
+    }
+}
+
+/// A thread-safe doacross session: one shared thread pool, one planner,
+/// one sharded plan cache — every entry point behind `&self`.
+///
+/// `Engine` is a cheap handle (clones share all state via `Arc`), and it
+/// is `Send + Sync`: hand clones to threads, or share one instance behind
+/// an `Arc`/`&'static` — both work. Executions against the pool serialize
+/// at region dispatch (one parallel region at a time, like a single
+/// shared-memory machine), but planning, cache lookups, and cache
+/// bookkeeping all proceed concurrently.
+///
+/// ```
+/// use doacross_core::TestLoop;
+/// use doacross_engine::Engine;
+///
+/// let engine = Engine::builder().workers(2).cache_capacity(16).build();
+/// let loop_ = TestLoop::new(400, 1, 8);
+///
+/// // Prepared once; the handle is cloneable and usable from any thread.
+/// let prepared = engine.prepare(&loop_).unwrap();
+/// let worker = {
+///     let (prepared, loop_) = (prepared.clone(), loop_.clone());
+///     std::thread::spawn(move || {
+///         let mut y = loop_.initial_y();
+///         prepared.execute(&loop_, &mut y).unwrap();
+///         y
+///     })
+/// };
+/// let mut y = loop_.initial_y();
+/// prepared.execute(&loop_, &mut y).unwrap();
+/// assert_eq!(worker.join().unwrap(), y);
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    pub(crate) inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    pub(crate) fn from_parts(
+        pool: ThreadPool,
+        planner: Planner,
+        config: DoacrossConfig,
+        cache: ConcurrentPlanCache,
+    ) -> Self {
+        Self {
+            inner: Arc::new(EngineInner {
+                pool,
+                planner,
+                config,
+                cache,
+                executors: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Worker ("processor") count of the owned pool.
+    pub fn threads(&self) -> usize {
+        self.inner.pool.threads()
+    }
+
+    /// The owned thread pool — for running non-plan work (other solvers,
+    /// the simulator's calibration loops) on the engine's workers instead
+    /// of spawning a second pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.inner.pool
+    }
+
+    /// The planner selecting and pricing variants.
+    pub fn planner(&self) -> &Planner {
+        &self.inner.planner
+    }
+
+    /// The doacross configuration executions run under (`validate_terms`
+    /// forced off, `copy_back` forced on — see
+    /// [`doacross_plan::PlanExecutor`]).
+    pub fn config(&self) -> &DoacrossConfig {
+        &self.inner.config
+    }
+
+    /// Merged traffic counters of the plan cache's shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Plans currently cached, across all shards.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Shard count of the plan cache.
+    pub fn shards(&self) -> usize {
+        self.inner.cache.shard_count()
+    }
+
+    /// Whether a plan for `fingerprint` is currently cached.
+    pub fn contains(&self, fingerprint: &PatternFingerprint) -> bool {
+        self.inner.cache.contains(fingerprint)
+    }
+
+    /// Resolves `pattern` to a [`PreparedLoop`] handle: fingerprint →
+    /// cached plan (or a fresh build on miss) → handle. The handle is a
+    /// cheap cloneable value; build once, execute from many threads.
+    ///
+    /// Two concurrent `prepare` calls for the same structure build the
+    /// plan once — the second blocks on the shard lock and then hits.
+    pub fn prepare<P: AccessPattern + ?Sized>(
+        &self,
+        pattern: &P,
+    ) -> Result<PreparedLoop, EngineError> {
+        let fingerprint = PatternFingerprint::of(pattern);
+        let processors = self.inner.pool.threads();
+        let (plan, generation_cell, hit) = self.inner.cache.get_or_build(
+            &fingerprint,
+            // A plan priced for a different worker count computes the same
+            // results but may pick the wrong variant; treat it as a miss
+            // and replan (the insert replaces the stale entry).
+            |plan| plan.processors() == processors,
+            || {
+                self.inner
+                    .planner
+                    .plan_with_fingerprint(&self.inner.pool, pattern, fingerprint)
+            },
+        )?;
+        Ok(PreparedLoop::new(
+            Arc::clone(&self.inner),
+            plan,
+            generation_cell,
+            hit,
+        ))
+    }
+
+    /// Prepares and executes in one call: plan on first sight of the
+    /// access pattern, preprocessing skipped thereafter. Results are
+    /// bit-identical to `doacross_core::seq::run_sequential`; the returned
+    /// stats carry `PlanProvenance::PlanCold` when this call built the
+    /// plan and `PlanProvenance::PlanCached` when the cache served it.
+    pub fn run<L: DoacrossLoop + ?Sized>(
+        &self,
+        loop_: &L,
+        y: &mut [f64],
+    ) -> Result<RunStats, EngineError> {
+        self.prepare(loop_)?.execute(loop_, y)
+    }
+
+    /// Invalidates the cached plan (if any) for `fingerprint` and advances
+    /// the structure's generation, so outstanding [`PreparedLoop`] handles
+    /// for it fail fast with [`EngineError::StalePlan`] instead of
+    /// silently executing an outdated plan. Returns `true` when a cached
+    /// plan was dropped.
+    ///
+    /// Use when a pattern's index arrays are about to be mutated in place:
+    /// the fingerprint of the *new* contents would differ anyway, but
+    /// handles prepared against the old contents would otherwise keep
+    /// executing the old plan forever.
+    pub fn invalidate(&self, fingerprint: &PatternFingerprint) -> bool {
+        self.inner.cache.invalidate(fingerprint)
+    }
+
+    /// Drops every cached plan (traffic counters and generations survive).
+    pub fn clear_cache(&self) {
+        self.inner.cache.clear()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads())
+            .field("cache", &self.inner.cache)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_core::{seq::run_sequential, DoacrossError, PlanProvenance, TestLoop};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn engine_and_handles_are_send_sync() {
+        assert_send_sync::<Engine>();
+        assert_send_sync::<PreparedLoop>();
+    }
+
+    #[test]
+    fn run_plans_once_and_matches_the_oracle() {
+        let engine = Engine::builder().workers(2).build();
+        let loop_ = TestLoop::new(600, 2, 8);
+        let y0 = loop_.initial_y();
+        let mut oracle = y0.clone();
+        run_sequential(&loop_, &mut oracle);
+
+        let mut y = y0.clone();
+        let cold = engine.run(&loop_, &mut y).unwrap();
+        assert_eq!(cold.provenance, PlanProvenance::PlanCold);
+        assert_eq!(y, oracle);
+
+        let mut y = y0;
+        let hot = engine.run(&loop_, &mut y).unwrap();
+        assert_eq!(hot.provenance, PlanProvenance::PlanCached);
+        assert_eq!(hot.inspector, std::time::Duration::ZERO);
+        assert_eq!(y, oracle);
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let engine = Engine::builder().workers(2).build();
+        let clone = engine.clone();
+        let loop_ = TestLoop::new(300, 1, 7);
+        let mut y = loop_.initial_y();
+        engine.run(&loop_, &mut y).unwrap();
+        let mut y = loop_.initial_y();
+        let hot = clone.run(&loop_, &mut y).unwrap();
+        assert_eq!(hot.provenance, PlanProvenance::PlanCached);
+        assert_eq!(clone.cache_len(), 1);
+    }
+
+    #[test]
+    fn rejects_what_the_planner_rejects() {
+        let engine = Engine::builder().workers(2).build();
+        struct OutOfBounds;
+        impl AccessPattern for OutOfBounds {
+            fn iterations(&self) -> usize {
+                1
+            }
+            fn data_len(&self) -> usize {
+                1
+            }
+            fn lhs(&self, _: usize) -> usize {
+                0
+            }
+            fn terms(&self, _: usize) -> usize {
+                1
+            }
+            fn term_element(&self, _: usize, _: usize) -> usize {
+                5
+            }
+        }
+        let err = engine.prepare(&OutOfBounds).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Doacross(DoacrossError::SubscriptOutOfBounds {
+                iteration: 0,
+                element: 5,
+                data_len: 1,
+            })
+        );
+        assert_eq!(engine.cache_len(), 0, "failed builds are not cached");
+    }
+
+    #[test]
+    fn mismatched_buffer_is_rejected() {
+        let engine = Engine::builder().workers(2).build();
+        let loop_ = TestLoop::new(100, 1, 7);
+        let mut y = vec![0.0; 3];
+        let err = engine.run(&loop_, &mut y).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Doacross(DoacrossError::DataLenMismatch { got: 3, .. })
+        ));
+    }
+}

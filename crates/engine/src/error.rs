@@ -1,0 +1,79 @@
+//! The engine's typed failure surface.
+
+use doacross_core::DoacrossError;
+use doacross_plan::PatternFingerprint;
+
+/// Reasons an engine operation can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The [`crate::PreparedLoop`] handle was prepared under a generation
+    /// that [`crate::Engine::invalidate`] has since advanced. The handle
+    /// refuses to execute its (possibly outdated) plan; re-prepare to get
+    /// a fresh one.
+    StalePlan {
+        /// Fingerprint of the invalidated structure.
+        fingerprint: PatternFingerprint,
+        /// Generation the handle was prepared under.
+        prepared_generation: u64,
+        /// The structure's current generation.
+        current_generation: u64,
+    },
+    /// The underlying planner or runtime rejected the loop.
+    Doacross(DoacrossError),
+}
+
+impl From<DoacrossError> for EngineError {
+    fn from(err: DoacrossError) -> Self {
+        EngineError::Doacross(err)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::StalePlan {
+                fingerprint,
+                prepared_generation,
+                current_generation,
+            } => write!(
+                f,
+                "prepared loop is stale: pattern {fingerprint} was invalidated \
+                 (handle generation {prepared_generation}, current {current_generation}); \
+                 re-prepare to rebuild the plan"
+            ),
+            EngineError::Doacross(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Doacross(err) => Some(err),
+            EngineError::StalePlan { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doacross_core::{IndirectLoop, TestLoop};
+
+    #[test]
+    fn display_and_source() {
+        let _ = IndirectLoop::new(0, vec![], vec![], vec![]);
+        let fp = PatternFingerprint::of(&TestLoop::new(4, 1, 7));
+        let stale = EngineError::StalePlan {
+            fingerprint: fp,
+            prepared_generation: 0,
+            current_generation: 2,
+        };
+        assert!(stale.to_string().contains("stale"));
+        assert!(std::error::Error::source(&stale).is_none());
+
+        let wrapped: EngineError = DoacrossError::EmptyBlock.into();
+        assert!(wrapped.to_string().contains("block size"));
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

@@ -1,0 +1,62 @@
+//! # doacross-engine — the thread-safe session API
+//!
+//! The paper's economics — preprocessing "performed just once, while the
+//! doacross loop may be executed many times" (§2.1) — only pay off at
+//! service scale if *many concurrent callers* can share the amortized
+//! artifacts. This crate is that session layer:
+//!
+//! * [`Engine`] — a cheaply-cloneable (`Arc`-backed), `Send + Sync`
+//!   session object owning the worker [`ThreadPool`](doacross_par::ThreadPool),
+//!   a cost-model [`Planner`](doacross_plan::Planner), and a **sharded,
+//!   internally-synchronized plan cache**
+//!   ([`ConcurrentPlanCache`](doacross_plan::ConcurrentPlanCache)).
+//!   Every method takes `&self`; concurrent callers hit the cache without
+//!   external locking.
+//! * [`EngineBuilder`] — worker count, cache capacity, shard count,
+//!   planner, and doacross configuration; [`EngineBuilder::calibrated`]
+//!   wires `doacross_sim::calibrate` in so variant selection prices with
+//!   the *host's* measured cost ratios instead of the Multimax preset.
+//! * [`PreparedLoop`] — the compiled-loop artifact as a first-class
+//!   value: a cheap cloneable handle (an `Arc`'d
+//!   [`ExecutionPlan`](doacross_plan::ExecutionPlan) plus the generation
+//!   it was prepared under) that can be built once and executed from many
+//!   threads via [`PreparedLoop::execute`] / [`PreparedLoop::execute_into`].
+//! * [`EngineError`] — the typed failure surface, including
+//!   [`EngineError::StalePlan`] for handles outlived by
+//!   [`Engine::invalidate`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use doacross_core::{seq::run_sequential, PlanProvenance, TestLoop};
+//! use doacross_engine::Engine;
+//!
+//! let engine = Engine::builder().workers(2).build();
+//! let loop_ = TestLoop::new(1_000, 1, 8);
+//!
+//! // One-shot: plan on first sight, serve from cache thereafter.
+//! let mut y = loop_.initial_y();
+//! let cold = engine.run(&loop_, &mut y).unwrap();
+//! assert_eq!(cold.provenance, PlanProvenance::PlanCold);
+//!
+//! // Prepared handle: plan resolved once, executable from any thread.
+//! let prepared = engine.prepare(&loop_).unwrap();
+//! let mut y2 = loop_.initial_y();
+//! prepared.execute(&loop_, &mut y2).unwrap();
+//!
+//! let mut oracle = loop_.initial_y();
+//! run_sequential(&loop_, &mut oracle);
+//! assert_eq!(y, oracle);
+//! assert_eq!(y2, oracle);
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! ```
+
+pub mod builder;
+pub mod engine;
+pub mod error;
+pub mod prepared;
+
+pub use builder::EngineBuilder;
+pub use engine::Engine;
+pub use error::EngineError;
+pub use prepared::PreparedLoop;

@@ -30,6 +30,15 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Adds `other`'s counters into `self` — used to merge per-shard stats
+    /// into one cache-wide view.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.insertions += other.insertions;
+    }
+
     /// `hits / (hits + misses)`, 0 when the cache was never consulted.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -44,9 +53,18 @@ impl CacheStats {
 #[derive(Debug)]
 struct Entry {
     key: PatternFingerprint,
-    plan: Arc<ExecutionPlan>,
+    /// `None` only while the slot sits on the free list — resident
+    /// entries always hold a plan. Clearing on eviction/removal matters:
+    /// a parked `Arc` would keep a retired plan's writer map (O(data
+    /// space)) alive until the slot is reused.
+    plan: Option<Arc<ExecutionPlan>>,
     prev: usize,
     next: usize,
+}
+
+/// The plan of an entry that is linked into the recency list.
+fn resident(entry: &Entry) -> &Arc<ExecutionPlan> {
+    entry.plan.as_ref().expect("resident entry holds a plan")
 }
 
 /// LRU cache of [`ExecutionPlan`]s keyed by [`PatternFingerprint`].
@@ -132,11 +150,11 @@ impl PlanCache {
         matches: impl FnOnce(&ExecutionPlan) -> bool,
     ) -> Option<Arc<ExecutionPlan>> {
         match self.map.get(key) {
-            Some(&slot) if matches(&self.slab[slot].plan) => {
+            Some(&slot) if matches(resident(&self.slab[slot])) => {
                 self.stats.hits += 1;
                 self.unlink(slot);
                 self.push_front(slot);
-                Some(Arc::clone(&self.slab[slot].plan))
+                Some(Arc::clone(resident(&self.slab[slot])))
             }
             _ => {
                 self.stats.misses += 1;
@@ -151,7 +169,7 @@ impl PlanCache {
     pub fn insert(&mut self, plan: Arc<ExecutionPlan>) {
         let key = *plan.fingerprint();
         if let Some(&slot) = self.map.get(&key) {
-            self.slab[slot].plan = plan;
+            self.slab[slot].plan = Some(plan);
             self.unlink(slot);
             self.push_front(slot);
             self.stats.insertions += 1;
@@ -165,6 +183,7 @@ impl PlanCache {
             debug_assert_ne!(lru, NIL);
             self.unlink(lru);
             self.map.remove(&self.slab[lru].key);
+            self.slab[lru].plan = None;
             self.free.push(lru);
             self.stats.evictions += 1;
         }
@@ -172,7 +191,7 @@ impl PlanCache {
             Some(slot) => {
                 self.slab[slot] = Entry {
                     key,
-                    plan,
+                    plan: Some(plan),
                     prev: NIL,
                     next: NIL,
                 };
@@ -181,7 +200,7 @@ impl PlanCache {
             None => {
                 self.slab.push(Entry {
                     key,
-                    plan,
+                    plan: Some(plan),
                     prev: NIL,
                     next: NIL,
                 });
@@ -191,6 +210,17 @@ impl PlanCache {
         self.map.insert(key, slot);
         self.push_front(slot);
         self.stats.insertions += 1;
+    }
+
+    /// Removes the plan stored under `key`, returning it if present.
+    /// Removal is not cache *traffic*: hit/miss counters are untouched and
+    /// no eviction is recorded. Used by invalidation.
+    pub fn remove(&mut self, key: &PatternFingerprint) -> Option<Arc<ExecutionPlan>> {
+        let slot = self.map.remove(key)?;
+        self.unlink(slot);
+        let plan = self.slab[slot].plan.take();
+        self.free.push(slot);
+        plan
     }
 
     /// Looks up `key`; on a miss, builds a plan with `build`, stores it,
@@ -338,6 +368,27 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().evictions, 0);
         assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn eviction_and_removal_release_the_plan_arc() {
+        let mut cache = PlanCache::new(1);
+        let (_, p1) = plan_for(3);
+        let (k2, p2) = plan_for(4);
+        cache.insert(Arc::clone(&p1));
+        assert_eq!(Arc::strong_count(&p1), 2);
+        cache.insert(Arc::clone(&p2));
+        assert_eq!(Arc::strong_count(&p1), 1, "eviction frees the plan");
+
+        let removed = cache.remove(&k2).expect("resident");
+        drop(removed);
+        assert_eq!(Arc::strong_count(&p2), 1, "removal frees the plan");
+        assert!(cache.is_empty());
+        assert!(cache.remove(&k2).is_none(), "second removal is a no-op");
+
+        // A freed slot is reusable.
+        cache.insert(Arc::clone(&p2));
+        assert!(cache.contains(&k2));
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! [`ConcurrentPlanCache`]: the sharded, internally-synchronized plan
+//! cache behind `doacross_engine::Engine`.
+//!
+//! The single-owner [`PlanCache`](crate::PlanCache) is `&mut`-only — fine
+//! for a solver that owns its runtime, useless for a session object served
+//! from many threads. This type shards the key space across `N`
+//! mutex-guarded [`PlanCache`]s, routed by the top bits of the
+//! [`PatternFingerprint`]'s hash, so concurrent callers contend only when
+//! their structures land in the same shard. Each shard keeps its own LRU
+//! recency and counters; [`ConcurrentPlanCache::stats`] merges them.
+//!
+//! Two deliberate design points:
+//!
+//! * **Builds happen under the shard lock.** A cache miss holds its
+//!   shard's mutex while the planner runs, so a second thread racing on
+//!   the *same* structure blocks briefly and then hits, instead of both
+//!   planning the same pattern. Other shards stay available throughout.
+//!   (Plan builds take microseconds-to-milliseconds; the alternative —
+//!   duplicate builds with last-writer-wins — wastes strictly more work.)
+//! * **Invalidation is a generation bump, not just a removal.** Plans are
+//!   handed out as `Arc`s, so dropping a cache entry cannot recall handles
+//!   already in flight. Each fingerprint carries a monotonically
+//!   increasing *generation* (0 until first invalidated); a handle records
+//!   the generation it was prepared under plus the shared atomic cell
+//!   tracking the current one, so staleness checks on the execute hot path
+//!   are one lock-free load ([`ConcurrentPlanCache::generation_of`] is the
+//!   lock-taking query for callers without a cell).
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::fingerprint::PatternFingerprint;
+use crate::plan::ExecutionPlan;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on the shard count (a power of two; beyond this the
+/// per-shard LRUs are too small to be useful).
+pub const MAX_SHARDS: usize = 4096;
+
+struct Shard {
+    lru: PlanCache,
+    /// Per-fingerprint generation cells. Handed out as `Arc`s by
+    /// [`ConcurrentPlanCache::get_or_build`] so prepared-loop handles can
+    /// check staleness with one atomic load instead of taking this
+    /// shard's lock on every execute. Writes (invalidation bumps) happen
+    /// under the shard lock; reads are lock-free.
+    ///
+    /// Growth is pruned on cache misses: cells nobody watches
+    /// (`strong_count == 1`) that were never invalidated (`load == 0`)
+    /// are dropped, so the map is bounded by live handles plus distinct
+    /// fingerprints ever invalidated — not by cache traffic.
+    generations: HashMap<PatternFingerprint, Arc<AtomicU64>>,
+}
+
+impl Shard {
+    fn generation_of(&self, key: &PatternFingerprint) -> u64 {
+        self.generations
+            .get(key)
+            .map_or(0, |cell| cell.load(Ordering::Acquire))
+    }
+
+    fn generation_cell(&mut self, key: &PatternFingerprint) -> Arc<AtomicU64> {
+        Arc::clone(
+            self.generations
+                .entry(*key)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+}
+
+/// Sharded fingerprint-keyed plan cache, safe to share via `&self` (see
+/// module docs).
+pub struct ConcurrentPlanCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// `64 − log2(shards.len())`: shard index = fingerprint high bits.
+    shift: u32,
+}
+
+impl ConcurrentPlanCache {
+    /// Cache holding up to `capacity` plans in total, spread over
+    /// `shards` shards (rounded up to a power of two, clamped to
+    /// `1..=`[`MAX_SHARDS`]). Each shard holds `ceil(capacity / shards)`
+    /// plans, so the realized total capacity may slightly exceed
+    /// `capacity`. A capacity of 0 is legal and makes every lookup a miss.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let nshards = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(nshards)
+        };
+        let shards: Box<[Mutex<Shard>]> = (0..nshards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    lru: PlanCache::new(per_shard),
+                    generations: HashMap::new(),
+                })
+            })
+            .collect();
+        Self {
+            shift: 64 - nshards.trailing_zeros(),
+            shards,
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total plan capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shards[0].lock().lru.capacity()
+    }
+
+    /// Plans currently held, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().lru.len()).sum()
+    }
+
+    /// Whether no shard holds a plan.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().lru.is_empty())
+    }
+
+    /// Merged traffic counters of all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            total.absorb(&shard.lock().lru.stats());
+        }
+        total
+    }
+
+    /// Whether a plan for `key` is cached (no recency or counter effects).
+    pub fn contains(&self, key: &PatternFingerprint) -> bool {
+        self.shard(key).lock().lru.contains(key)
+    }
+
+    /// Drops every plan from every shard. Traffic counters and generations
+    /// survive (a cleared cache does not resurrect invalidated handles).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().lru.clear();
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used in its shard.
+    pub fn get(&self, key: &PatternFingerprint) -> Option<Arc<ExecutionPlan>> {
+        self.shard(key).lock().lru.get(key)
+    }
+
+    /// Stores `plan` under its own fingerprint in the owning shard.
+    pub fn insert(&self, plan: Arc<ExecutionPlan>) {
+        let key = *plan.fingerprint();
+        self.shard(&key).lock().lru.insert(plan);
+    }
+
+    /// The current generation of `key`: 0 until the first
+    /// [`ConcurrentPlanCache::invalidate`], incremented by each one.
+    pub fn generation_of(&self, key: &PatternFingerprint) -> u64 {
+        self.shard(key).lock().generation_of(key)
+    }
+
+    /// Invalidates `key`: drops any cached plan and bumps the key's
+    /// generation so handles prepared under earlier generations fail fast.
+    /// Returns `true` when a cached plan was actually dropped. The
+    /// generation advances either way — a plan already evicted from the
+    /// LRU can still be live behind `Arc` handles.
+    pub fn invalidate(&self, key: &PatternFingerprint) -> bool {
+        let mut shard = self.shard(key).lock();
+        shard.generation_cell(key).fetch_add(1, Ordering::AcqRel);
+        shard.lru.remove(key).is_some()
+    }
+
+    /// Looks up `key` (an entry failing `matches` counts as a miss, as in
+    /// [`PlanCache::get_matching`]); on a miss, builds a plan with `build`
+    /// — while holding the shard lock, see module docs — and stores it.
+    /// Returns the plan, the key's shared generation cell (current value +
+    /// lock-free watch point for staleness checks), and whether this was a
+    /// hit.
+    #[allow(clippy::type_complexity)]
+    pub fn get_or_build<E>(
+        &self,
+        key: &PatternFingerprint,
+        matches: impl Fn(&ExecutionPlan) -> bool,
+        build: impl FnOnce() -> Result<ExecutionPlan, E>,
+    ) -> Result<(Arc<ExecutionPlan>, Arc<AtomicU64>, bool), E> {
+        let mut shard = self.shard(key).lock();
+        let cell = shard.generation_cell(key);
+        if let Some(plan) = shard.lru.get_matching(key, &matches) {
+            return Ok((plan, cell, true));
+        }
+        // Miss: prune generation cells nobody can observe anymore (no
+        // outstanding handle, never invalidated) so the map stays bounded;
+        // the build below dwarfs this sweep.
+        shard
+            .generations
+            .retain(|k, c| k == key || Arc::strong_count(c) > 1 || c.load(Ordering::Relaxed) > 0);
+        let plan = Arc::new(build()?);
+        shard.lru.insert(Arc::clone(&plan));
+        Ok((plan, cell, false))
+    }
+
+    fn shard(&self, key: &PatternFingerprint) -> &Mutex<Shard> {
+        let index = if self.shards.len() == 1 {
+            0
+        } else {
+            (key.high_bits() >> self.shift) as usize
+        };
+        &self.shards[index]
+    }
+}
+
+impl std::fmt::Debug for ConcurrentPlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentPlanCache")
+            .field("shards", &self.shard_count())
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use doacross_core::IndirectLoop;
+    use doacross_par::ThreadPool;
+
+    fn scatter_loop(n: usize) -> IndirectLoop {
+        let a: Vec<usize> = (0..n).collect();
+        IndirectLoop::new(n, a, vec![vec![]; n], vec![vec![]; n]).unwrap()
+    }
+
+    fn build_plan(pool: &ThreadPool, l: &IndirectLoop) -> Arc<ExecutionPlan> {
+        Arc::new(Planner::new().plan(pool, l).unwrap())
+    }
+
+    #[test]
+    fn shard_count_normalizes_to_powers_of_two() {
+        assert_eq!(ConcurrentPlanCache::new(16, 0).shard_count(), 1);
+        assert_eq!(ConcurrentPlanCache::new(16, 1).shard_count(), 1);
+        assert_eq!(ConcurrentPlanCache::new(16, 3).shard_count(), 4);
+        assert_eq!(ConcurrentPlanCache::new(16, 8).shard_count(), 8);
+        assert_eq!(
+            ConcurrentPlanCache::new(16, usize::MAX).shard_count(),
+            MAX_SHARDS
+        );
+    }
+
+    #[test]
+    fn capacity_spreads_over_shards() {
+        let cache = ConcurrentPlanCache::new(10, 4);
+        assert_eq!(cache.capacity(), 12, "ceil(10/4) = 3 per shard");
+        assert_eq!(ConcurrentPlanCache::new(0, 4).capacity(), 0);
+    }
+
+    #[test]
+    fn hit_miss_and_merged_stats() {
+        let pool = ThreadPool::new(2);
+        // Ample per-shard capacity (24/4 = 6): no evictions regardless of
+        // how the six fingerprints distribute over the shards.
+        let cache = ConcurrentPlanCache::new(24, 4);
+        let loops: Vec<IndirectLoop> = (1..=6).map(scatter_loop).collect();
+        for l in &loops {
+            let key = crate::PatternFingerprint::of(l);
+            assert!(cache.get(&key).is_none());
+            cache.insert(build_plan(&pool, l));
+            assert!(cache.contains(&key));
+            assert!(cache.get(&key).is_some());
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (6, 6, 6));
+        assert_eq!(cache.len(), 6);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn get_or_build_builds_once_per_key() {
+        let pool = ThreadPool::new(2);
+        let cache = ConcurrentPlanCache::new(8, 2);
+        let l = scatter_loop(9);
+        let key = crate::PatternFingerprint::of(&l);
+        let mut builds = 0;
+        for round in 0..3 {
+            let (plan, cell, hit) = cache
+                .get_or_build(
+                    &key,
+                    |_| true,
+                    || {
+                        builds += 1;
+                        Planner::new().plan(&pool, &l)
+                    },
+                )
+                .unwrap();
+            assert_eq!(hit, round > 0);
+            assert_eq!(cell.load(Ordering::Acquire), 0);
+            assert_eq!(plan.fingerprint(), &key);
+        }
+        assert_eq!(builds, 1);
+    }
+
+    #[test]
+    fn invalidation_bumps_generation_and_drops_the_plan() {
+        let pool = ThreadPool::new(2);
+        let cache = ConcurrentPlanCache::new(8, 2);
+        let l = scatter_loop(5);
+        let key = crate::PatternFingerprint::of(&l);
+        assert_eq!(cache.generation_of(&key), 0);
+        assert!(!cache.invalidate(&key), "nothing cached yet");
+        assert_eq!(cache.generation_of(&key), 1, "generation advances anyway");
+
+        cache.insert(build_plan(&pool, &l));
+        assert!(cache.invalidate(&key), "cached plan dropped");
+        assert_eq!(cache.generation_of(&key), 2);
+        assert!(!cache.contains(&key));
+
+        // A rebuild after invalidation serves the *new* generation, and
+        // the cell keeps tracking later invalidations lock-free.
+        let (_, cell, hit) = cache
+            .get_or_build(&key, |_| true, || Planner::new().plan(&pool, &l))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(cell.load(Ordering::Acquire), 2);
+        cache.invalidate(&key);
+        assert_eq!(cell.load(Ordering::Acquire), 3, "same cell, new value");
+    }
+
+    #[test]
+    fn rejected_match_counts_as_miss_and_rebuilds() {
+        let pool = ThreadPool::new(2);
+        let cache = ConcurrentPlanCache::new(4, 1);
+        let l = scatter_loop(7);
+        let key = crate::PatternFingerprint::of(&l);
+        cache.insert(build_plan(&pool, &l));
+        let (_, _, hit) = cache
+            .get_or_build(&key, |_| false, || Planner::new().plan(&pool, &l))
+            .unwrap();
+        assert!(!hit, "pricing-context mismatch must replan");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 2, "replacement insert recorded");
+    }
+
+    #[test]
+    fn unwatched_generation_cells_are_pruned_on_misses() {
+        let pool = ThreadPool::new(2);
+        let cache = ConcurrentPlanCache::new(64, 1);
+        // Prepare many structures, dropping every cell immediately: the
+        // single shard's generation map must not grow with traffic.
+        for n in 1..=20 {
+            let l = scatter_loop(n);
+            let key = crate::PatternFingerprint::of(&l);
+            let (_, cell, _) = cache
+                .get_or_build(&key, |_| true, || Planner::new().plan(&pool, &l))
+                .unwrap();
+            drop(cell);
+        }
+        // A watched cell and an invalidated key survive pruning.
+        let watched_loop = scatter_loop(30);
+        let watched_key = crate::PatternFingerprint::of(&watched_loop);
+        let (_, watched_cell, _) = cache
+            .get_or_build(
+                &watched_key,
+                |_| true,
+                || Planner::new().plan(&pool, &watched_loop),
+            )
+            .unwrap();
+        let invalidated_key = crate::PatternFingerprint::of(&scatter_loop(31));
+        cache.invalidate(&invalidated_key);
+
+        // The next miss sweeps: only the watched and invalidated cells
+        // (and the key being built) remain.
+        let fresh = scatter_loop(32);
+        let fresh_key = crate::PatternFingerprint::of(&fresh);
+        let (_, _, _) = cache
+            .get_or_build(&fresh_key, |_| true, || Planner::new().plan(&pool, &fresh))
+            .unwrap();
+        let retained = cache.shards[0].lock().generations.len();
+        assert!(
+            retained <= 3,
+            "unwatched, never-invalidated cells pruned (kept {retained})"
+        );
+        assert_eq!(watched_cell.load(Ordering::Acquire), 0);
+        assert_eq!(cache.generation_of(&invalidated_key), 1);
+    }
+
+    #[test]
+    fn per_shard_eviction_respects_total_capacity() {
+        let pool = ThreadPool::new(2);
+        let cache = ConcurrentPlanCache::new(4, 4);
+        for n in 1..=32 {
+            cache.insert(build_plan(&pool, &scatter_loop(n)));
+        }
+        let s = cache.stats();
+        assert!(cache.len() <= cache.capacity());
+        assert_eq!(s.insertions - s.evictions, cache.len() as u64);
+    }
+}

@@ -94,6 +94,13 @@ impl PatternFingerprint {
     pub fn total_terms(&self) -> u64 {
         self.total_terms
     }
+
+    /// The first 64-bit hash stream. The sharded plan cache routes on the
+    /// top bits of this value; they are as uniformly distributed as the
+    /// rest of the hash, so shards load-balance across structures.
+    pub fn high_bits(&self) -> u64 {
+        self.hash
+    }
 }
 
 impl std::fmt::Display for PatternFingerprint {

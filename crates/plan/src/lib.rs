@@ -23,12 +23,20 @@
 //! * [`ExecutionPlan`] — the captured products the chosen variant needs:
 //!   prebuilt inspector writer map, doconsider claim order, detected
 //!   linear subscript, block size, plus the census and candidate prices.
-//! * [`PlanCache`] — an LRU over fingerprints with hit/miss/eviction
-//!   stats: repeated structures (solver iterations, repeated service
-//!   traffic) skip inspection entirely.
-//! * [`PlannedDoacross`] — the façade runtime: fingerprint → cached plan →
-//!   variant dispatch, with the skip observable via
-//!   [`doacross_core::PlanProvenance`] in the returned stats.
+//! * [`PlanCache`] — a single-owner LRU over fingerprints with
+//!   hit/miss/eviction stats: repeated structures (solver iterations,
+//!   repeated service traffic) skip inspection entirely.
+//! * [`ConcurrentPlanCache`] — the same cache sharded over mutex-guarded
+//!   [`PlanCache`]s (routed by fingerprint high bits, merged stats,
+//!   per-key invalidation generations), servable through `&self` from many
+//!   threads — the storage behind `doacross_engine::Engine`.
+//! * [`PlanExecutor`] — variant dispatch for prebuilt plans, owning the
+//!   per-variant scratch runtimes.
+//! * [`PlannedDoacross`] — the single-owner runtime: fingerprint → cached
+//!   plan → variant dispatch, with the skip observable via
+//!   [`doacross_core::PlanProvenance`] in the returned stats. Superseded
+//!   by `doacross_engine::Engine` for anything shared or concurrent; its
+//!   `run` entry point is deprecated.
 //!
 //! ```
 //! use doacross_par::ThreadPool;
@@ -50,6 +58,7 @@
 
 pub mod cache;
 pub mod census;
+pub mod concurrent;
 pub mod fingerprint;
 pub mod plan;
 pub mod planner;
@@ -57,7 +66,8 @@ pub mod runtime;
 
 pub use cache::{CacheStats, PlanCache};
 pub use census::PlanCensus;
+pub use concurrent::ConcurrentPlanCache;
 pub use fingerprint::PatternFingerprint;
 pub use plan::{ExecutionPlan, PlanVariant, VariantCosts};
-pub use planner::{detect_linear, Planner};
-pub use runtime::PlannedDoacross;
+pub use planner::{detect_linear, Planner, BLOCKED_DATA_SPACE_FACTOR};
+pub use runtime::{PlanExecutor, PlannedDoacross};

@@ -42,6 +42,16 @@ use doacross_par::{Schedule, ThreadPool};
 use doacross_sim::CostModel;
 use std::time::Instant;
 
+/// Data-space : iteration-space ratio at which an injective loop is
+/// strip-mined for memory (§2.3): when `data_len ≥ factor · iterations`,
+/// the flat variants drag `data_len`-sized scratch (`iter`, `ready`,
+/// `ynew`) through memory for a loop that writes only a sliver of it,
+/// while the blocked variant bounds scratch to each block's element
+/// window. Below the ratio the flat variants' single inspector-free
+/// region wins; at or above it the planner prices the blocked run and
+/// takes it whenever it also beats sequential.
+pub const BLOCKED_DATA_SPACE_FACTOR: usize = 8;
+
 /// Builds [`ExecutionPlan`]s for access patterns.
 #[derive(Debug, Clone)]
 pub struct Planner {
@@ -143,7 +153,7 @@ impl Planner {
         let parallel = |stalls: f64| dispatch + ((work + stalls) / p as f64).max(cp_bound) + post;
         let t_doacross = parallel(stall_natural);
         let t_reordered = parallel(stall_reordered);
-        let costs = VariantCosts {
+        let mut costs = VariantCosts {
             sequential: t_seq,
             doacross: Some(t_doacross),
             linear: linear.map(|_| t_doacross),
@@ -157,7 +167,7 @@ impl Planner {
         // reordered one (no order array) unless reordering is a real
         // improvement.
         let best_parallel = t_doacross.min(t_reordered);
-        let variant = if t_seq <= best_parallel {
+        let mut variant = if t_seq <= best_parallel {
             PlanVariant::Sequential
         } else if t_reordered < t_doacross {
             PlanVariant::Reordered
@@ -166,6 +176,35 @@ impl Planner {
         } else {
             PlanVariant::Doacross
         };
+
+        // §2.3's memory argument as a selection rule: an injective loop
+        // whose data space dwarfs its iteration space
+        // ([`BLOCKED_DATA_SPACE_FACTOR`]) wastes `data_len`-sized scratch
+        // on the flat variants; strip-mining bounds scratch to block
+        // windows and is always legal when `a` is injective. Applied only
+        // when a parallel variant is otherwise profitable, and only if the
+        // priced blocked run still beats sequential — ~16 blocks of at
+        // least `4p` iterations keep self-scheduling busy while shrinking
+        // the window.
+        if variant != PlanVariant::Sequential
+            && census.iterations > 0
+            && census.data_len >= BLOCKED_DATA_SPACE_FACTOR * census.iterations
+        {
+            let block_size = census
+                .iterations
+                .div_ceil(16)
+                .max(4 * p)
+                .min(census.iterations);
+            let nblocks = census.iterations.div_ceil(block_size) as f64;
+            let blocked_work = n
+                * (self.exec_per_iter() + self.costs.inspect_per_iter + self.costs.post_per_iter)
+                + census.total_terms as f64 * self.per_term();
+            let t_blocked = nblocks * 3.0 * self.costs.region_dispatch + blocked_work / p as f64;
+            costs.blocked = Some(t_blocked);
+            if t_blocked < t_seq {
+                variant = PlanVariant::Blocked { block_size };
+            }
+        }
 
         // Capture only what the chosen variant consumes.
         let prepared =
@@ -413,6 +452,69 @@ mod tests {
             PlanVariant::Blocked { block_size: 512 },
             "{plan}"
         );
+    }
+
+    #[test]
+    fn huge_data_space_selects_blocked_for_injective_loops() {
+        // §2.3 memory rule: an injective scatter over a data space 8x the
+        // iteration space crosses BLOCKED_DATA_SPACE_FACTOR and is
+        // strip-mined; the same structure over a denser data space keeps
+        // the flat inspected doacross.
+        let build = |spread: usize| {
+            let n = 4_096usize;
+            let data_len = n * spread;
+            // Decreasing strided lhs: injective, non-linear (stride < 0).
+            let a: Vec<usize> = (0..n).map(|i| (n - 1 - i) * spread).collect();
+            // Reads hit elements no iteration writes (3 mod spread): doall.
+            let rhs: Vec<Vec<usize>> = (0..n)
+                .map(|i| vec![i * spread + 3, ((i + 9) % n) * spread + 3])
+                .collect();
+            let coeff = vec![vec![0.5, 0.25]; n];
+            IndirectLoop::new(data_len, a, rhs, coeff).unwrap()
+        };
+
+        let at_threshold = build(BLOCKED_DATA_SPACE_FACTOR);
+        let plan = Planner::new().plan(&pool(), &at_threshold).unwrap();
+        assert!(
+            matches!(plan.variant(), PlanVariant::Blocked { .. }),
+            "{plan}"
+        );
+        assert!(
+            plan.costs().blocked.unwrap() < plan.costs().sequential,
+            "{:?}",
+            plan.costs()
+        );
+
+        let below_threshold = build(BLOCKED_DATA_SPACE_FACTOR / 2);
+        let plan = Planner::new().plan(&pool(), &below_threshold).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Doacross, "{plan}");
+        assert!(
+            plan.costs().blocked.is_none(),
+            "rule not engaged below the ratio: {:?}",
+            plan.costs()
+        );
+    }
+
+    #[test]
+    fn blocked_rule_never_overrides_sequential() {
+        // A serial chain across a huge data space: no parallel variant is
+        // profitable, so the memory rule must not strip-mine it.
+        let n = 64usize;
+        let spread = 16usize;
+        let a: Vec<usize> = (0..n).map(|i| i * spread).collect();
+        let rhs: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    vec![]
+                } else {
+                    vec![(i - 1) * spread]
+                }
+            })
+            .collect();
+        let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![1.0; r.len()]).collect();
+        let l = IndirectLoop::new(n * spread, a, rhs, coeff).unwrap();
+        let plan = Planner::new().plan(&pool(), &l).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Sequential, "{plan}");
     }
 
     #[test]

@@ -1,24 +1,29 @@
-//! [`PlannedDoacross`]: the planned, cached, self-selecting runtime.
+//! [`PlanExecutor`] — variant dispatch for prebuilt plans — and
+//! [`PlannedDoacross`], the single-owner planned runtime built on it.
 //!
-//! One façade over every execution strategy the workspace implements:
-//! `run` fingerprints the loop, fetches or builds an [`ExecutionPlan`]
-//! (LRU-cached), and dispatches to the variant the cost model selected —
+//! [`PlanExecutor`] owns the per-variant scratch runtimes (inspected flat,
+//! linear, strip-mined) and executes any [`ExecutionPlan`] against a loop:
 //! sequential, flat doacross against the plan's prebuilt writer map,
-//! linear-subscript, doconsider-reordered, or strip-mined. On a cache hit
-//! no planning work (fingerprint census, dependence analysis, variant
-//! selection, inspection capture) happens, and the returned [`RunStats`]
-//! say so ([`PlanProvenance::PlanCached`]). The flat variants additionally
-//! report `inspector == 0`; a [`PlanVariant::Blocked`] plan is the one
-//! exception — strip-mined execution re-inspects per block by construction
-//! (§2.3 reuses one windowed scratch allocation across blocks), so a
-//! cached blocked plan skips the planning but keeps its per-block
-//! inspector time.
+//! linear-subscript, doconsider-reordered, or strip-mined. It is the
+//! execution half shared by [`PlannedDoacross`] and the thread-safe
+//! `doacross_engine::Engine` (which checks executors out of a pool so
+//! concurrent callers each get private scratch). The flat variants report
+//! `inspector == 0`; a [`PlanVariant::Blocked`] plan is the one exception
+//! — strip-mined execution re-inspects per block by construction (§2.3
+//! reuses one windowed scratch allocation across blocks), so a cached
+//! blocked plan skips the planning but keeps its per-block inspector time.
 //!
 //! Plan-driven runs skip per-run validation (the plan already proved the
 //! structure in-bounds, injective where required, and its order
 //! topological; the fingerprint key guarantees the structure has not
 //! changed) — the executor's release-mode bounds asserts remain as the
 //! final defense.
+//!
+//! [`PlannedDoacross`] — fingerprint → LRU-cached plan → dispatch, all
+//! behind `&mut self` — predates the engine and is kept as a deprecated
+//! shim for callers that own their runtime exclusively. New code should
+//! use `doacross_engine::Engine`, which serves the same plans from a
+//! sharded concurrent cache through `&self`.
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::fingerprint::PatternFingerprint;
@@ -31,145 +36,57 @@ use doacross_core::{
 use doacross_par::ThreadPool;
 use std::time::Instant;
 
-/// Plan-driven doacross runtime with an LRU plan cache (see module docs).
+/// Executes prebuilt [`ExecutionPlan`]s, owning the per-variant scratch
+/// state (writer-map runtime, linear runtime, blocked runtime) that a plan
+/// execution needs (see module docs).
 ///
-/// ```
-/// use doacross_par::ThreadPool;
-/// use doacross_plan::PlannedDoacross;
-/// use doacross_core::{seq::run_sequential, PlanProvenance, TestLoop};
-///
-/// let pool = ThreadPool::new(2);
-/// let loop_ = TestLoop::new(500, 2, 8);
-/// let mut rt = PlannedDoacross::new(8);
-///
-/// let mut y1 = loop_.initial_y();
-/// let cold = rt.run(&pool, &loop_, &mut y1).unwrap();
-/// assert_eq!(cold.provenance, PlanProvenance::PlanCold);
-///
-/// let mut y2 = loop_.initial_y();
-/// let hot = rt.run(&pool, &loop_, &mut y2).unwrap();
-/// assert_eq!(hot.provenance, PlanProvenance::PlanCached);
-///
-/// let mut oracle = loop_.initial_y();
-/// run_sequential(&loop_, &mut oracle);
-/// assert_eq!(y1, oracle);
-/// assert_eq!(y2, oracle);
-/// ```
+/// The configuration's `validate_terms` is forced off (validation happened
+/// at plan time) and `copy_back` forced on — results always land in `y`,
+/// uniformly across variants (a shadow-array protocol would behave
+/// differently depending on which variant the cost model picked, and this
+/// executor exposes no shadow accessor).
 #[derive(Debug)]
-pub struct PlannedDoacross {
-    planner: Planner,
-    cache: PlanCache,
+pub struct PlanExecutor {
     config: DoacrossConfig,
     inspected: Doacross,
     linear: LinearDoacross,
-    blocked: Option<BlockedDoacross>,
+    /// One strip-mined runtime per block size seen, so a workload
+    /// alternating blocked structures (e.g. L and U factors with
+    /// different legal block sizes) reuses each one's windowed scratch
+    /// instead of reallocating it every execute. Bounded by the distinct
+    /// block sizes this executor encounters.
+    blocked: std::collections::HashMap<usize, BlockedDoacross>,
 }
 
-impl PlannedDoacross {
-    /// Runtime with the default (Multimax-calibrated) planner and a plan
-    /// cache of `cache_capacity` entries.
-    pub fn new(cache_capacity: usize) -> Self {
-        Self::with_parts(cache_capacity, Planner::new(), DoacrossConfig::default())
-    }
-
-    /// Runtime with an explicit planner and doacross configuration.
-    /// `schedule` and `wait` are honored; `validate_terms` is forced off
-    /// (validation happened at plan time) and `copy_back` is forced on —
-    /// results always land in `y`, uniformly across variants (a
-    /// shadow-array protocol would behave differently depending on which
-    /// variant the cost model picked, and this runtime exposes no shadow
-    /// accessor).
-    pub fn with_parts(cache_capacity: usize, planner: Planner, config: DoacrossConfig) -> Self {
+impl PlanExecutor {
+    /// Executor with the given doacross configuration (`schedule` and
+    /// `wait` honored; `validate_terms`/`copy_back` forced, see type docs).
+    pub fn new(config: DoacrossConfig) -> Self {
         let config = DoacrossConfig {
             validate_terms: false,
             copy_back: true,
             ..config
         };
         Self {
-            planner,
-            cache: PlanCache::new(cache_capacity),
             config,
             inspected: Doacross::with_config(0, config),
             linear: LinearDoacross::with_config(0, config),
-            blocked: None,
+            blocked: std::collections::HashMap::new(),
         }
     }
 
-    /// The planner in use.
-    pub fn planner(&self) -> &Planner {
-        &self.planner
+    /// The (forced) configuration executions run under.
+    pub fn config(&self) -> &DoacrossConfig {
+        &self.config
     }
 
-    /// The plan cache.
-    pub fn cache(&self) -> &PlanCache {
-        &self.cache
-    }
-
-    /// Mutable access to the plan cache (e.g. to clear it or pre-warm it).
-    pub fn cache_mut(&mut self) -> &mut PlanCache {
-        &mut self.cache
-    }
-
-    /// Shortcut for the cache's traffic counters.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
-    /// Runs `loop_`, planning (and caching the plan) on first sight of its
-    /// access pattern and skipping all preprocessing thereafter.
+    /// Runs `loop_` under `plan`, dispatching to the plan's variant.
     ///
-    /// Results are bit-identical to [`run_sequential`] for every variant
-    /// the planner can select. The returned stats carry
-    /// [`PlanProvenance::PlanCold`] when the plan was built by this call
-    /// and [`PlanProvenance::PlanCached`] when it was served from cache.
-    pub fn run<L: DoacrossLoop + ?Sized>(
-        &mut self,
-        pool: &ThreadPool,
-        loop_: &L,
-        y: &mut [f64],
-    ) -> Result<RunStats, DoacrossError> {
-        let fingerprint = PatternFingerprint::of(loop_);
-        // A plan priced for a different worker count computes the same
-        // results but may pick the wrong variant; treat it as a miss and
-        // replan (the insert below replaces the stale entry).
-        let processors = pool.threads();
-        let cached = self
-            .cache
-            .get_matching(&fingerprint, |plan| plan.processors() == processors);
-        let (plan, hit) = match cached {
-            Some(plan) => (plan, true),
-            None => {
-                let plan = std::sync::Arc::new(self.planner.plan_with_fingerprint(
-                    pool,
-                    loop_,
-                    fingerprint,
-                )?);
-                self.cache.insert(std::sync::Arc::clone(&plan));
-                (plan, false)
-            }
-        };
-        let mut stats = self.execute(pool, loop_, y, &plan)?;
-        stats.provenance = if hit {
-            PlanProvenance::PlanCached
-        } else {
-            PlanProvenance::PlanCold
-        };
-        Ok(stats)
-    }
-
-    /// Runs `loop_` under an explicitly supplied plan, bypassing the cache
-    /// (stats report [`PlanProvenance::PlanCold`]).
-    pub fn run_with_plan<L: DoacrossLoop + ?Sized>(
-        &mut self,
-        pool: &ThreadPool,
-        loop_: &L,
-        y: &mut [f64],
-        plan: &ExecutionPlan,
-    ) -> Result<RunStats, DoacrossError> {
-        self.execute(pool, loop_, y, plan)
-    }
-
-    fn execute<L: DoacrossLoop + ?Sized>(
+    /// Results are bit-identical to [`run_sequential`] for every variant a
+    /// planner can select. The returned stats report
+    /// [`PlanProvenance::PlanCold`]; callers that know the plan came from
+    /// a cache overwrite the provenance.
+    pub fn execute<L: DoacrossLoop + ?Sized>(
         &mut self,
         pool: &ThreadPool,
         loop_: &L,
@@ -220,19 +137,150 @@ impl PlannedDoacross {
                 Ok(stats)
             }
             PlanVariant::Blocked { block_size } => {
-                let rebuild = self
-                    .blocked
-                    .as_ref()
-                    .is_none_or(|b| b.block_size() != block_size);
-                if rebuild {
-                    self.blocked = Some(BlockedDoacross::with_config(block_size, self.config)?);
-                }
-                let blocked = self.blocked.as_mut().expect("just ensured");
+                let blocked = match self.blocked.entry(block_size) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(BlockedDoacross::with_config(block_size, self.config)?)
+                    }
+                };
                 let mut stats = blocked.run(pool, loop_, y)?;
                 stats.provenance = PlanProvenance::PlanCold;
                 Ok(stats)
             }
         }
+    }
+}
+
+/// Plan-driven doacross runtime with an LRU plan cache (see module docs).
+///
+/// ```
+/// use doacross_par::ThreadPool;
+/// use doacross_plan::PlannedDoacross;
+/// use doacross_core::{seq::run_sequential, PlanProvenance, TestLoop};
+///
+/// let pool = ThreadPool::new(2);
+/// let loop_ = TestLoop::new(500, 2, 8);
+/// let mut rt = PlannedDoacross::new(8);
+///
+/// let mut y1 = loop_.initial_y();
+/// let cold = rt.run(&pool, &loop_, &mut y1).unwrap();
+/// assert_eq!(cold.provenance, PlanProvenance::PlanCold);
+///
+/// let mut y2 = loop_.initial_y();
+/// let hot = rt.run(&pool, &loop_, &mut y2).unwrap();
+/// assert_eq!(hot.provenance, PlanProvenance::PlanCached);
+///
+/// let mut oracle = loop_.initial_y();
+/// run_sequential(&loop_, &mut oracle);
+/// assert_eq!(y1, oracle);
+/// assert_eq!(y2, oracle);
+/// ```
+#[derive(Debug)]
+pub struct PlannedDoacross {
+    planner: Planner,
+    cache: PlanCache,
+    executor: PlanExecutor,
+}
+
+impl PlannedDoacross {
+    /// Runtime with the default (Multimax-calibrated) planner and a plan
+    /// cache of `cache_capacity` entries.
+    pub fn new(cache_capacity: usize) -> Self {
+        Self::with_parts(cache_capacity, Planner::new(), DoacrossConfig::default())
+    }
+
+    /// Runtime with an explicit planner and doacross configuration.
+    /// `schedule` and `wait` are honored; `validate_terms` is forced off
+    /// (validation happened at plan time) and `copy_back` is forced on —
+    /// results always land in `y`, uniformly across variants (a
+    /// shadow-array protocol would behave differently depending on which
+    /// variant the cost model picked, and this runtime exposes no shadow
+    /// accessor).
+    pub fn with_parts(cache_capacity: usize, planner: Planner, config: DoacrossConfig) -> Self {
+        Self {
+            planner,
+            cache: PlanCache::new(cache_capacity),
+            executor: PlanExecutor::new(config),
+        }
+    }
+
+    /// The planner in use.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Mutable access to the plan cache (e.g. to clear it or pre-warm it).
+    pub fn cache_mut(&mut self) -> &mut PlanCache {
+        &mut self.cache
+    }
+
+    /// Shortcut for the cache's traffic counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs `loop_`, planning (and caching the plan) on first sight of its
+    /// access pattern and skipping all preprocessing thereafter.
+    ///
+    /// Results are bit-identical to [`run_sequential`] for every variant
+    /// the planner can select. The returned stats carry
+    /// [`PlanProvenance::PlanCold`] when the plan was built by this call
+    /// and [`PlanProvenance::PlanCached`] when it was served from cache.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use doacross_engine::Engine::{run, prepare}: a thread-safe, \
+                Arc-shareable session with a sharded concurrent plan cache"
+    )]
+    pub fn run<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+    ) -> Result<RunStats, DoacrossError> {
+        let fingerprint = PatternFingerprint::of(loop_);
+        // A plan priced for a different worker count computes the same
+        // results but may pick the wrong variant; treat it as a miss and
+        // replan (the insert below replaces the stale entry).
+        let processors = pool.threads();
+        let cached = self
+            .cache
+            .get_matching(&fingerprint, |plan| plan.processors() == processors);
+        let (plan, hit) = match cached {
+            Some(plan) => (plan, true),
+            None => {
+                let plan = std::sync::Arc::new(self.planner.plan_with_fingerprint(
+                    pool,
+                    loop_,
+                    fingerprint,
+                )?);
+                self.cache.insert(std::sync::Arc::clone(&plan));
+                (plan, false)
+            }
+        };
+        let mut stats = self.executor.execute(pool, loop_, y, &plan)?;
+        stats.provenance = if hit {
+            PlanProvenance::PlanCached
+        } else {
+            PlanProvenance::PlanCold
+        };
+        Ok(stats)
+    }
+
+    /// Runs `loop_` under an explicitly supplied plan, bypassing the cache
+    /// (stats report [`PlanProvenance::PlanCold`]).
+    pub fn run_with_plan<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+        plan: &ExecutionPlan,
+    ) -> Result<RunStats, DoacrossError> {
+        self.executor.execute(pool, loop_, y, plan)
     }
 }
 

@@ -3,6 +3,10 @@
 //! sequential oracle, fingerprints are stable and collision-free across
 //! generated structures, and the cache actually serves hits.
 
+// The deprecated single-owner entry points stay covered for as long as the
+// shims exist.
+#![allow(deprecated)]
+
 use doacross_core::{seq::run_sequential, IndirectLoop, PlanProvenance};
 use doacross_par::ThreadPool;
 use doacross_plan::{PatternFingerprint, PlanCache, PlannedDoacross, Planner};

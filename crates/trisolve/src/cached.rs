@@ -3,54 +3,127 @@
 //! A preconditioned iterative solver calls the triangular solve once (or
 //! twice) per iteration on a **fixed** sparsity structure with changing
 //! right-hand sides — the exact workload the paper's amortization argument
-//! is about. [`PlanCachedSolver`] routes each solve through
-//! `doacross-plan`: the first solve of a structure fingerprints it, runs
-//! the cost model, and caches the chosen variant's preprocessing products;
-//! every subsequent solve of that structure (any rhs — the fingerprint
-//! covers index arrays only) skips inspection, dependence analysis, and
-//! ordering entirely, observable via
+//! is about. [`EngineSolver`] routes each solve through a shared
+//! [`doacross_engine::Engine`]: the first solve of a structure
+//! fingerprints it, runs the cost model, and caches the chosen variant's
+//! preprocessing products; every subsequent solve of that structure (any
+//! rhs — the fingerprint covers index arrays only) skips inspection,
+//! dependence analysis, and ordering entirely, observable via
 //! [`doacross_core::PlanProvenance::PlanCached`] in the returned stats.
 //!
 //! Unlike [`crate::ReorderedSolver`], which pins one strategy and one
-//! structure, this solver holds an LRU of plans across *many* structures —
-//! e.g. the L and U factors of several preconditioners in one service.
+//! structure, the engine holds a sharded LRU of plans across *many*
+//! structures — e.g. the L and U factors of several preconditioners in one
+//! service — and because every entry point is `&self`, one solver instance
+//! serves concurrent solve threads without external locking.
+//!
+//! [`PlanCachedSolver`] is the pre-engine `&mut` API, kept as a thin
+//! deprecated shim over a private engine.
 
 use crate::fig7::TriSolveLoop;
 use doacross_core::{DoacrossConfig, DoacrossError, RunStats};
+use doacross_engine::{Engine, EngineError, PreparedLoop};
 use doacross_par::ThreadPool;
-use doacross_plan::{CacheStats, PlannedDoacross, Planner};
+use doacross_plan::{CacheStats, Planner};
 use doacross_sparse::TriangularMatrix;
 
-/// Preprocessed-doacross triangular solver with a fingerprint-keyed LRU
-/// plan cache (see module docs).
+/// Thread-safe preprocessed-doacross triangular solver over a shared
+/// [`Engine`] (see module docs).
 ///
 /// ```
-/// use doacross_par::ThreadPool;
+/// use doacross_engine::Engine;
 /// use doacross_sparse::{ilu0, stencil::five_point, TriangularMatrix};
-/// use doacross_trisolve::PlanCachedSolver;
+/// use doacross_trisolve::EngineSolver;
 /// use doacross_core::PlanProvenance;
 ///
 /// let a = five_point(8, 8, 3);
 /// let l = TriangularMatrix::from_strict_lower(&ilu0(&a).l);
-/// let pool = ThreadPool::new(2);
-/// let mut solver = PlanCachedSolver::new(4);
+/// let solver = EngineSolver::new(Engine::builder().workers(2).build());
 ///
 /// let rhs1 = vec![1.0; l.n()];
-/// let (y1, cold) = solver.solve(&pool, &l, &rhs1).unwrap();
+/// let (y1, cold) = solver.solve(&l, &rhs1).unwrap();
 /// assert_eq!(y1, l.forward_solve(&rhs1));
 /// assert_eq!(cold.provenance, PlanProvenance::PlanCold);
 ///
 /// // A different rhs on the same structure hits the cached plan.
 /// let rhs2: Vec<f64> = (0..l.n()).map(|i| (i % 7) as f64).collect();
-/// let (y2, hot) = solver.solve(&pool, &l, &rhs2).unwrap();
+/// let (y2, hot) = solver.solve(&l, &rhs2).unwrap();
 /// assert_eq!(y2, l.forward_solve(&rhs2));
 /// assert_eq!(hot.provenance, PlanProvenance::PlanCached);
 /// ```
-#[derive(Debug)]
-pub struct PlanCachedSolver {
-    runtime: PlannedDoacross,
+#[derive(Debug, Clone)]
+pub struct EngineSolver {
+    engine: Engine,
 }
 
+impl EngineSolver {
+    /// Solver over `engine` — typically a clone of a session-wide engine,
+    /// so triangular solves share the pool and plan cache with everything
+    /// else the service runs.
+    pub fn new(engine: Engine) -> Self {
+        Self { engine }
+    }
+
+    /// Solves `L y = rhs`; returns `y` (bit-identical to
+    /// [`TriangularMatrix::forward_solve`]) and the run statistics, whose
+    /// `provenance` field tells whether this solve reused a cached plan.
+    pub fn solve(
+        &self,
+        l: &TriangularMatrix,
+        rhs: &[f64],
+    ) -> Result<(Vec<f64>, RunStats), EngineError> {
+        let loop_ = TriSolveLoop::new(l, rhs);
+        // The executor's `init` seeds from rhs, so y's initial contents are
+        // arbitrary.
+        let mut y = vec![0.0; l.n()];
+        let stats = self.engine.run(&loop_, &mut y)?;
+        Ok((y, stats))
+    }
+
+    /// Resolves the structure of `l` to a reusable [`PreparedLoop`] handle
+    /// without solving. The handle is keyed on the sparsity structure
+    /// alone, so it executes any [`TriSolveLoop`] over `l` regardless of
+    /// rhs.
+    pub fn prepare(&self, l: &TriangularMatrix) -> Result<PreparedLoop, EngineError> {
+        // Fingerprints are value-blind: a zero rhs carries the structure.
+        let rhs = vec![0.0; l.n()];
+        self.engine.prepare(&TriSolveLoop::new(l, &rhs))
+    }
+
+    /// The shared engine (plan/cache introspection, invalidation).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Plan-cache traffic counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+}
+
+/// Pre-engine plan-cached solver: `&mut self`, caller-supplied pool.
+///
+/// Kept as a compatibility shim: internally it lazily builds a private
+/// [`Engine`] sized to the worker count of the pool passed to
+/// [`PlanCachedSolver::solve`] (solves run on the engine's own workers;
+/// the passed pool only determines the count, and a count change rebuilds
+/// the engine, dropping cached plans). New code should construct an
+/// [`EngineSolver`] over a shared engine instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use EngineSolver over a shared doacross_engine::Engine; this shim \
+            spawns a private engine per worker-count and cannot be shared \
+            across threads"
+)]
+#[derive(Debug)]
+pub struct PlanCachedSolver {
+    cache_capacity: usize,
+    planner: Planner,
+    config: DoacrossConfig,
+    engine: Option<Engine>,
+}
+
+#[allow(deprecated)]
 impl PlanCachedSolver {
     /// Solver holding up to `cache_capacity` structure plans.
     pub fn new(cache_capacity: usize) -> Self {
@@ -61,40 +134,50 @@ impl PlanCachedSolver {
     /// doacross configuration.
     pub fn with_parts(cache_capacity: usize, planner: Planner, config: DoacrossConfig) -> Self {
         Self {
-            runtime: PlannedDoacross::with_parts(cache_capacity, planner, config),
+            cache_capacity,
+            planner,
+            config,
+            engine: None,
         }
     }
 
-    /// Solves `L y = rhs`; returns `y` (bit-identical to
-    /// [`TriangularMatrix::forward_solve`]) and the run statistics, whose
-    /// `provenance` field tells whether this solve reused a cached plan.
+    /// Solves `L y = rhs`; see [`EngineSolver::solve`]. `pool` supplies
+    /// the worker count the internal engine runs with.
     pub fn solve(
         &mut self,
         pool: &ThreadPool,
         l: &TriangularMatrix,
         rhs: &[f64],
     ) -> Result<(Vec<f64>, RunStats), DoacrossError> {
+        let workers = pool.threads();
+        if self.engine.as_ref().is_none_or(|e| e.threads() != workers) {
+            self.engine = Some(
+                Engine::builder()
+                    .workers(workers)
+                    .cache_capacity(self.cache_capacity)
+                    .planner(self.planner.clone())
+                    .config(self.config)
+                    .build(),
+            );
+        }
+        let engine = self.engine.as_ref().expect("just ensured");
         let loop_ = TriSolveLoop::new(l, rhs);
-        // The executor's `init` seeds from rhs, so y's initial contents are
-        // arbitrary.
         let mut y = vec![0.0; l.n()];
-        let stats = self.runtime.run(pool, &loop_, &mut y)?;
-        Ok((y, stats))
+        match engine.run(&loop_, &mut y) {
+            Ok(stats) => Ok((y, stats)),
+            Err(EngineError::Doacross(err)) => Err(err),
+            Err(EngineError::StalePlan { .. }) => {
+                unreachable!("the shim never invalidates its private engine")
+            }
+        }
     }
 
-    /// The underlying planned runtime (plan/cache introspection).
-    pub fn runtime(&self) -> &PlannedDoacross {
-        &self.runtime
-    }
-
-    /// Mutable access to the underlying planned runtime.
-    pub fn runtime_mut(&mut self) -> &mut PlannedDoacross {
-        &mut self.runtime
-    }
-
-    /// Plan-cache traffic counters.
+    /// Plan-cache traffic counters (zeroed until the first solve).
     pub fn cache_stats(&self) -> CacheStats {
-        self.runtime.cache_stats()
+        self.engine
+            .as_ref()
+            .map(Engine::cache_stats)
+            .unwrap_or_default()
     }
 }
 
@@ -108,16 +191,24 @@ mod tests {
         TriangularMatrix::from_strict_lower(&ilu0(&five_point(nx, ny, seed)).l)
     }
 
+    fn solver(workers: usize, capacity: usize) -> EngineSolver {
+        EngineSolver::new(
+            Engine::builder()
+                .workers(workers)
+                .cache_capacity(capacity)
+                .build(),
+        )
+    }
+
     #[test]
     fn repeated_solves_hit_the_cache_and_stay_exact() {
         let l = grid_factor(12, 10, 7);
-        let pool = ThreadPool::new(4);
-        let mut solver = PlanCachedSolver::new(4);
+        let solver = solver(4, 4);
         for round in 0..5 {
             let rhs: Vec<f64> = (0..l.n())
                 .map(|i| 1.0 + ((i + round) % 9) as f64 * 0.25)
                 .collect();
-            let (y, stats) = solver.solve(&pool, &l, &rhs).unwrap();
+            let (y, stats) = solver.solve(&l, &rhs).unwrap();
             assert_eq!(y, l.forward_solve(&rhs), "round {round}");
             if round == 0 {
                 assert_eq!(stats.provenance, PlanProvenance::PlanCold);
@@ -137,8 +228,7 @@ mod tests {
 
     #[test]
     fn multiple_structures_share_one_solver() {
-        let pool = ThreadPool::new(2);
-        let mut solver = PlanCachedSolver::new(4);
+        let solver = solver(2, 8);
         let factors: Vec<TriangularMatrix> = [(9, 7, 1u64), (8, 8, 2), (6, 11, 3)]
             .iter()
             .map(|&(nx, ny, s)| grid_factor(nx, ny, s))
@@ -147,7 +237,7 @@ mod tests {
         for round in 0..3 {
             for l in &factors {
                 let rhs = vec![1.0 + round as f64; l.n()];
-                let (y, _) = solver.solve(&pool, l, &rhs).unwrap();
+                let (y, _) = solver.solve(l, &rhs).unwrap();
                 assert!(max_abs_diff(&y, &l.forward_solve(&rhs)) == 0.0);
             }
         }
@@ -158,17 +248,92 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_tenants_solve_through_one_engine_solver() {
+        // The multi-tenant workload the engine redesign exists for: three
+        // threads, three preconditioner factors, one shared solver — all
+        // solves exact, every structure planned exactly once.
+        let solver = solver(2, 8);
+        let factors: Vec<TriangularMatrix> = [(10, 6, 11u64), (7, 9, 12), (8, 8, 13)]
+            .iter()
+            .map(|&(nx, ny, s)| grid_factor(nx, ny, s))
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..3usize {
+                let solver = &solver;
+                let factors = &factors;
+                scope.spawn(move || {
+                    for round in 0..4usize {
+                        for (fi, l) in factors.iter().enumerate() {
+                            let rhs: Vec<f64> = (0..l.n())
+                                .map(|i| 1.0 + ((i + t + round) % 5) as f64)
+                                .collect();
+                            let (y, _) = solver.solve(l, &rhs).unwrap();
+                            assert_eq!(y, l.forward_solve(&rhs), "tenant {t} factor {fi}");
+                        }
+                    }
+                });
+            }
+        });
+        let s = solver.cache_stats();
+        assert_eq!(s.misses, 3, "build-under-lock: one plan per structure");
+        assert_eq!(s.hits + s.misses, 3 * 4 * 3);
+    }
+
+    #[test]
+    fn prepared_handles_cover_any_rhs() {
+        let l = grid_factor(10, 10, 55);
+        let solver = solver(4, 2);
+        let prepared = solver.prepare(&l).unwrap();
+        for round in 0..3 {
+            let rhs: Vec<f64> = (0..l.n()).map(|i| ((i * round) % 7) as f64).collect();
+            let loop_ = TriSolveLoop::new(&l, &rhs);
+            let mut y = vec![0.0; l.n()];
+            prepared.execute(&loop_, &mut y).unwrap();
+            assert_eq!(y, l.forward_solve(&rhs), "round {round}");
+        }
+    }
+
+    #[test]
     fn trisolve_plans_pick_a_parallel_variant_on_grids() {
         // The 10x10 five-point ILU(0) factor has average parallelism ≈ 5;
         // the planner must not fall back to sequential on 4 workers.
         let l = grid_factor(10, 10, 55);
-        let pool = ThreadPool::new(4);
-        let mut solver = PlanCachedSolver::new(2);
+        let solver = solver(4, 2);
         let rhs = vec![1.0; l.n()];
-        let (_, stats) = solver.solve(&pool, &l, &rhs).unwrap();
+        let (_, stats) = solver.solve(&l, &rhs).unwrap();
         assert!(
             stats.workers > 1,
             "expected a parallel plan for a wide wavefront structure"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_solves_exactly() {
+        let l = grid_factor(9, 9, 21);
+        let pool = ThreadPool::new(2);
+        let mut shim = PlanCachedSolver::new(4);
+        assert_eq!(shim.cache_stats(), CacheStats::default());
+        for round in 0..3 {
+            let rhs = vec![1.0 + round as f64 * 0.5; l.n()];
+            let (y, stats) = shim.solve(&pool, &l, &rhs).unwrap();
+            assert_eq!(y, l.forward_solve(&rhs), "round {round}");
+            assert_eq!(
+                stats.provenance,
+                if round == 0 {
+                    PlanProvenance::PlanCold
+                } else {
+                    PlanProvenance::PlanCached
+                }
+            );
+        }
+        assert_eq!(shim.cache_stats().hits, 2);
+
+        // A pool-size change rebuilds the private engine (fresh cache).
+        let bigger = ThreadPool::new(4);
+        let rhs = vec![2.0; l.n()];
+        let (y, stats) = shim.solve(&bigger, &l, &rhs).unwrap();
+        assert_eq!(y, l.forward_solve(&rhs));
+        assert_eq!(stats.provenance, PlanProvenance::PlanCold);
     }
 }

@@ -18,11 +18,14 @@
 //! * [`level_sched::LevelScheduledSolver`] — a barrier-per-wavefront
 //!   solver, the classic alternative, included as an ablation baseline.
 //!
-//! On top of these, [`cached::PlanCachedSolver`] routes solves through the
-//! `doacross-plan` subsystem: per-structure execution plans (cost-model
-//! selected variant + captured preprocessing) held in an LRU cache, so
-//! repeated solves — the Krylov-iteration workload — skip preprocessing
-//! entirely.
+//! On top of these, [`cached::EngineSolver`] routes solves through a
+//! shared `doacross_engine::Engine`: per-structure execution plans
+//! (cost-model selected variant + captured preprocessing) held in a
+//! sharded concurrent LRU cache, so repeated solves — the
+//! Krylov-iteration workload — skip preprocessing entirely, and one
+//! solver instance serves concurrent solve threads through `&self`.
+//! (The pre-engine [`cached::PlanCachedSolver`] remains as a deprecated
+//! `&mut` shim.)
 //!
 //! All four produce bit-identical results (same per-row reduction order),
 //! which the test suites exploit.
@@ -42,6 +45,8 @@ pub mod upper;
 pub mod verify;
 
 pub use blocked_solver::BlockedSolver;
+pub use cached::EngineSolver;
+#[allow(deprecated)]
 pub use cached::PlanCachedSolver;
 pub use fig7::TriSolveLoop;
 pub use level_sched::LevelScheduledSolver;

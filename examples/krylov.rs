@@ -7,13 +7,15 @@
 //! iteration: `x ← x + M⁻¹ (b − A x)`, `M = L·U` from ILU(0). Both halves
 //! of every `M⁻¹` application (forward and backward substitution) are
 //! doacross-parallel, with their doconsider reorderings computed once and
-//! amortized across all iterations.
+//! amortized across all iterations. The session's `Engine` owns the one
+//! worker pool everything runs on — preconditioner applications borrow it
+//! via `engine.pool()`.
 //!
 //! Run: `cargo run --release --example krylov`
 
-use preprocessed_doacross::par::ThreadPool;
 use preprocessed_doacross::sparse::{spmv::csr_matvec, stencil::five_point, vec_ops::norm2};
 use preprocessed_doacross::trisolve::IluPreconditioner;
+use preprocessed_doacross::Engine;
 
 fn main() {
     let (nx, ny) = (48usize, 48usize);
@@ -33,10 +35,9 @@ fn main() {
         precond.u().nnz()
     );
 
-    let workers = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(2);
-    let pool = ThreadPool::new(workers);
+    // One engine per service: its pool is the session's only pool.
+    let engine = Engine::builder().build();
+    let workers = engine.threads();
 
     // Preconditioned Richardson: x += M^-1 (b - A x).
     let mut x = vec![0.0; n];
@@ -52,8 +53,9 @@ fn main() {
         if rel < 1e-10 {
             break;
         }
-        // Two preprocessed-doacross triangular solves per application.
-        let z = precond.apply(&pool, &r).expect("valid solves");
+        // Two preprocessed-doacross triangular solves per application, on
+        // the engine's workers.
+        let z = precond.apply(engine.pool(), &r).expect("valid solves");
         for (xi, zi) in x.iter_mut().zip(&z) {
             *xi += zi;
         }

@@ -1,44 +1,43 @@
-//! The execution-plan subsystem end to end: fingerprint → cost-model
-//! variant selection → LRU-cached plans → preprocessing-free reruns.
+//! The engine end to end: fingerprint → cost-model variant selection →
+//! sharded concurrent plan cache → preprocessing-free reruns from many
+//! threads — plus invalidation retiring stale handles.
 //!
 //! ```bash
 //! cargo run --release --example plan_cache
 //! ```
 
 use preprocessed_doacross::core::{PlanProvenance, TestLoop};
-use preprocessed_doacross::par::ThreadPool;
-use preprocessed_doacross::plan::{PatternFingerprint, PlannedDoacross, Planner};
+use preprocessed_doacross::plan::PatternFingerprint;
 use preprocessed_doacross::sparse::{ilu0, stencil::five_point, TriangularMatrix};
-use preprocessed_doacross::trisolve::PlanCachedSolver;
+use preprocessed_doacross::trisolve::EngineSolver;
+use preprocessed_doacross::{Engine, EngineError};
 
 fn main() {
-    let pool = ThreadPool::new(4);
+    let engine = Engine::builder().workers(4).cache_capacity(16).build();
 
     // --- 1. What does the planner decide, and why? -----------------------
     println!("== variant selection across dependence structures ==");
-    let planner = Planner::new();
     for (name, l) in [
         ("doall (odd L)", 7usize),
         ("distance-1 chain (L=4)", 4),
         ("stretched deps (L=14)", 14),
     ] {
         let loop_ = TestLoop::new(2_000, 1, l);
-        let plan = planner.plan(&pool, &loop_).expect("plannable");
+        let prepared = engine.prepare(&loop_).expect("plannable");
         println!(
             "  {name:<22} -> {} (critical path {}, avg parallelism {:.1})",
-            plan.variant(),
-            plan.census().critical_path,
-            plan.census().average_parallelism,
+            prepared.variant(),
+            prepared.plan().census().critical_path,
+            prepared.plan().census().average_parallelism,
         );
     }
 
     // --- 2. Cold plan, then cached reruns. -------------------------------
     println!("\n== plan cache on the Figure 4 loop ==");
     let loop_ = TestLoop::new(10_000, 2, 8);
-    let mut rt = PlannedDoacross::new(8);
     for round in 0..3 {
         let mut y = loop_.initial_y();
-        let stats = rt.run(&pool, &loop_, &mut y).expect("valid loop");
+        let stats = engine.run(&loop_, &mut y).expect("valid loop");
         println!(
             "  run {round}: preprocessing {} (inspector {:?}, total {:?})",
             stats.provenance, stats.inspector, stats.total,
@@ -52,15 +51,36 @@ fn main() {
             }
         );
     }
-    let s = rt.cache_stats();
+
+    // --- 3. Many threads, one engine: the redesign's point. --------------
+    println!("\n== 4 threads executing one prepared handle ==");
+    let prepared = engine.prepare(&loop_).expect("cached");
+    let expect = {
+        let mut y = loop_.initial_y();
+        preprocessed_doacross::core::seq::run_sequential(&loop_, &mut y);
+        y
+    };
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let handle = prepared.clone();
+            let (loop_, expect) = (&loop_, &expect);
+            scope.spawn(move || {
+                let mut y = loop_.initial_y();
+                handle.execute(loop_, &mut y).expect("valid");
+                assert_eq!(&y, expect, "thread {t}");
+            });
+        }
+    });
+    let s = engine.cache_stats();
     println!(
-        "  cache: {} hits / {} misses (hit rate {:.0}%)",
+        "  all bit-identical; cache {} hits / {} misses over {} shards (hit rate {:.0}%)",
         s.hits,
         s.misses,
+        engine.shards(),
         s.hit_rate() * 100.0
     );
 
-    // --- 3. The fingerprint is structural: values don't matter. ----------
+    // --- 4. The fingerprint is structural: values don't matter. ----------
     println!("\n== fingerprints are value-blind ==");
     let a = five_point(16, 16, 1);
     let l = TriangularMatrix::from_strict_lower(&ilu0(&a).l);
@@ -71,9 +91,9 @@ fn main() {
     ));
     println!("  L factor fingerprint: {fp}");
 
-    let mut solver = PlanCachedSolver::new(4);
-    let (y1, cold) = solver.solve(&pool, &l, &rhs1).expect("valid system");
-    let (y2, hot) = solver.solve(&pool, &l, &rhs2).expect("valid system");
+    let solver = EngineSolver::new(engine.clone());
+    let (y1, cold) = solver.solve(&l, &rhs1).expect("valid system");
+    let (y2, hot) = solver.solve(&l, &rhs2).expect("valid system");
     assert_eq!(y1, l.forward_solve(&rhs1));
     assert_eq!(y2, l.forward_solve(&rhs2));
     println!(
@@ -81,14 +101,28 @@ fn main() {
         cold.provenance, hot.provenance
     );
 
-    // --- 4. Safety rails stay up. ----------------------------------------
-    println!("\n== a plan never runs against the wrong loop ==");
-    let small = TestLoop::new(100, 1, 7);
-    let big = TestLoop::new(200, 1, 7);
-    let plan = planner.plan(&pool, &small).expect("plannable");
-    let mut y = big.initial_y();
-    let err = rt
-        .run_with_plan(&pool, &big, &mut y, &plan)
-        .expect_err("shape mismatch must be rejected");
-    println!("  {err}");
+    // --- 5. Invalidation retires stale handles, typed. -------------------
+    println!("\n== invalidation fails stale handles fast ==");
+    let handle = solver.prepare(&l).expect("cached");
+    engine.invalidate(handle.fingerprint());
+    let loop_ = preprocessed_doacross::trisolve::TriSolveLoop::new(&l, &rhs1);
+    let mut y = vec![0.0; l.n()];
+    match handle.execute(&loop_, &mut y) {
+        Err(EngineError::StalePlan {
+            prepared_generation,
+            current_generation,
+            ..
+        }) => println!(
+            "  stale handle rejected (generation {prepared_generation} < {current_generation}); \
+             re-prepare to rebuild"
+        ),
+        other => panic!("expected StalePlan, got {other:?}"),
+    }
+    let fresh = solver.prepare(&l).expect("replanned");
+    fresh.execute(&loop_, &mut y).expect("fresh handle works");
+    assert_eq!(y, l.forward_solve(&rhs1));
+    println!(
+        "  fresh handle (generation {}) solves again.",
+        fresh.generation()
+    );
 }

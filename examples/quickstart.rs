@@ -1,5 +1,5 @@
 //! Quickstart: parallelize a loop whose dependencies are only known at
-//! run time (the paper's Figure 1 situation).
+//! run time (the paper's Figure 1 situation), through the engine API.
 //!
 //! ```fortran
 //! do i = 1, N
@@ -9,12 +9,14 @@
 //!
 //! `a` and `b` are data read from somewhere at run time — no compiler can
 //! prove which iterations depend on which. The preprocessed doacross
-//! figures it out on the fly and runs the loop in parallel anyway.
+//! figures it out on the fly and runs the loop in parallel anyway; the
+//! `Engine` additionally remembers the analysis, so the second run of the
+//! same structure skips it entirely.
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use preprocessed_doacross::core::{seq::run_sequential, Doacross, IndirectLoop};
-use preprocessed_doacross::par::ThreadPool;
+use preprocessed_doacross::core::{seq::run_sequential, IndirectLoop};
+use preprocessed_doacross::Engine;
 
 fn main() {
     // A scrambled dependency pattern: iteration i writes y[a[i]] and reads
@@ -34,15 +36,12 @@ fn main() {
     let mut y_seq = y0.clone();
     run_sequential(&loop_, &mut y_seq);
 
-    // Preprocessed doacross on a 4-worker pool: inspector fills iter(a(i)),
-    // the executor resolves every y[b[i]] against it (busy-waiting only on
-    // true dependencies), postprocessing resets the scratch for reuse.
-    let pool = ThreadPool::new(4);
-    let mut runtime = Doacross::for_loop(&loop_);
-    let mut y_par = y0;
-    let stats = runtime
-        .run(&pool, &loop_, &mut y_par)
-        .expect("no output deps");
+    // One engine for the whole session: workers, planner, and a sharded
+    // plan cache behind &self — clones share everything.
+    let engine = Engine::builder().workers(4).build();
+
+    let mut y_par = y0.clone();
+    let stats = engine.run(&loop_, &mut y_par).expect("no output deps");
 
     println!("sequential : {y_seq:?}");
     println!("doacross   : {y_par:?}");
@@ -53,9 +52,28 @@ fn main() {
         "reference classification: {} true deps, {} old-value reads, {} intra",
         stats.deps.true_deps, stats.deps.anti_or_unwritten, stats.deps.intra
     );
-    println!("\nThe runtime is reusable: its iter/ready scratch arrays were reset");
     println!(
-        "by the postprocessing phase (clean = {}).",
-        runtime.scratch_is_clean()
+        "preprocessing: {} (first sight of this structure)",
+        stats.provenance
+    );
+
+    // Same structure again — any coefficients, any y contents: the plan is
+    // served from the cache and the inspector never runs.
+    let prepared = engine.prepare(&loop_).expect("cached");
+    let mut y_again = y0;
+    let hot = prepared.execute(&loop_, &mut y_again).expect("valid");
+    assert_eq!(y_again, y_seq);
+    println!(
+        "\nrerun via prepared handle: {} (inspector {:?}), variant {}",
+        hot.provenance,
+        hot.inspector,
+        prepared.variant()
+    );
+    let s = engine.cache_stats();
+    println!(
+        "cache: {} hit / {} miss over {} shards",
+        s.hits,
+        s.misses,
+        engine.shards()
     );
 }

@@ -1,14 +1,14 @@
 //! The paper's Figure 4 test loop, end to end: dependence census,
-//! parallel execution on host threads, the §2.3 inspector-free linear
-//! variant, and the simulated 16-processor efficiency — one row of
-//! Figure 6, reproduced live.
+//! engine-planned parallel execution on host threads, the §2.3
+//! inspector-free linear variant, and the simulated 16-processor
+//! efficiency — one row of Figure 6, reproduced live.
 //!
 //! Run: `cargo run --release --example test_loop [L] [M]`
 //! (defaults: L = 8, M = 5)
 
-use preprocessed_doacross::core::{seq::run_sequential, Doacross, LinearDoacross, TestLoop};
-use preprocessed_doacross::par::ThreadPool;
+use preprocessed_doacross::core::{seq::run_sequential, LinearDoacross, TestLoop};
 use preprocessed_doacross::sim::{Machine, SimOptions};
+use preprocessed_doacross::Engine;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -31,25 +31,30 @@ fn main() {
         );
     }
 
-    // Host-thread execution: full pipeline vs. sequential oracle.
-    let workers = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(2);
-    let pool = ThreadPool::new(workers);
+    // Host-thread execution through the engine: the cost model picks the
+    // variant, and the plan is cached for reruns.
+    let engine = Engine::builder().build();
+    let workers = engine.threads();
     let mut y_seq = loop_.initial_y();
     run_sequential(&loop_, &mut y_seq);
 
+    let prepared = engine.prepare(&loop_).expect("valid loop");
+    println!(
+        "engine plan: {} (priced for {} workers)",
+        prepared.variant(),
+        prepared.plan().processors()
+    );
     let mut y_par = loop_.initial_y();
-    let mut runtime = Doacross::for_loop(&loop_);
-    let stats = runtime.run(&pool, &loop_, &mut y_par).expect("valid loop");
+    let stats = prepared.execute(&loop_, &mut y_par).expect("valid loop");
     assert_eq!(y_seq, y_par);
-    println!("host ({workers} workers), inspected:  {stats}");
+    println!("host ({workers} workers), engine:      {stats}");
 
-    // §2.3: a(i) = 2i is linear, so the inspector can be eliminated.
+    // §2.3: a(i) = 2i is linear, so the inspector can be eliminated —
+    // shown here against the low-level runtime directly.
     let mut y_lin = loop_.initial_y();
     let mut linear = LinearDoacross::new(loop_.initial_y().len());
     let lin_stats = linear
-        .run(&pool, &loop_, loop_.linear_subscript(), &mut y_lin)
+        .run(engine.pool(), &loop_, loop_.linear_subscript(), &mut y_lin)
         .expect("subscript is linear");
     assert_eq!(y_seq, y_lin);
     println!("host ({workers} workers), linear §2.3: {lin_stats}");

@@ -1,17 +1,19 @@
 //! Sparse triangular solve (the paper's §3.2 application): generate a
-//! Table 1 problem, ILU(0)-factor it, and solve with all four solvers —
-//! sequential, preprocessed doacross, doconsider-rearranged doacross, and
-//! the level-scheduled baseline — verifying they agree bit for bit.
+//! Table 1 problem, ILU(0)-factor it, and solve with all the solvers the
+//! evaluation compares — sequential, preprocessed doacross,
+//! doconsider-rearranged doacross, the level-scheduled baseline, and the
+//! engine-cached solver — verifying they agree bit for bit.
 //!
 //! Run: `cargo run --release --example triangular [spe2|spe5|5pt|7pt|9pt]`
 //! (default: 5pt)
 
-use preprocessed_doacross::par::ThreadPool;
+use preprocessed_doacross::core::PlanProvenance;
 use preprocessed_doacross::sparse::{Problem, ProblemKind};
 use preprocessed_doacross::trisolve::{
-    seq::solve_sequential, verify::assert_solves, DoacrossSolver, LevelScheduledSolver,
-    ReorderedSolver,
+    seq::solve_sequential, verify::assert_solves, DoacrossSolver, EngineSolver,
+    LevelScheduledSolver, ReorderedSolver,
 };
+use preprocessed_doacross::Engine;
 
 fn main() {
     let kind = match std::env::args().nth(1).as_deref() {
@@ -34,10 +36,11 @@ fn main() {
         sys.l.nnz()
     );
 
-    let workers = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(2);
-    let pool = ThreadPool::new(workers);
+    // One engine: its pool serves every solver below, and its plan cache
+    // serves the engine-cached solves.
+    let engine = Engine::builder().build();
+    let workers = engine.threads();
+    let pool = engine.pool();
 
     // 1. Sequential (Figure 7 verbatim).
     let y_seq = solve_sequential(&sys.l, &sys.rhs);
@@ -45,7 +48,7 @@ fn main() {
 
     // 2. Preprocessed doacross, natural row order.
     let mut plain = DoacrossSolver::new(sys.n());
-    let (y_plain, stats_plain) = plain.solve(&pool, &sys.l, &sys.rhs).expect("valid");
+    let (y_plain, stats_plain) = plain.solve(pool, &sys.l, &sys.rhs).expect("valid");
     assert_eq!(y_plain, y_seq, "doacross == sequential, bitwise");
     println!("\npreprocessed doacross ({workers} workers): {stats_plain}");
 
@@ -58,7 +61,7 @@ fn main() {
         plan.levels.average_parallelism(),
         plan.planning_time
     );
-    let (y_re, stats_re) = reordered.solve(&pool, &sys.l, &sys.rhs).expect("valid");
+    let (y_re, stats_re) = reordered.solve(pool, &sys.l, &sys.rhs).expect("valid");
     assert_eq!(y_re, y_seq, "rearranged == sequential, bitwise");
     println!("rearranged doacross:  {stats_re}");
     println!(
@@ -74,11 +77,24 @@ fn main() {
 
     // 4. Level-scheduled baseline.
     let mut level = LevelScheduledSolver::new();
-    let (y_lvl, lvl_stats) = level.solve(&pool, &sys.l, &sys.rhs).expect("valid");
+    let (y_lvl, lvl_stats) = level.solve(pool, &sys.l, &sys.rhs).expect("valid");
     assert_eq!(y_lvl, y_seq, "level-scheduled == sequential, bitwise");
     println!(
         "\nlevel-scheduled baseline: {} levels in {:?}",
         lvl_stats.levels, lvl_stats.solve_time
+    );
+
+    // 5. Engine-cached: the cost model picks the variant, the plan is
+    // cached, and the second solve skips preprocessing entirely.
+    let solver = EngineSolver::new(engine.clone());
+    let (y_eng, cold) = solver.solve(&sys.l, &sys.rhs).expect("valid");
+    assert_eq!(y_eng, y_seq, "engine == sequential, bitwise");
+    let (_, hot) = solver.solve(&sys.l, &sys.rhs).expect("valid");
+    assert_eq!(cold.provenance, PlanProvenance::PlanCold);
+    assert_eq!(hot.provenance, PlanProvenance::PlanCached);
+    println!(
+        "\nengine-cached solver: cold {:?} -> cached {:?} (inspector {:?})",
+        cold.total, hot.total, hot.inspector
     );
 
     // The manufactured solution lets us check accuracy end to end.
@@ -88,5 +104,5 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     println!("\nmax |y - manufactured solution| = {max_err:.2e}");
-    println!("all four solvers agree bit for bit.");
+    println!("all solvers agree bit for bit.");
 }

@@ -11,6 +11,7 @@ use preprocessed_doacross::doconsider::{level_histogram, DependenceDag, LevelAss
 use preprocessed_doacross::sim::Machine;
 use preprocessed_doacross::sparse::{ilu0, stencil::five_point, TriangularMatrix};
 use preprocessed_doacross::trisolve::{SolvePlan, TriSolveLoop};
+use preprocessed_doacross::Engine;
 
 fn main() {
     // Small enough that the level map fits a terminal, large enough that
@@ -72,5 +73,22 @@ fn main() {
         natural.stalls - reordered.stalls,
         natural.stalls,
         100.0 * (1.0 - reordered.t_par / natural.t_par)
+    );
+
+    // What the engine's cost model concludes about the same structure on
+    // the host: the doconsider order is one of the candidates it prices.
+    let engine = Engine::builder().build();
+    let prepared = engine.prepare(&loop_).expect("plannable");
+    let costs = prepared.plan().costs();
+    println!(
+        "\nengine plan for this structure ({} workers): {}",
+        engine.threads(),
+        prepared.variant()
+    );
+    println!(
+        "  priced candidates: sequential {:.0}, doacross {:?}, reordered {:?}",
+        costs.sequential,
+        costs.doacross.map(|c| c.round()),
+        costs.reordered.map(|c| c.round()),
     );
 }

@@ -6,30 +6,20 @@
 //! > Loop*, ICASE Interim Report 11 / NASA CR-182056 (May 1990); ICPP
 //! > 1991.
 //!
-//! This facade crate re-exports the whole workspace:
-//!
-//! * [`core`] — the preprocessed doacross runtime itself (inspector /
-//!   executor / postprocessor, plus the §2.3 blocked and linear-subscript
-//!   variants).
-//! * [`par`] — the parallel substrate (thread pool, self-scheduled
-//!   `parallel do`, busy-wait primitives).
-//! * [`sparse`] — sparse-matrix substrate: stencil operators, ILU(0), and
-//!   the five Table 1 triangular systems.
-//! * [`doconsider`] — the iteration-reordering transformation of §3.2.
-//! * [`trisolve`] — the triangular solvers the evaluation compares.
-//! * [`sim`] — the 16-processor Encore Multimax discrete-event model used
-//!   to regenerate Figure 6 and Table 1.
-//! * [`plan`] — the execution-plan subsystem: pattern fingerprinting,
-//!   cost-model variant selection (sequential / doacross / linear /
-//!   reordered / blocked), and an LRU plan cache that amortizes
-//!   preprocessing across repeated loop structures (§2.1's "performed just
-//!   once, executed many times", as a system component).
+//! The front door is [`Engine`]: a thread-safe, `Arc`-shareable session
+//! that owns the worker pool, the cost-model planner, and a **sharded
+//! concurrent plan cache**. It turns the paper's central economy —
+//! preprocessing "performed just once, while the doacross loop may be
+//! executed many times" (§2.1) — into a serving primitive: the first
+//! encounter with a loop *structure* pays fingerprinting, dependence
+//! analysis, variant selection, and inspection capture; every later
+//! encounter, from any thread, reuses the cached [`PreparedLoop`].
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use preprocessed_doacross::core::{Doacross, IndirectLoop};
-//! use preprocessed_doacross::par::ThreadPool;
+//! use preprocessed_doacross::core::IndirectLoop;
+//! use preprocessed_doacross::Engine;
 //!
 //! // A loop whose dependencies exist only at run time:
 //! //   y[a[i]] += 0.5 * y[b[i]]
@@ -38,16 +28,85 @@
 //! let rhs: Vec<Vec<usize>> = b.iter().map(|&e| vec![e]).collect();
 //! let loop_ = IndirectLoop::new(5, a, rhs, vec![vec![0.5]; 4]).unwrap();
 //!
-//! let pool = ThreadPool::new(2);
+//! let engine = Engine::builder().workers(2).build();
+//!
+//! // One-shot: plans on first sight, caches the plan.
 //! let mut y = vec![1.0, 0.0, 0.0, 0.0, 0.0];
-//! Doacross::for_loop(&loop_).run(&pool, &loop_, &mut y).unwrap();
+//! engine.run(&loop_, &mut y).unwrap();
 //! assert_eq!(y, vec![1.0, 0.5, 0.25, 0.125, 0.0625]);
+//!
+//! // Prepared handle: a first-class, cloneable value — build once,
+//! // execute from many threads, any coefficient values or y contents.
+//! let prepared = engine.prepare(&loop_).unwrap();
+//! let mut y2 = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+//! prepared.execute(&loop_, &mut y2).unwrap();
+//! assert_eq!(y2, y);
+//! assert_eq!(engine.cache_stats().hits, 1);
 //! ```
+//!
+//! `Engine::builder().calibrated()` prices variants with cost ratios
+//! measured on *this* host (via [`sim`]'s calibration) instead of the
+//! paper's Encore Multimax preset; `Engine::invalidate` retires the plans
+//! (and outstanding handles) of a structure about to be mutated in place.
+//!
+//! ## The workspace underneath
+//!
+//! * [`engine`] — the session layer re-exported above: [`Engine`],
+//!   [`EngineBuilder`], [`PreparedLoop`], [`EngineError`].
+//! * [`core`] — the preprocessed doacross runtime itself (inspector /
+//!   executor / postprocessor, plus the §2.3 blocked and linear-subscript
+//!   variants).
+//! * [`par`] — the parallel substrate (thread pool, self-scheduled
+//!   `parallel do`, busy-wait primitives).
+//! * [`sparse`] — sparse-matrix substrate: stencil operators, ILU(0), and
+//!   the five Table 1 triangular systems.
+//! * [`doconsider`] — the iteration-reordering transformation of §3.2.
+//! * [`trisolve`] — the triangular solvers the evaluation compares;
+//!   `trisolve::EngineSolver` runs them through a shared engine.
+//! * [`sim`] — the 16-processor Encore Multimax discrete-event model used
+//!   to regenerate Figure 6 and Table 1, plus host calibration.
+//! * [`plan`] — the execution-plan subsystem the engine is built on:
+//!   pattern fingerprinting, cost-model variant selection (sequential /
+//!   doacross / linear / reordered / blocked), the single-owner LRU
+//!   [`plan::PlanCache`], and the sharded
+//!   [`plan::ConcurrentPlanCache`].
 
 pub use doacross_core as core;
 pub use doacross_doconsider as doconsider;
+pub use doacross_engine as engine;
 pub use doacross_par as par;
 pub use doacross_plan as plan;
 pub use doacross_sim as sim;
 pub use doacross_sparse as sparse;
 pub use doacross_trisolve as trisolve;
+
+pub use doacross_engine::{Engine, EngineBuilder, EngineError, PreparedLoop};
+
+/// Pre-engine compatibility surface, kept while the deprecated entry
+/// points exist.
+pub mod compat {
+    use doacross_core::{DoacrossError, DoacrossLoop, RunStats};
+    use doacross_par::ThreadPool;
+    use doacross_plan::PlannedDoacross;
+
+    /// Runs `loop_` through the deprecated single-owner
+    /// [`PlannedDoacross`] runtime — the pre-engine entry point, preserved
+    /// verbatim for callers mid-migration.
+    ///
+    /// This function is also the workspace's deprecation canary: compiling
+    /// it emits the `PlannedDoacross::run` deprecation warning on every
+    /// `cargo build`, so the shim cannot be removed silently while this
+    /// forwarding path still exists.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run — one shared session instead of a per-owner runtime"
+    )]
+    pub fn run_planned<L: DoacrossLoop + ?Sized>(
+        runtime: &mut PlannedDoacross,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+    ) -> Result<RunStats, DoacrossError> {
+        runtime.run(pool, loop_, y)
+    }
+}

@@ -175,3 +175,55 @@ fn reordered_solver_reduces_stalls_on_host() {
         re.stalls
     );
 }
+
+#[test]
+fn facade_engine_serves_concurrent_callers() {
+    // The facade's front door: one shared Engine, several threads, mixed
+    // structures — exact results and a warm cache.
+    use preprocessed_doacross::Engine;
+
+    let engine = Engine::builder().workers(2).cache_capacity(8).build();
+    let loops = [
+        TestLoop::new(500, 1, 7),
+        TestLoop::new(500, 2, 8),
+        TestLoop::new(400, 1, 4),
+    ];
+    let oracles: Vec<Vec<f64>> = loops
+        .iter()
+        .map(|l| {
+            let mut y = l.initial_y();
+            run_sequential(l, &mut y);
+            y
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..3 {
+            let engine = engine.clone();
+            let (loops, oracles) = (&loops, &oracles);
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for (i, l) in loops.iter().enumerate() {
+                        let mut y = l.initial_y();
+                        engine.run(l, &mut y).expect("valid loop");
+                        assert_eq!(&y, &oracles[i], "thread {t} round {round} loop {i}");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, loops.len() as u64, "one plan per structure");
+    assert!(stats.hits > 0, "shared cache serves hits across threads");
+
+    // Prepared handles survive cache eviction but not invalidation.
+    let prepared = engine.prepare(&loops[0]).expect("cached");
+    engine.clear_cache();
+    let mut y = loops[0].initial_y();
+    prepared.execute(&loops[0], &mut y).expect("eviction-proof");
+    assert_eq!(y, oracles[0]);
+    engine.invalidate(prepared.fingerprint());
+    assert!(prepared.is_stale());
+    assert!(prepared.execute(&loops[0], &mut y).is_err());
+}

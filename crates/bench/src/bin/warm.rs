@@ -1,0 +1,36 @@
+//! Prints the cold-start vs. warm-start first-solve comparison: the
+//! restart gap plan persistence closes, per Table 1 structure.
+//!
+//! Regenerate with `cargo run -p doacross-bench --release --bin warm`.
+
+use doacross_bench::report::Table;
+use doacross_bench::warm::warm_start_comparison;
+use doacross_sparse::ProblemKind;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    println!("cold vs. warm-started first solve on {workers} host threads");
+    println!("(warm = plan store deserialized from bytes before the solve; min of 5 reps)\n");
+
+    let mut table = Table::new([
+        "problem",
+        "cold first solve",
+        "warm first solve",
+        "speedup",
+        "restore",
+        "store size",
+    ]);
+    for point in warm_start_comparison(workers, &ProblemKind::all(), 5) {
+        table.row(vec![
+            point.kind.name().into(),
+            format!("{:?}", point.cold_first),
+            format!("{:?}", point.warm_first),
+            format!("{:.2}x", point.speedup()),
+            format!("{:?}", point.restore),
+            format!("{} B", point.store_bytes),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -17,6 +17,9 @@
 //!   reuses of one triangular structure. Regenerate with
 //!   `cargo run -p doacross-bench --release --bin amortize`, or bench with
 //!   `cargo bench -p doacross-bench --bench plan_cache`.
+//! * [`warm`] — the restart gap plan persistence closes: first solve on a
+//!   cold engine vs. one warm-started from a serialized plan store.
+//!   Regenerate with `cargo run -p doacross-bench --release --bin warm`.
 //! * [`report`] — plain-text table rendering shared by the binaries.
 //!
 //! Every binary prints both the **simulated 16-processor** numbers (the
@@ -28,6 +31,7 @@ pub mod fig6;
 pub mod host;
 pub mod report;
 pub mod table1;
+pub mod warm;
 
 /// Deterministic workspace-wide experiment seed (problems are seeded per
 /// kind on top of this).

@@ -1,0 +1,119 @@
+//! Cold-start vs. warm-start first solves: what plan persistence buys.
+//!
+//! The amortization experiment ([`crate::amortize`]) measures reuse
+//! *within* one process; this one measures the restart gap persistence
+//! closes. A "process" here is an [`Engine`]: the **cold** engine's first
+//! solve of a structure pays fingerprint + census + cost model +
+//! inspection capture, the **warm** engine restores a serialized
+//! [`PlanStore`] (the full byte round trip, as a restarted service would)
+//! and its first solve is a cache hit. Both then produce bit-identical
+//! results, so the entire difference is preprocessing.
+
+use doacross_core::PlanProvenance;
+use doacross_engine::{Engine, PlanStore};
+use doacross_sparse::{Problem, ProblemKind, TriSystem};
+use doacross_trisolve::EngineSolver;
+use std::time::{Duration, Instant};
+
+/// First-solve timings for one structure, cold vs. warm-started.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStartPoint {
+    /// Which Table 1 problem the structure came from.
+    pub kind: ProblemKind,
+    /// First solve on a cold engine (planning included).
+    pub cold_first: Duration,
+    /// First solve on a warm-started engine (restore *not* included —
+    /// that cost is paid at boot, off the request path).
+    pub warm_first: Duration,
+    /// Deserializing + restoring the store (the boot-time cost).
+    pub restore: Duration,
+    /// Serialized store size in bytes.
+    pub store_bytes: usize,
+}
+
+impl WarmStartPoint {
+    /// How much faster the warm first solve is.
+    pub fn speedup(&self) -> f64 {
+        self.cold_first.as_secs_f64() / self.warm_first.as_secs_f64().max(1e-12)
+    }
+}
+
+fn engine(workers: usize) -> Engine {
+    Engine::builder().workers(workers).cache_capacity(8).build()
+}
+
+fn first_solve(
+    solver: &EngineSolver,
+    sys: &TriSystem,
+    expect: PlanProvenance,
+) -> (Duration, Vec<f64>) {
+    let start = Instant::now();
+    let (y, stats) = solver.solve(&sys.l, &sys.rhs).expect("valid system");
+    let elapsed = start.elapsed();
+    assert_eq!(stats.provenance, expect, "{}", sys.kind.name());
+    (elapsed, y)
+}
+
+/// Measures the cold vs. warm first solve for each problem, taking the
+/// minimum over `reps` repetitions (each repetition uses fresh engines,
+/// so every "first solve" really is one).
+pub fn warm_start_comparison(
+    workers: usize,
+    kinds: &[ProblemKind],
+    reps: usize,
+) -> Vec<WarmStartPoint> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let sys = Problem::build(kind).triangular_system();
+
+            // Seed engine: plan once, serialize — the previous "process".
+            let seed = engine(workers);
+            EngineSolver::new(seed.clone())
+                .solve(&sys.l, &sys.rhs)
+                .expect("valid system");
+            let bytes = seed.snapshot().to_bytes();
+
+            let mut point = WarmStartPoint {
+                kind,
+                cold_first: Duration::MAX,
+                warm_first: Duration::MAX,
+                restore: Duration::MAX,
+                store_bytes: bytes.len(),
+            };
+            for _ in 0..reps.max(1) {
+                let cold_solver = EngineSolver::new(engine(workers));
+                let (cold, y_cold) = first_solve(&cold_solver, &sys, PlanProvenance::PlanCold);
+
+                let warm_engine = engine(workers);
+                let restore_start = Instant::now();
+                let store = PlanStore::from_bytes(&bytes).expect("own bytes");
+                assert_eq!(warm_engine.warm_from(&store), 1);
+                let restore = restore_start.elapsed();
+                let warm_solver = EngineSolver::new(warm_engine);
+                let (warm, y_warm) = first_solve(&warm_solver, &sys, PlanProvenance::PlanCached);
+
+                assert_eq!(y_cold, y_warm, "persistence never changes results");
+                point.cold_first = point.cold_first.min(cold);
+                point.warm_first = point.warm_first.min(warm);
+                point.restore = point.restore.min(restore);
+            }
+            point
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_first_solves_hit_and_match_cold_results() {
+        // Provenance and result equality are asserted inside the
+        // measurement; timing itself is reported, not asserted (CI noise).
+        let points = warm_start_comparison(2, &[ProblemKind::FivePt], 1);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].store_bytes > 0);
+        assert!(points[0].warm_first > Duration::ZERO);
+    }
+}

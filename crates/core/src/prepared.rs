@@ -70,6 +70,33 @@ impl PreparedInspection {
         })
     }
 
+    /// Rebuilds an inspection from a previously captured writer map — the
+    /// deserialization path for persisted execution plans. `writers[e]` is
+    /// the iteration writing element `e`, or [`crate::flags::MAXINT`] for
+    /// unwritten elements; the data-space size is `writers.len()`.
+    ///
+    /// Returns `None` if any entry is neither [`crate::flags::MAXINT`] nor
+    /// a valid iteration index below `iterations` — a map that no
+    /// inspector pass over a legal pattern could have produced.
+    pub fn from_writer_map(iterations: usize, writers: &[i64]) -> Option<Self> {
+        let data_len = writers.len();
+        let map = IterMap::new(data_len);
+        for (element, &w) in writers.iter().enumerate() {
+            if w == crate::flags::MAXINT {
+                continue;
+            }
+            if w < 0 || w as usize >= iterations {
+                return None;
+            }
+            map.record(element, w as usize);
+        }
+        Some(Self {
+            iterations,
+            data_len,
+            map,
+        })
+    }
+
     /// Iteration count of the loop this inspection was built for.
     pub fn iterations(&self) -> usize {
         self.iterations
@@ -143,6 +170,26 @@ mod tests {
         let err =
             PreparedInspection::inspect(&pool(), Schedule::multimax(), &l, false).unwrap_err();
         assert_eq!(err, DoacrossError::OutputDependency { element: 2 });
+    }
+
+    #[test]
+    fn writer_map_round_trips_through_raw_values() {
+        let l = loop_with_lhs(vec![3, 1, 4], 6);
+        let prepared =
+            PreparedInspection::inspect(&pool(), Schedule::multimax(), &l, true).unwrap();
+        let raw: Vec<i64> = (0..prepared.data_len())
+            .map(|e| prepared.writer(e))
+            .collect();
+        let rebuilt = PreparedInspection::from_writer_map(prepared.iterations(), &raw)
+            .expect("captured maps are always reconstructible");
+        assert_eq!(rebuilt.iterations(), 3);
+        assert_eq!(rebuilt.data_len(), 6);
+        assert!((0..6).all(|e| rebuilt.writer(e) == prepared.writer(e)));
+
+        // Entries outside [0, iterations) ∪ {MAXINT} are rejected.
+        assert!(PreparedInspection::from_writer_map(3, &[3, MAXINT]).is_none());
+        assert!(PreparedInspection::from_writer_map(3, &[-1, MAXINT]).is_none());
+        assert!(PreparedInspection::from_writer_map(0, &[MAXINT, MAXINT]).is_some());
     }
 
     #[test]

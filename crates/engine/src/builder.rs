@@ -1,9 +1,12 @@
-//! [`EngineBuilder`]: engine configuration, including host calibration.
+//! [`EngineBuilder`]: engine configuration, including host calibration
+//! and warm starts from persisted plan stores.
 
 use crate::engine::Engine;
+use crate::error::EngineError;
 use doacross_core::DoacrossConfig;
 use doacross_par::ThreadPool;
 use doacross_plan::{ConcurrentPlanCache, Planner};
+use std::path::PathBuf;
 
 /// Default total plan capacity across shards.
 pub const DEFAULT_CACHE_CAPACITY: usize = 128;
@@ -33,6 +36,7 @@ pub struct EngineBuilder {
     shards: usize,
     planner: Planner,
     config: DoacrossConfig,
+    warm_start: Option<PathBuf>,
 }
 
 impl Default for EngineBuilder {
@@ -53,6 +57,7 @@ impl EngineBuilder {
             shards: DEFAULT_SHARDS,
             planner: Planner::new(),
             config: DoacrossConfig::default(),
+            warm_start: None,
         }
     }
 
@@ -110,21 +115,55 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the engine: spawns the worker pool and assembles the shared
-    /// session state.
-    pub fn build(self) -> Engine {
+    /// Warm-starts the engine from the plan store at `path` (written by a
+    /// previous process via [`Engine::save_plans`]): every structure in
+    /// the store begins life cached, so its first solve after a restart
+    /// skips preprocessing entirely.
+    ///
+    /// A **missing** file is a clean cold start (the natural first-boot
+    /// state), but an unreadable, corrupt, truncated, or
+    /// version-mismatched store fails [`EngineBuilder::try_build`] with
+    /// [`EngineError::Persist`] — silently starting cold over a damaged
+    /// store would hide exactly the regression persistence exists to
+    /// prevent.
+    pub fn warm_start(mut self, path: impl Into<PathBuf>) -> Self {
+        self.warm_start = Some(path.into());
+        self
+    }
+
+    /// Builds the engine: spawns the worker pool, assembles the shared
+    /// session state, and applies the [`EngineBuilder::warm_start`] store
+    /// if one was configured.
+    pub fn try_build(self) -> Result<Engine, EngineError> {
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|v| v.get())
                 .unwrap_or(2)
                 .min(8)
         });
-        Engine::from_parts(
+        let engine = Engine::from_parts(
             ThreadPool::new(workers),
             self.planner,
             self.config,
             ConcurrentPlanCache::new(self.cache_capacity, self.shards),
-        )
+        );
+        if let Some(path) = self.warm_start {
+            engine.warm_start_plans(&path)?;
+        }
+        Ok(engine)
+    }
+
+    /// Builds the engine; identical to [`EngineBuilder::try_build`] except
+    /// that a failing warm start panics. Infallible when
+    /// [`EngineBuilder::warm_start`] is not configured; prefer `try_build`
+    /// when it is.
+    ///
+    /// # Panics
+    /// Panics if `workers` is 0 or a configured warm-start store exists
+    /// but cannot be loaded.
+    pub fn build(self) -> Engine {
+        self.try_build()
+            .expect("engine build failed: configured warm-start store is unreadable")
     }
 }
 
@@ -139,6 +178,32 @@ mod tests {
         assert_eq!(engine.threads(), 2);
         assert_eq!(engine.shards(), DEFAULT_SHARDS);
         assert!(engine.cache_stats().hits == 0 && engine.cache_len() == 0);
+    }
+
+    #[test]
+    fn fresh_engine_stats_report_zero_hit_rate() {
+        // Regression for the 0/0 hit-rate case: a fresh engine's merged
+        // multi-shard stats must report 0.0, never NaN.
+        let engine = EngineBuilder::new().workers(2).build();
+        let rate = engine.cache_stats().hit_rate();
+        assert_eq!(rate, 0.0);
+        assert!(!rate.is_nan());
+    }
+
+    #[test]
+    fn warm_start_with_missing_store_is_a_cold_start() {
+        let path = std::env::temp_dir().join(format!(
+            "doacross-warm-start-missing-{}.plans",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let engine = EngineBuilder::new()
+            .workers(2)
+            .warm_start(&path)
+            .try_build()
+            .expect("missing store is first boot, not an error");
+        assert_eq!(engine.cache_len(), 0);
+        assert_eq!(engine.cache_stats().hit_rate(), 0.0);
     }
 
     #[test]

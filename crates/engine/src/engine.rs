@@ -6,7 +6,8 @@ use crate::prepared::PreparedLoop;
 use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, RunStats};
 use doacross_par::ThreadPool;
 use doacross_plan::{
-    CacheStats, ConcurrentPlanCache, ExecutionPlan, PatternFingerprint, PlanExecutor, Planner,
+    CacheStats, ConcurrentPlanCache, ExecutionPlan, PatternFingerprint, PlanExecutor, PlanStore,
+    Planner,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -208,6 +209,67 @@ impl Engine {
     /// Drops every cached plan (traffic counters and generations survive).
     pub fn clear_cache(&self) {
         self.inner.cache.clear()
+    }
+
+    /// Captures the plan cache — resident plans in recency order, tagged
+    /// with their invalidation generations — as an in-memory
+    /// [`PlanStore`]. Serialize with [`PlanStore::to_bytes`] or go
+    /// straight to disk with [`Engine::save_plans`].
+    pub fn snapshot(&self) -> PlanStore {
+        self.inner.cache.snapshot()
+    }
+
+    /// Restores `store` into the plan cache: recency-preserving, and
+    /// generation-aware — plans whose structure was invalidated after the
+    /// store was captured are dropped, and the store's invalidation
+    /// generations are merged forward so pre-snapshot staleness survives
+    /// the restart. Returns the number of plans inserted (a store larger
+    /// than the cache evicts its own oldest entries during the restore;
+    /// [`Engine::cache_len`] is the resident count).
+    ///
+    /// Restored plans keep the worker count they were priced for: a store
+    /// written by an engine with a different pool size still restores, but
+    /// [`Engine::prepare`] treats such plans as misses and replans (same
+    /// rule as any pricing-context mismatch).
+    pub fn warm_from(&self, store: &PlanStore) -> usize {
+        self.inner.cache.warm_from(store)
+    }
+
+    /// Snapshots the plan cache and writes it to `path` (atomic
+    /// temp-file-and-rename). Returns the number of plans saved. A later
+    /// [`Engine::load_plans`] — or [`crate::EngineBuilder::warm_start`] on
+    /// the next process — makes the first solve of every saved structure a
+    /// cache hit instead of a full preprocessing pass.
+    pub fn save_plans(&self, path: impl AsRef<std::path::Path>) -> Result<usize, EngineError> {
+        let store = self.snapshot();
+        store.save(path)?;
+        Ok(store.len())
+    }
+
+    /// Loads the plan store at `path` and warm-starts the cache from it
+    /// (see [`Engine::warm_from`]). Returns the number of plans restored.
+    /// A missing, corrupt, truncated, or version-mismatched store fails
+    /// with [`EngineError::Persist`] and leaves the cache untouched.
+    pub fn load_plans(&self, path: impl AsRef<std::path::Path>) -> Result<usize, EngineError> {
+        let store = PlanStore::load(path)?;
+        Ok(self.warm_from(&store))
+    }
+
+    /// [`Engine::load_plans`] with first-boot semantics: a **missing**
+    /// store is a clean cold start (`Ok(0)`), while a damaged or
+    /// version-mismatched one still fails typed. This is the one place
+    /// the missing-file rule lives; [`crate::EngineBuilder::warm_start`]
+    /// and `trisolve`'s warm-started solver both route through it, and
+    /// checking the error instead of pre-checking existence leaves no
+    /// window for the store to vanish between the two.
+    pub fn warm_start_plans(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<usize, EngineError> {
+        match self.load_plans(path) {
+            Err(EngineError::Persist(doacross_plan::PersistError::NotFound)) => Ok(0),
+            other => other,
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! The engine's typed failure surface.
 
 use doacross_core::DoacrossError;
-use doacross_plan::PatternFingerprint;
+use doacross_plan::{PatternFingerprint, PersistError};
 
 /// Reasons an engine operation can fail.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +18,12 @@ pub enum EngineError {
         /// The structure's current generation.
         current_generation: u64,
     },
+    /// A plan store could not be written, read, or trusted — corrupt
+    /// bytes, a truncated file, an unsupported format version, or a
+    /// record that failed structural revalidation. Loading never applies
+    /// a partially-trusted store: on this error the cache is exactly as
+    /// warm as it was before the call.
+    Persist(PersistError),
     /// The underlying planner or runtime rejected the loop.
     Doacross(DoacrossError),
 }
@@ -25,6 +31,12 @@ pub enum EngineError {
 impl From<DoacrossError> for EngineError {
     fn from(err: DoacrossError) -> Self {
         EngineError::Doacross(err)
+    }
+}
+
+impl From<PersistError> for EngineError {
+    fn from(err: PersistError) -> Self {
+        EngineError::Persist(err)
     }
 }
 
@@ -41,6 +53,7 @@ impl std::fmt::Display for EngineError {
                  (handle generation {prepared_generation}, current {current_generation}); \
                  re-prepare to rebuild the plan"
             ),
+            EngineError::Persist(err) => write!(f, "{err}"),
             EngineError::Doacross(err) => write!(f, "{err}"),
         }
     }
@@ -50,6 +63,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Doacross(err) => Some(err),
+            EngineError::Persist(err) => Some(err),
             EngineError::StalePlan { .. } => None,
         }
     }
@@ -75,5 +89,9 @@ mod tests {
         let wrapped: EngineError = DoacrossError::EmptyBlock.into();
         assert!(wrapped.to_string().contains("block size"));
         assert!(std::error::Error::source(&wrapped).is_some());
+
+        let persist: EngineError = doacross_plan::PersistError::BadMagic.into();
+        assert!(persist.to_string().contains("magic"));
+        assert!(std::error::Error::source(&persist).is_some());
     }
 }

@@ -23,7 +23,15 @@
 //!   threads via [`PreparedLoop::execute`] / [`PreparedLoop::execute_into`].
 //! * [`EngineError`] — the typed failure surface, including
 //!   [`EngineError::StalePlan`] for handles outlived by
-//!   [`Engine::invalidate`].
+//!   [`Engine::invalidate`] and [`EngineError::Persist`] for plan stores
+//!   that cannot be trusted.
+//!
+//! Plans are also **durable**: [`Engine::save_plans`] checkpoints the
+//! cache to a versioned, checksummed store
+//! ([`doacross_plan::persist`]), and [`EngineBuilder::warm_start`] /
+//! [`Engine::load_plans`] restore it — recency-preserving and
+//! invalidation-generation-aware — so a restarted service's first solve
+//! of a known structure is a cache hit, not a preprocessing pass.
 //!
 //! ## Quickstart
 //!
@@ -60,3 +68,6 @@ pub use builder::EngineBuilder;
 pub use engine::Engine;
 pub use error::EngineError;
 pub use prepared::PreparedLoop;
+// The persistence vocabulary engine callers need, re-exported so they can
+// save/restore plans without naming doacross-plan directly.
+pub use doacross_plan::{PersistError, PlanStore};

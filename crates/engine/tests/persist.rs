@@ -1,0 +1,222 @@
+//! Engine-level persistence: warm starts across "process" boundaries
+//! (simulated by independent engines sharing only a store file), typed
+//! failures for untrustworthy stores, and generation-aware restores.
+
+use doacross_core::{seq::run_sequential, PlanProvenance, TestLoop};
+use doacross_engine::{Engine, EngineError, PersistError, PlanStore};
+
+/// A unique temp path per test (tests run concurrently in one process).
+fn store_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "doacross-engine-persist-{tag}-{}.plans",
+        std::process::id()
+    ))
+}
+
+fn engine(workers: usize) -> Engine {
+    Engine::builder().workers(workers).cache_capacity(8).build()
+}
+
+#[test]
+fn warm_start_serves_the_first_solve_from_the_store() {
+    let path = store_path("happy");
+    let _ = std::fs::remove_file(&path);
+    let loops = [TestLoop::new(600, 2, 8), TestLoop::new(400, 1, 7)];
+
+    // First "process": cold solves, then checkpoint.
+    let first = engine(2);
+    for loop_ in &loops {
+        let mut y = loop_.initial_y();
+        let stats = first.run(loop_, &mut y).unwrap();
+        assert_eq!(stats.provenance, PlanProvenance::PlanCold);
+    }
+    assert_eq!(first.save_plans(&path).unwrap(), 2);
+    drop(first);
+
+    // Second "process": warm start; every first solve is a cache hit and
+    // bit-identical to the sequential oracle.
+    let second = Engine::builder()
+        .workers(2)
+        .cache_capacity(8)
+        .warm_start(&path)
+        .try_build()
+        .unwrap();
+    assert_eq!(second.cache_len(), 2);
+    for loop_ in &loops {
+        let prepared = second.prepare(loop_).unwrap();
+        assert!(prepared.from_cache(), "restored plan served the prepare");
+        let mut y = loop_.initial_y();
+        let stats = prepared.execute(loop_, &mut y).unwrap();
+        assert_eq!(stats.provenance, PlanProvenance::PlanCached);
+        assert_eq!(stats.inspector, std::time::Duration::ZERO);
+        let mut oracle = loop_.initial_y();
+        run_sequential(loop_, &mut oracle);
+        assert_eq!(y, oracle);
+    }
+    let s = second.cache_stats();
+    assert_eq!((s.hits, s.misses), (2, 0), "no replanning after restore");
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupt_stores_fail_with_typed_persist_errors() {
+    let path = store_path("corrupt");
+    let source = engine(2);
+    let loop_ = TestLoop::new(500, 1, 8);
+    let mut y = loop_.initial_y();
+    source.run(&loop_, &mut y).unwrap();
+    source.save_plans(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Bit flip in the middle → checksum mismatch, via both entry points.
+    let mut bytes = pristine.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = Engine::builder()
+        .workers(2)
+        .warm_start(&path)
+        .try_build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Persist(PersistError::ChecksumMismatch { .. })
+        ),
+        "{err:?}"
+    );
+    let fresh = engine(2);
+    assert!(matches!(
+        fresh.load_plans(&path),
+        Err(EngineError::Persist(_))
+    ));
+    assert_eq!(fresh.cache_len(), 0, "failed load leaves the cache cold");
+
+    // Truncation → typed error, never a panic or a partial restore.
+    std::fs::write(&path, &pristine[..pristine.len() / 3]).unwrap();
+    assert!(matches!(
+        fresh.load_plans(&path),
+        Err(EngineError::Persist(_))
+    ));
+
+    // Version from the future → typed version mismatch.
+    let mut bytes = pristine.clone();
+    bytes[8] = 0x7F;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = fresh.load_plans(&path).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Persist(PersistError::UnsupportedVersion { found: 0x7F, .. })
+        ),
+        "{err:?}"
+    );
+
+    // Not a store at all.
+    std::fs::write(&path, b"definitely not a plan store").unwrap();
+    assert!(matches!(
+        fresh.load_plans(&path),
+        Err(EngineError::Persist(PersistError::BadMagic))
+    ));
+
+    assert_eq!(fresh.cache_len(), 0);
+    std::fs::remove_file(&path).unwrap();
+
+    // Explicit loads report a missing store as typed NotFound; the
+    // warm-start entry point treats exactly that case as first boot.
+    assert!(matches!(
+        fresh.load_plans(&path),
+        Err(EngineError::Persist(PersistError::NotFound))
+    ));
+    assert_eq!(fresh.warm_start_plans(&path).unwrap(), 0);
+}
+
+#[test]
+fn restores_drop_plans_invalidated_after_the_snapshot() {
+    let path = store_path("generations");
+    let source = engine(2);
+    let loop_ = TestLoop::new(300, 1, 8);
+    let prepared = source.prepare(&loop_).unwrap();
+    source.save_plans(&path).unwrap();
+
+    // Invalidate after the save: reloading the older store must not
+    // resurrect the retired plan in this engine...
+    source.invalidate(prepared.fingerprint());
+    assert_eq!(source.load_plans(&path).unwrap(), 0);
+    assert!(!source.contains(prepared.fingerprint()));
+    assert!(prepared.is_stale());
+
+    // ...and a *new* engine that loads the post-invalidation checkpoint
+    // inherits the generation, so the old store stays rejected there too.
+    let newer = store_path("generations-newer");
+    source.save_plans(&newer).unwrap();
+    let restarted = engine(2);
+    assert_eq!(restarted.load_plans(&newer).unwrap(), 0);
+    assert_eq!(
+        restarted.load_plans(&path).unwrap(),
+        0,
+        "old store is stale"
+    );
+    assert!(!restarted.contains(prepared.fingerprint()));
+
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&newer).unwrap();
+}
+
+#[test]
+fn worker_count_mismatch_restores_but_replans() {
+    // A store priced for a different pool size restores (the plan is
+    // valid), but prepare treats it as a pricing-context miss and replans
+    // — correctness never depends on the stored worker count.
+    let path = store_path("workers");
+    let source = engine(2);
+    let loop_ = TestLoop::new(600, 2, 8);
+    let mut y = loop_.initial_y();
+    source.run(&loop_, &mut y).unwrap();
+    source.save_plans(&path).unwrap();
+
+    let wider = Engine::builder()
+        .workers(3)
+        .cache_capacity(8)
+        .warm_start(&path)
+        .try_build()
+        .unwrap();
+    assert_eq!(wider.cache_len(), 1, "plan restored");
+    let mut y = loop_.initial_y();
+    let stats = wider.run(&loop_, &mut y).unwrap();
+    assert_eq!(
+        stats.provenance,
+        PlanProvenance::PlanCold,
+        "repriced for the new pool size"
+    );
+    let mut oracle = loop_.initial_y();
+    run_sequential(&loop_, &mut oracle);
+    assert_eq!(y, oracle);
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn snapshots_flow_between_engines_in_memory() {
+    // The byte round trip is not required: snapshot → warm_from hands a
+    // live engine's plans to another engine in-process (e.g. blue/green
+    // session rotation), and PlanStore::to_bytes/from_bytes is the same
+    // artifact on the wire.
+    let a = engine(2);
+    let loop_ = TestLoop::new(500, 2, 8);
+    let mut y = loop_.initial_y();
+    a.run(&loop_, &mut y).unwrap();
+
+    let store = a.snapshot();
+    let b = engine(2);
+    assert_eq!(b.warm_from(&store), 1);
+    let mut y = loop_.initial_y();
+    let stats = b.run(&loop_, &mut y).unwrap();
+    assert_eq!(stats.provenance, PlanProvenance::PlanCached);
+
+    let wired = PlanStore::from_bytes(&store.to_bytes()).unwrap();
+    let c = engine(2);
+    assert_eq!(c.warm_from(&wired), 1);
+    assert_eq!(c.cache_len(), 1);
+}

@@ -10,6 +10,7 @@
 //! counters so the skip is observable from the outside.
 
 use crate::fingerprint::PatternFingerprint;
+use crate::persist::PlanStore;
 use crate::plan::ExecutionPlan;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -126,6 +127,13 @@ impl PlanCache {
         self.map.contains_key(key)
     }
 
+    /// The plan stored under `key`, without touching recency or counters —
+    /// the read snapshots and diagnostics use. [`PlanCache::get`] is the
+    /// traffic path.
+    pub fn peek(&self, key: &PatternFingerprint) -> Option<&Arc<ExecutionPlan>> {
+        self.map.get(key).map(|&slot| resident(&self.slab[slot]))
+    }
+
     /// Drops every plan (counters survive).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -238,6 +246,38 @@ impl PlanCache {
         Ok((plan, false))
     }
 
+    /// Captures every resident plan into a [`PlanStore`], most recently
+    /// used first, so a later [`PlanCache::warm_from`] reproduces both the
+    /// contents and the eviction order. The single-owner cache has no
+    /// invalidation generations; entries snapshot at generation 0.
+    pub fn snapshot(&self) -> PlanStore {
+        let mut store = PlanStore::new();
+        let mut slot = self.head;
+        while slot != NIL {
+            store.push_entry(0, Arc::clone(resident(&self.slab[slot])));
+            slot = self.slab[slot].next;
+        }
+        store
+    }
+
+    /// Restores `store`'s plans, least recently used first, so the store's
+    /// recency order becomes this cache's recency order (if the store
+    /// outsizes the capacity, the usual LRU eviction keeps the most recent
+    /// plans). Restores count as insertions, never as hits or misses — a
+    /// warm-started cache still reports a 0.0 hit rate until real traffic
+    /// arrives. Returns the number of plans inserted.
+    pub fn warm_from(&mut self, store: &PlanStore) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut restored = 0;
+        for (_, plan) in store.entries.iter().rev() {
+            self.insert(Arc::clone(plan));
+            restored += 1;
+        }
+        restored
+    }
+
     /// Keys from most to least recently used (for tests and diagnostics).
     pub fn keys_by_recency(&self) -> Vec<PatternFingerprint> {
         let mut keys = Vec::with_capacity(self.map.len());
@@ -304,6 +344,95 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_traffic_never_nan() {
+        // Regression: `hits / (hits + misses)` on a fresh cache is 0/0;
+        // the guard must report 0.0, not NaN — including for stats merged
+        // from idle shards via `absorb` (the engine's fresh-stats path).
+        let fresh = PlanCache::new(4).stats();
+        assert_eq!(fresh.hit_rate(), 0.0);
+        assert!(!fresh.hit_rate().is_nan());
+
+        let mut merged = CacheStats::default();
+        for _ in 0..8 {
+            merged.absorb(&CacheStats::default());
+        }
+        assert_eq!(merged.hit_rate(), 0.0);
+        assert!(!merged.hit_rate().is_nan());
+
+        // Insertions alone (a warm-started cache) are still not traffic.
+        let mut cache = PlanCache::new(4);
+        cache.insert(plan_for(3).1);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn get_matching_hits_promote_recency_like_get() {
+        // Regression: a hit through the matching path must touch the LRU
+        // exactly like `get`, or snapshots serialize a wrong recency order
+        // and eviction picks the wrong victim.
+        let mut cache = PlanCache::new(3);
+        let (k1, p1) = plan_for(1);
+        let (k2, p2) = plan_for(2);
+        let (k3, p3) = plan_for(3);
+        cache.insert(p1);
+        cache.insert(p2);
+        cache.insert(p3);
+        assert_eq!(cache.keys_by_recency(), vec![k3, k2, k1]);
+
+        // Interleave the two hit paths; both must promote.
+        assert!(cache.get_matching(&k1, |_| true).is_some());
+        assert_eq!(cache.keys_by_recency(), vec![k1, k3, k2]);
+        assert!(cache.get(&k2).is_some());
+        assert_eq!(cache.keys_by_recency(), vec![k2, k1, k3]);
+        assert!(cache.get_matching(&k3, |_| true).is_some());
+        assert_eq!(cache.keys_by_recency(), vec![k3, k2, k1]);
+
+        // A rejected match is a miss and must NOT promote.
+        assert!(cache.get_matching(&k1, |_| false).is_none());
+        assert_eq!(cache.keys_by_recency(), vec![k3, k2, k1]);
+
+        // Eviction respects the interleaved order: k1 is now the LRU.
+        let (k4, p4) = plan_for(4);
+        cache.insert(p4);
+        assert!(!cache.contains(&k1), "LRU after interleaved touches");
+        assert!(cache.contains(&k2) && cache.contains(&k3) && cache.contains(&k4));
+    }
+
+    #[test]
+    fn snapshot_and_warm_from_preserve_recency() {
+        let mut cache = PlanCache::new(4);
+        let keyed: Vec<_> = (1..=3).map(plan_for).collect();
+        for (_, p) in &keyed {
+            cache.insert(Arc::clone(p));
+        }
+        // Touch k1 so recency is [k1, k3, k2].
+        assert!(cache.get(&keyed[0].0).is_some());
+        let store = cache.snapshot();
+        assert_eq!(store.len(), 3);
+
+        let mut fresh = PlanCache::new(4);
+        assert_eq!(fresh.warm_from(&store), 3);
+        assert_eq!(fresh.keys_by_recency(), cache.keys_by_recency());
+        // Restores are insertions, not traffic.
+        let s = fresh.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (0, 0, 3));
+        assert_eq!(s.hit_rate(), 0.0);
+        // The restored plan is the same Arc (no deep copy on warm).
+        assert!(Arc::ptr_eq(fresh.peek(&keyed[0].0).unwrap(), &keyed[0].1));
+
+        // A smaller cache keeps the *most recent* plans from the store.
+        let mut small = PlanCache::new(2);
+        assert_eq!(small.warm_from(&store), 3, "all offered, LRU evicted");
+        assert_eq!(
+            small.keys_by_recency(),
+            cache.keys_by_recency()[..2].to_vec()
+        );
+
+        // Capacity 0 restores nothing.
+        assert_eq!(PlanCache::new(0).warm_from(&store), 0);
     }
 
     #[test]

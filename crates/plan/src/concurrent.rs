@@ -28,6 +28,7 @@
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::fingerprint::PatternFingerprint;
+use crate::persist::PlanStore;
 use crate::plan::ExecutionPlan;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -201,6 +202,69 @@ impl ConcurrentPlanCache {
         let plan = Arc::new(build()?);
         shard.lru.insert(Arc::clone(&plan));
         Ok((plan, cell, false))
+    }
+
+    /// Captures every resident plan (per-shard MRU-first, tagged with its
+    /// key's current generation) plus all nonzero invalidation generations
+    /// into a [`PlanStore`] — the cross-run warm-start artifact.
+    ///
+    /// Shards are locked one at a time, so each shard's view is internally
+    /// consistent but the snapshot as a whole is not a global atomic cut;
+    /// for the intended use (quiescent save at shutdown / periodic
+    /// checkpoint) that is exactly enough.
+    pub fn snapshot(&self) -> PlanStore {
+        let mut store = PlanStore::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for key in shard.lru.keys_by_recency() {
+                let plan = shard
+                    .lru
+                    .peek(&key)
+                    .expect("recency-listed key is resident");
+                store.push_entry(shard.generation_of(&key), Arc::clone(plan));
+            }
+            for (key, cell) in shard.generations.iter() {
+                let generation = cell.load(Ordering::Acquire);
+                if generation > 0 {
+                    store.push_generation(*key, generation);
+                }
+            }
+        }
+        store
+    }
+
+    /// Restores `store` into this cache: generation counters first (so
+    /// invalidations survive the restart — `fetch_max`, never backwards),
+    /// then the plans, least recently used first so the store's recency
+    /// becomes each shard's recency. A stored plan whose key's current
+    /// generation has advanced past the one it was captured under was
+    /// invalidated after the snapshot and is **dropped**, not resurrected.
+    /// Restores count as insertions, never as hits or misses. Returns the
+    /// number of plans *inserted*; if the store outsizes a shard's
+    /// capacity, normal LRU eviction applies during the restore, so the
+    /// final resident count ([`ConcurrentPlanCache::len`]) can be smaller
+    /// — the most recently used plans win, as everywhere else.
+    pub fn warm_from(&self, store: &PlanStore) -> usize {
+        for (key, generation) in store.generations() {
+            let mut shard = self.shard(key).lock();
+            shard
+                .generation_cell(key)
+                .fetch_max(generation, Ordering::AcqRel);
+        }
+        let mut restored = 0;
+        for (generation, plan) in store.entries.iter().rev() {
+            let key = plan.fingerprint();
+            let mut shard = self.shard(key).lock();
+            if shard.lru.capacity() == 0 {
+                continue;
+            }
+            if shard.generation_of(key) > *generation {
+                continue; // invalidated since this plan was captured
+            }
+            shard.lru.insert(Arc::clone(plan));
+            restored += 1;
+        }
+        restored
     }
 
     fn shard(&self, key: &PatternFingerprint) -> &Mutex<Shard> {
@@ -388,6 +452,94 @@ mod tests {
         );
         assert_eq!(watched_cell.load(Ordering::Acquire), 0);
         assert_eq!(cache.generation_of(&invalidated_key), 1);
+    }
+
+    #[test]
+    fn fresh_and_warm_started_caches_report_zero_hit_rate() {
+        // Regression: the merged multi-shard stats path must inherit the
+        // 0/0 → 0.0 guard, with and without warm-started insertions.
+        let cache = ConcurrentPlanCache::new(16, 4);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        assert!(!cache.stats().hit_rate().is_nan());
+
+        let pool = ThreadPool::new(2);
+        cache.insert(build_plan(&pool, &scatter_loop(5)));
+        let warm = ConcurrentPlanCache::new(16, 4);
+        assert_eq!(warm.warm_from(&cache.snapshot()), 1);
+        assert_eq!(warm.stats().hit_rate(), 0.0, "restores are not traffic");
+        assert_eq!(warm.stats().insertions, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_plans_recency_and_generations() {
+        let pool = ThreadPool::new(2);
+        // One shard so recency is a single total order we can assert on.
+        let cache = ConcurrentPlanCache::new(8, 1);
+        let loops: Vec<IndirectLoop> = (1..=4).map(scatter_loop).collect();
+        let keys: Vec<_> = loops.iter().map(crate::PatternFingerprint::of).collect();
+        for l in &loops {
+            cache.insert(build_plan(&pool, l));
+        }
+        // Touch key 0 so recency is [0, 3, 2, 1]; invalidate key 1 (which
+        // also drops its plan) and bump a never-cached key's generation.
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.invalidate(&keys[1]));
+        let ghost = crate::PatternFingerprint::of(&scatter_loop(9));
+        cache.invalidate(&ghost);
+
+        let store = cache.snapshot();
+        assert_eq!(store.len(), 3, "invalidated plan not captured");
+        assert_eq!(store.generation_of(&keys[1]), 1);
+        assert_eq!(store.generation_of(&ghost), 1);
+        assert_eq!(store.generation_of(&keys[0]), 0);
+
+        let restored = ConcurrentPlanCache::new(8, 1);
+        assert_eq!(restored.warm_from(&store), 3);
+        assert_eq!(
+            restored.shards[0].lock().lru.keys_by_recency(),
+            cache.shards[0].lock().lru.keys_by_recency(),
+            "recency order survives the round trip"
+        );
+        // Invalidation generations survive too: a handle prepared at
+        // generation 0 before the save would still be stale after restore.
+        assert_eq!(restored.generation_of(&keys[1]), 1);
+        assert_eq!(restored.generation_of(&ghost), 1);
+    }
+
+    #[test]
+    fn warm_from_drops_plans_invalidated_after_the_snapshot() {
+        let pool = ThreadPool::new(2);
+        let cache = ConcurrentPlanCache::new(8, 2);
+        let keep = scatter_loop(6);
+        let retire = scatter_loop(7);
+        cache.insert(build_plan(&pool, &keep));
+        cache.insert(build_plan(&pool, &retire));
+        let store = cache.snapshot();
+        assert_eq!(store.len(), 2);
+
+        // Invalidate after the snapshot: restoring the store into the same
+        // cache must not resurrect the retired plan.
+        let retired_key = crate::PatternFingerprint::of(&retire);
+        cache.invalidate(&retired_key);
+        assert!(!cache.contains(&retired_key));
+        assert_eq!(cache.warm_from(&store), 1, "only the live plan returns");
+        assert!(cache.contains(&crate::PatternFingerprint::of(&keep)));
+        assert!(
+            !cache.contains(&retired_key),
+            "pre-snapshot-generation plan dropped on restore"
+        );
+
+        // Same rule across processes: a fresh cache that first learns the
+        // newer generation table, then sees an older store.
+        let newer = cache.snapshot(); // carries generation 1 for retired_key
+        let fresh = ConcurrentPlanCache::new(8, 2);
+        fresh.warm_from(&newer);
+        assert_eq!(
+            fresh.warm_from(&store),
+            1,
+            "stale entry in an older store is dropped"
+        );
+        assert!(!fresh.contains(&retired_key));
     }
 
     #[test]

@@ -22,6 +22,15 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 /// Second stream: different offset basis (splitmix of the first) so the two
 /// streams are not trivially correlated.
 const FNV_OFFSET_2: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Mixed into the second stream with each row's term count. Without it the
+/// second stream absorbed only subscript values, so two patterns with the
+/// same flattened term stream but different per-row splits could agree on
+/// `hash2` whenever a moved element's rotation happened to match a
+/// left-hand side's — collapsing the advertised 128 bits to 64 for exactly
+/// the row-boundary class of collisions. Absorbing the count (xor a
+/// sentinel, so rows with 0 terms still perturb the stream differently
+/// than absorbing a subscript would) keeps the streams independent.
+const ROW_SENTINEL: u64 = 0xA076_1D64_78BD_642F;
 
 #[inline]
 fn fnv_step(h: u64, word: u64) -> u64 {
@@ -64,6 +73,7 @@ impl PatternFingerprint {
             h2 = fnv_step(h2, lhs.rotate_left(17));
             let terms = pattern.terms(i);
             h1 = fnv_step(h1, terms as u64);
+            h2 = fnv_step(h2, terms as u64 ^ ROW_SENTINEL);
             total_terms += terms as u64;
             for j in 0..terms {
                 let e = pattern.term_element(i, j) as u64;
@@ -100,6 +110,32 @@ impl PatternFingerprint {
     /// rest of the hash, so shards load-balance across structures.
     pub fn high_bits(&self) -> u64 {
         self.hash
+    }
+
+    /// The five words of the fingerprint in a fixed serialization order —
+    /// the persist codec's view. Paired with
+    /// [`PatternFingerprint::from_raw`].
+    pub(crate) fn to_raw(self) -> [u64; 5] {
+        [
+            self.hash,
+            self.hash2,
+            self.iterations as u64,
+            self.data_len as u64,
+            self.total_terms,
+        ]
+    }
+
+    /// Rebuilds a fingerprint from [`PatternFingerprint::to_raw`] words.
+    /// Returns `None` when a count does not fit the host's `usize` (a
+    /// store written on a 64-bit host read on a 32-bit one).
+    pub(crate) fn from_raw(raw: [u64; 5]) -> Option<Self> {
+        Some(Self {
+            hash: raw[0],
+            hash2: raw[1],
+            iterations: usize::try_from(raw[2]).ok()?,
+            data_len: usize::try_from(raw[3]).ok()?,
+            total_terms: raw[4],
+        })
     }
 }
 
@@ -202,6 +238,49 @@ mod tests {
         )
         .unwrap();
         assert_ne!(PatternFingerprint::of(&a), PatternFingerprint::of(&b));
+    }
+
+    #[test]
+    fn row_boundary_split_perturbs_both_streams() {
+        // Adversarial pair for the *second* stream: same flattened term
+        // stream, different per-row split, and the row-1 left-hand side
+        // chosen so rot17(lhs) equals rot31(element) — 16384 = 1 << 14,
+        // rot17(1 << 14) = 1 << 31 = rot31(1). Before the per-row sentinel
+        // was absorbed into the second stream, these two patterns agreed
+        // on `hash2` exactly (the moved element masqueraded as the lhs in
+        // the interleaved stream), leaving only 64 effective bits for the
+        // row-boundary collision class.
+        let lhs = vec![0usize, 1 << 14];
+        let a = IndirectLoop::new(
+            (1 << 14) + 1,
+            lhs.clone(),
+            vec![vec![1], vec![]],
+            vec![vec![1.0], vec![]],
+        )
+        .unwrap();
+        let b = IndirectLoop::new(
+            (1 << 14) + 1,
+            lhs,
+            vec![vec![], vec![1]],
+            vec![vec![], vec![1.0]],
+        )
+        .unwrap();
+        let fa = PatternFingerprint::of(&a);
+        let fb = PatternFingerprint::of(&b);
+        assert_ne!(fa, fb);
+        assert_ne!(fa.hash, fb.hash, "first stream separates the split");
+        assert_ne!(
+            fa.hash2, fb.hash2,
+            "second stream must also separate per-row term counts"
+        );
+    }
+
+    #[test]
+    fn raw_words_round_trip() {
+        let fp = PatternFingerprint::of(&sample());
+        let rebuilt = PatternFingerprint::from_raw(fp.to_raw()).unwrap();
+        assert_eq!(fp, rebuilt);
+        assert_eq!(rebuilt.high_bits(), fp.high_bits());
     }
 
     #[test]

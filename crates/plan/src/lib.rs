@@ -32,6 +32,12 @@
 //!   threads — the storage behind `doacross_engine::Engine`.
 //! * [`PlanExecutor`] — variant dispatch for prebuilt plans, owning the
 //!   per-variant scratch runtimes.
+//! * [`persist`] — durable plans: a versioned, checksummed binary codec
+//!   for [`ExecutionPlan`] and the [`PlanStore`] snapshot format, so both
+//!   caches can [`PlanCache::snapshot`] / [`PlanCache::warm_from`] (and
+//!   the concurrent equivalents) across process restarts —
+//!   recency-preserving and invalidation-generation-aware. Loads
+//!   revalidate every record structurally instead of trusting the bytes.
 //! * [`PlannedDoacross`] — the single-owner runtime: fingerprint → cached
 //!   plan → variant dispatch, with the skip observable via
 //!   [`doacross_core::PlanProvenance`] in the returned stats. Superseded
@@ -60,6 +66,7 @@ pub mod cache;
 pub mod census;
 pub mod concurrent;
 pub mod fingerprint;
+pub mod persist;
 pub mod plan;
 pub mod planner;
 pub mod runtime;
@@ -68,6 +75,7 @@ pub use cache::{CacheStats, PlanCache};
 pub use census::PlanCensus;
 pub use concurrent::ConcurrentPlanCache;
 pub use fingerprint::PatternFingerprint;
+pub use persist::{PersistError, PlanStore, FORMAT_VERSION};
 pub use plan::{ExecutionPlan, PlanVariant, VariantCosts};
 pub use planner::{detect_linear, Planner, BLOCKED_DATA_SPACE_FACTOR};
 pub use runtime::{PlanExecutor, PlannedDoacross};

@@ -1,0 +1,1114 @@
+//! Durable execution plans: a versioned binary codec and warm-start
+//! snapshots.
+//!
+//! The paper's amortization argument ("the preprocessing phase needs to be
+//! performed just once", §2.1) is only as good as the lifetime of the
+//! artifact — and until this module, that lifetime ended with the process.
+//! A service restart threw away every writer map, claim order, and priced
+//! variant selection, and the first request after a deploy paid full
+//! preprocessing again. Persistence closes the loop: a [`PlanStore`]
+//! captures a cache's resident [`ExecutionPlan`]s (recency-preserving,
+//! generation-aware), serializes them with a hand-rolled, self-describing
+//! binary codec, and can warm-start a fresh cache so the first solve after
+//! a restart is a cache hit.
+//!
+//! ## Format
+//!
+//! A store is a single blob:
+//!
+//! ```text
+//! magic "DOAXPLAN" (8 bytes)
+//! format version   (u32 LE)                    — see [`FORMAT_VERSION`]
+//! generation table (count + fingerprint, gen)  — nonzero generations only
+//! plan records     (count + per record: generation, length, plan bytes)
+//! checksum         (u64 LE, FNV-1a over everything above)
+//! ```
+//!
+//! All integers are little-endian and fixed-width; plan records are
+//! length-prefixed so a reader can skip what it cannot use. Plans are
+//! ordered most-recently-used first (per shard, for sharded caches), so a
+//! restore can rebuild the LRU recency exactly.
+//!
+//! ## Trust model
+//!
+//! A store is *data*, not *truth*. Loading never assumes the bytes are
+//! well-formed:
+//!
+//! 1. magic and version are checked first (typed
+//!    [`PersistError::BadMagic`] / [`PersistError::UnsupportedVersion`]);
+//! 2. the whole-blob checksum is verified before any record is parsed
+//!    ([`PersistError::ChecksumMismatch`] on any bit flip, truncations
+//!    surface as [`PersistError::Truncated`]);
+//! 3. every decoded plan is structurally revalidated against its own
+//!    census and fingerprint — writer maps must be injective and in
+//!    range, claim orders must be permutations, variants must carry
+//!    exactly the artifacts they execute with
+//!    ([`PersistError::Structural`] otherwise).
+//!
+//! Decoding therefore never panics and never yields a plan the executor
+//! could misbehave on; the worst a corrupt store can do is fail with a
+//! typed error and leave the cache cold.
+
+use crate::census::PlanCensus;
+use crate::fingerprint::PatternFingerprint;
+use crate::plan::{ExecutionPlan, PlanVariant, VariantCosts};
+use doacross_core::{LinearSubscript, PreparedInspection, MAXINT};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// File magic: identifies a blob as a doacross plan store.
+pub const MAGIC: [u8; 8] = *b"DOAXPLAN";
+
+/// Current store format version.
+///
+/// Policy: any change to the byte layout — field order, widths, new
+/// variants, new sections — bumps this number. Loaders accept exactly the
+/// versions they know how to parse and reject everything else with
+/// [`PersistError::UnsupportedVersion`]; there is no in-place migration
+/// (a rejected store simply means a cold start, after which a fresh save
+/// writes the current version). The fingerprint hash function is part of
+/// the implicit format: changing it orphans stored plans (their keys no
+/// longer match any live pattern) rather than corrupting them, so it does
+/// not require a version bump — but bumping anyway is kinder to disk
+/// space.
+pub const FORMAT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice — the store checksum. Not cryptographic (the
+/// threat model is bit rot and truncation, not adversaries), but any
+/// single-bit flip provably changes it: each absorption step is injective
+/// in the running state.
+fn fnv64(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(FNV_OFFSET, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// Reasons a store cannot be written, read, or trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The blob ends before a field it promises.
+    Truncated {
+        /// Bytes the next field needs.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The blob does not start with [`MAGIC`] — not a plan store.
+    BadMagic,
+    /// The store was written by a format this reader does not parse.
+    UnsupportedVersion {
+        /// Version found in the store.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The blob's bytes do not match its recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the store.
+        stored: u64,
+        /// Checksum of the bytes actually read.
+        computed: u64,
+    },
+    /// A field decoded to a value no encoder produces (bad tag, bad bool,
+    /// trailing bytes).
+    Malformed(String),
+    /// The record decoded, but its contents contradict themselves — a
+    /// writer map that is not injective, a claim order that is not a
+    /// permutation, a census that disagrees with its fingerprint. The
+    /// plan is rejected rather than trusted.
+    Structural(String),
+    /// No store exists at the given path — distinguished from other IO
+    /// failures because a missing store is the normal first-boot state,
+    /// which warm-start callers treat as a clean cold start.
+    NotFound,
+    /// The underlying file operation failed (message of the IO error).
+    Io(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated { needed, available } => write!(
+                f,
+                "plan store truncated: next field needs {needed} bytes, {available} remain"
+            ),
+            PersistError::BadMagic => write!(f, "not a plan store (bad magic)"),
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "plan store format version {found} is not supported (this build reads {supported})"
+            ),
+            PersistError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "plan store checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+            ),
+            PersistError::Malformed(what) => write!(f, "malformed plan store: {what}"),
+            PersistError::Structural(what) => {
+                write!(f, "plan store failed structural revalidation: {what}")
+            }
+            PersistError::NotFound => write!(f, "plan store not found"),
+            PersistError::Io(what) => write!(f, "plan store io error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(err: std::io::Error) -> Self {
+        if err.kind() == std::io::ErrorKind::NotFound {
+            PersistError::NotFound
+        } else {
+            PersistError::Io(err.to_string())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian primitives.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            put_bool(out, true);
+            put_u64(out, v);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            put_bool(out, true);
+            put_f64(out, v);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+/// Bounds-checked cursor over untrusted bytes: every read either yields a
+/// value or a typed [`PersistError::Truncated`] — no panics, no silent
+/// wraparound.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(PersistError::Malformed(format!(
+                "boolean byte {other} (expected 0 or 1)"
+            ))),
+        }
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, PersistError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, PersistError> {
+        Ok(if self.bool()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a count and guards the allocation it implies: the remaining
+    /// bytes must cover `count · width`, so a corrupt length cannot drive
+    /// an out-of-memory allocation before the bounds check would fail.
+    fn counted(&mut self, width: usize) -> Result<usize, PersistError> {
+        let count = self.u64()?;
+        let count = usize::try_from(count)
+            .map_err(|_| PersistError::Malformed(format!("count {count} overflows usize")))?;
+        let needed = count
+            .checked_mul(width)
+            .ok_or_else(|| PersistError::Malformed(format!("count {count} overflows usize")))?;
+        if self.remaining() < needed {
+            return Err(PersistError::Truncated {
+                needed,
+                available: self.remaining(),
+            });
+        }
+        Ok(count)
+    }
+
+    fn usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| PersistError::Malformed(format!("value {v} overflows usize")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan record codec.
+
+const TAG_SEQUENTIAL: u8 = 0;
+const TAG_DOACROSS: u8 = 1;
+const TAG_LINEAR: u8 = 2;
+const TAG_REORDERED: u8 = 3;
+const TAG_BLOCKED: u8 = 4;
+
+/// Serializes one plan to the record format (no checksum — the enclosing
+/// [`PlanStore`] blob carries one for the whole file). The encoding is
+/// deterministic: equal plans produce equal bytes, which the round-trip
+/// tests exploit.
+pub fn encode_plan(plan: &ExecutionPlan) -> Vec<u8> {
+    let mut out = Vec::new();
+    for word in plan.fingerprint().to_raw() {
+        put_u64(&mut out, word);
+    }
+    put_u64(&mut out, plan.processors() as u64);
+    match plan.variant() {
+        PlanVariant::Sequential => out.push(TAG_SEQUENTIAL),
+        PlanVariant::Doacross => out.push(TAG_DOACROSS),
+        PlanVariant::Linear(s) => {
+            out.push(TAG_LINEAR);
+            put_u64(&mut out, s.c as u64);
+            put_u64(&mut out, s.d as u64);
+        }
+        PlanVariant::Reordered => out.push(TAG_REORDERED),
+        PlanVariant::Blocked { block_size } => {
+            out.push(TAG_BLOCKED);
+            put_u64(&mut out, block_size as u64);
+        }
+    }
+    let census = plan.census();
+    put_u64(&mut out, census.iterations as u64);
+    put_u64(&mut out, census.data_len as u64);
+    put_u64(&mut out, census.total_terms);
+    put_u64(&mut out, census.true_deps);
+    put_u64(&mut out, census.anti_deps);
+    put_u64(&mut out, census.intra);
+    put_u64(&mut out, census.unwritten);
+    put_opt_u64(&mut out, census.min_true_distance.map(|v| v as u64));
+    put_opt_u64(&mut out, census.max_true_distance.map(|v| v as u64));
+    put_bool(&mut out, census.injective);
+    put_opt_u64(&mut out, census.min_duplicate_write_gap.map(|v| v as u64));
+    put_u64(&mut out, census.critical_path as u64);
+    put_f64(&mut out, census.average_parallelism);
+    match census.first_out_of_bounds {
+        Some((i, e)) => {
+            put_bool(&mut out, true);
+            put_u64(&mut out, i as u64);
+            put_u64(&mut out, e as u64);
+        }
+        None => put_bool(&mut out, false),
+    }
+    match plan.prepared() {
+        Some(prepared) => {
+            put_bool(&mut out, true);
+            put_u64(&mut out, prepared.data_len() as u64);
+            for element in 0..prepared.data_len() {
+                put_i64(&mut out, prepared.writer(element));
+            }
+        }
+        None => put_bool(&mut out, false),
+    }
+    match plan.order() {
+        Some(order) => {
+            put_bool(&mut out, true);
+            put_u64(&mut out, order.len() as u64);
+            for &i in order {
+                put_u64(&mut out, i as u64);
+            }
+        }
+        None => put_bool(&mut out, false),
+    }
+    match plan.linear_subscript() {
+        Some(s) => {
+            put_bool(&mut out, true);
+            put_u64(&mut out, s.c as u64);
+            put_u64(&mut out, s.d as u64);
+        }
+        None => put_bool(&mut out, false),
+    }
+    let costs = plan.costs();
+    put_f64(&mut out, costs.sequential);
+    put_opt_f64(&mut out, costs.doacross);
+    put_opt_f64(&mut out, costs.linear);
+    put_opt_f64(&mut out, costs.reordered);
+    put_opt_f64(&mut out, costs.blocked);
+    put_u64(
+        &mut out,
+        u64::try_from(plan.build_time().as_nanos()).unwrap_or(u64::MAX),
+    );
+    out
+}
+
+/// Decodes one plan record, revalidating it structurally (see module
+/// docs). The record must be exactly consumed — trailing bytes are
+/// rejected, so a length-prefix mismatch cannot hide.
+pub fn decode_plan(bytes: &[u8]) -> Result<ExecutionPlan, PersistError> {
+    let mut r = Reader::new(bytes);
+    let plan = decode_plan_fields(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing bytes after plan record",
+            r.remaining()
+        )));
+    }
+    Ok(plan)
+}
+
+fn structural(what: impl Into<String>) -> PersistError {
+    PersistError::Structural(what.into())
+}
+
+fn decode_plan_fields(r: &mut Reader<'_>) -> Result<ExecutionPlan, PersistError> {
+    let mut raw = [0u64; 5];
+    for word in raw.iter_mut() {
+        *word = r.u64()?;
+    }
+    let fingerprint = PatternFingerprint::from_raw(raw)
+        .ok_or_else(|| structural("fingerprint counts overflow this host's usize"))?;
+    let processors = r.usize()?;
+
+    let tag = r.u8()?;
+    let variant_payload = match tag {
+        TAG_SEQUENTIAL | TAG_DOACROSS | TAG_REORDERED => (0u64, 0u64),
+        TAG_LINEAR => (r.u64()?, r.u64()?),
+        TAG_BLOCKED => (r.u64()?, 0),
+        other => {
+            return Err(PersistError::Malformed(format!(
+                "unknown plan variant tag {other}"
+            )))
+        }
+    };
+
+    let census = PlanCensus {
+        iterations: r.usize()?,
+        data_len: r.usize()?,
+        total_terms: r.u64()?,
+        true_deps: r.u64()?,
+        anti_deps: r.u64()?,
+        intra: r.u64()?,
+        unwritten: r.u64()?,
+        min_true_distance: r.opt_u64()?.map(|v| v as usize),
+        max_true_distance: r.opt_u64()?.map(|v| v as usize),
+        injective: r.bool()?,
+        min_duplicate_write_gap: r.opt_u64()?.map(|v| v as usize),
+        critical_path: r.usize()?,
+        average_parallelism: r.f64()?,
+        first_out_of_bounds: if r.bool()? {
+            Some((r.usize()?, r.usize()?))
+        } else {
+            None
+        },
+    };
+
+    let writers: Option<Vec<i64>> = if r.bool()? {
+        let count = r.counted(8)?;
+        let mut w = Vec::with_capacity(count);
+        for _ in 0..count {
+            w.push(r.i64()?);
+        }
+        Some(w)
+    } else {
+        None
+    };
+
+    let order: Option<Vec<usize>> = if r.bool()? {
+        let count = r.counted(8)?;
+        let mut o = Vec::with_capacity(count);
+        for _ in 0..count {
+            o.push(r.usize()?);
+        }
+        Some(o)
+    } else {
+        None
+    };
+
+    let linear: Option<(u64, u64)> = if r.bool()? {
+        Some((r.u64()?, r.u64()?))
+    } else {
+        None
+    };
+
+    let costs = VariantCosts {
+        sequential: r.f64()?,
+        doacross: r.opt_f64()?,
+        linear: r.opt_f64()?,
+        reordered: r.opt_f64()?,
+        blocked: r.opt_f64()?,
+    };
+    let build_time = Duration::from_nanos(r.u64()?);
+
+    // --- Structural revalidation: the record parsed, now make it *prove*
+    // it describes an executable plan before any of it is trusted.
+    if processors == 0 {
+        return Err(structural("plan priced for zero processors"));
+    }
+    if census.iterations != fingerprint.iterations()
+        || census.data_len != fingerprint.data_len()
+        || census.total_terms != fingerprint.total_terms()
+    {
+        return Err(structural(format!(
+            "census shape (n={}, data={}, refs={}) disagrees with fingerprint ({})",
+            census.iterations, census.data_len, census.total_terms, fingerprint
+        )));
+    }
+    if census.first_out_of_bounds.is_some() {
+        return Err(structural(
+            "plan for a pattern with out-of-bounds subscripts (never cacheable)",
+        ));
+    }
+    let classified = census.true_deps + census.anti_deps + census.intra + census.unwritten;
+    if classified > census.total_terms {
+        return Err(structural(format!(
+            "census classifies {classified} references but only {} exist",
+            census.total_terms
+        )));
+    }
+
+    let linear = match linear {
+        Some((0, _)) => {
+            return Err(structural("linear subscript with stride 0"));
+        }
+        Some((c, d)) => Some(LinearSubscript::new(c as usize, d as usize)),
+        None => None,
+    };
+
+    let variant = match tag {
+        TAG_SEQUENTIAL => PlanVariant::Sequential,
+        TAG_DOACROSS => PlanVariant::Doacross,
+        TAG_REORDERED => PlanVariant::Reordered,
+        TAG_LINEAR => {
+            let (c, d) = variant_payload;
+            if c == 0 {
+                return Err(structural("linear variant with stride 0"));
+            }
+            let subscript = LinearSubscript::new(c as usize, d as usize);
+            if linear != Some(subscript) {
+                return Err(structural(
+                    "linear variant disagrees with the detected subscript",
+                ));
+            }
+            PlanVariant::Linear(subscript)
+        }
+        TAG_BLOCKED => {
+            let block_size = usize::try_from(variant_payload.0)
+                .map_err(|_| structural("block size overflows usize"))?;
+            if block_size == 0 || block_size > census.iterations {
+                return Err(structural(format!(
+                    "block size {block_size} outside 1..={}",
+                    census.iterations
+                )));
+            }
+            PlanVariant::Blocked { block_size }
+        }
+        _ => unreachable!("tag validated above"),
+    };
+
+    let needs_map = matches!(variant, PlanVariant::Doacross | PlanVariant::Reordered);
+    if needs_map && !census.injective {
+        return Err(structural(
+            "flat doacross plan over a non-injective left-hand side",
+        ));
+    }
+    let prepared = match (needs_map, writers) {
+        (true, Some(writers)) => {
+            if writers.len() != census.data_len {
+                return Err(structural(format!(
+                    "writer map covers {} elements, data space is {}",
+                    writers.len(),
+                    census.data_len
+                )));
+            }
+            let mut writes_seen = vec![false; census.iterations];
+            for &w in &writers {
+                if w == MAXINT {
+                    continue;
+                }
+                let Ok(i) = usize::try_from(w) else {
+                    return Err(structural(format!("negative writer iteration {w}")));
+                };
+                if i >= census.iterations {
+                    return Err(structural(format!(
+                        "writer iteration {i} outside 0..{}",
+                        census.iterations
+                    )));
+                }
+                if std::mem::replace(&mut writes_seen[i], true) {
+                    return Err(structural(format!(
+                        "iteration {i} writes two elements (map not injective)"
+                    )));
+                }
+            }
+            PreparedInspection::from_writer_map(census.iterations, &writers)
+                .ok_or_else(|| structural("writer map rejected by the core reconstruction"))
+                .map(Some)?
+        }
+        (true, None) => {
+            return Err(structural(
+                "inspected variant without its prebuilt writer map",
+            ));
+        }
+        (false, Some(_)) => {
+            return Err(structural(
+                "writer map attached to a variant that never consumes one",
+            ));
+        }
+        (false, None) => None,
+    };
+
+    let order = match (variant, order) {
+        (PlanVariant::Reordered, Some(order)) => {
+            if order.len() != census.iterations {
+                return Err(structural(format!(
+                    "claim order covers {} of {} iterations",
+                    order.len(),
+                    census.iterations
+                )));
+            }
+            let mut seen = vec![false; census.iterations];
+            for &i in &order {
+                if i >= census.iterations || std::mem::replace(&mut seen[i], true) {
+                    return Err(structural("claim order is not a permutation"));
+                }
+            }
+            Some(order)
+        }
+        (PlanVariant::Reordered, None) => {
+            return Err(structural("reordered variant without its claim order"));
+        }
+        (_, Some(_)) => {
+            return Err(structural(
+                "claim order attached to a variant that never consumes one",
+            ));
+        }
+        (_, None) => None,
+    };
+
+    Ok(ExecutionPlan {
+        fingerprint,
+        processors,
+        variant,
+        census,
+        prepared,
+        order,
+        linear,
+        costs,
+        build_time,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The store.
+
+/// A snapshot of a plan cache: plans most-recently-used first, each tagged
+/// with the generation it was valid under, plus the cache's nonzero
+/// invalidation generations — everything needed to restore a cache to an
+/// equivalent state (same plans, same recency, same staleness semantics)
+/// in another process.
+///
+/// Produced by `PlanCache::snapshot` / `ConcurrentPlanCache::snapshot`
+/// (or assembled by [`PlanStore::from_bytes`]); consumed by the matching
+/// `warm_from` methods and [`PlanStore::to_bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct PlanStore {
+    /// Most-recently-used first (per shard for sharded snapshots).
+    pub(crate) entries: Vec<(u64, Arc<ExecutionPlan>)>,
+    /// Nonzero invalidation generations at snapshot time.
+    pub(crate) generations: Vec<(PatternFingerprint, u64)>,
+}
+
+impl PlanStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of plans held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored plans, most recently used first.
+    pub fn plans(&self) -> impl Iterator<Item = &Arc<ExecutionPlan>> {
+        self.entries.iter().map(|(_, plan)| plan)
+    }
+
+    /// The nonzero invalidation generations captured with the snapshot.
+    pub fn generations(&self) -> impl Iterator<Item = (&PatternFingerprint, u64)> {
+        self.generations.iter().map(|(fp, gen)| (fp, *gen))
+    }
+
+    /// The generation recorded for `key` (0 when absent, matching a
+    /// never-invalidated fingerprint).
+    pub fn generation_of(&self, key: &PatternFingerprint) -> u64 {
+        self.generations
+            .iter()
+            .find(|(fp, _)| fp == key)
+            .map_or(0, |(_, gen)| *gen)
+    }
+
+    pub(crate) fn push_entry(&mut self, generation: u64, plan: Arc<ExecutionPlan>) {
+        self.entries.push((generation, plan));
+    }
+
+    pub(crate) fn push_generation(&mut self, key: PatternFingerprint, generation: u64) {
+        self.generations.push((key, generation));
+    }
+
+    /// Serializes the store (see the module docs for the layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u64(&mut out, self.generations.len() as u64);
+        for (fp, gen) in &self.generations {
+            for word in fp.to_raw() {
+                put_u64(&mut out, word);
+            }
+            put_u64(&mut out, *gen);
+        }
+        put_u64(&mut out, self.entries.len() as u64);
+        for (generation, plan) in &self.entries {
+            put_u64(&mut out, *generation);
+            let record = encode_plan(plan);
+            put_u64(&mut out, record.len() as u64);
+            out.extend_from_slice(&record);
+        }
+        let checksum = fnv64(&out);
+        put_u64(&mut out, checksum);
+        out
+    }
+
+    /// Parses and fully validates a serialized store: magic, version,
+    /// checksum, then every plan record (see the module docs' trust
+    /// model). Never panics on arbitrary input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        const HEADER: usize = MAGIC.len() + 4;
+        if bytes.len() < HEADER + 8 {
+            return Err(PersistError::Truncated {
+                needed: HEADER + 8,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[MAGIC.len()..HEADER].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        let computed = fnv64(body);
+        if stored != computed {
+            return Err(PersistError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = Reader::new(&body[HEADER..]);
+        let ngens = r.counted(5 * 8 + 8)?;
+        let mut generations = Vec::with_capacity(ngens);
+        for _ in 0..ngens {
+            let mut raw = [0u64; 5];
+            for word in raw.iter_mut() {
+                *word = r.u64()?;
+            }
+            let fp = PatternFingerprint::from_raw(raw)
+                .ok_or_else(|| structural("generation-table fingerprint overflows usize"))?;
+            generations.push((fp, r.u64()?));
+        }
+        let nplans = r.counted(8 + 8)?;
+        let mut entries = Vec::with_capacity(nplans);
+        for _ in 0..nplans {
+            let generation = r.u64()?;
+            let len = r.counted(1)?;
+            let record = r.take(len)?;
+            entries.push((generation, Arc::new(decode_plan(record)?)));
+        }
+        if r.remaining() != 0 {
+            return Err(PersistError::Malformed(format!(
+                "{} trailing bytes after last plan record",
+                r.remaining()
+            )));
+        }
+        Ok(Self {
+            entries,
+            generations,
+        })
+    }
+
+    /// Writes the serialized store to `path` (atomically via a sibling
+    /// temp file + rename, so a crash mid-write never leaves a torn store
+    /// where a good one lived). The temp name is unique per process and
+    /// call, so concurrent saves — even of different stores in one
+    /// directory — never write through each other; last rename wins.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension(format!(
+            "tmp-{}-{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates the store at `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use doacross_core::IndirectLoop;
+    use doacross_par::ThreadPool;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    /// One real plan per variant the planner can select (mirrors the
+    /// planner's own selection tests).
+    fn plans_of_every_variant() -> Vec<ExecutionPlan> {
+        let planner = Planner::new();
+        let pool = pool();
+        let mut out = Vec::new();
+
+        // Sequential: a serial chain.
+        let n = 300;
+        let a: Vec<usize> = (1..=n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let chain = IndirectLoop::new(n + 1, a, rhs, vec![vec![1.0]; n]).unwrap();
+        out.push(planner.plan(&pool, &chain).unwrap());
+
+        // Linear: the dependence-free strided loop.
+        let n = 2_000;
+        let a: Vec<usize> = (0..n).map(|i| 2 * i + 1).collect();
+        let linear = IndirectLoop::new(2 * n + 1, a, vec![vec![]; n], vec![vec![]; n]).unwrap();
+        out.push(planner.plan(&pool, &linear).unwrap());
+
+        // Doacross: dependence-free but non-linear (reversed) scatter.
+        let n = 4_000;
+        let a: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
+        let scatter = IndirectLoop::new(n, a, vec![vec![]; n], vec![vec![]; n]).unwrap();
+        out.push(planner.plan(&pool, &scatter).unwrap());
+
+        // Reordered: interleaved distance-1 chains.
+        let (chains, len) = (32usize, 16usize);
+        let n = chains * len;
+        let a: Vec<usize> = (0..n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i % len == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![0.5; r.len()]).collect();
+        let interleaved = IndirectLoop::new(n, a, rhs, coeff).unwrap();
+        out.push(planner.plan(&pool, &interleaved).unwrap());
+
+        // Blocked: non-injective with wide duplicate-write gaps.
+        let (n, period) = (4_096usize, 512usize);
+        let a: Vec<usize> = (0..n).map(|i| i % period).collect();
+        let rhs: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 7) % period]).collect();
+        let blocked = IndirectLoop::new(period, a, rhs, vec![vec![0.25]; n]).unwrap();
+        out.push(planner.plan(&pool, &blocked).unwrap());
+
+        out
+    }
+
+    #[test]
+    fn every_variant_round_trips_bit_exactly() {
+        let plans = plans_of_every_variant();
+        let variants: Vec<_> = plans.iter().map(|p| p.variant()).collect();
+        assert!(
+            matches!(variants[0], PlanVariant::Sequential),
+            "{variants:?}"
+        );
+        assert!(matches!(variants[1], PlanVariant::Linear(_)));
+        assert!(matches!(variants[2], PlanVariant::Doacross));
+        assert!(matches!(variants[3], PlanVariant::Reordered));
+        assert!(matches!(variants[4], PlanVariant::Blocked { .. }));
+        for plan in &plans {
+            let bytes = encode_plan(plan);
+            let decoded = decode_plan(&bytes).expect("self-encoded plans decode");
+            assert_eq!(
+                encode_plan(&decoded),
+                bytes,
+                "re-encoding must be bit-exact ({})",
+                plan.variant()
+            );
+            assert_eq!(decoded.fingerprint(), plan.fingerprint());
+            assert_eq!(decoded.variant(), plan.variant());
+            assert_eq!(decoded.census(), plan.census());
+            assert_eq!(decoded.costs(), plan.costs());
+            assert_eq!(decoded.build_time(), plan.build_time());
+            assert_eq!(decoded.order(), plan.order());
+            assert_eq!(decoded.linear_subscript(), plan.linear_subscript());
+            match (decoded.prepared(), plan.prepared()) {
+                (Some(d), Some(p)) => {
+                    assert_eq!(d.iterations(), p.iterations());
+                    assert_eq!(d.data_len(), p.data_len());
+                    assert!((0..d.data_len()).all(|e| d.writer(e) == p.writer(e)));
+                }
+                (None, None) => {}
+                other => panic!("prepared mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn store_round_trips_entries_and_generations() {
+        let plans = plans_of_every_variant();
+        let mut store = PlanStore::new();
+        for (i, plan) in plans.into_iter().enumerate() {
+            store.push_entry(i as u64, Arc::new(plan));
+        }
+        let ghost_fp = *store.plans().next().unwrap().fingerprint();
+        store.push_generation(ghost_fp, 7);
+
+        let bytes = store.to_bytes();
+        let back = PlanStore::from_bytes(&bytes).expect("own bytes parse");
+        assert_eq!(back.len(), store.len());
+        assert_eq!(back.generation_of(&ghost_fp), 7);
+        for ((ga, pa), (gb, pb)) in store.entries.iter().zip(back.entries.iter()) {
+            assert_eq!(ga, gb);
+            assert_eq!(encode_plan(pa), encode_plan(pb));
+        }
+        assert_eq!(back.to_bytes(), bytes, "store serialization is stable");
+    }
+
+    #[test]
+    fn bad_magic_version_checksum_and_truncation_are_typed() {
+        let mut store = PlanStore::new();
+        store.push_entry(0, Arc::new(plans_of_every_variant().remove(2)));
+        let bytes = store.to_bytes();
+
+        // Magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            PlanStore::from_bytes(&bad),
+            Err(PersistError::BadMagic)
+        ));
+
+        // Version (checked before the checksum, so the error is typed).
+        let mut bad = bytes.clone();
+        bad[8] = 0xEE;
+        assert!(matches!(
+            PlanStore::from_bytes(&bad),
+            Err(PersistError::UnsupportedVersion {
+                supported: FORMAT_VERSION,
+                ..
+            })
+        ));
+
+        // Any payload bit flip trips the checksum.
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(matches!(
+            PlanStore::from_bytes(&bad),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+
+        // Truncations: too short for the header is Truncated; longer
+        // prefixes fail the checksum. Either way: typed, no panic.
+        for k in 0..bytes.len() {
+            let err = PlanStore::from_bytes(&bytes[..k]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. } | PersistError::ChecksumMismatch { .. }
+                ),
+                "prefix {k}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_revalidation_rejects_inconsistent_records() {
+        let plans = plans_of_every_variant();
+        let doacross = &plans[2];
+        let reordered = &plans[3];
+
+        let corrupt = |plan: &ExecutionPlan, mutate: &dyn Fn(&mut ExecutionPlan)| {
+            let bytes = encode_plan(plan);
+            let mut patient = decode_plan(&bytes).unwrap();
+            mutate(&mut patient);
+            decode_plan(&encode_plan(&patient))
+        };
+        let assert_structural = |result: Result<ExecutionPlan, PersistError>, what: &str| {
+            assert!(
+                matches!(result, Err(PersistError::Structural(_))),
+                "{what}: {:?}",
+                result.map(|p| p.variant())
+            );
+        };
+
+        assert_structural(corrupt(doacross, &|p| p.processors = 0), "zero processors");
+        assert_structural(
+            corrupt(doacross, &|p| p.census.total_terms += 1),
+            "census disagrees with fingerprint",
+        );
+        assert_structural(
+            corrupt(doacross, &|p| p.prepared = None),
+            "inspected variant without its writer map",
+        );
+        assert_structural(
+            corrupt(doacross, &|p| p.order = Some(vec![0])),
+            "order attached to a variant that never consumes one",
+        );
+        assert_structural(
+            corrupt(doacross, &|p| p.census.injective = false),
+            "flat doacross over a non-injective lhs",
+        );
+        assert_structural(
+            corrupt(reordered, &|p| {
+                let order = p.order.as_mut().unwrap();
+                order[0] = order[1];
+            }),
+            "claim order is not a permutation",
+        );
+        assert_structural(
+            corrupt(reordered, &|p| {
+                p.order.as_mut().unwrap().pop();
+            }),
+            "claim order shorter than the iteration space",
+        );
+        assert_structural(
+            corrupt(&plans[4], &|p| {
+                p.variant = PlanVariant::Blocked { block_size: 0 };
+            }),
+            "zero block size",
+        );
+        assert_structural(
+            corrupt(&plans[4], &|p| {
+                p.variant = PlanVariant::Blocked {
+                    block_size: p.census.iterations + 1,
+                };
+            }),
+            "block size beyond the iteration space",
+        );
+
+        // A writer map pointing past the iteration space is rejected at
+        // the byte level (decode, not just re-encode of a live plan).
+        let mut bytes = encode_plan(doacross);
+        // Fingerprint (5) + processors (1) words, 1 tag byte, census up to
+        // the writer-map flag — easier to corrupt via decode+mutate of the
+        // census iteration count, which the fingerprint check catches
+        // first; so instead corrupt a live map through from_writer_map's
+        // contract: already covered in core. Here just confirm garbage
+        // never panics.
+        for i in 0..bytes.len() {
+            bytes[i] = bytes[i].wrapping_add(0x5B);
+            let _ = decode_plan(&bytes); // must not panic
+            bytes[i] = bytes[i].wrapping_sub(0x5B);
+        }
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = PlanStore::new();
+        assert!(store.is_empty());
+        let back = PlanStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.generations().count(), 0);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let path = std::env::temp_dir().join(format!(
+            "doacross-persist-unit-{}.plans",
+            std::process::id()
+        ));
+        let mut store = PlanStore::new();
+        store.push_entry(3, Arc::new(plans_of_every_variant().remove(1)));
+        store.save(&path).unwrap();
+        let back = PlanStore::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.to_bytes(), store.to_bytes());
+        std::fs::remove_file(&path).unwrap();
+
+        let missing = std::env::temp_dir().join("doacross-persist-unit-nonexistent.plans");
+        assert!(matches!(
+            PlanStore::load(&missing),
+            Err(PersistError::NotFound)
+        ));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of plan persistence: for *any* planner-built plan
+//! over a runtime-generated pattern, the binary codec round-trips
+//! bit-exactly, a decoded plan executes bit-identically to the sequential
+//! oracle, cache snapshots survive serialization with their recency order
+//! intact, and arbitrarily corrupted stores fail with a typed error — a
+//! panic or a silently wrong plan is a test failure.
+
+use doacross_core::{seq::run_sequential, DoacrossConfig, IndirectLoop};
+use doacross_par::ThreadPool;
+use doacross_plan::persist::{decode_plan, encode_plan};
+use doacross_plan::{
+    PatternFingerprint, PersistError, PlanCache, PlanExecutor, PlanStore, Planner,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// An arbitrary valid loop — injective or not, so every planner fallback
+/// (sequential, linear, doacross, reordered, blocked) is reachable.
+fn arb_loop(max_n: usize) -> impl Strategy<Value = (IndirectLoop, Vec<f64>)> {
+    (1..=max_n)
+        .prop_flat_map(move |n| {
+            let data_len = n + 4;
+            let lhs = proptest::collection::vec(0..data_len, n..=n);
+            let rhs =
+                proptest::collection::vec(proptest::collection::vec(0..data_len, 0..3), n..=n);
+            let y0 = proptest::collection::vec(-1.0..1.0f64, data_len..=data_len);
+            (lhs, rhs, y0, Just(data_len))
+        })
+        .prop_map(|(lhs, rhs, y0, data_len)| {
+            let coeff: Vec<Vec<f64>> = rhs
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    r.iter()
+                        .enumerate()
+                        .map(|(j, _)| 0.25 + ((i + 2 * j) % 4) as f64 * 0.125)
+                        .collect()
+                })
+                .collect();
+            let loop_ = IndirectLoop::new(data_len, lhs, rhs, coeff).expect("valid");
+            (loop_, y0)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn planner_built_plans_round_trip_bit_exactly((loop_, _y0) in arb_loop(40)) {
+        let pool = ThreadPool::new(3);
+        let plan = Planner::new().plan(&pool, &loop_).expect("in-bounds");
+        let bytes = encode_plan(&plan);
+        let decoded = decode_plan(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(encode_plan(&decoded), bytes, "bit-exact round trip");
+        prop_assert_eq!(decoded.variant(), plan.variant());
+        prop_assert_eq!(decoded.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn decoded_plans_execute_like_the_original((loop_, y0) in arb_loop(32)) {
+        let pool = ThreadPool::new(3);
+        let plan = Planner::new().plan(&pool, &loop_).expect("in-bounds");
+        let decoded = decode_plan(&encode_plan(&plan)).expect("decodes");
+
+        let mut expect = y0.clone();
+        run_sequential(&loop_, &mut expect);
+        let mut y = y0.clone();
+        PlanExecutor::new(DoacrossConfig::default())
+            .execute(&pool, &loop_, &mut y, &decoded)
+            .expect("a revalidated plan executes");
+        prop_assert_eq!(&y, &expect, "deserialized plan is bit-identical");
+    }
+
+    #[test]
+    fn snapshots_survive_serialization_with_recency(
+        loops in proptest::collection::vec(arb_loop(24), 1..6),
+        touch in 0usize..6,
+    ) {
+        let pool = ThreadPool::new(2);
+        let planner = Planner::new();
+        let mut cache = PlanCache::new(8);
+        for (l, _) in &loops {
+            let key = PatternFingerprint::of(l);
+            cache
+                .get_or_build(&key, || planner.plan(&pool, l))
+                .expect("in-bounds");
+        }
+        // Touch one structure so the recency order is not just insertion
+        // order.
+        let (l, _) = &loops[touch % loops.len()];
+        cache.get(&PatternFingerprint::of(l));
+
+        let bytes = cache.snapshot().to_bytes();
+        let store = PlanStore::from_bytes(&bytes).expect("own bytes parse");
+        let mut warmed = PlanCache::new(8);
+        warmed.warm_from(&store);
+        prop_assert_eq!(warmed.keys_by_recency(), cache.keys_by_recency());
+        // Restores are insertions, never traffic: the fresh cache still
+        // reports a 0.0 (not NaN) hit rate.
+        prop_assert_eq!(warmed.stats().hit_rate(), 0.0);
+        prop_assert_eq!(warmed.stats().hits + warmed.stats().misses, 0);
+    }
+
+    #[test]
+    fn corrupted_stores_fail_typed_never_panic(
+        (loop_, _y0) in arb_loop(24),
+        flip_bit in 0usize..1_000_000,
+        cut in 0usize..1_000_000,
+    ) {
+        let pool = ThreadPool::new(2);
+        let plan = Planner::new().plan(&pool, &loop_).expect("in-bounds");
+        let mut cache = PlanCache::new(2);
+        cache.insert(Arc::new(plan));
+        let bytes = cache.snapshot().to_bytes();
+
+        // Any single-bit flip must surface as a typed error (FNV absorbs
+        // every byte injectively, so no flip can slip past the checksum).
+        let mut flipped = bytes.clone();
+        let bit = flip_bit % (bytes.len() * 8);
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(PlanStore::from_bytes(&flipped).is_err());
+
+        // Any truncation must surface as a typed error.
+        let cut = cut % bytes.len();
+        let err = PlanStore::from_bytes(&bytes[..cut]).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            PersistError::Truncated { .. }
+                | PersistError::ChecksumMismatch { .. }
+                | PersistError::BadMagic
+                | PersistError::UnsupportedVersion { .. }
+        ), "{:?}", err);
+
+        // The pristine bytes still parse.
+        prop_assert!(PlanStore::from_bytes(&bytes).is_ok());
+    }
+}

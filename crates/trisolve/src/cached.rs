@@ -64,6 +64,27 @@ impl EngineSolver {
         Self { engine }
     }
 
+    /// Solver over `engine`, warm-started from the plan store at `path`:
+    /// structures solved (and saved) by a previous process start cached,
+    /// so the first solve after a restart skips preprocessing. A missing
+    /// file is a clean cold start; a corrupt, truncated, or
+    /// version-mismatched store fails with
+    /// [`doacross_engine::EngineError::Persist`].
+    pub fn with_warm_start(
+        engine: Engine,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, EngineError> {
+        engine.warm_start_plans(path)?;
+        Ok(Self { engine })
+    }
+
+    /// Checkpoints the engine's plan cache to `path` (see
+    /// [`doacross_engine::Engine::save_plans`]); returns the number of
+    /// plans saved.
+    pub fn save_plans(&self, path: impl AsRef<std::path::Path>) -> Result<usize, EngineError> {
+        self.engine.save_plans(path)
+    }
+
     /// Solves `L y = rhs`; returns `y` (bit-identical to
     /// [`TriangularMatrix::forward_solve`]) and the run statistics, whose
     /// `provenance` field tells whether this solve reused a cached plan.
@@ -166,8 +187,8 @@ impl PlanCachedSolver {
         match engine.run(&loop_, &mut y) {
             Ok(stats) => Ok((y, stats)),
             Err(EngineError::Doacross(err)) => Err(err),
-            Err(EngineError::StalePlan { .. }) => {
-                unreachable!("the shim never invalidates its private engine")
+            Err(EngineError::StalePlan { .. } | EngineError::Persist(_)) => {
+                unreachable!("the shim never invalidates or warm-starts its private engine")
             }
         }
     }
@@ -277,6 +298,42 @@ mod tests {
         let s = solver.cache_stats();
         assert_eq!(s.misses, 3, "build-under-lock: one plan per structure");
         assert_eq!(s.hits + s.misses, 3 * 4 * 3);
+    }
+
+    #[test]
+    fn warm_started_solver_hits_on_its_first_solve() {
+        let path = std::env::temp_dir().join(format!(
+            "doacross-trisolve-warm-{}.plans",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let l = grid_factor(11, 9, 42);
+        let rhs = vec![1.0; l.n()];
+
+        // "First process": missing store → cold start, solve, checkpoint.
+        let first = EngineSolver::with_warm_start(
+            Engine::builder().workers(2).cache_capacity(8).build(),
+            &path,
+        )
+        .unwrap();
+        let (_, stats) = first.solve(&l, &rhs).unwrap();
+        assert_eq!(stats.provenance, PlanProvenance::PlanCold);
+        assert_eq!(first.save_plans(&path).unwrap(), 1);
+
+        // "Restarted process": same structure, first solve is a hit.
+        let second = EngineSolver::with_warm_start(
+            Engine::builder().workers(2).cache_capacity(8).build(),
+            &path,
+        )
+        .unwrap();
+        let (y, stats) = second.solve(&l, &rhs).unwrap();
+        assert_eq!(stats.provenance, PlanProvenance::PlanCached);
+        assert_eq!(stats.inspector, std::time::Duration::ZERO);
+        assert_eq!(y, l.forward_solve(&rhs));
+        let s = second.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 0), "restart skipped the replan");
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

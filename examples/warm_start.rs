@@ -1,0 +1,77 @@
+//! Warm starts across process restarts: run this example twice.
+//!
+//! The first run finds no plan store, pays full preprocessing for each
+//! structure (`plan:cold`), and checkpoints the engine's plan cache to
+//! disk on exit. Every later run warm-starts from that store, so its
+//! *first* solve of each structure is already a cache hit (`plan:cached`)
+//! — the paper's "preprocess once" economy surviving the process
+//! boundary. The example asserts this, so a second run doubles as a
+//! smoke test:
+//!
+//! ```text
+//! cargo run --release --example warm_start            # cold, saves store
+//! cargo run --release --example warm_start            # warm, asserts hits
+//! cargo run --release --example warm_start -- /tmp/x  # explicit store path
+//! ```
+//!
+//! The default store lives under the system temp directory, not
+//! `target/`: CI caches `target/` across commits, and a stale store from
+//! an older format (or an older fingerprint function) must not leak into
+//! unrelated builds.
+
+use preprocessed_doacross::core::PlanProvenance;
+use preprocessed_doacross::sparse::{Problem, ProblemKind};
+use preprocessed_doacross::trisolve::EngineSolver;
+use preprocessed_doacross::Engine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("doacross_warm_start.plans")
+            .display()
+            .to_string()
+    });
+    let had_store = std::path::Path::new(&path).exists();
+
+    // A fixed worker count keeps plans priced identically across runs; a
+    // plan priced for another pool size would be repriced (a miss).
+    let engine = Engine::builder()
+        .workers(2)
+        .cache_capacity(16)
+        .warm_start(&path)
+        .try_build()?;
+    println!(
+        "store {path}: {}",
+        if had_store {
+            format!("loaded, {} plans restored", engine.cache_len())
+        } else {
+            "not found, starting cold".into()
+        }
+    );
+
+    let solver = EngineSolver::new(engine.clone());
+    for kind in [ProblemKind::FivePt, ProblemKind::Spe5] {
+        let sys = Problem::build(kind).triangular_system();
+        let (y, stats) = solver.solve(&sys.l, &sys.rhs)?;
+        assert_eq!(y, sys.l.forward_solve(&sys.rhs), "solves stay bit-exact");
+        println!(
+            "{:>5}: first solve provenance = {} ({:?} total, inspector {:?})",
+            kind.name(),
+            stats.provenance,
+            stats.total,
+            stats.inspector,
+        );
+        if had_store {
+            assert_eq!(
+                stats.provenance,
+                PlanProvenance::PlanCached,
+                "{}: a warm-started engine must hit on its first solve",
+                kind.name()
+            );
+        }
+    }
+
+    let saved = engine.save_plans(&path)?;
+    println!("checkpointed {saved} plans to {path}");
+    Ok(())
+}

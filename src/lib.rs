@@ -49,6 +49,39 @@
 //! paper's Encore Multimax preset; `Engine::invalidate` retires the plans
 //! (and outstanding handles) of a structure about to be mutated in place.
 //!
+//! ## Plan persistence
+//!
+//! Plans are durable: the amortized artifact survives the process that
+//! built it. `Engine::save_plans` checkpoints the cache to a versioned,
+//! checksummed binary store ([`plan::persist`]), and
+//! `EngineBuilder::warm_start` (or `Engine::load_plans`) restores it —
+//! recency-preserving, and invalidation-generation-aware, so plans
+//! retired before the snapshot stay retired after the restart. A
+//! restarted service's first solve of a known structure is then a cache
+//! hit, not a preprocessing pass:
+//!
+//! ```no_run
+//! use preprocessed_doacross::Engine;
+//!
+//! let engine = Engine::builder()
+//!     .workers(4)
+//!     .warm_start("plans.bin")   // missing file = clean cold start
+//!     .try_build()?;             // corrupt file = typed EngineError::Persist
+//! // ... serve traffic; first solves of persisted structures hit ...
+//! engine.save_plans("plans.bin")?;
+//! # Ok::<(), preprocessed_doacross::EngineError>(())
+//! ```
+//!
+//! Stores are never trusted blindly: loading verifies a whole-file
+//! checksum and structurally revalidates every record (writer maps must
+//! be injective and in range, claim orders must be permutations, the
+//! census must agree with the fingerprint) before anything reaches the
+//! cache, so the worst a damaged store can do is a typed
+//! [`EngineError::Persist`] — never a panic, never a silently wrong
+//! plan. `examples/warm_start.rs` demonstrates the restart round trip;
+//! `cargo run --release -p doacross-bench --bin warm` measures the
+//! first-solve gap it closes.
+//!
 //! ## The workspace underneath
 //!
 //! * [`engine`] — the session layer re-exported above: [`Engine`],
@@ -68,8 +101,8 @@
 //! * [`plan`] — the execution-plan subsystem the engine is built on:
 //!   pattern fingerprinting, cost-model variant selection (sequential /
 //!   doacross / linear / reordered / blocked), the single-owner LRU
-//!   [`plan::PlanCache`], and the sharded
-//!   [`plan::ConcurrentPlanCache`].
+//!   [`plan::PlanCache`], the sharded [`plan::ConcurrentPlanCache`], and
+//!   the [`plan::persist`] codec behind warm starts.
 
 pub use doacross_core as core;
 pub use doacross_doconsider as doconsider;
@@ -81,6 +114,7 @@ pub use doacross_sparse as sparse;
 pub use doacross_trisolve as trisolve;
 
 pub use doacross_engine::{Engine, EngineBuilder, EngineError, PreparedLoop};
+pub use doacross_plan::{PersistError, PlanStore};
 
 /// Pre-engine compatibility surface, kept while the deprecated entry
 /// points exist.

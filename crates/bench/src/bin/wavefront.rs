@@ -1,0 +1,59 @@
+//! Prints the cached-doacross vs. wavefront steady-state comparison on
+//! the five Table 1 structures, writes the machine-readable
+//! `BENCH_wavefront.json`, and reports the chunked self-scheduling
+//! ablation.
+//!
+//! Regenerate with `cargo run -p doacross-bench --release --bin wavefront`.
+
+use doacross_bench::report::Table;
+use doacross_bench::wavefront::{chunking_comparison, to_json, wavefront_comparison};
+use doacross_sparse::ProblemKind;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    println!("cached flat doacross vs. level-scheduled wavefront on {workers} host threads");
+    println!("(both from prebuilt artifacts; per-solve steady state, min of 5 reps x 20 solves)\n");
+
+    let points = wavefront_comparison(workers, &ProblemKind::all(), 20, 5);
+    let mut table = Table::new([
+        "problem",
+        "rows",
+        "levels",
+        "doacross/solve",
+        "wavefront/solve",
+        "speedup",
+        "polls/solve",
+        "planner picks",
+        "picks at p=4",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.kind.name().into(),
+            p.rows.to_string(),
+            p.levels.to_string(),
+            format!("{:?}", p.doacross),
+            format!("{:?}", p.wavefront),
+            format!("{:.2}x", p.speedup()),
+            p.doacross_polls.to_string(),
+            p.selected.to_string(),
+            p.selected_at_4.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let json = to_json(&points);
+    let path = "BENCH_wavefront.json";
+    std::fs::write(path, &json).expect("write BENCH_wavefront.json");
+    println!("\nwrote {path}");
+
+    println!("\nchunked self-scheduling ablation (wavefront levels, 7-PT):");
+    let (unit, adaptive) = chunking_comparison(workers, ProblemKind::SevenPt, 20, 5);
+    println!("  chunk = 1 (Multimax)  : {unit:?}/solve");
+    println!("  adaptive level chunks : {adaptive:?}/solve");
+    println!(
+        "  contention saved      : {:.1}%",
+        100.0 * (1.0 - adaptive.as_secs_f64() / unit.as_secs_f64().max(1e-12))
+    );
+}

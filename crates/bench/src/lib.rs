@@ -20,6 +20,11 @@
 //! * [`warm`] — the restart gap plan persistence closes: first solve on a
 //!   cold engine vs. one warm-started from a serialized plan store.
 //!   Regenerate with `cargo run -p doacross-bench --release --bin warm`.
+//! * [`wavefront`] — flag-synchronized vs. level-scheduled steady state on
+//!   the Table 1 structures (the DOACROSS→DOALL conversion crossover),
+//!   plus the chunked self-scheduling ablation; writes the
+//!   machine-readable `BENCH_wavefront.json`. Regenerate with
+//!   `cargo run -p doacross-bench --release --bin wavefront`.
 //! * [`report`] — plain-text table rendering shared by the binaries.
 //!
 //! Every binary prints both the **simulated 16-processor** numbers (the
@@ -32,6 +37,7 @@ pub mod host;
 pub mod report;
 pub mod table1;
 pub mod warm;
+pub mod wavefront;
 
 /// Deterministic workspace-wide experiment seed (problems are seeded per
 /// kind on top of this).

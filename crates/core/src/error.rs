@@ -80,6 +80,17 @@ pub enum DoacrossError {
         /// The loop's actual data-space size.
         loop_data_len: usize,
     },
+    /// A wavefront level schedule was applied to a loop whose
+    /// per-iteration reference counts it does not match — the schedule's
+    /// operand classes were captured for a different reference structure.
+    ScheduleTermsMismatch {
+        /// First iteration whose reference count disagrees.
+        iteration: usize,
+        /// References the schedule classified for that iteration.
+        schedule_terms: usize,
+        /// References the loop actually has there.
+        loop_terms: usize,
+    },
     /// A block's writes escape the element window the pattern declared for
     /// it, so windowed scratch arrays cannot represent the block.
     WindowViolation {
@@ -149,6 +160,15 @@ impl std::fmt::Display for DoacrossError {
                 "execution plan was built for {plan_iterations} iterations over \
                  {plan_data_len} elements, but the loop has {loop_iterations} iterations \
                  over {loop_data_len} elements"
+            ),
+            DoacrossError::ScheduleTermsMismatch {
+                iteration,
+                schedule_terms,
+                loop_terms,
+            } => write!(
+                f,
+                "level schedule classifies {schedule_terms} references for iteration \
+                 {iteration}, but the loop has {loop_terms} there"
             ),
             DoacrossError::WindowViolation {
                 iteration,

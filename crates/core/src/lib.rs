@@ -42,6 +42,27 @@
 //! doacross ([`blocked`]) and the linear-subscript executor that eliminates
 //! the inspector when `a(i) = c·i + d` ([`linear`]).
 //!
+//! ## Executors: per-element flags vs. level barriers
+//!
+//! Two executors bracket the synchronization design space:
+//!
+//! * the **flat doacross** ([`executor`]) synchronizes per element — a
+//!   reader busy-waits on `ready(off)` exactly where a true dependency
+//!   bites, and independent iterations never wait. Best when dependencies
+//!   are sparse or the wavefronts are narrow (few iterations per level):
+//!   the only overhead is where the structure demands it.
+//! * the **wavefront executor** ([`wavefront`]) synchronizes per *level* —
+//!   iterations are grouped by dependence level at preprocessing time and
+//!   each level runs as a barrier-separated doall, with **zero** ready-flag
+//!   traffic and zero writer-map lookups inside a level. Best when the
+//!   poll/stall bill dominates (many true dependencies, deep structures,
+//!   contended flags): the per-element cost disappears and the price is
+//!   `levels × barrier`.
+//!
+//! The `doacross-plan` cost model prices both and picks the crossover
+//! automatically ([`stats::RunStats::wait_polls`] makes the trade
+//! observable: wavefront runs report exactly zero).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -81,6 +102,7 @@ pub mod runtime;
 pub mod seq;
 pub mod stats;
 pub mod testloop;
+pub mod wavefront;
 
 pub use blocked::BlockedDoacross;
 pub use error::DoacrossError;
@@ -92,3 +114,4 @@ pub use prepared::PreparedInspection;
 pub use runtime::{Doacross, DoacrossConfig};
 pub use stats::{DepCounts, PlanProvenance, RunStats};
 pub use testloop::{DependencyCensus, TestLoop};
+pub use wavefront::{LevelSchedule, OperandClass, WavefrontDoacross};

@@ -121,9 +121,13 @@ impl EngineBuilder {
     /// skips preprocessing entirely.
     ///
     /// A **missing** file is a clean cold start (the natural first-boot
-    /// state), but an unreadable, corrupt, truncated, or
-    /// version-mismatched store fails [`EngineBuilder::try_build`] with
-    /// [`EngineError::Persist`] — silently starting cold over a damaged
+    /// state), and so is a store written by a different
+    /// `persist::FORMAT_VERSION` (the version policy: a rejected store is
+    /// just a cold start, and the next save rewrites the current format —
+    /// a format-bumping deploy must not crash-loop on its own previous
+    /// checkpoint). An unreadable, corrupt, or truncated store of the
+    /// current format fails [`EngineBuilder::try_build`] with
+    /// [`EngineError::Persist`] — silently starting cold over a *damaged*
     /// store would hide exactly the regression persistence exists to
     /// prevent.
     pub fn warm_start(mut self, path: impl Into<PathBuf>) -> Self {

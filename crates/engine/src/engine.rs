@@ -7,7 +7,7 @@ use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, RunStats};
 use doacross_par::ThreadPool;
 use doacross_plan::{
     CacheStats, ConcurrentPlanCache, ExecutionPlan, PatternFingerprint, PlanExecutor, PlanStore,
-    Planner,
+    Planner, ShardStats,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -142,6 +142,21 @@ impl Engine {
         self.inner.cache.shard_count()
     }
 
+    /// Per-shard occupancy and traffic of the plan cache, in shard order —
+    /// the capacity-tuning view: a shard pinned at full occupancy while
+    /// others idle means this workload's fingerprints skew and the shard
+    /// count (or capacity) wants adjusting. Rows reconcile exactly with
+    /// [`Engine::cache_stats`] / [`Engine::cache_len`].
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.inner.cache.shard_stats()
+    }
+
+    /// The cache shard `fingerprint` routes to — correlates a structure
+    /// with its [`Engine::shard_stats`] row.
+    pub fn shard_of(&self, fingerprint: &PatternFingerprint) -> usize {
+        self.inner.cache.shard_of(fingerprint)
+    }
+
     /// Whether a plan for `fingerprint` is currently cached.
     pub fn contains(&self, fingerprint: &PatternFingerprint) -> bool {
         self.inner.cache.contains(fingerprint)
@@ -256,18 +271,32 @@ impl Engine {
     }
 
     /// [`Engine::load_plans`] with first-boot semantics: a **missing**
-    /// store is a clean cold start (`Ok(0)`), while a damaged or
-    /// version-mismatched one still fails typed. This is the one place
-    /// the missing-file rule lives; [`crate::EngineBuilder::warm_start`]
-    /// and `trisolve`'s warm-started solver both route through it, and
-    /// checking the error instead of pre-checking existence leaves no
-    /// window for the store to vanish between the two.
+    /// store is a clean cold start (`Ok(0)`), and so is a store written
+    /// by a **different format version** — the ROADMAP's version policy
+    /// ("a rejected store is just a cold start, and the next save
+    /// rewrites the current format") applied at the boot path, so a
+    /// deploy that bumps `persist::FORMAT_VERSION` starts cold instead of
+    /// crash-looping on its own previous checkpoint. A *damaged* store of
+    /// the current format (bad magic, checksum mismatch, truncation,
+    /// structural inconsistency) still fails typed: that is corruption,
+    /// not succession, and silently starting cold over it would hide
+    /// exactly the regression persistence exists to prevent.
+    ///
+    /// This is the one place the first-boot rules live;
+    /// [`crate::EngineBuilder::warm_start`] and `trisolve`'s warm-started
+    /// solver both route through it, and checking the error instead of
+    /// pre-checking existence leaves no window for the store to vanish
+    /// between the two. [`Engine::load_plans`] stays strict — an explicit
+    /// load of a version-mismatched store reports the typed
+    /// [`doacross_plan::PersistError::UnsupportedVersion`].
     pub fn warm_start_plans(
         &self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<usize, EngineError> {
+        use doacross_plan::PersistError;
         match self.load_plans(path) {
-            Err(EngineError::Persist(doacross_plan::PersistError::NotFound)) => Ok(0),
+            Err(EngineError::Persist(PersistError::NotFound))
+            | Err(EngineError::Persist(PersistError::UnsupportedVersion { .. })) => Ok(0),
             other => other,
         }
     }
@@ -328,6 +357,39 @@ mod tests {
         let hot = clone.run(&loop_, &mut y).unwrap();
         assert_eq!(hot.provenance, PlanProvenance::PlanCached);
         assert_eq!(clone.cache_len(), 1);
+    }
+
+    #[test]
+    fn shard_stats_reconcile_with_the_merged_view() {
+        let engine = Engine::builder()
+            .workers(2)
+            .cache_capacity(8)
+            .shards(4)
+            .build();
+        let loops: Vec<TestLoop> = (1..=6).map(|k| TestLoop::new(100 + 10 * k, 1, 7)).collect();
+        for l in &loops {
+            let mut y = l.initial_y();
+            engine.run(l, &mut y).unwrap();
+            let mut y = l.initial_y();
+            engine.run(l, &mut y).unwrap();
+        }
+        let rows = engine.shard_stats();
+        assert_eq!(rows.len(), engine.shards());
+        let mut merged = CacheStats::default();
+        let mut total_len = 0;
+        for row in &rows {
+            merged.absorb(&row.stats);
+            total_len += row.len;
+        }
+        assert_eq!(merged, engine.cache_stats());
+        assert_eq!(total_len, engine.cache_len());
+        // Each structure's traffic landed on the shard its fingerprint
+        // routes to.
+        for l in &loops {
+            let fp = doacross_plan::PatternFingerprint::of(l);
+            let shard = engine.shard_of(&fp);
+            assert!(rows[shard].stats.hits >= 1, "shard {shard} saw the hit");
+        }
     }
 
     #[test]

@@ -71,3 +71,5 @@ pub use prepared::PreparedLoop;
 // The persistence vocabulary engine callers need, re-exported so they can
 // save/restore plans without naming doacross-plan directly.
 pub use doacross_plan::{PersistError, PlanStore};
+// Per-shard cache observability, re-exported for the same reason.
+pub use doacross_plan::ShardStats;

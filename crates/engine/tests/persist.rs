@@ -60,6 +60,57 @@ fn warm_start_serves_the_first_solve_from_the_store() {
 }
 
 #[test]
+fn wavefront_plans_warm_start_across_processes() {
+    // The level-scheduled artifact (offsets, order, term offsets, operand
+    // classes) survives the full engine persistence path: plan → save →
+    // fresh engine → warm start → cached wavefront execution with zero
+    // wait polls and a bit-identical result.
+    let path = store_path("wavefront");
+    let _ = std::fs::remove_file(&path);
+
+    // A deep, wide, stall-free grid (the workspace's shared wavefront
+    // fixture): the planner picks Wavefront at 4 workers on its own.
+    let loop_ = doacross_plan::testgrid::deep_grid(64, 20, 3, 7);
+    let n = 64 * 20;
+    let y0: Vec<f64> = (0..n).map(|e| 1.0 + (e % 7) as f64 * 0.125).collect();
+    let mut oracle = y0.clone();
+    run_sequential(&loop_, &mut oracle);
+
+    let first = engine(4);
+    let prepared = first.prepare(&loop_).unwrap();
+    assert_eq!(
+        prepared.variant(),
+        doacross_plan::PlanVariant::Wavefront,
+        "{:?}",
+        prepared.plan().costs()
+    );
+    let mut y = y0.clone();
+    let stats = prepared.execute(&loop_, &mut y).unwrap();
+    assert_eq!(y, oracle);
+    assert_eq!(stats.wait_polls, 0);
+    assert_eq!(first.save_plans(&path).unwrap(), 1);
+    drop(first);
+
+    let second = Engine::builder()
+        .workers(4)
+        .cache_capacity(8)
+        .warm_start(&path)
+        .try_build()
+        .unwrap();
+    let restored = second.prepare(&loop_).unwrap();
+    assert!(restored.from_cache(), "restored wavefront plan hits");
+    assert_eq!(restored.variant(), doacross_plan::PlanVariant::Wavefront);
+    let mut y = y0;
+    let stats = restored.execute(&loop_, &mut y).unwrap();
+    assert_eq!(stats.provenance, PlanProvenance::PlanCached);
+    assert_eq!(stats.wait_polls, 0, "no flags through the persisted path");
+    assert_eq!(stats.inspector, std::time::Duration::ZERO);
+    assert_eq!(y, oracle, "bit-identical after the restart");
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn corrupt_stores_fail_with_typed_persist_errors() {
     let path = store_path("corrupt");
     let source = engine(2);
@@ -130,6 +181,59 @@ fn corrupt_stores_fail_with_typed_persist_errors() {
         Err(EngineError::Persist(PersistError::NotFound))
     ));
     assert_eq!(fresh.warm_start_plans(&path).unwrap(), 0);
+}
+
+#[test]
+fn old_format_stores_cold_start_the_boot_path_but_fail_explicit_loads() {
+    // The version-succession rule: a store whose format version differs
+    // (here a crafted "v1" relic from before the wavefront bump) is a
+    // clean cold start through the warm-start boot path — a
+    // format-bumping deploy must not crash-loop on its own previous
+    // checkpoint — while the explicit load stays strict and typed.
+    let path = store_path("old-format");
+    let source = engine(2);
+    let loop_ = TestLoop::new(400, 1, 8);
+    let mut y = loop_.initial_y();
+    source.run(&loop_, &mut y).unwrap();
+    source.save_plans(&path).unwrap();
+
+    // Rewrite the version field to 1 (the magic is 8 bytes, the version
+    // the next 4). The checksum is irrelevant: the version is checked
+    // before it.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let fresh = Engine::builder()
+        .workers(2)
+        .cache_capacity(8)
+        .warm_start(&path)
+        .try_build()
+        .expect("old format is succession, not damage");
+    assert_eq!(fresh.cache_len(), 0, "cold start, nothing restored");
+    assert_eq!(fresh.warm_start_plans(&path).unwrap(), 0);
+    let err = fresh.load_plans(&path).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Persist(PersistError::UnsupportedVersion { found: 1, .. })
+        ),
+        "{err:?}"
+    );
+
+    // The next save rewrites the current format and warm starts again.
+    let mut y = loop_.initial_y();
+    fresh.run(&loop_, &mut y).unwrap();
+    assert_eq!(fresh.save_plans(&path).unwrap(), 1);
+    let healed = Engine::builder()
+        .workers(2)
+        .cache_capacity(8)
+        .warm_start(&path)
+        .try_build()
+        .unwrap();
+    assert_eq!(healed.cache_len(), 1);
+
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]

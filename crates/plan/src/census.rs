@@ -8,8 +8,14 @@
 //! is *not* injective (illegal for the flat construct) it instead measures
 //! the minimum gap between writes to the same element, which bounds the
 //! legal block size for the §2.3 strip-mined fallback.
+//!
+//! The same pass can *materialize* what it already computes: the
+//! per-iteration level assignment and the per-reference classification
+//! become a [`LevelSchedule`] — the artifact the wavefront (level-
+//! scheduled) executor consumes. [`PlanCensus::of_with_schedule`] returns
+//! both; nothing is recomputed.
 
-use doacross_core::{AccessPattern, MAXINT};
+use doacross_core::{AccessPattern, LevelSchedule, OperandClass, MAXINT};
 
 /// Everything the planner knows about a pattern's dependence structure.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -54,6 +60,26 @@ pub struct PlanCensus {
 impl PlanCensus {
     /// Builds the census in O(data space + references).
     pub fn of<P: AccessPattern + ?Sized>(pattern: &P) -> Self {
+        Self::of_inner(pattern, false).0
+    }
+
+    /// Like [`PlanCensus::of`], additionally materializing the
+    /// [`LevelSchedule`] the classification pass computes anyway: the
+    /// per-iteration wavefront levels (counting-sorted into CSR form) and
+    /// the per-reference operand classes. `None` for patterns the
+    /// wavefront executor cannot run (non-injective left-hand sides,
+    /// out-of-bounds subscripts) — exactly the patterns the flat construct
+    /// rejects too.
+    pub fn of_with_schedule<P: AccessPattern + ?Sized>(
+        pattern: &P,
+    ) -> (Self, Option<LevelSchedule>) {
+        Self::of_inner(pattern, true)
+    }
+
+    fn of_inner<P: AccessPattern + ?Sized>(
+        pattern: &P,
+        collect: bool,
+    ) -> (Self, Option<LevelSchedule>) {
         let n = pattern.iterations();
         let data_len = pattern.data_len();
         let mut census = PlanCensus {
@@ -96,14 +122,22 @@ impl PlanCensus {
                     }
                 }
             }
-            return census;
+            return (census, None);
         }
 
         // Classify every reference and compute wavefront levels in the same
         // pass (a predecessor's level is final before its readers are
-        // visited, since true dependencies point backwards).
+        // visited, since true dependencies point backwards). When
+        // `collect` is set, the classification and levels are materialized
+        // into a LevelSchedule instead of being recomputed later.
         let mut levels = vec![0usize; n];
         let mut critical_path = 0usize;
+        let mut term_offsets = Vec::new();
+        let mut classes = Vec::new();
+        if collect {
+            term_offsets.reserve(n + 1);
+            term_offsets.push(0usize);
+        }
         for i in 0..n {
             let mut level = 1usize;
             for j in 0..pattern.terms(i) {
@@ -111,11 +145,18 @@ impl PlanCensus {
                 let e = pattern.term_element(i, j);
                 if e >= data_len {
                     census.first_out_of_bounds.get_or_insert((i, e));
+                    if collect {
+                        // Keep the class stream aligned; the schedule is
+                        // discarded below — out-of-bounds patterns are
+                        // never executable.
+                        classes.push(OperandClass::OldValue as u8);
+                    }
                     continue;
                 }
                 let w = writer[e];
-                if w == MAXINT {
+                let class = if w == MAXINT {
                     census.unwritten += 1;
+                    OperandClass::OldValue
                 } else {
                     let w = w as usize;
                     match w.cmp(&i) {
@@ -127,11 +168,24 @@ impl PlanCensus {
                             census.max_true_distance =
                                 Some(census.max_true_distance.map_or(d, |m| m.max(d)));
                             level = level.max(levels[w] + 1);
+                            OperandClass::NewValue
                         }
-                        std::cmp::Ordering::Equal => census.intra += 1,
-                        std::cmp::Ordering::Greater => census.anti_deps += 1,
+                        std::cmp::Ordering::Equal => {
+                            census.intra += 1;
+                            OperandClass::Accumulator
+                        }
+                        std::cmp::Ordering::Greater => {
+                            census.anti_deps += 1;
+                            OperandClass::OldValue
+                        }
                     }
+                };
+                if collect {
+                    classes.push(class as u8);
                 }
+            }
+            if collect {
+                term_offsets.push(classes.len());
             }
             levels[i] = level;
             critical_path = critical_path.max(level);
@@ -142,7 +196,10 @@ impl PlanCensus {
         } else {
             n as f64 / census.critical_path as f64
         };
-        census
+        let schedule = (collect && census.first_out_of_bounds.is_none()).then(|| {
+            LevelSchedule::from_levels(&levels, census.critical_path, term_offsets, classes)
+        });
+        (census, schedule)
     }
 
     /// Whether the loop is a doall (no cross- or intra-iteration
@@ -164,7 +221,7 @@ impl PlanCensus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use doacross_core::{IndirectLoop, TestLoop};
+    use doacross_core::{AccessPattern, IndirectLoop, TestLoop};
 
     fn chain(n: usize) -> IndirectLoop {
         let a: Vec<usize> = (1..=n).collect();
@@ -249,6 +306,64 @@ mod tests {
         let c = PlanCensus::of(&l);
         assert_eq!(c.critical_path, 2);
         assert_eq!(c.average_parallelism, 2.0);
+    }
+
+    #[test]
+    fn schedule_materializes_the_census_levels() {
+        // Two distance-2 chains: levels [1,1,2,2] — the schedule must sort
+        // iterations by level (stable) and classify every reference.
+        let a = vec![4, 5, 6, 7];
+        let rhs = vec![vec![0], vec![], vec![4], vec![5]];
+        let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![1.0; r.len()]).collect();
+        let l = IndirectLoop::new(8, a, rhs, coeff).unwrap();
+        let (c, schedule) = PlanCensus::of_with_schedule(&l);
+        assert_eq!(c, PlanCensus::of(&l), "collecting never changes the census");
+        let s = schedule.expect("injective in-bounds pattern");
+        assert_eq!(s.level_count(), c.critical_path);
+        assert_eq!(s.iterations(), 4);
+        assert_eq!(s.level_iterations(0), &[0, 1]);
+        assert_eq!(s.level_iterations(1), &[2, 3]);
+        assert_eq!(s.total_terms() as u64, c.total_terms);
+        let (new, old, acc) = s.class_counts();
+        assert_eq!(new, c.true_deps);
+        assert_eq!(old, c.anti_deps + c.unwritten);
+        assert_eq!(acc, c.intra);
+    }
+
+    #[test]
+    fn schedule_absent_for_illegal_patterns() {
+        // Non-injective lhs: no schedule.
+        let dup = IndirectLoop::new(
+            3,
+            vec![1, 1, 2],
+            vec![vec![], vec![], vec![]],
+            vec![vec![], vec![], vec![]],
+        )
+        .unwrap();
+        assert!(PlanCensus::of_with_schedule(&dup).1.is_none());
+
+        // Out-of-bounds right-hand side: no schedule either.
+        struct Oob;
+        impl AccessPattern for Oob {
+            fn iterations(&self) -> usize {
+                2
+            }
+            fn data_len(&self) -> usize {
+                2
+            }
+            fn lhs(&self, i: usize) -> usize {
+                i
+            }
+            fn terms(&self, _: usize) -> usize {
+                1
+            }
+            fn term_element(&self, _: usize, _: usize) -> usize {
+                9
+            }
+        }
+        let (c, schedule) = PlanCensus::of_with_schedule(&Oob);
+        assert!(c.first_out_of_bounds.is_some());
+        assert!(schedule.is_none());
     }
 
     #[test]

@@ -16,13 +16,19 @@
 //!   intra/unwritten reference counts, dependence distances, wavefront
 //!   critical path, average parallelism, and (for non-injective patterns)
 //!   the minimum duplicate-write gap that bounds a legal block size.
+//!   [`PlanCensus::of_with_schedule`] additionally materializes the level
+//!   assignment the pass computes anyway into a
+//!   [`doacross_core::LevelSchedule`] — the wavefront executor's artifact.
 //! * [`Planner`] — prices every legal variant (sequential, inspected flat
 //!   doacross, §2.3 linear-subscript, doconsider-reordered, §2.3
-//!   strip-mined) with the calibrated [`doacross_sim::CostModel`] and
-//!   picks the cheapest; see [`planner`] for the formulas.
+//!   strip-mined, level-scheduled wavefront) with the calibrated
+//!   [`doacross_sim::CostModel`] and picks the cheapest; see [`planner`]
+//!   for the formulas, including the flag-bill vs. `levels × barrier`
+//!   crossover that converts a doacross into barrier-separated doalls.
 //! * [`ExecutionPlan`] — the captured products the chosen variant needs:
 //!   prebuilt inspector writer map, doconsider claim order, detected
-//!   linear subscript, block size, plus the census and candidate prices.
+//!   linear subscript, block size, wavefront level schedule, plus the
+//!   census and candidate prices.
 //! * [`PlanCache`] — a single-owner LRU over fingerprints with
 //!   hit/miss/eviction stats: repeated structures (solver iterations,
 //!   repeated service traffic) skip inspection entirely.
@@ -73,9 +79,45 @@ pub mod runtime;
 
 pub use cache::{CacheStats, PlanCache};
 pub use census::PlanCensus;
-pub use concurrent::ConcurrentPlanCache;
+pub use concurrent::{ConcurrentPlanCache, ShardStats};
 pub use fingerprint::PatternFingerprint;
 pub use persist::{PersistError, PlanStore, FORMAT_VERSION};
 pub use plan::{ExecutionPlan, PlanVariant, VariantCosts};
 pub use planner::{detect_linear, Planner, BLOCKED_DATA_SPACE_FACTOR};
 pub use runtime::{PlanExecutor, PlannedDoacross};
+
+/// Shared test fixture: the wavefront-friendly dependence grid. Not
+/// API — exposed (hidden) so the workspace's integration and engine
+/// tests exercise the same structure the unit tests assert on, instead
+/// of drifting copies.
+#[doc(hidden)]
+pub mod testgrid {
+    use doacross_core::IndirectLoop;
+
+    /// A deep dependence grid: `depth` levels of `width` mutually
+    /// independent iterations, each (beyond level 0) reading `reads`
+    /// elements written one level earlier at `stride`-spaced columns.
+    /// Stall-free for every claim order once `width ≥ p`, so the selection
+    /// pressure is purely flag traffic vs. barrier bill — with `width ≥
+    /// 64` and `reads = 3` the planner picks the wavefront at any `p ≤ 8`
+    /// (every test using this asserts that loudly, so cost-model drift
+    /// cannot silently stop exercising the wavefront path).
+    pub fn deep_grid(width: usize, depth: usize, reads: usize, stride: usize) -> IndirectLoop {
+        let n = width * depth;
+        let a: Vec<usize> = (0..n).collect();
+        let rhs: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let (l, c) = (i / width, i % width);
+                if l == 0 {
+                    vec![]
+                } else {
+                    (0..reads)
+                        .map(|r| (l - 1) * width + (c + stride * r) % width)
+                        .collect()
+                }
+            })
+            .collect();
+        let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![0.25; r.len()]).collect();
+        IndirectLoop::new(n, a, rhs, coeff).expect("valid grid")
+    }
+}

@@ -52,7 +52,7 @@
 use crate::census::PlanCensus;
 use crate::fingerprint::PatternFingerprint;
 use crate::plan::{ExecutionPlan, PlanVariant, VariantCosts};
-use doacross_core::{LinearSubscript, PreparedInspection, MAXINT};
+use doacross_core::{LevelSchedule, LinearSubscript, PreparedInspection, MAXINT};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
@@ -72,7 +72,11 @@ pub const MAGIC: [u8; 8] = *b"DOAXPLAN";
 /// longer match any live pattern) rather than corrupting them, so it does
 /// not require a version bump — but bumping anyway is kinder to disk
 /// space.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: **v2** added the wavefront variant (a level-schedule section
+/// in every record and a wavefront candidate price), changing the record
+/// layout; v1 stores are rejected per the policy above.
+pub const FORMAT_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -315,6 +319,7 @@ const TAG_DOACROSS: u8 = 1;
 const TAG_LINEAR: u8 = 2;
 const TAG_REORDERED: u8 = 3;
 const TAG_BLOCKED: u8 = 4;
+const TAG_WAVEFRONT: u8 = 5;
 
 /// Serializes one plan to the record format (no checksum — the enclosing
 /// [`PlanStore`] blob carries one for the whole file). The encoding is
@@ -339,6 +344,7 @@ pub fn encode_plan(plan: &ExecutionPlan) -> Vec<u8> {
             out.push(TAG_BLOCKED);
             put_u64(&mut out, block_size as u64);
         }
+        PlanVariant::Wavefront => out.push(TAG_WAVEFRONT),
     }
     let census = plan.census();
     put_u64(&mut out, census.iterations as u64);
@@ -382,6 +388,26 @@ pub fn encode_plan(plan: &ExecutionPlan) -> Vec<u8> {
         }
         None => put_bool(&mut out, false),
     }
+    match plan.level_schedule() {
+        Some(levels) => {
+            put_bool(&mut out, true);
+            put_u64(&mut out, levels.offsets().len() as u64);
+            for &v in levels.offsets() {
+                put_u64(&mut out, v as u64);
+            }
+            put_u64(&mut out, levels.order().len() as u64);
+            for &v in levels.order() {
+                put_u64(&mut out, v as u64);
+            }
+            put_u64(&mut out, levels.term_offsets().len() as u64);
+            for &v in levels.term_offsets() {
+                put_u64(&mut out, v as u64);
+            }
+            put_u64(&mut out, levels.classes().len() as u64);
+            out.extend_from_slice(levels.classes());
+        }
+        None => put_bool(&mut out, false),
+    }
     match plan.linear_subscript() {
         Some(s) => {
             put_bool(&mut out, true);
@@ -396,6 +422,7 @@ pub fn encode_plan(plan: &ExecutionPlan) -> Vec<u8> {
     put_opt_f64(&mut out, costs.linear);
     put_opt_f64(&mut out, costs.reordered);
     put_opt_f64(&mut out, costs.blocked);
+    put_opt_f64(&mut out, costs.wavefront);
     put_u64(
         &mut out,
         u64::try_from(plan.build_time().as_nanos()).unwrap_or(u64::MAX),
@@ -433,7 +460,7 @@ fn decode_plan_fields(r: &mut Reader<'_>) -> Result<ExecutionPlan, PersistError>
 
     let tag = r.u8()?;
     let variant_payload = match tag {
-        TAG_SEQUENTIAL | TAG_DOACROSS | TAG_REORDERED => (0u64, 0u64),
+        TAG_SEQUENTIAL | TAG_DOACROSS | TAG_REORDERED | TAG_WAVEFRONT => (0u64, 0u64),
         TAG_LINEAR => (r.u64()?, r.u64()?),
         TAG_BLOCKED => (r.u64()?, 0),
         other => {
@@ -486,6 +513,26 @@ fn decode_plan_fields(r: &mut Reader<'_>) -> Result<ExecutionPlan, PersistError>
         None
     };
 
+    type LevelParts = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<u8>);
+    let level_parts: Option<LevelParts> = if r.bool()? {
+        let mut section = || -> Result<Vec<usize>, PersistError> {
+            let count = r.counted(8)?;
+            let mut v = Vec::with_capacity(count);
+            for _ in 0..count {
+                v.push(r.usize()?);
+            }
+            Ok(v)
+        };
+        let offsets = section()?;
+        let order = section()?;
+        let term_offsets = section()?;
+        let count = r.counted(1)?;
+        let classes = r.take(count)?.to_vec();
+        Some((offsets, order, term_offsets, classes))
+    } else {
+        None
+    };
+
     let linear: Option<(u64, u64)> = if r.bool()? {
         Some((r.u64()?, r.u64()?))
     } else {
@@ -498,6 +545,7 @@ fn decode_plan_fields(r: &mut Reader<'_>) -> Result<ExecutionPlan, PersistError>
         linear: r.opt_f64()?,
         reordered: r.opt_f64()?,
         blocked: r.opt_f64()?,
+        wavefront: r.opt_f64()?,
     };
     let build_time = Duration::from_nanos(r.u64()?);
 
@@ -564,6 +612,7 @@ fn decode_plan_fields(r: &mut Reader<'_>) -> Result<ExecutionPlan, PersistError>
             }
             PlanVariant::Blocked { block_size }
         }
+        TAG_WAVEFRONT => PlanVariant::Wavefront,
         _ => unreachable!("tag validated above"),
     };
 
@@ -647,6 +696,58 @@ fn decode_plan_fields(r: &mut Reader<'_>) -> Result<ExecutionPlan, PersistError>
         (_, None) => None,
     };
 
+    let levels = match (variant, level_parts) {
+        (PlanVariant::Wavefront, Some((offsets, order, term_offsets, classes))) => {
+            if !census.injective {
+                return Err(structural(
+                    "wavefront plan over a non-injective left-hand side",
+                ));
+            }
+            let schedule = LevelSchedule::from_parts(offsets, order, term_offsets, classes)
+                .ok_or_else(|| structural("level schedule rejected by the core reconstruction"))?;
+            if schedule.iterations() != census.iterations {
+                return Err(structural(format!(
+                    "level schedule covers {} of {} iterations",
+                    schedule.iterations(),
+                    census.iterations
+                )));
+            }
+            if schedule.level_count() != census.critical_path {
+                return Err(structural(format!(
+                    "{} levels disagree with the census critical path {}",
+                    schedule.level_count(),
+                    census.critical_path
+                )));
+            }
+            if schedule.total_terms() as u64 != census.total_terms {
+                return Err(structural(format!(
+                    "level schedule classifies {} of {} references",
+                    schedule.total_terms(),
+                    census.total_terms
+                )));
+            }
+            let (new, old, acc) = schedule.class_counts();
+            if new != census.true_deps
+                || acc != census.intra
+                || old != census.anti_deps + census.unwritten
+            {
+                return Err(structural(
+                    "operand classes disagree with the census classification",
+                ));
+            }
+            Some(schedule)
+        }
+        (PlanVariant::Wavefront, None) => {
+            return Err(structural("wavefront variant without its level schedule"));
+        }
+        (_, Some(_)) => {
+            return Err(structural(
+                "level schedule attached to a variant that never consumes one",
+            ));
+        }
+        (_, None) => None,
+    };
+
     Ok(ExecutionPlan {
         fingerprint,
         processors,
@@ -654,6 +755,7 @@ fn decode_plan_fields(r: &mut Reader<'_>) -> Result<ExecutionPlan, PersistError>
         census,
         prepared,
         order,
+        levels,
         linear,
         costs,
         build_time,
@@ -889,6 +991,11 @@ mod tests {
         let blocked = IndirectLoop::new(period, a, rhs, vec![vec![0.25]; n]).unwrap();
         out.push(planner.plan(&pool, &blocked).unwrap());
 
+        // Wavefront: a deep, wide, stall-free dependence grid — the flag
+        // bill dwarfs the barrier bill.
+        let grid = crate::testgrid::deep_grid(64, 20, 3, 7);
+        out.push(planner.plan(&pool, &grid).unwrap());
+
         out
     }
 
@@ -904,6 +1011,7 @@ mod tests {
         assert!(matches!(variants[2], PlanVariant::Doacross));
         assert!(matches!(variants[3], PlanVariant::Reordered));
         assert!(matches!(variants[4], PlanVariant::Blocked { .. }));
+        assert!(matches!(variants[5], PlanVariant::Wavefront));
         for plan in &plans {
             let bytes = encode_plan(plan);
             let decoded = decode_plan(&bytes).expect("self-encoded plans decode");
@@ -919,6 +1027,7 @@ mod tests {
             assert_eq!(decoded.costs(), plan.costs());
             assert_eq!(decoded.build_time(), plan.build_time());
             assert_eq!(decoded.order(), plan.order());
+            assert_eq!(decoded.level_schedule(), plan.level_schedule());
             assert_eq!(decoded.linear_subscript(), plan.linear_subscript());
             match (decoded.prepared(), plan.prepared()) {
                 (Some(d), Some(p)) => {
@@ -1002,10 +1111,31 @@ mod tests {
     }
 
     #[test]
+    fn v1_stores_are_rejected_with_a_typed_version_error() {
+        // Regression for the v1 → v2 format bump: a store whose version
+        // field says 1 must fail typed — never parse, never panic — and
+        // the version is checked before the checksum, so no checksum
+        // patching can smuggle an old layout in.
+        let mut store = PlanStore::new();
+        store.push_entry(0, Arc::new(plans_of_every_variant().remove(5)));
+        let mut bytes = store.to_bytes();
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            PlanStore::from_bytes(&bytes),
+            Err(PersistError::UnsupportedVersion {
+                found: 1,
+                supported: FORMAT_VERSION,
+            })
+        ));
+    }
+
+    #[test]
     fn structural_revalidation_rejects_inconsistent_records() {
         let plans = plans_of_every_variant();
         let doacross = &plans[2];
         let reordered = &plans[3];
+        let wavefront = &plans[5];
+        assert_eq!(wavefront.variant(), PlanVariant::Wavefront);
 
         let corrupt = |plan: &ExecutionPlan, mutate: &dyn Fn(&mut ExecutionPlan)| {
             let bytes = encode_plan(plan);
@@ -1064,6 +1194,51 @@ mod tests {
                 };
             }),
             "block size beyond the iteration space",
+        );
+
+        // Wavefront-specific inconsistencies.
+        let schedule = wavefront.level_schedule().unwrap().clone();
+        assert_structural(
+            corrupt(wavefront, &|p| p.levels = None),
+            "wavefront variant without its level schedule",
+        );
+        assert_structural(
+            corrupt(doacross, &|p| p.levels = Some(schedule.clone())),
+            "level schedule attached to a variant that never consumes one",
+        );
+        assert_structural(
+            corrupt(wavefront, &|p| {
+                // Merge the first two levels: still a valid CSR structure,
+                // but the level count no longer matches the census
+                // critical path.
+                let mut offsets = schedule.offsets().to_vec();
+                offsets.remove(1);
+                p.levels = doacross_core::LevelSchedule::from_parts(
+                    offsets,
+                    schedule.order().to_vec(),
+                    schedule.term_offsets().to_vec(),
+                    schedule.classes().to_vec(),
+                );
+                assert!(p.levels.is_some(), "mutation must survive from_parts");
+            }),
+            "level count disagrees with the census critical path",
+        );
+        assert_structural(
+            corrupt(wavefront, &|p| {
+                // Flip one true-dependency class to old-value: the class
+                // counts no longer match the census classification.
+                let mut classes = schedule.classes().to_vec();
+                let flip = classes.iter().position(|&c| c == 0).expect("has true deps");
+                classes[flip] = 1;
+                p.levels = doacross_core::LevelSchedule::from_parts(
+                    schedule.offsets().to_vec(),
+                    schedule.order().to_vec(),
+                    schedule.term_offsets().to_vec(),
+                    classes,
+                );
+                assert!(p.levels.is_some(), "mutation must survive from_parts");
+            }),
+            "operand classes disagree with the census",
         );
 
         // A writer map pointing past the iteration space is rejected at

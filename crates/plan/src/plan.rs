@@ -3,7 +3,7 @@
 
 use crate::census::PlanCensus;
 use crate::fingerprint::PatternFingerprint;
-use doacross_core::{LinearSubscript, PreparedInspection};
+use doacross_core::{LevelSchedule, LinearSubscript, PreparedInspection};
 use std::time::Duration;
 
 /// Which runtime the planner selected for the pattern.
@@ -27,6 +27,12 @@ pub enum PlanVariant {
         /// Iterations per `L_outer` step.
         block_size: usize,
     },
+    /// Level-scheduled wavefront execution: every dependence level runs as
+    /// a barrier-separated doall over the plan's prebuilt
+    /// [`LevelSchedule`] — no ready-flag polling, no writer map at all.
+    /// Selected when the predicted poll/stall bill of the flag-based
+    /// variants exceeds the predicted `levels × barrier` cost.
+    Wavefront,
 }
 
 impl std::fmt::Display for PlanVariant {
@@ -37,6 +43,7 @@ impl std::fmt::Display for PlanVariant {
             PlanVariant::Linear(s) => write!(f, "linear(a(i) = {}*i + {})", s.c, s.d),
             PlanVariant::Reordered => write!(f, "reordered"),
             PlanVariant::Blocked { block_size } => write!(f, "blocked({block_size})"),
+            PlanVariant::Wavefront => write!(f, "wavefront"),
         }
     }
 }
@@ -51,6 +58,7 @@ pub struct VariantCosts {
     pub linear: Option<f64>,
     pub reordered: Option<f64>,
     pub blocked: Option<f64>,
+    pub wavefront: Option<f64>,
 }
 
 /// A reusable, cached execution recipe for one access pattern: the
@@ -71,6 +79,8 @@ pub struct ExecutionPlan {
     pub(crate) prepared: Option<PreparedInspection>,
     /// Doconsider claim order for [`PlanVariant::Reordered`].
     pub(crate) order: Option<Vec<usize>>,
+    /// Level structure + operand classes for [`PlanVariant::Wavefront`].
+    pub(crate) levels: Option<LevelSchedule>,
     /// Detected linear subscript (kept even when another variant won, for
     /// introspection).
     pub(crate) linear: Option<LinearSubscript>,
@@ -114,6 +124,11 @@ impl ExecutionPlan {
         self.order.as_deref()
     }
 
+    /// The wavefront level schedule, when the variant consumes one.
+    pub fn level_schedule(&self) -> Option<&LevelSchedule> {
+        self.levels.as_ref()
+    }
+
     /// The detected linear left-hand-side subscript, if any.
     pub fn linear_subscript(&self) -> Option<LinearSubscript> {
         self.linear
@@ -129,8 +144,8 @@ impl ExecutionPlan {
         self.build_time
     }
 
-    /// Approximate heap footprint in bytes (writer map + order), for cache
-    /// sizing decisions.
+    /// Approximate heap footprint in bytes (writer map + order + level
+    /// schedule), for cache sizing decisions.
     pub fn memory_bytes(&self) -> usize {
         let map = self
             .prepared
@@ -140,7 +155,8 @@ impl ExecutionPlan {
             .order
             .as_ref()
             .map_or(0, |o| o.len() * std::mem::size_of::<usize>());
-        map + order
+        let levels = self.levels.as_ref().map_or(0, |l| l.memory_bytes());
+        map + order + levels
     }
 }
 

@@ -24,20 +24,30 @@
 //!   wants its value) — summed over the dependence edges this prices a
 //!   claim order, which is what separates the natural from the doconsider
 //!   order on Table 1-like structures;
-//! * executor estimate `max((W + stalls)/p, CP · chain)`, plus
+//! * every *flag-based* variant additionally pays one `ready` check per
+//!   true dependency (`true_deps · wait_poll` — the successful poll of
+//!   Figure 5 S4 that even a non-stalling reader performs);
+//! * executor estimate `max((W + flags + stalls)/p, CP · chain)`, plus
 //!   postprocessing `n · post/p` and two region dispatches.
+//!
+//! The **wavefront** candidate replaces the per-element synchronization
+//! with per-level barriers: it pays no flag checks and never stalls, but
+//! each of its `CP` levels costs `⌈width/p⌉ · chain` (whole claim rounds —
+//! a level cannot borrow slack from its neighbors) plus one barrier
+//! crossing. The selection rule the two prices encode is exactly the
+//! DOACROSS→DOALL conversion trade-off: level scheduling wins when the
+//! predicted poll/stall bill exceeds `levels × barrier`.
 //!
 //! Sequential is priced with the paper's `T_seq` model and wins ties (it
 //! uses the fewest resources); the linear variant wins ties against the
-//! inspected one (it carries no writer map).
+//! inspected one (it carries no writer map), and the flag-based variants
+//! win ties against the wavefront (its artifact is larger).
 
 use crate::census::PlanCensus;
 use crate::fingerprint::PatternFingerprint;
 use crate::plan::{ExecutionPlan, PlanVariant, VariantCosts};
 use doacross_core::{AccessPattern, DoacrossError, LinearSubscript, PreparedInspection};
-use doacross_doconsider::{
-    invert_permutation, reorder::order_from_levels, DependenceDag, LevelAssignment,
-};
+use doacross_doconsider::{invert_permutation, DependenceDag};
 use doacross_par::{Schedule, ThreadPool};
 use doacross_sim::CostModel;
 use std::time::Instant;
@@ -111,7 +121,7 @@ impl Planner {
         fingerprint: PatternFingerprint,
     ) -> Result<ExecutionPlan, DoacrossError> {
         let start = Instant::now();
-        let census = PlanCensus::of(pattern);
+        let (census, level_schedule) = PlanCensus::of_with_schedule(pattern);
         if let Some((iteration, element)) = census.first_out_of_bounds {
             return Err(DoacrossError::SubscriptOutOfBounds {
                 iteration,
@@ -132,43 +142,82 @@ impl Planner {
             .sequential_time(census.iterations, census.total_terms as usize);
         let chain = self.chain_cost(&census);
         let work = n * self.exec_per_iter() + census.total_terms as f64 * self.per_term();
+        // The flag-based variants check `ready` once per true dependency
+        // even when the writer already finished (Figure 5 S4's successful
+        // poll); the wavefront variant has no flags to check.
+        let flag_checks = census.true_deps as f64 * self.costs.wait_poll;
         let cp_bound = census.critical_path as f64 * chain;
         let post = n * self.costs.post_per_iter / p as f64;
         let dispatch = 2.0 * self.costs.region_dispatch;
 
         // Stall pricing needs the dependence edges; skip the DAG entirely
-        // for dependence-free loops. The doconsider order is derived from
-        // the same DAG (via its level assignment) rather than rebuilt.
+        // for dependence-free loops. The doconsider order is NOT
+        // recomputed: the census pass already materialized the stable
+        // level-sorted permutation into the level schedule, and the
+        // counting sort there is identical to `order_from_levels` over a
+        // fresh `LevelAssignment`.
         let (order, stall_natural, stall_reordered) = if census.true_deps == 0 {
             (None, 0.0, 0.0)
         } else {
             let dag = DependenceDag::build(pattern);
-            let order = order_from_levels(&LevelAssignment::compute(&dag));
+            let order = level_schedule
+                .as_ref()
+                .expect("injective in-bounds patterns carry a level schedule")
+                .order()
+                .to_vec();
             let pos = invert_permutation(&order);
             let stall_nat = self.stall_sum(&dag, None, p, chain);
             let stall_reo = self.stall_sum(&dag, Some(&pos), p, chain);
             (Some(order), stall_nat, stall_reo)
         };
 
-        let parallel = |stalls: f64| dispatch + ((work + stalls) / p as f64).max(cp_bound) + post;
+        let parallel = |stalls: f64| {
+            dispatch + ((work + flag_checks + stalls) / p as f64).max(cp_bound) + post
+        };
         let t_doacross = parallel(stall_natural);
         let t_reordered = parallel(stall_reordered);
+
+        // Wavefront candidate: each level is a whole claim round —
+        // `⌈width/p⌉ · chain` (a level cannot borrow slack from its
+        // neighbors) — plus one barrier crossing per level boundary. No
+        // flag checks, no stalls, by construction. Only meaningful when
+        // there are true dependencies: a doall is one level and the flat
+        // variants already never wait on it.
+        let t_wavefront = level_schedule
+            .as_ref()
+            .filter(|_| census.true_deps > 0)
+            .map(|schedule| {
+                let rounds: usize = schedule
+                    .offsets()
+                    .windows(2)
+                    .map(|w| (w[1] - w[0]).div_ceil(p))
+                    .sum();
+                let barriers = (schedule.level_count() - 1) as f64 * self.costs.barrier;
+                dispatch + rounds as f64 * chain + barriers + post
+            });
+
         let mut costs = VariantCosts {
             sequential: t_seq,
             doacross: Some(t_doacross),
             linear: linear.map(|_| t_doacross),
             reordered: order.as_ref().map(|_| t_reordered),
             blocked: None,
+            wavefront: t_wavefront,
         };
 
         // Selection: cheapest wins; sequential wins ties (fewest
         // resources); among equal parallel candidates, linear beats
-        // inspected (no writer map), and the natural order beats the
+        // inspected (no writer map), the natural order beats the
         // reordered one (no order array) unless reordering is a real
+        // improvement, and the flag-based variants beat the wavefront (its
+        // artifact is larger) unless level scheduling is a real
         // improvement.
-        let best_parallel = t_doacross.min(t_reordered);
+        let best_flagged = t_doacross.min(t_reordered);
+        let best_parallel = best_flagged.min(t_wavefront.unwrap_or(f64::INFINITY));
         let mut variant = if t_seq <= best_parallel {
             PlanVariant::Sequential
+        } else if t_wavefront.is_some_and(|t| t < best_flagged) {
+            PlanVariant::Wavefront
         } else if t_reordered < t_doacross {
             PlanVariant::Reordered
         } else if let Some(subscript) = linear {
@@ -218,6 +267,10 @@ impl Planner {
             PlanVariant::Reordered => order,
             _ => None,
         };
+        let levels = match variant {
+            PlanVariant::Wavefront => level_schedule,
+            _ => None,
+        };
 
         Ok(ExecutionPlan {
             fingerprint,
@@ -226,6 +279,7 @@ impl Planner {
             census,
             prepared,
             order,
+            levels,
             linear,
             costs,
             build_time: start.elapsed(),
@@ -275,6 +329,7 @@ impl Planner {
             census,
             prepared: None,
             order: None,
+            levels: None,
             linear,
             costs,
             build_time: start.elapsed(),
@@ -434,6 +489,59 @@ mod tests {
         assert_eq!(plan.variant(), PlanVariant::Doacross, "{plan}");
         assert!(plan.prepared().is_some());
         assert_eq!(plan.prepared().unwrap().writer(n - 1), 0);
+    }
+
+    #[test]
+    fn deep_wide_grid_selects_wavefront() {
+        // Many true dependencies, zero stalls under any order: the flag
+        // bill (true_deps · wait_poll) is what the flat variants pay and
+        // the wavefront does not; 19 barriers cost less.
+        let l = crate::testgrid::deep_grid(64, 20, 3, 7);
+        let plan = Planner::new().plan(&pool(), &l).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Wavefront, "{plan}");
+        let schedule = plan.level_schedule().expect("wavefront carries levels");
+        assert_eq!(schedule.level_count(), 20);
+        assert_eq!(schedule.level_count(), plan.census().critical_path);
+        assert_eq!(schedule.max_width(), 64);
+        assert!(plan.prepared().is_none(), "no writer map at all");
+        assert!(plan.order().is_none());
+        let costs = plan.costs();
+        assert!(
+            costs.wavefront.unwrap() < costs.doacross.unwrap(),
+            "{costs:?}"
+        );
+        assert!(
+            costs.wavefront.unwrap() < costs.reordered.unwrap_or(f64::INFINITY),
+            "{costs:?}"
+        );
+    }
+
+    #[test]
+    fn wavefront_is_not_priced_for_doalls_or_non_injective_loops() {
+        // Doall: one level, nothing ever waits — wavefront is pointless
+        // and must not even appear among the candidates.
+        let t = TestLoop::new(2_000, 1, 7);
+        let plan = Planner::new().plan(&pool(), &t).unwrap();
+        assert!(plan.costs().wavefront.is_none(), "{:?}", plan.costs());
+        assert!(matches!(plan.variant(), PlanVariant::Linear(_)));
+
+        // Non-injective: no level schedule exists.
+        let dup =
+            IndirectLoop::new(2, vec![0, 0], vec![vec![], vec![]], vec![vec![], vec![]]).unwrap();
+        let plan = Planner::new().plan(&pool(), &dup).unwrap();
+        assert!(plan.costs().wavefront.is_none());
+    }
+
+    #[test]
+    fn serial_chains_price_wavefront_but_keep_sequential() {
+        // A chain is all levels: the wavefront candidate exists but every
+        // level is one iteration + one barrier — sequential must win.
+        let plan = Planner::new().plan(&pool(), &chain(500)).unwrap();
+        assert_eq!(plan.variant(), PlanVariant::Sequential, "{plan}");
+        let costs = plan.costs();
+        assert!(costs.wavefront.is_some());
+        assert!(costs.sequential <= costs.wavefront.unwrap(), "{costs:?}");
+        assert!(plan.level_schedule().is_none(), "artifact not captured");
     }
 
     #[test]

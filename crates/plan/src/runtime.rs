@@ -31,7 +31,7 @@ use crate::plan::{ExecutionPlan, PlanVariant};
 use crate::planner::Planner;
 use doacross_core::{
     seq::run_sequential, BlockedDoacross, Doacross, DoacrossConfig, DoacrossError, DoacrossLoop,
-    LinearDoacross, PlanProvenance, RunStats,
+    LinearDoacross, PlanProvenance, RunStats, WavefrontDoacross,
 };
 use doacross_par::ThreadPool;
 use std::time::Instant;
@@ -50,6 +50,11 @@ pub struct PlanExecutor {
     config: DoacrossConfig,
     inspected: Doacross,
     linear: LinearDoacross,
+    /// Level-scheduled runtime: its shadow array and per-level claim
+    /// counters grow to the largest structure seen and are then reused, so
+    /// a workload alternating wavefront structures (e.g. an L and a U
+    /// factor with different depths) does not churn allocations.
+    wavefront: WavefrontDoacross,
     /// One strip-mined runtime per block size seen, so a workload
     /// alternating blocked structures (e.g. L and U factors with
     /// different legal block sizes) reuses each one's windowed scratch
@@ -71,6 +76,7 @@ impl PlanExecutor {
             config,
             inspected: Doacross::with_config(0, config),
             linear: LinearDoacross::with_config(0, config),
+            wavefront: WavefrontDoacross::with_config(0, config),
             blocked: std::collections::HashMap::new(),
         }
     }
@@ -145,6 +151,14 @@ impl PlanExecutor {
                 };
                 let mut stats = blocked.run(pool, loop_, y)?;
                 stats.provenance = PlanProvenance::PlanCold;
+                Ok(stats)
+            }
+            PlanVariant::Wavefront => {
+                let schedule = plan
+                    .level_schedule()
+                    .expect("wavefront plan carries its level schedule");
+                let stats = self.wavefront.run(pool, loop_, y, schedule)?;
+                debug_assert_eq!(stats.wait_polls, 0, "wavefront runs never poll");
                 Ok(stats)
             }
         }

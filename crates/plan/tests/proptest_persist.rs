@@ -42,6 +42,29 @@ fn arb_loop(max_n: usize) -> impl Strategy<Value = (IndirectLoop, Vec<f64>)> {
         })
 }
 
+/// A randomized deep dependence grid (`doacross_plan::testgrid`'s shared
+/// shape): `depth` levels of `width` mutually independent iterations,
+/// each reading 3 elements written one level earlier at randomized
+/// column offsets — the wavefront-friendly structure, so the planner's
+/// own selection produces `Wavefront` records to round-trip (no forcing
+/// anywhere). Width is a multiple of the test's 4-worker pool and large
+/// enough that the flag bill strictly exceeds the barrier bill for every
+/// parameter combination.
+fn arb_deep_grid() -> impl Strategy<Value = (IndirectLoop, Vec<f64>)> {
+    (6usize..=10, 8usize..=16, 1usize..=13)
+        .prop_flat_map(|(quads, depth, stride)| {
+            let n = 4 * quads * depth;
+            let y0 = proptest::collection::vec(-1.0..1.0f64, n..=n);
+            (Just((4 * quads, depth, stride)), y0)
+        })
+        .prop_map(|((width, depth, stride), y0)| {
+            (
+                doacross_plan::testgrid::deep_grid(width, depth, 3, stride),
+                y0,
+            )
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -69,6 +92,34 @@ proptest! {
             .execute(&pool, &loop_, &mut y, &decoded)
             .expect("a revalidated plan executes");
         prop_assert_eq!(&y, &expect, "deserialized plan is bit-identical");
+    }
+
+    #[test]
+    fn wavefront_records_round_trip_and_execute((loop_, y0) in arb_deep_grid()) {
+        // Deep grids make the planner select the wavefront on its own; the
+        // v2 record (level offsets, order, term offsets, operand classes)
+        // must round-trip bit-exactly and the decoded plan must execute
+        // bit-identically to the oracle with zero wait polls.
+        let pool = ThreadPool::new(4);
+        let plan = Planner::new().plan(&pool, &loop_).expect("in-bounds");
+        prop_assert_eq!(
+            plan.variant(),
+            doacross_plan::PlanVariant::Wavefront,
+            "{:?}", plan.costs()
+        );
+        let bytes = encode_plan(&plan);
+        let decoded = decode_plan(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(encode_plan(&decoded), bytes, "bit-exact round trip");
+        prop_assert_eq!(decoded.level_schedule(), plan.level_schedule());
+
+        let mut expect = y0.clone();
+        run_sequential(&loop_, &mut expect);
+        let mut y = y0.clone();
+        let stats = PlanExecutor::new(DoacrossConfig::default())
+            .execute(&pool, &loop_, &mut y, &decoded)
+            .expect("a revalidated plan executes");
+        prop_assert_eq!(&y, &expect, "deserialized wavefront plan is bit-identical");
+        prop_assert_eq!(stats.wait_polls, 0, "no busy waiting through the persisted path");
     }
 
     #[test]

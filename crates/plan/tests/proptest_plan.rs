@@ -7,9 +7,9 @@
 // shims exist.
 #![allow(deprecated)]
 
-use doacross_core::{seq::run_sequential, IndirectLoop, PlanProvenance};
+use doacross_core::{seq::run_sequential, IndirectLoop, PlanProvenance, WavefrontDoacross};
 use doacross_par::ThreadPool;
-use doacross_plan::{PatternFingerprint, PlanCache, PlannedDoacross, Planner};
+use doacross_plan::{PatternFingerprint, PlanCache, PlanCensus, PlannedDoacross, Planner};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -97,6 +97,32 @@ proptest! {
             let mut y = y0.clone();
             rt.run(&pool, &loop_, &mut y).expect("every pattern is plannable");
             prop_assert_eq!(&y, &expect);
+        }
+    }
+
+    #[test]
+    fn wavefront_execution_matches_the_sequential_oracle((loop_, y0) in arb_loop(40)) {
+        // The level-scheduled executor is bit-identical to the sequential
+        // loop on ANY injective pattern — true deps, antideps, intra
+        // references, unwritten reads, any level shape — at any worker
+        // count, with zero busy-wait polls by construction.
+        let (census, schedule) = PlanCensus::of_with_schedule(&loop_);
+        let schedule = schedule.expect("arb_loop lhs is injective and in bounds");
+        prop_assert_eq!(schedule.level_count(), census.critical_path);
+        prop_assert_eq!(schedule.iterations(), census.iterations);
+
+        let mut expect = y0.clone();
+        run_sequential(&loop_, &mut expect);
+        for workers in [1usize, 3] {
+            use doacross_core::AccessPattern;
+            let pool = ThreadPool::new(workers);
+            let mut rt = WavefrontDoacross::new(loop_.data_len());
+            let mut y = y0.clone();
+            let stats = rt.run(&pool, &loop_, &mut y, &schedule).expect("valid");
+            prop_assert_eq!(&y, &expect, "workers = {}", workers);
+            prop_assert_eq!(stats.wait_polls, 0);
+            prop_assert_eq!(stats.stalls, 0);
+            prop_assert_eq!(stats.deps.total(), census.total_terms);
         }
     }
 

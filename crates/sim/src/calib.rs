@@ -17,7 +17,7 @@
 
 use crate::cost::CostModel;
 use doacross_core::{seq::run_sequential, Doacross, TestLoop};
-use doacross_par::ThreadPool;
+use doacross_par::{SpinBarrier, ThreadPool};
 use std::time::{Duration, Instant};
 
 /// A host-derived cost model plus the physical meaning of its unit.
@@ -99,6 +99,26 @@ pub fn calibrate(reps: usize) -> CalibratedModel {
         t.as_nanos() as f64
     };
 
+    // In-region spin-barrier crossing, measured with two real participants
+    // (the smallest configuration where a crossing involves actual
+    // cross-thread traffic) — the per-level price of the wavefront
+    // executor.
+    let barrier_ns = {
+        const CROSSINGS: usize = 4_096;
+        let two = ThreadPool::new(2);
+        let barrier = SpinBarrier::new(2);
+        let t = best_of(reps, || {
+            let start = Instant::now();
+            two.run(|_| {
+                for _ in 0..CROSSINGS {
+                    barrier.wait();
+                }
+            });
+            start.elapsed()
+        });
+        (t.as_nanos() as f64 / CROSSINGS as f64).max(0.1)
+    };
+
     // Normalize: one unit = one sequential term.
     let unit_ns = seq_term_ns;
     let seq_iter = seq_iter_ns / unit_ns;
@@ -120,6 +140,7 @@ pub fn calibrate(reps: usize) -> CalibratedModel {
             inspect_per_iter: overhead * preset.inspect_per_iter / preset_overhead,
             post_per_iter: overhead * preset.post_per_iter / preset_overhead,
             region_dispatch: dispatch_ns / unit_ns,
+            barrier: barrier_ns / unit_ns,
             seq_iter,
             seq_term: 1.0,
         },
@@ -145,6 +166,7 @@ mod tests {
             ("inspect_per_iter", m.inspect_per_iter),
             ("post_per_iter", m.post_per_iter),
             ("region_dispatch", m.region_dispatch),
+            ("barrier", m.barrier),
             ("seq_iter", m.seq_iter),
         ] {
             assert!(v > 0.0, "{name} = {v}");

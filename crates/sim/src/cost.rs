@@ -35,6 +35,12 @@ pub struct CostModel {
     /// Entering/leaving a parallel region (pool dispatch + join), per
     /// region.
     pub region_dispatch: f64,
+    /// One crossing of an in-region spin barrier (sense-reversing, all
+    /// processors participating) — the per-level price of the wavefront
+    /// (level-scheduled) executor. Far cheaper than `region_dispatch`:
+    /// spinners stay in user space and never return to the pool's
+    /// dispatch path.
+    pub barrier: f64,
     /// Sequential loop: fixed per-iteration cost.
     pub seq_iter: f64,
     /// Sequential loop: per-reference cost.
@@ -68,6 +74,9 @@ impl CostModel {
             inspect_per_iter: 2.5,
             post_per_iter: 2.5,
             region_dispatch: 50.0,
+            // A handful of contended atomic operations per crossing —
+            // a few counter grabs' worth of cache traffic.
+            barrier: 4.0,
             seq_iter: 2.0,
             seq_term: 1.0,
         }

@@ -100,9 +100,12 @@
 //!   to regenerate Figure 6 and Table 1, plus host calibration.
 //! * [`plan`] — the execution-plan subsystem the engine is built on:
 //!   pattern fingerprinting, cost-model variant selection (sequential /
-//!   doacross / linear / reordered / blocked), the single-owner LRU
-//!   [`plan::PlanCache`], the sharded [`plan::ConcurrentPlanCache`], and
-//!   the [`plan::persist`] codec behind warm starts.
+//!   doacross / linear / reordered / blocked / wavefront), the
+//!   single-owner LRU [`plan::PlanCache`], the sharded
+//!   [`plan::ConcurrentPlanCache`], and the [`plan::persist`] codec
+//!   behind warm starts. The wavefront variant converts the doacross into
+//!   barrier-separated level doalls — zero busy-wait polls — whenever the
+//!   cost model predicts the flag bill exceeds the barrier bill.
 
 pub use doacross_core as core;
 pub use doacross_doconsider as doconsider;

@@ -1,0 +1,54 @@
+//! # doacross-adapt — feedback-driven planning
+//!
+//! The planner (`doacross-plan`) selects variants with an *a-priori* cost
+//! model: the Multimax preset, or a one-shot host calibration. Both are
+//! guesses about the future frozen at build time — and both the symbolic
+//! loop-compilation and speculative-taskloop literatures report the same
+//! thing this workspace's own benches show: when runtime behavior
+//! diverges from the model (oversubscription, contention, cache effects,
+//! a structure whose stall pattern the formulas only approximate), static
+//! selection leaves measured wins on the table. This crate closes the
+//! loop. Three layers, consumed by `doacross_engine::EngineBuilder::adaptive`:
+//!
+//! * [`telemetry`] — [`VariantTelemetry`], a lock-light (sharded,
+//!   short-critical-section) recorder keyed by `(structure fingerprint,
+//!   variant)`: per-solve wall time EWMA + minimum + exact counts, poll
+//!   and barrier counters, and the running sums of a polls-vs-time
+//!   regression. Fed by the engine after every execute; aggregated
+//!   engine-wide; persisted in v3 plan stores so a warm start resumes
+//!   mid-confidence.
+//! * [`refine`] — turns telemetry into measured cost-model constants
+//!   (`wait_poll`, `barrier`, per-reference `chain` cost), anchored by
+//!   host calibration or a sequential baseline observation, and blends
+//!   them into the static model via
+//!   [`doacross_sim::CostModel::refined_from`] with a weight that grows
+//!   with the evidence. [`pricing`] then re-prices a plan's candidate
+//!   table under the refined model with pure arithmetic (the stall sums
+//!   and wavefront rounds are recovered from the static prices by
+//!   inverting the planner's formulas).
+//! * [`policy`] — [`PromotionPolicy`]: *when observed cost diverges from
+//!   prediction by more than the configured factor, re-price; if a
+//!   candidate wins by the hysteresis margin, trial it (the engine swaps
+//!   the cached plan under the shard lock with a generation bump — stale
+//!   handles fail typed); commit or demote on the measured comparison.*
+//!   Every trial rejects its loser permanently, so the policy provably
+//!   cannot flip-flop — see [`policy`]'s module docs for the full
+//!   argument.
+//!
+//! The engine-side wiring (what feeds the recorder, runs the baseline
+//! probe, builds promoted plans via the existing census, and performs the
+//! swap) lives in `doacross_engine::adaptive`; this crate is the part
+//! with no locks held across solves and no engine in sight, which is why
+//! all three layers are unit-testable with synthetic numbers.
+
+pub mod policy;
+pub mod pricing;
+pub mod refine;
+pub mod telemetry;
+
+pub use policy::{Action, AdaptiveConfig, PromotionPolicy, StructureState, Trial};
+pub use pricing::{breakdown, cheapest, cheapest_by, price_of, reprice, Breakdown};
+pub use refine::{refine, Refinement, RefinementConfig};
+pub use telemetry::{
+    SolveSample, TelemetryEntry, TelemetryTotals, VariantKind, VariantTelemetry, EWMA_ALPHA,
+};

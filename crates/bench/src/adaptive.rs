@@ -1,0 +1,304 @@
+//! Static-pick vs. adaptive-pick: what the feedback loop is worth when
+//! the cost model is wrong about the machine.
+//!
+//! Both engines are seeded with the same **deliberately mispriced** cost
+//! model — busy-wait polls priced absurdly expensive, barriers and
+//! pre/post overheads priced nearly free — under which static selection
+//! picks the wavefront for every Table 1 structure. The static engine is
+//! stuck with that call; the adaptive engine watches its own solves,
+//! notices the observed cost diverging from the prediction (the barrier
+//! bill is real; on an oversubscribed host it is enormous), refines the
+//! model from the measurements, and promotes whatever variant the
+//! *measured* comparison favors. The experiment reports the steady-state
+//! per-solve cost of each engine afterwards, plus the selections — and
+//! every measured solve is asserted bit-identical to the sequential
+//! oracle, so adaptation is provably a pure performance decision.
+//!
+//! Selection assertions are additionally taken at an explicit 4-worker
+//! pricing context (`ThreadPool::new(4)`): the benchmark may run on a
+//! 1-core container, where host-sized pricing says nothing about the
+//! multicore trade-off.
+//!
+//! The module also measures what `sim::calibrate` costs at engine build
+//! time against one cold solve — the input to the ROADMAP's
+//! calibrate-by-default decision (see [`calibration_cost`]).
+
+use doacross_engine::{AdaptiveConfig, Engine};
+use doacross_par::ThreadPool;
+use doacross_plan::{PlanVariant, Planner};
+use doacross_sim::CostModel;
+use doacross_sparse::{Problem, ProblemKind};
+use doacross_trisolve::TriSolveLoop;
+use std::time::{Duration, Instant};
+
+/// Workers both engines run with — fixed (not host-sized) so the numbers
+/// are comparable across hosts, and > 1 so the synchronizing variants
+/// actually synchronize.
+pub const WORKERS: usize = 2;
+
+/// The mispricing under test (see module docs).
+pub fn mispriced_model() -> CostModel {
+    CostModel {
+        wait_poll: 500.0,
+        barrier: 0.001,
+        post_per_iter: 0.01,
+        region_dispatch: 1.0,
+        ..CostModel::multimax()
+    }
+}
+
+/// Policy knobs tightened for a benchmark-scale solve budget (the
+/// defaults are tuned for long-lived services).
+pub fn bench_policy() -> AdaptiveConfig {
+    AdaptiveConfig {
+        min_samples: 4,
+        eval_interval: 5,
+        divergence: 1.3,
+        hysteresis: 1.05,
+        max_trials: 3,
+        confidence: 4,
+    }
+}
+
+/// One structure's static-vs-adaptive outcome.
+#[derive(Debug, Clone)]
+pub struct AdaptivePoint {
+    /// Which Table 1 problem the structure came from.
+    pub kind: ProblemKind,
+    /// Rows (= iterations) in the triangular system.
+    pub rows: usize,
+    /// What the mispriced model picks statically at [`WORKERS`].
+    pub static_variant: PlanVariant,
+    /// What the adaptive engine is serving after the adaptation budget.
+    pub adaptive_variant: PlanVariant,
+    /// What the mispriced model picks at an explicit 4-worker context.
+    pub static_at_4: PlanVariant,
+    /// Steady-state per-solve wall time of the static engine.
+    pub static_ns: Duration,
+    /// Steady-state per-solve wall time of the adaptive engine, after
+    /// adaptation.
+    pub adaptive_ns: Duration,
+    /// Trials the adaptive engine started for this workload.
+    pub trials: u64,
+    /// Promotions committed.
+    pub promotions: u64,
+    /// Demotions (trial rollbacks).
+    pub demotions: u64,
+    /// Telemetry samples recorded.
+    pub samples: u64,
+}
+
+impl AdaptivePoint {
+    /// How much cheaper the adaptive engine's steady state is (> 1 =
+    /// adaptation paid off).
+    pub fn speedup(&self) -> f64 {
+        self.static_ns.as_secs_f64() / self.adaptive_ns.as_secs_f64().max(1e-12)
+    }
+}
+
+fn per_solve<F: FnMut()>(solves: usize, reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        for _ in 0..solves.max(1) {
+            f();
+        }
+        best = best.min(start.elapsed() / solves.max(1) as u32);
+    }
+    best
+}
+
+/// Runs the comparison on each problem: `adaptation_solves` solves of
+/// warm-up/adaptation on the adaptive engine, then `solves × reps`
+/// measured solves on both engines (minimum of rep means), every result
+/// asserted against the sequential forward-solve.
+pub fn adaptive_comparison(
+    kinds: &[ProblemKind],
+    adaptation_solves: usize,
+    solves: usize,
+    reps: usize,
+) -> Vec<AdaptivePoint> {
+    let four = ThreadPool::new(4);
+    kinds
+        .iter()
+        .map(|&kind| {
+            let sys = Problem::build(kind).triangular_system();
+            let loop_ = TriSolveLoop::new(&sys.l, &sys.rhs);
+            let expect = sys.l.forward_solve(&sys.rhs);
+
+            let static_engine = Engine::builder()
+                .workers(WORKERS)
+                .planner(Planner::with_costs(mispriced_model()))
+                .build();
+            let adaptive_engine = Engine::builder()
+                .workers(WORKERS)
+                .planner(Planner::with_costs(mispriced_model()))
+                .adaptive_config(bench_policy())
+                .build();
+
+            let static_variant = static_engine.prepare(&loop_).expect("plannable").variant();
+            let static_at_4 = Planner::with_costs(mispriced_model())
+                .plan(&four, &loop_)
+                .expect("plannable")
+                .variant();
+
+            // Adaptation budget: the adaptive engine watches itself.
+            for _ in 0..adaptation_solves {
+                let mut y = vec![0.0; sys.n()];
+                adaptive_engine.run(&loop_, &mut y).expect("solvable");
+                assert_eq!(y, expect, "{}: adaptation run", kind.name());
+            }
+            let adaptive_variant = adaptive_engine
+                .prepare(&loop_)
+                .expect("plannable")
+                .variant();
+
+            // Steady state, both engines, bit-identity asserted.
+            let static_ns = per_solve(solves, reps, || {
+                let mut y = vec![0.0; sys.n()];
+                static_engine.run(&loop_, &mut y).expect("solvable");
+                assert_eq!(y, expect, "{}: static run", kind.name());
+            });
+            let adaptive_ns = per_solve(solves, reps, || {
+                let mut y = vec![0.0; sys.n()];
+                adaptive_engine.run(&loop_, &mut y).expect("solvable");
+                assert_eq!(y, expect, "{}: adaptive run", kind.name());
+            });
+
+            let stats = adaptive_engine.adaptive_stats().expect("adaptive engine");
+            let totals = adaptive_engine.telemetry_totals().expect("adaptive engine");
+            AdaptivePoint {
+                kind,
+                rows: sys.n(),
+                static_variant,
+                adaptive_variant,
+                static_at_4,
+                static_ns,
+                adaptive_ns,
+                trials: stats.trials,
+                promotions: stats.promotions,
+                demotions: stats.demotions,
+                samples: totals.samples,
+            }
+        })
+        .collect()
+}
+
+/// The calibrate-by-default inputs: what one `sim::calibrate` pass (at
+/// the engine builder's repetition count) costs, next to one cold
+/// first-solve (plan build + execute) of a Table 1 structure. The
+/// ROADMAP rule: flip calibration on by default only if it costs less
+/// than one cold solve — regenerate with the `adaptive` bin and read the
+/// decision off the printed ratio.
+pub fn calibration_cost(kind: ProblemKind) -> (Duration, Duration) {
+    let calibrate = {
+        let start = Instant::now();
+        let model = doacross_sim::calibrate(doacross_engine::builder::CALIBRATION_REPS);
+        std::hint::black_box(&model);
+        start.elapsed()
+    };
+    let cold_solve = {
+        let sys = Problem::build(kind).triangular_system();
+        let loop_ = TriSolveLoop::new(&sys.l, &sys.rhs);
+        let engine = Engine::builder().workers(WORKERS).build();
+        let mut y = vec![0.0; sys.n()];
+        let start = Instant::now();
+        engine.run(&loop_, &mut y).expect("solvable");
+        let elapsed = start.elapsed();
+        assert_eq!(y, sys.l.forward_solve(&sys.rhs));
+        elapsed
+    };
+    (calibrate, cold_solve)
+}
+
+/// Renders the comparison as the machine-readable JSON the perf
+/// trajectory is tracked with across PRs (`BENCH_adaptive.json`).
+pub fn to_json(points: &[AdaptivePoint], calibrate: Duration, cold_solve: Duration) -> String {
+    let mut out = String::from("{\n");
+    for p in points.iter() {
+        out.push_str(&format!(
+            "  \"{}\": {{\"static_ns\": {}, \"adaptive_ns\": {}, \"static_variant\": \"{}\", \
+             \"adaptive_variant\": \"{}\", \"static_at_4\": \"{}\", \"rows\": {}, \
+             \"trials\": {}, \"promotions\": {}, \"demotions\": {}, \"samples\": {}}},\n",
+            p.kind.name(),
+            p.static_ns.as_nanos(),
+            p.adaptive_ns.as_nanos(),
+            p.static_variant,
+            p.adaptive_variant,
+            p.static_at_4,
+            p.rows,
+            p.trials,
+            p.promotions,
+            p.demotions,
+            p.samples,
+        ));
+    }
+    out.push_str(&format!(
+        "  \"_meta\": {{\"workers\": {}, \"calibrate_ns\": {}, \"cold_solve_ns\": {}}}\n",
+        WORKERS,
+        calibrate.as_nanos(),
+        cold_solve.as_nanos(),
+    ));
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mispriced_model_statically_picks_the_wavefront() {
+        // The premise of the experiment: under the seeded mispricing,
+        // static selection chooses the wavefront for the Table 1
+        // structures at both pricing contexts.
+        let planner = Planner::with_costs(mispriced_model());
+        let two = ThreadPool::new(WORKERS);
+        let four = ThreadPool::new(4);
+        for kind in [ProblemKind::FivePt, ProblemKind::SevenPt] {
+            let sys = Problem::build(kind).triangular_system();
+            let loop_ = TriSolveLoop::new(&sys.l, &sys.rhs);
+            for pool in [&two, &four] {
+                let plan = planner.plan(pool, &loop_).expect("plannable");
+                assert_eq!(
+                    plan.variant(),
+                    PlanVariant::Wavefront,
+                    "{} at p={}: {:?}",
+                    kind.name(),
+                    pool.threads(),
+                    plan.costs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_adapts_and_stays_bit_identical() {
+        // Small budget: enough for at least one evaluation; bit-identity
+        // is asserted inside. Timings are reported, not asserted.
+        let points = adaptive_comparison(&[ProblemKind::FivePt], 12, 2, 1);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.static_variant, PlanVariant::Wavefront);
+        assert!(p.samples >= 12, "{p:?}");
+        assert!(p.static_ns > Duration::ZERO && p.adaptive_ns > Duration::ZERO);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_track() {
+        let points = adaptive_comparison(&[ProblemKind::FivePt], 6, 1, 1);
+        let json = to_json(
+            &points,
+            Duration::from_millis(40),
+            Duration::from_micros(300),
+        );
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"5-PT\""));
+        assert!(json.contains("static_ns"));
+        assert!(json.contains("adaptive_ns"));
+        assert!(json.contains("_meta"));
+        assert!(json.contains("calibrate_ns"));
+        assert!(!json.contains(",\n}"), "no trailing comma");
+    }
+}

@@ -1,0 +1,75 @@
+//! Prints the static-pick vs. adaptive-pick comparison on the five
+//! Table 1 structures under a deliberately mispriced cost model, writes
+//! the machine-readable `BENCH_adaptive.json`, and reports the
+//! calibrate-by-default measurement (calibration cost vs. one cold
+//! solve).
+//!
+//! Regenerate with `cargo run -p doacross-bench --release --bin adaptive`.
+
+use doacross_bench::adaptive::{adaptive_comparison, calibration_cost, to_json, WORKERS};
+use doacross_bench::report::Table;
+use doacross_sparse::ProblemKind;
+
+fn main() {
+    println!(
+        "static vs. adaptive selection under a mispriced cost model ({WORKERS} workers, \
+         host parallelism {})",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+    println!(
+        "(same mispriced model seeds both engines; the adaptive one watches its own solves, \
+         refines, and promotes on measurement)\n"
+    );
+
+    let points = adaptive_comparison(&ProblemKind::all(), 30, 20, 3);
+    let mut table = Table::new([
+        "problem",
+        "rows",
+        "static pick",
+        "adaptive pick",
+        "static/solve",
+        "adaptive/solve",
+        "speedup",
+        "trials",
+        "promoted",
+        "demoted",
+        "pick at p=4",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.kind.name().into(),
+            p.rows.to_string(),
+            p.static_variant.to_string(),
+            p.adaptive_variant.to_string(),
+            format!("{:?}", p.static_ns),
+            format!("{:?}", p.adaptive_ns),
+            format!("{:.2}x", p.speedup()),
+            p.trials.to_string(),
+            p.promotions.to_string(),
+            p.demotions.to_string(),
+            p.static_at_4.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\ncalibrate-by-default measurement (ROADMAP decision input):");
+    let (calibrate, cold_solve) = calibration_cost(ProblemKind::FivePt);
+    let ratio = calibrate.as_secs_f64() / cold_solve.as_secs_f64().max(1e-12);
+    println!("  sim::calibrate (builder reps) : {calibrate:?}");
+    println!("  one cold first solve (5-PT)   : {cold_solve:?}");
+    println!(
+        "  ratio                         : {ratio:.1}x — {}",
+        if ratio < 1.0 {
+            "calibration is cheaper than a cold solve: flip the default"
+        } else {
+            "calibration costs many cold solves: keep it opt-in (and persisted)"
+        }
+    );
+
+    let json = to_json(&points, calibrate, cold_solve);
+    let path = "BENCH_adaptive.json";
+    std::fs::write(path, &json).expect("write BENCH_adaptive.json");
+    println!("\nwrote {path}");
+}

@@ -25,12 +25,18 @@
 //!   plus the chunked self-scheduling ablation; writes the
 //!   machine-readable `BENCH_wavefront.json`. Regenerate with
 //!   `cargo run -p doacross-bench --release --bin wavefront`.
+//! * [`adaptive`] — static-pick vs. adaptive-pick per-solve cost under a
+//!   deliberately mispriced cost model on the Table 1 structures, plus
+//!   the calibrate-by-default measurement (calibration cost vs. one cold
+//!   solve); writes the machine-readable `BENCH_adaptive.json`.
+//!   Regenerate with `cargo run -p doacross-bench --release --bin adaptive`.
 //! * [`report`] — plain-text table rendering shared by the binaries.
 //!
 //! Every binary prints both the **simulated 16-processor** numbers (the
 //! hardware substitution — see DESIGN.md §4) and, where cheap enough,
 //! **host-thread** numbers at the host's parallelism.
 
+pub mod adaptive;
 pub mod amortize;
 pub mod fig6;
 pub mod host;

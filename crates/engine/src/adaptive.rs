@@ -1,0 +1,360 @@
+//! Engine wiring for `doacross-adapt`: telemetry feeding, the sequential
+//! baseline probe, refined re-pricing, and the plan swap itself.
+//!
+//! The division of labor: `doacross_adapt` owns the *decisions* (when to
+//! evaluate, what to trial, commit vs. demote — all value-level and
+//! unit-tested there); this module owns the *mechanics* that need an
+//! engine — recording each execute into the shared recorder, timing the
+//! one-off sequential baseline that anchors refinement, rebuilding a plan
+//! with the refined cost model via the existing census path, and swapping
+//! the cached plan under its shard lock with a generation bump so
+//! outstanding handles fail typed ([`crate::EngineError::StalePlan`])
+//! instead of executing a superseded plan.
+//!
+//! Everything here runs *after* a solve returns, off the result path: a
+//! solve's correctness never depends on adaptation (every variant is
+//! bit-identical to the sequential oracle by construction), and a failed
+//! rebuild simply leaves the current plan in place.
+
+use crate::engine::EngineInner;
+use doacross_adapt::{
+    policy::Action, pricing, refine, AdaptiveConfig, PromotionPolicy, RefinementConfig,
+    SolveSample, StructureState, TelemetryEntry, TelemetryTotals, VariantKind, VariantTelemetry,
+};
+use doacross_core::{seq::run_sequential, DoacrossLoop, RunStats};
+use doacross_plan::{ExecutionPlan, PatternFingerprint, Planner, StoredCalibration};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counters of the adaptive feedback loop, engine-wide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Evaluation points that refined the model and re-priced a plan.
+    pub repricings: u64,
+    /// Trials started (plans swapped in on refined evidence).
+    pub trials: u64,
+    /// Trials committed — the measured-cheaper variant was promoted.
+    pub promotions: u64,
+    /// Trials rolled back — the incumbent returned on measured regression.
+    pub demotions: u64,
+    /// Sequential baseline probes run to anchor refinement.
+    pub baseline_probes: u64,
+}
+
+/// Per-structure engine-side state: the policy's value state plus the
+/// retained incumbent plan a demotion swaps back.
+#[derive(Default)]
+struct Structure {
+    policy: StructureState,
+    incumbent: Option<Arc<ExecutionPlan>>,
+}
+
+/// The adaptive half of an engine (present when built with
+/// [`crate::EngineBuilder::adaptive`]).
+pub(crate) struct AdaptiveRuntime {
+    policy: PromotionPolicy,
+    telemetry: VariantTelemetry,
+    /// ns-per-model-unit from host calibration, when the engine measured
+    /// (or restored) one — the preferred refinement anchor.
+    unit_ns_hint: Option<f64>,
+    structures: Mutex<HashMap<PatternFingerprint, Structure>>,
+    repricings: AtomicU64,
+    trials: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+    baseline_probes: AtomicU64,
+}
+
+impl AdaptiveRuntime {
+    pub(crate) fn new(
+        config: AdaptiveConfig,
+        shards: usize,
+        calibration: Option<&StoredCalibration>,
+    ) -> Self {
+        Self {
+            policy: PromotionPolicy::new(config),
+            telemetry: VariantTelemetry::new(shards),
+            unit_ns_hint: calibration.map(|c| c.unit_ns),
+            structures: Mutex::new(HashMap::new()),
+            repricings: AtomicU64::new(0),
+            trials: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            baseline_probes: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> AdaptiveStats {
+        AdaptiveStats {
+            repricings: self.repricings.load(Ordering::Relaxed),
+            trials: self.trials.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            baseline_probes: self.baseline_probes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn telemetry_totals(&self) -> TelemetryTotals {
+        self.telemetry.totals()
+    }
+
+    pub(crate) fn telemetry_entries(
+        &self,
+    ) -> Vec<(PatternFingerprint, VariantKind, TelemetryEntry)> {
+        self.telemetry.entries()
+    }
+
+    pub(crate) fn telemetry_of(
+        &self,
+        fingerprint: &PatternFingerprint,
+        kind: VariantKind,
+    ) -> Option<TelemetryEntry> {
+        self.telemetry.get(fingerprint, kind)
+    }
+
+    /// Restores persisted telemetry (warm start). Returns records taken.
+    pub(crate) fn restore_telemetry(&self, records: &[doacross_plan::StoredTelemetry]) -> usize {
+        records
+            .iter()
+            .filter_map(TelemetryEntry::from_stored)
+            .filter(|(fp, kind, entry)| self.telemetry.restore(*fp, *kind, *entry))
+            .count()
+    }
+
+    /// Captures telemetry into a store snapshot.
+    pub(crate) fn snapshot_telemetry(&self, store: &mut doacross_plan::PlanStore) {
+        for (fp, kind, entry) in self.telemetry.entries() {
+            store.push_telemetry(entry.to_stored(fp, kind));
+        }
+    }
+
+    /// Drops adaptive state for an invalidated structure: its new
+    /// generation starts with a clean slate (fresh trial budget, no
+    /// rejections) because invalidation means the *caller* asserts the
+    /// old observations no longer describe the structure.
+    pub(crate) fn forget(&self, fingerprint: &PatternFingerprint) {
+        self.structures.lock().remove(fingerprint);
+        self.telemetry.forget(fingerprint);
+    }
+
+    /// The post-execute hook (see module docs). `y` is the solved output
+    /// — used only as value material for the baseline probe's scratch
+    /// copy; the probe's timing is value-independent.
+    pub(crate) fn after_solve<L: DoacrossLoop + ?Sized>(
+        &self,
+        inner: &EngineInner,
+        loop_: &L,
+        y: &[f64],
+        plan: &Arc<ExecutionPlan>,
+        stats: &RunStats,
+    ) {
+        let fingerprint = *plan.fingerprint();
+        let kind = VariantKind::from(plan.variant());
+        let statics = inner.planner.costs();
+        let census = plan.census();
+
+        // 1. Record the solve.
+        let split = pricing::breakdown(plan, statics);
+        let barriers = match plan.variant() {
+            doacross_plan::PlanVariant::Wavefront => census.critical_path.saturating_sub(1) as u64,
+            _ => 0,
+        };
+        self.telemetry.record(
+            &fingerprint,
+            kind,
+            SolveSample {
+                ns: stats.total.as_nanos().min(u64::MAX as u128) as u64,
+                wait_polls: stats.wait_polls,
+                barriers,
+                terms: census.total_terms,
+                pred_units: split.pred_units,
+                work_units: split.work_units,
+            },
+        );
+
+        // 2. Let the policy look at the updated ledger. The structure map
+        // is one engine-wide mutex: the common path holds it for a lookup
+        // and a counter bump; the rare trial-start additionally holds it
+        // across one plan build, which is the same order of work a cache
+        // miss performs under its shard lock. The sequential baseline
+        // probe — a full solve — is deliberately run with the lock
+        // RELEASED, so a large structure's probe never stalls other
+        // tenants' bookkeeping; the policy re-checks its state when the
+        // lock is re-taken, so a racing evaluation degrades to a no-op.
+        let wants_evaluation = {
+            let mut structures = self.structures.lock();
+            let structure = structures.entry(fingerprint).or_default();
+            let Some(current_entry) = self.telemetry.get(&fingerprint, kind) else {
+                return; // unreachable: just recorded
+            };
+            let incumbent_entry = structure
+                .policy
+                .trial()
+                .and_then(|t| self.telemetry.get(&fingerprint, t.incumbent));
+            let has_baseline = kind == VariantKind::Sequential
+                || self
+                    .telemetry
+                    .get(&fingerprint, VariantKind::Sequential)
+                    .is_some();
+
+            match self.policy.on_solve(
+                &mut structure.policy,
+                kind,
+                &current_entry,
+                incumbent_entry.as_ref(),
+                has_baseline,
+            ) {
+                Action::Keep => None,
+                Action::Commit(trial) => {
+                    structure.incumbent = None;
+                    self.policy
+                        .complete_trial(&mut structure.policy, trial, true);
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                Action::Demote(trial) => {
+                    if let Some(incumbent) = structure.incumbent.take() {
+                        inner.cache.swap_plan(incumbent);
+                    }
+                    self.policy
+                        .complete_trial(&mut structure.policy, trial, false);
+                    self.demotions.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                Action::Evaluate { probe_baseline } => Some(probe_baseline),
+            }
+        };
+        if let Some(probe_baseline) = wants_evaluation {
+            if probe_baseline {
+                self.probe_baseline(inner, loop_, y, plan);
+            }
+            let mut structures = self.structures.lock();
+            let structure = structures.entry(fingerprint).or_default();
+            self.evaluate(inner, loop_, plan, kind, structure);
+        }
+    }
+
+    /// Times one sequential pass of the structure on a scratch copy of
+    /// `y` and records it as a `Sequential` observation — the anchor that
+    /// lets refinement convert nanoseconds to model units honestly (the
+    /// sequential loop performs zero synchronization). This is the
+    /// paper's own `T_seq` measurement, taken live.
+    fn probe_baseline<L: DoacrossLoop + ?Sized>(
+        &self,
+        inner: &EngineInner,
+        loop_: &L,
+        y: &[f64],
+        plan: &Arc<ExecutionPlan>,
+    ) {
+        let census = plan.census();
+        let mut scratch = y.to_vec();
+        let start = Instant::now();
+        run_sequential(loop_, &mut scratch);
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        std::hint::black_box(&scratch);
+        let units = inner
+            .planner
+            .costs()
+            .sequential_time(census.iterations, census.total_terms as usize);
+        self.telemetry.record(
+            plan.fingerprint(),
+            VariantKind::Sequential,
+            SolveSample {
+                ns,
+                wait_polls: 0,
+                barriers: 0,
+                terms: census.total_terms,
+                pred_units: units,
+                work_units: units,
+            },
+        );
+        self.baseline_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One evaluation point: refine, re-price, and — if the policy
+    /// proposes a challenger — build it with the refined model and swap
+    /// it in as a trial.
+    fn evaluate<L: DoacrossLoop + ?Sized>(
+        &self,
+        inner: &EngineInner,
+        loop_: &L,
+        plan: &Arc<ExecutionPlan>,
+        kind: VariantKind,
+        structure: &mut Structure,
+    ) {
+        let statics = inner.planner.costs();
+        self.repricings.fetch_add(1, Ordering::Relaxed);
+        let refinement = refine(
+            statics,
+            &self.telemetry.entries(),
+            plan.processors(),
+            &RefinementConfig {
+                confidence: self.policy.config().confidence,
+                unit_ns_hint: self.unit_ns_hint,
+            },
+        );
+        if !refinement.constants.has_evidence() {
+            return;
+        }
+        let refined_model = refinement.model(statics);
+        // Approximation note: for a previously-promoted plan the stored
+        // candidate prices were computed under the refined model of that
+        // evaluation, not `statics`; the inversion then recovers slightly
+        // shifted stall sums. The measured commit/demote gate downstream
+        // means a shifted proposal can waste a trial, never keep a wrong
+        // plan.
+        let refined_costs = pricing::reprice(plan, statics, &refined_model);
+        let static_price = plan.costs().of(plan.variant()).unwrap_or(f64::INFINITY);
+        let Some(refined_price) = pricing::price_of(&refined_costs, kind) else {
+            return;
+        };
+        let proposal = self.policy.propose(
+            &mut structure.policy,
+            kind,
+            static_price,
+            refined_price,
+            |k| pricing::price_of(&refined_costs, k),
+        );
+        let Some(_) = proposal else { return };
+        if !self.policy.may_trial(&structure.policy) {
+            return;
+        }
+        // Build the challenger with the refined model: same census path,
+        // same validation, same artifacts as any cold plan build.
+        let built = match Planner::with_costs(refined_model).plan_with_fingerprint(
+            &inner.pool,
+            loop_,
+            *plan.fingerprint(),
+        ) {
+            Ok(built) => built,
+            Err(_) => return, // never trade a working plan for a failed build
+        };
+        let built_kind = VariantKind::from(built.variant());
+        if built_kind == kind {
+            return; // full replan agreed with the running variant: settled
+        }
+        if structure.policy.rejected().contains(&built_kind) {
+            return; // the full replan landed on a measured loser
+        }
+        if self
+            .policy
+            .begin_trial(&mut structure.policy, built_kind, kind)
+        {
+            structure.incumbent = Some(Arc::clone(plan));
+            inner.cache.swap_plan(Arc::new(built));
+            self.trials.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for AdaptiveRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveRuntime")
+            .field("stats", &self.stats())
+            .field("telemetry", &self.telemetry)
+            .finish()
+    }
+}

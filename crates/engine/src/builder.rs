@@ -1,16 +1,25 @@
-//! [`EngineBuilder`]: engine configuration, including host calibration
-//! and warm starts from persisted plan stores.
+//! [`EngineBuilder`]: engine configuration, including host calibration,
+//! the adaptive feedback loop, and warm starts from persisted plan
+//! stores.
 
+use crate::adaptive::AdaptiveRuntime;
 use crate::engine::Engine;
 use crate::error::EngineError;
+use doacross_adapt::AdaptiveConfig;
 use doacross_core::DoacrossConfig;
 use doacross_par::ThreadPool;
-use doacross_plan::{ConcurrentPlanCache, Planner};
+use doacross_plan::{
+    default_shard_count, ConcurrentPlanCache, PersistError, PlanStore, Planner, StoredCalibration,
+};
 use std::path::PathBuf;
 
 /// Default total plan capacity across shards.
 pub const DEFAULT_CACHE_CAPACITY: usize = 128;
-/// Default shard count (power of two).
+/// The historical fixed shard count. Since the adaptive-shard change the
+/// builder defaults to [`doacross_plan::default_shard_count`] (the host's
+/// available parallelism, clamped to a power of two) instead; this
+/// constant remains for callers that want the old behavior explicitly via
+/// [`EngineBuilder::shards`].
 pub const DEFAULT_SHARDS: usize = 8;
 /// Calibration repetitions used by [`EngineBuilder::calibrated`] — enough
 /// to suppress scheduler noise without a perceptible build pause.
@@ -33,10 +42,12 @@ pub const CALIBRATION_REPS: usize = 3;
 pub struct EngineBuilder {
     workers: Option<usize>,
     cache_capacity: usize,
-    shards: usize,
+    shards: Option<usize>,
     planner: Planner,
     config: DoacrossConfig,
     warm_start: Option<PathBuf>,
+    calibrate: bool,
+    adaptive: Option<AdaptiveConfig>,
 }
 
 impl Default for EngineBuilder {
@@ -47,17 +58,20 @@ impl Default for EngineBuilder {
 
 impl EngineBuilder {
     /// Builder with defaults: host-sized worker count, a
-    /// [`DEFAULT_CACHE_CAPACITY`]-plan cache over [`DEFAULT_SHARDS`]
-    /// shards, the Multimax-calibrated planner, and the default doacross
+    /// [`DEFAULT_CACHE_CAPACITY`]-plan cache sharded per the host's
+    /// available parallelism ([`doacross_plan::default_shard_count`]),
+    /// the Multimax-calibrated planner, and the default doacross
     /// configuration.
     pub fn new() -> Self {
         Self {
             workers: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
-            shards: DEFAULT_SHARDS,
+            shards: None,
             planner: Planner::new(),
             config: DoacrossConfig::default(),
             warm_start: None,
+            calibrate: false,
+            adaptive: None,
         }
     }
 
@@ -79,18 +93,25 @@ impl EngineBuilder {
         self
     }
 
-    /// Shard count for the concurrent plan cache (rounded up to a power
-    /// of two). More shards mean less lock contention between unrelated
-    /// structures; capacity per shard shrinks correspondingly.
+    /// Explicit shard count for the concurrent plan cache (rounded up to
+    /// a power of two). More shards mean less lock contention between
+    /// unrelated structures; capacity per shard shrinks correspondingly.
+    /// When not set, the shard count adapts to the host:
+    /// [`doacross_plan::default_shard_count`] matches it to the available
+    /// parallelism (contention scales with threads that can actually run
+    /// concurrently, so a 1-core container keeps its whole capacity in
+    /// one LRU while a 32-way server spreads over 32 shards).
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards;
+        self.shards = Some(shards);
         self
     }
 
     /// Explicit planner (e.g. [`Planner::with_costs`] with custom
-    /// constants).
+    /// constants). Overrides a previously requested
+    /// [`EngineBuilder::calibrated`].
     pub fn planner(mut self, planner: Planner) -> Self {
         self.planner = planner;
+        self.calibrate = false;
         self
     }
 
@@ -108,10 +129,38 @@ impl EngineBuilder {
     /// normalized units. Selection then prices variants for the machine
     /// actually running them instead of the paper's Encore Multimax.
     ///
-    /// Costs a few milliseconds of measurement at build time; worth it for
-    /// long-lived engines, skippable for throwaways.
+    /// Costs a few milliseconds of measurement at build time (tens of
+    /// cold solves' worth — see the ROADMAP's calibrate-by-default note);
+    /// worth it for long-lived engines, skippable for throwaways. When
+    /// combined with [`EngineBuilder::warm_start`], a **valid** stored
+    /// calibration in the store is reused and the measurement skipped
+    /// entirely — [`Engine::save_plans`] persists it, and the loaded
+    /// constants are revalidated (finite, positive) with a fall back to
+    /// re-measurement on mismatch.
     pub fn calibrated(mut self) -> Self {
-        self.planner = Planner::with_costs(doacross_sim::calibrate(CALIBRATION_REPS).model);
+        self.calibrate = true;
+        self
+    }
+
+    /// Turns on the adaptive feedback loop with default knobs: every
+    /// execute feeds a variant-telemetry recorder; when a structure's
+    /// observed cost diverges from its prediction by the configured
+    /// factor, the cost model is refined from the measurements and the
+    /// plan re-priced; a measured-cheaper variant is trialed (swapped in
+    /// under the shard lock with a generation bump — outstanding handles
+    /// fail typed with [`crate::EngineError::StalePlan`]), then committed
+    /// or rolled back on the measured comparison, with hysteresis. See
+    /// `doacross_adapt` for the policy in full.
+    ///
+    /// Adaptation needs a cache to swap plans in: it is disabled when
+    /// [`EngineBuilder::cache_capacity`] is 0.
+    pub fn adaptive(self) -> Self {
+        self.adaptive_config(AdaptiveConfig::default())
+    }
+
+    /// [`EngineBuilder::adaptive`] with explicit policy knobs.
+    pub fn adaptive_config(mut self, config: AdaptiveConfig) -> Self {
+        self.adaptive = Some(config);
         self
     }
 
@@ -138,6 +187,14 @@ impl EngineBuilder {
     /// Builds the engine: spawns the worker pool, assembles the shared
     /// session state, and applies the [`EngineBuilder::warm_start`] store
     /// if one was configured.
+    ///
+    /// The store is loaded once and used for everything it carries: its
+    /// plans warm the cache, its telemetry warms an adaptive engine's
+    /// recorder, and a valid stored calibration satisfies
+    /// [`EngineBuilder::calibrated`] without re-measuring. First-boot
+    /// rules as in [`Engine::warm_start_plans`]: missing or
+    /// version-superseded stores are a clean cold start, damaged stores
+    /// of the current format fail typed.
     pub fn try_build(self) -> Result<Engine, EngineError> {
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -145,14 +202,48 @@ impl EngineBuilder {
                 .unwrap_or(2)
                 .min(8)
         });
+        let store = match &self.warm_start {
+            None => None,
+            Some(path) => match PlanStore::load(path) {
+                Ok(store) => Some(store),
+                Err(PersistError::NotFound) | Err(PersistError::UnsupportedVersion { .. }) => None,
+                Err(err) => return Err(err.into()),
+            },
+        };
+        let (planner, calibration) = if self.calibrate {
+            // Reuse a persisted calibration when it survives revalidation
+            // (finite, positive constants); anything else — absent
+            // section, unphysical values — falls back to measuring.
+            let calibration = store
+                .as_ref()
+                .and_then(|s| s.calibration().copied())
+                .filter(StoredCalibration::is_valid)
+                .unwrap_or_else(|| {
+                    let measured = doacross_sim::calibrate(CALIBRATION_REPS);
+                    StoredCalibration {
+                        model: measured.model,
+                        unit_ns: measured.unit_ns,
+                    }
+                });
+            (Planner::with_costs(calibration.model), Some(calibration))
+        } else {
+            (self.planner, None)
+        };
+        let shards = self.shards.unwrap_or_else(default_shard_count);
+        let adaptive = self
+            .adaptive
+            .filter(|_| self.cache_capacity > 0) // nothing to swap plans in
+            .map(|config| AdaptiveRuntime::new(config, shards, calibration.as_ref()));
         let engine = Engine::from_parts(
             ThreadPool::new(workers),
-            self.planner,
+            planner,
             self.config,
-            ConcurrentPlanCache::new(self.cache_capacity, self.shards),
+            ConcurrentPlanCache::new(self.cache_capacity, shards),
+            calibration,
+            adaptive,
         );
-        if let Some(path) = self.warm_start {
-            engine.warm_start_plans(&path)?;
+        if let Some(store) = &store {
+            engine.warm_from(store);
         }
         Ok(engine)
     }
@@ -180,8 +271,41 @@ mod tests {
     fn defaults_are_sane() {
         let engine = EngineBuilder::new().workers(2).build();
         assert_eq!(engine.threads(), 2);
-        assert_eq!(engine.shards(), DEFAULT_SHARDS);
+        // The shard count adapts to the host (clamped power of two);
+        // explicit settings still win.
+        assert_eq!(engine.shards(), doacross_plan::default_shard_count());
         assert!(engine.cache_stats().hits == 0 && engine.cache_len() == 0);
+        assert!(!engine.is_adaptive());
+        assert_eq!(engine.adaptive_stats(), None);
+        assert_eq!(engine.calibration(), None);
+        let fixed = EngineBuilder::new()
+            .workers(2)
+            .shards(DEFAULT_SHARDS)
+            .build();
+        assert_eq!(fixed.shards(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn engine_shard_routing_matches_the_adaptive_default() {
+        // Skew test for the adaptive shard count: fingerprints route
+        // consistently between `shard_of` and where traffic actually
+        // lands, at whatever count the host picked.
+        let engine = EngineBuilder::new().workers(2).build();
+        let loops: Vec<TestLoop> = (1..=6).map(|k| TestLoop::new(50 + 10 * k, 1, 7)).collect();
+        for l in &loops {
+            let mut y = l.initial_y();
+            engine.run(l, &mut y).unwrap();
+        }
+        let rows = engine.shard_stats();
+        assert_eq!(rows.len(), doacross_plan::default_shard_count());
+        for l in &loops {
+            let fp = doacross_plan::PatternFingerprint::of(l);
+            let shard = engine.shard_of(&fp);
+            assert!(shard < rows.len());
+            assert!(rows[shard].stats.misses >= 1, "traffic landed on {shard}");
+        }
+        let landed: usize = rows.iter().map(|r| r.len).sum();
+        assert_eq!(landed, engine.cache_len());
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! [`Engine`]: the Arc-shareable doacross session.
 
+use crate::adaptive::{AdaptiveRuntime, AdaptiveStats};
 use crate::builder::EngineBuilder;
 use crate::error::EngineError;
 use crate::prepared::PreparedLoop;
+use doacross_adapt::{TelemetryEntry, TelemetryTotals, VariantKind};
 use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, RunStats};
 use doacross_par::ThreadPool;
 use doacross_plan::{
     CacheStats, ConcurrentPlanCache, ExecutionPlan, PatternFingerprint, PlanExecutor, PlanStore,
-    Planner, ShardStats,
+    Planner, ShardStats, StoredCalibration,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -18,6 +20,12 @@ pub(crate) struct EngineInner {
     pub(crate) planner: Planner,
     pub(crate) config: DoacrossConfig,
     pub(crate) cache: ConcurrentPlanCache,
+    /// Host calibration the planner's model came from (present for
+    /// `calibrated()` engines) — persisted with snapshots so a warm start
+    /// can skip re-measurement, and the refinement anchor when adaptive.
+    pub(crate) calibration: Option<StoredCalibration>,
+    /// The feedback loop (present for `adaptive()` engines).
+    pub(crate) adaptive: Option<AdaptiveRuntime>,
     /// Checked-out-and-returned scratch executors: each concurrent
     /// execution borrows a private one (per-variant scratch arrays are
     /// `&mut` state), and returning it keeps the paper's scratch-reuse
@@ -26,12 +34,15 @@ pub(crate) struct EngineInner {
 }
 
 impl EngineInner {
-    /// Executes `plan` against `loop_` with a checked-out scratch executor.
+    /// Executes `plan` against `loop_` with a checked-out scratch
+    /// executor; on an adaptive engine, feeds the telemetry/policy hook
+    /// afterwards (off the result path — adaptation can never change what
+    /// this call returns, only what a *later* prepare serves).
     pub(crate) fn execute_plan<L: DoacrossLoop + ?Sized>(
         &self,
         loop_: &L,
         y: &mut [f64],
-        plan: &ExecutionPlan,
+        plan: &Arc<ExecutionPlan>,
     ) -> Result<RunStats, EngineError> {
         let mut executor = self
             .executors
@@ -40,7 +51,11 @@ impl EngineInner {
             .unwrap_or_else(|| PlanExecutor::new(self.config));
         let result = executor.execute(&self.pool, loop_, y, plan);
         self.executors.lock().push(executor);
-        result.map_err(EngineError::from)
+        let stats = result.map_err(EngineError::from)?;
+        if let Some(adaptive) = &self.adaptive {
+            adaptive.after_solve(self, loop_, y, plan, &stats);
+        }
+        Ok(stats)
     }
 }
 
@@ -91,6 +106,8 @@ impl Engine {
         planner: Planner,
         config: DoacrossConfig,
         cache: ConcurrentPlanCache,
+        calibration: Option<StoredCalibration>,
+        adaptive: Option<AdaptiveRuntime>,
     ) -> Self {
         Self {
             inner: Arc::new(EngineInner {
@@ -98,6 +115,8 @@ impl Engine {
                 planner,
                 config,
                 cache,
+                calibration,
+                adaptive,
                 executors: Mutex::new(Vec::new()),
             }),
         }
@@ -174,7 +193,7 @@ impl Engine {
     ) -> Result<PreparedLoop, EngineError> {
         let fingerprint = PatternFingerprint::of(pattern);
         let processors = self.inner.pool.threads();
-        let (plan, generation_cell, hit) = self.inner.cache.get_or_build(
+        let (plan, generation_cell, generation, hit) = self.inner.cache.get_or_build(
             &fingerprint,
             // A plan priced for a different worker count computes the same
             // results but may pick the wrong variant; treat it as a miss
@@ -190,6 +209,7 @@ impl Engine {
             Arc::clone(&self.inner),
             plan,
             generation_cell,
+            generation,
             hit,
         ))
     }
@@ -218,7 +238,57 @@ impl Engine {
     /// handles prepared against the old contents would otherwise keep
     /// executing the old plan forever.
     pub fn invalidate(&self, fingerprint: &PatternFingerprint) -> bool {
+        if let Some(adaptive) = &self.inner.adaptive {
+            // The caller asserts the structure changed: its observations,
+            // rejections, and trial budget no longer apply.
+            adaptive.forget(fingerprint);
+        }
         self.inner.cache.invalidate(fingerprint)
+    }
+
+    /// Whether this engine runs the adaptive feedback loop
+    /// ([`crate::EngineBuilder::adaptive`]).
+    pub fn is_adaptive(&self) -> bool {
+        self.inner.adaptive.is_some()
+    }
+
+    /// Counters of the adaptive loop (`None` for a static engine).
+    pub fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        self.inner.adaptive.as_ref().map(|a| a.stats())
+    }
+
+    /// Engine-wide telemetry aggregates (`None` for a static engine).
+    pub fn telemetry_totals(&self) -> Option<TelemetryTotals> {
+        self.inner.adaptive.as_ref().map(|a| a.telemetry_totals())
+    }
+
+    /// Snapshot of every `(structure, variant)` telemetry accumulator
+    /// (empty for a static engine).
+    pub fn telemetry_entries(&self) -> Vec<(PatternFingerprint, VariantKind, TelemetryEntry)> {
+        self.inner
+            .adaptive
+            .as_ref()
+            .map(|a| a.telemetry_entries())
+            .unwrap_or_default()
+    }
+
+    /// One `(structure, variant)` accumulator, if observed.
+    pub fn telemetry_of(
+        &self,
+        fingerprint: &PatternFingerprint,
+        kind: VariantKind,
+    ) -> Option<TelemetryEntry> {
+        self.inner
+            .adaptive
+            .as_ref()
+            .and_then(|a| a.telemetry_of(fingerprint, kind))
+    }
+
+    /// The host calibration this engine prices with (present for
+    /// `calibrated()` engines, measured at build or restored from a
+    /// warm-start store).
+    pub fn calibration(&self) -> Option<&StoredCalibration> {
+        self.inner.calibration.as_ref()
     }
 
     /// Drops every cached plan (traffic counters and generations survive).
@@ -228,10 +298,19 @@ impl Engine {
 
     /// Captures the plan cache — resident plans in recency order, tagged
     /// with their invalidation generations — as an in-memory
-    /// [`PlanStore`]. Serialize with [`PlanStore::to_bytes`] or go
-    /// straight to disk with [`Engine::save_plans`].
+    /// [`PlanStore`], together with the engine's learned state: the host
+    /// calibration (for `calibrated()` engines) and the variant telemetry
+    /// (for `adaptive()` engines), so a warm start resumes with learned
+    /// costs instead of re-measuring and re-observing. Serialize with
+    /// [`PlanStore::to_bytes`] or go straight to disk with
+    /// [`Engine::save_plans`].
     pub fn snapshot(&self) -> PlanStore {
-        self.inner.cache.snapshot()
+        let mut store = self.inner.cache.snapshot();
+        store.set_calibration(self.inner.calibration);
+        if let Some(adaptive) = &self.inner.adaptive {
+            adaptive.snapshot_telemetry(&mut store);
+        }
+        store
     }
 
     /// Restores `store` into the plan cache: recency-preserving, and
@@ -246,8 +325,19 @@ impl Engine {
     /// written by an engine with a different pool size still restores, but
     /// [`Engine::prepare`] treats such plans as misses and replans (same
     /// rule as any pricing-context mismatch).
+    ///
+    /// On an adaptive engine the store's telemetry records are restored
+    /// too (live accumulators with more samples win over stored ones), so
+    /// refinement resumes mid-confidence. Restoring a stored calibration
+    /// happens at build time ([`crate::EngineBuilder::warm_start`] +
+    /// [`crate::EngineBuilder::calibrated`]) — the planner's model is
+    /// immutable once built.
     pub fn warm_from(&self, store: &PlanStore) -> usize {
-        self.inner.cache.warm_from(store)
+        let restored = self.inner.cache.warm_from(store);
+        if let Some(adaptive) = &self.inner.adaptive {
+            adaptive.restore_telemetry(store.telemetry());
+        }
+        restored
     }
 
     /// Snapshots the plan cache and writes it to `path` (atomic

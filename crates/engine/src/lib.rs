@@ -59,17 +59,22 @@
 //! assert_eq!(engine.cache_stats().hits, 1);
 //! ```
 
+pub mod adaptive;
 pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod prepared;
 
+pub use adaptive::AdaptiveStats;
 pub use builder::EngineBuilder;
 pub use engine::Engine;
 pub use error::EngineError;
 pub use prepared::PreparedLoop;
 // The persistence vocabulary engine callers need, re-exported so they can
 // save/restore plans without naming doacross-plan directly.
-pub use doacross_plan::{PersistError, PlanStore};
+pub use doacross_plan::{PersistError, PlanStore, StoredCalibration};
 // Per-shard cache observability, re-exported for the same reason.
 pub use doacross_plan::ShardStats;
+// The adaptive-policy vocabulary ([`EngineBuilder::adaptive_config`],
+// telemetry accessors), re-exported likewise.
+pub use doacross_adapt::{AdaptiveConfig, TelemetryEntry, TelemetryTotals, VariantKind};

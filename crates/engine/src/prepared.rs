@@ -34,9 +34,13 @@ impl PreparedLoop {
         inner: Arc<EngineInner>,
         plan: Arc<ExecutionPlan>,
         generation_cell: Arc<AtomicU64>,
+        generation: u64,
         from_cache: bool,
     ) -> Self {
-        let generation = generation_cell.load(Ordering::Acquire);
+        // `generation` was read while the cache shard lock was held, so it
+        // is consistent with `plan`: re-reading the cell here could race
+        // an adaptive swap and pair the old plan with the new generation —
+        // a handle that would never report stale.
         Self {
             inner,
             plan,

@@ -1,0 +1,344 @@
+//! Integration tests of the adaptive feedback loop: telemetry growth,
+//! divergence-triggered promotion to the measured-cheaper variant,
+//! generation-bump staleness, learned-state persistence (v3), and the
+//! v2 → v3 store-version regression.
+
+use doacross_core::{seq::run_sequential, AccessPattern, IndirectLoop, TestLoop};
+use doacross_engine::{AdaptiveConfig, Engine, EngineError, PersistError, VariantKind};
+use doacross_plan::{PlanVariant, Planner};
+use doacross_sim::CostModel;
+
+/// A deliberately mispriced cost model: busy-wait polls priced absurdly
+/// expensive (so every flag-based variant is off the table) and barriers
+/// plus pre/post overheads priced nearly free (so the wavefront looks
+/// unbeatable). On the narrow-deep structure below, the *measured* truth
+/// is the opposite: hundreds of barrier crossings per solve dwarf the
+/// tiny sequential loop.
+fn mispriced() -> CostModel {
+    CostModel {
+        wait_poll: 500.0,
+        barrier: 0.001,
+        post_per_iter: 0.01,
+        region_dispatch: 1.0,
+        ..CostModel::multimax()
+    }
+}
+
+/// Narrow-and-deep dependence grid: 2 columns, 300 wavefront levels. A
+/// barrier-per-level executor pays 299 real crossings per solve for 600
+/// tiny iterations — measurably catastrophic next to the sequential loop
+/// on any host, which is exactly what the mispriced model denies.
+fn narrow_deep() -> IndirectLoop {
+    doacross_plan::testgrid::deep_grid(2, 300, 1, 1)
+}
+
+fn fast_adaptive() -> AdaptiveConfig {
+    AdaptiveConfig {
+        min_samples: 4,
+        eval_interval: 5,
+        divergence: 1.3,
+        hysteresis: 1.05,
+        max_trials: 3,
+        confidence: 4,
+    }
+}
+
+#[test]
+fn mispriced_model_promotes_to_the_measured_cheaper_variant() {
+    let loop_ = narrow_deep();
+    let engine = Engine::builder()
+        .workers(2)
+        .planner(Planner::with_costs(mispriced()))
+        .adaptive_config(fast_adaptive())
+        .build();
+    assert!(engine.is_adaptive());
+
+    // The mispriced model statically selects the wavefront.
+    let first = engine.prepare(&loop_).expect("plannable");
+    assert_eq!(
+        first.variant(),
+        PlanVariant::Wavefront,
+        "seeded mispricing must pick the wavefront: {:?}",
+        first.plan().costs()
+    );
+    let generation_at_start = first.generation();
+
+    let y0 = vec![1.0; loop_.data_len()];
+    let mut expect = y0.clone();
+    run_sequential(&loop_, &mut expect);
+
+    // Solve repeatedly; every result must stay bit-identical to the
+    // oracle regardless of what adaptation does underneath.
+    for round in 0..40 {
+        let mut y = y0.clone();
+        engine.run(&loop_, &mut y).expect("solvable");
+        assert_eq!(y, expect, "round {round} diverged from the oracle");
+    }
+
+    // Telemetry grew: one entry per executed variant, >= 40 solves plus
+    // the sequential baseline probe.
+    let totals = engine.telemetry_totals().expect("adaptive engine");
+    assert!(totals.samples >= 41, "{totals:?}");
+    assert!(totals.entries >= 2, "{totals:?}");
+
+    // The engine noticed the divergence, trialed the measured-cheaper
+    // variant, and committed the promotion.
+    let stats = engine.adaptive_stats().expect("adaptive engine");
+    assert!(stats.repricings >= 1, "{stats:?}");
+    assert!(stats.baseline_probes >= 1, "{stats:?}");
+    assert!(stats.trials >= 1, "{stats:?}");
+    assert!(stats.promotions >= 1, "promotion must commit: {stats:?}");
+    assert_eq!(stats.demotions, 0, "{stats:?}");
+
+    // The cached plan is now the sequential variant — the one the
+    // measurements, not the model, say is cheaper here.
+    let promoted = engine.prepare(&loop_).expect("plannable");
+    assert_eq!(promoted.variant(), PlanVariant::Sequential, "{stats:?}");
+    assert!(promoted.generation() > generation_at_start, "bumped");
+
+    // The measured comparison that justified the commit is visible in
+    // telemetry: sequential's observed floor beats the wavefront's.
+    let fp = *promoted.fingerprint();
+    let seq = engine
+        .telemetry_of(&fp, VariantKind::Sequential)
+        .expect("sequential was measured");
+    let wave = engine
+        .telemetry_of(&fp, VariantKind::Wavefront)
+        .expect("wavefront was measured");
+    assert!(
+        (seq.min_ns as f64) * 1.05 <= wave.min_ns as f64,
+        "promotion implies a measured win: seq {} vs wave {}",
+        seq.min_ns,
+        wave.min_ns
+    );
+
+    // Handles prepared before the promotion observed the generation bump
+    // and fail typed; nothing ever silently executes the superseded plan.
+    assert!(first.is_stale());
+    let mut y = y0.clone();
+    let err = first.execute(&loop_, &mut y).unwrap_err();
+    assert!(
+        matches!(err, EngineError::StalePlan { .. }),
+        "stale handles fail typed, got {err:?}"
+    );
+
+    // The promoted plan still computes the oracle, through a fresh handle.
+    let mut y = y0;
+    promoted
+        .execute(&loop_, &mut y)
+        .expect("promoted plan runs");
+    assert_eq!(y, expect);
+}
+
+#[test]
+fn adaptation_is_off_the_result_path_for_static_engines() {
+    let engine = Engine::builder().workers(2).build();
+    let loop_ = TestLoop::new(400, 1, 8);
+    let mut y = loop_.initial_y();
+    engine.run(&loop_, &mut y).unwrap();
+    assert!(!engine.is_adaptive());
+    assert_eq!(engine.adaptive_stats(), None);
+    assert_eq!(engine.telemetry_totals(), None);
+    assert!(engine.telemetry_entries().is_empty());
+}
+
+#[test]
+fn zero_capacity_cache_disables_adaptation() {
+    // Nothing to swap a promoted plan into: the builder drops the
+    // adaptive request instead of building a loop that can never act.
+    let engine = Engine::builder()
+        .workers(2)
+        .cache_capacity(0)
+        .adaptive()
+        .build();
+    assert!(!engine.is_adaptive());
+}
+
+#[test]
+fn invalidation_resets_the_structure_s_learned_state() {
+    let loop_ = narrow_deep();
+    let engine = Engine::builder()
+        .workers(2)
+        .planner(Planner::with_costs(mispriced()))
+        .adaptive_config(fast_adaptive())
+        .build();
+    let y0 = vec![1.0; loop_.data_len()];
+    for _ in 0..3 {
+        let mut y = y0.clone();
+        engine.run(&loop_, &mut y).unwrap();
+    }
+    let fp = doacross_plan::PatternFingerprint::of(&loop_);
+    assert!(engine.telemetry_of(&fp, VariantKind::Wavefront).is_some());
+    engine.invalidate(&fp);
+    assert_eq!(
+        engine.telemetry_of(&fp, VariantKind::Wavefront),
+        None,
+        "observations of the retired structure are dropped"
+    );
+    // And the structure keeps solving correctly afterwards.
+    let mut y = y0.clone();
+    let mut expect = y0;
+    run_sequential(&loop_, &mut expect);
+    engine.run(&loop_, &mut y).unwrap();
+    assert_eq!(y, expect);
+}
+
+#[test]
+fn learned_state_persists_across_a_restart() {
+    let path = std::env::temp_dir().join(format!(
+        "doacross-adaptive-persist-{}.plans",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let loop_ = narrow_deep();
+    let y0 = vec![1.0; loop_.data_len()];
+    let fp = doacross_plan::PatternFingerprint::of(&loop_);
+    let (first_entries, saved) = {
+        let engine = Engine::builder()
+            .workers(2)
+            .adaptive_config(fast_adaptive())
+            .build();
+        for _ in 0..5 {
+            let mut y = y0.clone();
+            engine.run(&loop_, &mut y).unwrap();
+        }
+        let entries = engine.telemetry_entries();
+        assert!(!entries.is_empty());
+        let saved = engine.save_plans(&path).unwrap();
+        (entries, saved)
+    };
+    assert!(saved >= 1);
+
+    // Restart: plans AND telemetry come back; refinement resumes
+    // mid-confidence instead of observing from scratch.
+    let engine = Engine::builder()
+        .workers(2)
+        .adaptive_config(fast_adaptive())
+        .warm_start(&path)
+        .try_build()
+        .expect("store is healthy");
+    assert!(engine.cache_len() >= 1);
+    let restored = engine.telemetry_entries();
+    assert_eq!(restored, first_entries, "telemetry survives the restart");
+    let kind = restored
+        .iter()
+        .find(|(f, _, _)| f == &fp)
+        .map(|(_, k, _)| *k)
+        .expect("the structure's entry survived");
+    assert!(engine.telemetry_of(&fp, kind).is_some());
+
+    // A static engine ignores the telemetry section without error.
+    let plain = Engine::builder()
+        .workers(2)
+        .warm_start(&path)
+        .try_build()
+        .expect("same store");
+    assert!(plain.telemetry_entries().is_empty());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn calibration_persists_and_a_warm_calibrated_engine_skips_measurement() {
+    let path = std::env::temp_dir().join(format!(
+        "doacross-adaptive-calib-{}.plans",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let loop_ = TestLoop::new(300, 1, 8);
+    let stored = {
+        let engine = Engine::builder().workers(2).calibrated().build();
+        let mut y = loop_.initial_y();
+        engine.run(&loop_, &mut y).unwrap();
+        let calibration = *engine.calibration().expect("calibrated engines carry one");
+        assert!(calibration.is_valid());
+        engine.save_plans(&path).unwrap();
+        calibration
+    };
+
+    // The warm-started calibrated engine reuses the persisted constants
+    // bit-for-bit — equality a fresh measurement could never reproduce,
+    // which is the proof the re-measurement was skipped.
+    let engine = Engine::builder()
+        .workers(2)
+        .calibrated()
+        .warm_start(&path)
+        .try_build()
+        .expect("store is healthy");
+    assert_eq!(engine.calibration(), Some(&stored));
+    assert_eq!(engine.planner().costs(), &stored.model);
+
+    // An invalid persisted calibration is revalidated away: the build
+    // falls back to measuring instead of pricing with nonsense.
+    let mut store = doacross_plan::PlanStore::load(&path).unwrap();
+    let mut poisoned = stored;
+    poisoned.unit_ns = f64::NAN;
+    store.set_calibration(Some(poisoned));
+    store.save(&path).unwrap();
+    let engine = Engine::builder()
+        .workers(2)
+        .calibrated()
+        .warm_start(&path)
+        .try_build()
+        .expect("invalid calibration falls back, never fails the boot");
+    let fresh = engine.calibration().expect("re-measured");
+    assert!(fresh.is_valid());
+    assert!(fresh.unit_ns.is_finite());
+
+    // A non-calibrated engine never persists or consumes calibration.
+    let plain = Engine::builder()
+        .workers(2)
+        .warm_start(&path)
+        .try_build()
+        .unwrap();
+    assert_eq!(plain.calibration(), None);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn v2_stores_fail_typed_and_the_boot_path_cold_starts() {
+    let path = std::env::temp_dir().join(format!(
+        "doacross-adaptive-v2-relic-{}.plans",
+        std::process::id()
+    ));
+    // Fabricate a v2 relic: a current-format store with its version field
+    // rewritten to 2 (the version check precedes the checksum, exactly as
+    // a real v2 file would fail).
+    {
+        let engine = Engine::builder().workers(2).build();
+        let loop_ = TestLoop::new(200, 1, 8);
+        let mut y = loop_.initial_y();
+        engine.run(&loop_, &mut y).unwrap();
+        engine.save_plans(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+    }
+
+    // Explicit load: strict, typed.
+    let engine = Engine::builder().workers(2).build();
+    let err = engine.load_plans(&path).unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::Persist(PersistError::UnsupportedVersion {
+            found: 2,
+            supported: doacross_plan::FORMAT_VERSION,
+        })
+    );
+    assert_eq!(engine.cache_len(), 0, "cache untouched");
+
+    // Boot path: version succession is a cold start, not a crash loop —
+    // for plain, calibrated, and adaptive engines alike.
+    for builder in [
+        Engine::builder().workers(2),
+        Engine::builder().workers(2).adaptive(),
+    ] {
+        let engine = builder
+            .warm_start(&path)
+            .try_build()
+            .expect("version policy: a rejected store is just a cold start");
+        assert_eq!(engine.cache_len(), 0);
+    }
+    std::fs::remove_file(&path).unwrap();
+}

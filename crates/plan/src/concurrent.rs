@@ -39,6 +39,33 @@ use std::sync::Arc;
 /// per-shard LRUs are too small to be useful).
 pub const MAX_SHARDS: usize = 4096;
 
+/// Fallback shard count when the host's parallelism cannot be queried.
+pub const FALLBACK_SHARDS: usize = 8;
+
+/// Upper bound for [`default_shard_count`]: shards exist to keep
+/// concurrent callers off each other's locks, and callers are threads —
+/// beyond a generous multiple of any sane machine's core count, extra
+/// shards only fragment the LRU capacity.
+pub const DEFAULT_SHARDS_CAP: usize = 64;
+
+/// Shard count matched to *this host*: the available parallelism, rounded
+/// up to a power of two and clamped to `1..=`[`DEFAULT_SHARDS_CAP`]
+/// ([`FALLBACK_SHARDS`] when the host cannot be queried). Contention on
+/// the cache scales with the threads that can actually run concurrently,
+/// so a 1-core container gets one shard (its whole capacity in one LRU)
+/// while a 32-way server gets 32.
+///
+/// `shard_of` depends on the shard count, so a routing is only stable for
+/// the lifetime of one cache — which is all the engine needs; persisted
+/// stores are keyed by fingerprint, not by shard.
+pub fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(FALLBACK_SHARDS)
+        .clamp(1, DEFAULT_SHARDS_CAP)
+        .next_power_of_two()
+}
+
 /// One shard's occupancy and traffic, as reported by
 /// [`ConcurrentPlanCache::shard_stats`] — the observability hook for
 /// capacity tuning: a shard whose `len` sits at `capacity` while others
@@ -233,11 +260,30 @@ impl ConcurrentPlanCache {
         shard.lru.remove(key).is_some()
     }
 
+    /// Replaces the cached plan for `plan`'s own fingerprint and bumps the
+    /// key's generation, atomically with respect to the owning shard — the
+    /// adaptive promotion/demotion primitive. Handles prepared under the
+    /// old plan observe the bump and fail fast with a typed staleness
+    /// error instead of silently executing the superseded variant;
+    /// re-preparing serves the new plan. Returns the key's new generation.
+    pub fn swap_plan(&self, plan: Arc<ExecutionPlan>) -> u64 {
+        let key = *plan.fingerprint();
+        let mut shard = self.shard(&key).lock();
+        let generation = shard.generation_cell(&key).fetch_add(1, Ordering::AcqRel) + 1;
+        shard.lru.insert(plan); // replaces in place for an existing key
+        generation
+    }
+
     /// Looks up `key` (an entry failing `matches` counts as a miss, as in
     /// [`PlanCache::get_matching`]); on a miss, builds a plan with `build`
     /// — while holding the shard lock, see module docs — and stores it.
-    /// Returns the plan, the key's shared generation cell (current value +
-    /// lock-free watch point for staleness checks), and whether this was a
+    /// Returns the plan, the key's shared generation cell (the lock-free
+    /// watch point for staleness checks), the generation **read while the
+    /// shard lock was held** — so the (plan, generation) pair is
+    /// consistent even against a concurrent [`ConcurrentPlanCache::swap_plan`]
+    /// or [`ConcurrentPlanCache::invalidate`]; a caller re-reading the
+    /// cell after unlocking could pair the *old* plan with the *new*
+    /// generation and never observe staleness — and whether this was a
     /// hit.
     #[allow(clippy::type_complexity)]
     pub fn get_or_build<E>(
@@ -245,11 +291,12 @@ impl ConcurrentPlanCache {
         key: &PatternFingerprint,
         matches: impl Fn(&ExecutionPlan) -> bool,
         build: impl FnOnce() -> Result<ExecutionPlan, E>,
-    ) -> Result<(Arc<ExecutionPlan>, Arc<AtomicU64>, bool), E> {
+    ) -> Result<(Arc<ExecutionPlan>, Arc<AtomicU64>, u64, bool), E> {
         let mut shard = self.shard(key).lock();
         let cell = shard.generation_cell(key);
+        let generation = cell.load(Ordering::Acquire);
         if let Some(plan) = shard.lru.get_matching(key, &matches) {
-            return Ok((plan, cell, true));
+            return Ok((plan, cell, generation, true));
         }
         // Miss: prune generation cells nobody can observe anymore (no
         // outstanding handle, never invalidated) so the map stays bounded;
@@ -259,7 +306,7 @@ impl ConcurrentPlanCache {
             .retain(|k, c| k == key || Arc::strong_count(c) > 1 || c.load(Ordering::Relaxed) > 0);
         let plan = Arc::new(build()?);
         shard.lru.insert(Arc::clone(&plan));
-        Ok((plan, cell, false))
+        Ok((plan, cell, generation, false))
     }
 
     /// Captures every resident plan (per-shard MRU-first, tagged with its
@@ -405,7 +452,7 @@ mod tests {
         let key = crate::PatternFingerprint::of(&l);
         let mut builds = 0;
         for round in 0..3 {
-            let (plan, cell, hit) = cache
+            let (plan, cell, generation, hit) = cache
                 .get_or_build(
                     &key,
                     |_| true,
@@ -417,9 +464,38 @@ mod tests {
                 .unwrap();
             assert_eq!(hit, round > 0);
             assert_eq!(cell.load(Ordering::Acquire), 0);
+            assert_eq!(generation, 0, "generation read under the shard lock");
             assert_eq!(plan.fingerprint(), &key);
         }
         assert_eq!(builds, 1);
+    }
+
+    #[test]
+    fn get_or_build_generation_is_consistent_with_the_returned_plan() {
+        // Regression for the prepare-vs-swap race: the generation a
+        // handle records must be the one read while the shard lock held
+        // both the plan and the counter — after any number of swaps and
+        // invalidations, (plan, generation) pairs stay consistent, so a
+        // later bump always makes the pair observable as stale.
+        let pool = ThreadPool::new(2);
+        let cache = ConcurrentPlanCache::new(8, 2);
+        let l = scatter_loop(21);
+        let key = crate::PatternFingerprint::of(&l);
+        cache.invalidate(&key); // generation 1 before anything is cached
+        let (plan, cell, generation, hit) = cache
+            .get_or_build(&key, |_| true, || Planner::new().plan(&pool, &l))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(generation, 1, "the under-lock value, not a stale 0");
+        assert_eq!(cell.load(Ordering::Acquire), generation);
+
+        // A swap after the lookup bumps past the recorded generation:
+        // the pair (plan, 1) is now verifiably stale.
+        let bumped = cache.swap_plan(build_plan(&pool, &l));
+        assert_eq!(bumped, 2);
+        assert!(cell.load(Ordering::Acquire) > generation);
+        let served = cache.get(&key).expect("swapped plan resident");
+        assert!(!Arc::ptr_eq(&served, &plan), "old pair no longer served");
     }
 
     #[test]
@@ -439,7 +515,7 @@ mod tests {
 
         // A rebuild after invalidation serves the *new* generation, and
         // the cell keeps tracking later invalidations lock-free.
-        let (_, cell, hit) = cache
+        let (_, cell, _, hit) = cache
             .get_or_build(&key, |_| true, || Planner::new().plan(&pool, &l))
             .unwrap();
         assert!(!hit);
@@ -455,7 +531,7 @@ mod tests {
         let l = scatter_loop(7);
         let key = crate::PatternFingerprint::of(&l);
         cache.insert(build_plan(&pool, &l));
-        let (_, _, hit) = cache
+        let (_, _, _, hit) = cache
             .get_or_build(&key, |_| false, || Planner::new().plan(&pool, &l))
             .unwrap();
         assert!(!hit, "pricing-context mismatch must replan");
@@ -473,7 +549,7 @@ mod tests {
         for n in 1..=20 {
             let l = scatter_loop(n);
             let key = crate::PatternFingerprint::of(&l);
-            let (_, cell, _) = cache
+            let (_, cell, _, _) = cache
                 .get_or_build(&key, |_| true, || Planner::new().plan(&pool, &l))
                 .unwrap();
             drop(cell);
@@ -481,7 +557,7 @@ mod tests {
         // A watched cell and an invalidated key survive pruning.
         let watched_loop = scatter_loop(30);
         let watched_key = crate::PatternFingerprint::of(&watched_loop);
-        let (_, watched_cell, _) = cache
+        let (_, watched_cell, _, _) = cache
             .get_or_build(
                 &watched_key,
                 |_| true,
@@ -495,7 +571,7 @@ mod tests {
         // (and the key being built) remain.
         let fresh = scatter_loop(32);
         let fresh_key = crate::PatternFingerprint::of(&fresh);
-        let (_, _, _) = cache
+        let (_, _, _, _) = cache
             .get_or_build(&fresh_key, |_| true, || Planner::new().plan(&pool, &fresh))
             .unwrap();
         let retained = cache.shards[0].lock().generations.len();
@@ -653,6 +729,46 @@ mod tests {
         }
         assert_eq!(merged, cache.stats());
         assert_eq!(total_len, cache.len());
+    }
+
+    #[test]
+    fn default_shard_count_is_a_clamped_power_of_two() {
+        let n = default_shard_count();
+        assert!(n.is_power_of_two());
+        assert!((1..=DEFAULT_SHARDS_CAP).contains(&n));
+        // Deterministic within a process: shard routing built from it is
+        // stable for the lifetime of any one cache.
+        assert_eq!(n, default_shard_count());
+    }
+
+    #[test]
+    fn swap_plan_bumps_generation_and_replaces_in_place() {
+        let pool = ThreadPool::new(2);
+        let cache = ConcurrentPlanCache::new(8, 2);
+        let l = scatter_loop(11);
+        let key = crate::PatternFingerprint::of(&l);
+        let (_, cell, _, _) = cache
+            .get_or_build(&key, |_| true, || Planner::new().plan(&pool, &l))
+            .unwrap();
+        assert_eq!(cell.load(Ordering::Acquire), 0);
+
+        let replacement = build_plan(&pool, &l);
+        let generation = cache.swap_plan(Arc::clone(&replacement));
+        assert_eq!(generation, 1, "swap advances the key's generation");
+        assert_eq!(cell.load(Ordering::Acquire), 1, "watchers see the bump");
+        let served = cache.get(&key).expect("plan still cached");
+        assert!(
+            Arc::ptr_eq(&served, &replacement),
+            "the swapped plan is the one served"
+        );
+        assert_eq!(cache.len(), 1, "replacement, not a second entry");
+
+        // Swapping a never-cached key inserts it and still bumps.
+        let fresh = scatter_loop(13);
+        let fresh_plan = build_plan(&pool, &fresh);
+        let fresh_key = *fresh_plan.fingerprint();
+        assert_eq!(cache.swap_plan(fresh_plan), 1);
+        assert!(cache.contains(&fresh_key));
     }
 
     #[test]

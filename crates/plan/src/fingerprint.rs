@@ -113,9 +113,11 @@ impl PatternFingerprint {
     }
 
     /// The five words of the fingerprint in a fixed serialization order —
-    /// the persist codec's view. Paired with
-    /// [`PatternFingerprint::from_raw`].
-    pub(crate) fn to_raw(self) -> [u64; 5] {
+    /// the persist codec's view, and an allocation-free total-order key
+    /// for consumers that need deterministic fingerprint ordering (the
+    /// telemetry recorder sorts snapshots with it). Paired with
+    /// [`PatternFingerprint::from_raw`]; treat the words as opaque.
+    pub fn to_raw(self) -> [u64; 5] {
         [
             self.hash,
             self.hash2,

@@ -79,9 +79,9 @@ pub mod runtime;
 
 pub use cache::{CacheStats, PlanCache};
 pub use census::PlanCensus;
-pub use concurrent::{ConcurrentPlanCache, ShardStats};
+pub use concurrent::{default_shard_count, ConcurrentPlanCache, ShardStats};
 pub use fingerprint::PatternFingerprint;
-pub use persist::{PersistError, PlanStore, FORMAT_VERSION};
+pub use persist::{PersistError, PlanStore, StoredCalibration, StoredTelemetry, FORMAT_VERSION};
 pub use plan::{ExecutionPlan, PlanVariant, VariantCosts};
 pub use planner::{detect_linear, Planner, BLOCKED_DATA_SPACE_FACTOR};
 pub use runtime::{PlanExecutor, PlannedDoacross};

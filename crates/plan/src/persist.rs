@@ -21,6 +21,8 @@
 //! format version   (u32 LE)                    — see [`FORMAT_VERSION`]
 //! generation table (count + fingerprint, gen)  — nonzero generations only
 //! plan records     (count + per record: generation, length, plan bytes)
+//! calibration      (flag + 12 model f64s + unit_ns) — optional, v3
+//! telemetry table  (count + fixed-width records)    — v3
 //! checksum         (u64 LE, FNV-1a over everything above)
 //! ```
 //!
@@ -75,8 +77,13 @@ pub const MAGIC: [u8; 8] = *b"DOAXPLAN";
 ///
 /// History: **v2** added the wavefront variant (a level-schedule section
 /// in every record and a wavefront candidate price), changing the record
-/// layout; v1 stores are rejected per the policy above.
-pub const FORMAT_VERSION: u32 = 2;
+/// layout. **v3** appended two sections after the plan records — an
+/// optional host-calibration block ([`StoredCalibration`]) and a variant-
+/// telemetry table ([`StoredTelemetry`]) — so a warm-started engine
+/// resumes with its learned cost constants instead of re-measuring and
+/// re-observing from scratch; v1 and v2 stores are rejected per the
+/// policy above.
+pub const FORMAT_VERSION: u32 = 3;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -763,6 +770,158 @@ fn decode_plan_fields(r: &mut Reader<'_>) -> Result<ExecutionPlan, PersistError>
 }
 
 // ---------------------------------------------------------------------
+// Adaptive-state sections (v3).
+
+/// A host calibration captured alongside the plans: the cost model the
+/// planner priced with plus the physical meaning of its unit. A
+/// warm-started `calibrated()` engine whose store carries a **valid**
+/// calibration reuses it and skips the build-time measurement pass; the
+/// consumer revalidates with [`StoredCalibration::is_valid`] and falls
+/// back to re-calibration when the values are unphysical (the codec
+/// round-trips the bits either way — validity is the *user's* gate, so a
+/// calibration written by a buggy producer degrades to a re-measurement,
+/// never to nonsense pricing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredCalibration {
+    /// The calibrated cost model (normalized units, `seq_term == 1`).
+    pub model: doacross_sim::CostModel,
+    /// Nanoseconds per model unit on the host that measured it.
+    pub unit_ns: f64,
+}
+
+impl StoredCalibration {
+    /// Whether every constant is finite and positive — the revalidation
+    /// gate a loader applies before trusting the stored model.
+    pub fn is_valid(&self) -> bool {
+        let m = &self.model;
+        [
+            m.schedule_grab,
+            m.iteration_setup,
+            m.check,
+            m.term,
+            m.wait_poll,
+            m.publish,
+            m.inspect_per_iter,
+            m.post_per_iter,
+            m.region_dispatch,
+            m.barrier,
+            m.seq_iter,
+            m.seq_term,
+            self.unit_ns,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v > 0.0)
+    }
+
+    fn fields(&self) -> [f64; 13] {
+        let m = &self.model;
+        [
+            m.schedule_grab,
+            m.iteration_setup,
+            m.check,
+            m.term,
+            m.wait_poll,
+            m.publish,
+            m.inspect_per_iter,
+            m.post_per_iter,
+            m.region_dispatch,
+            m.barrier,
+            m.seq_iter,
+            m.seq_term,
+            self.unit_ns,
+        ]
+    }
+
+    fn from_fields(f: [f64; 13]) -> Self {
+        Self {
+            model: doacross_sim::CostModel {
+                schedule_grab: f[0],
+                iteration_setup: f[1],
+                check: f[2],
+                term: f[3],
+                wait_poll: f[4],
+                publish: f[5],
+                inspect_per_iter: f[6],
+                post_per_iter: f[7],
+                region_dispatch: f[8],
+                barrier: f[9],
+                seq_iter: f[10],
+                seq_term: f[11],
+            },
+            unit_ns: f[12],
+        }
+    }
+}
+
+/// One `(fingerprint, variant)` telemetry accumulator, as persisted in a
+/// v3 store — the raw sums `doacross-adapt`'s recorder maintains, so a
+/// restored engine's online refinement resumes mid-confidence instead of
+/// starting blind. This crate stores the numbers and checks only what the
+/// codec can know (a known variant tag, at least one sample, finite
+/// floats); their statistical meaning lives with the recorder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredTelemetry {
+    /// Structure the samples belong to.
+    pub fingerprint: PatternFingerprint,
+    /// Variant family tag (the plan-record `TAG_*` values, `0..=5`).
+    pub variant: u8,
+    /// Solves recorded.
+    pub samples: u64,
+    /// Exponentially-weighted moving average of per-solve wall time (ns).
+    pub ewma_ns: f64,
+    /// Fastest observed solve (ns).
+    pub min_ns: u64,
+    /// Most recent solve (ns).
+    pub last_ns: u64,
+    /// Total failed `ready` polls across all samples.
+    pub wait_polls: u64,
+    /// Spin-barrier crossings per solve (0 for non-wavefront variants).
+    pub barriers: u64,
+    /// References per solve (the census total).
+    pub terms: u64,
+    /// Predicted per-solve cost of the variant, model units.
+    pub pred_units: f64,
+    /// Synchronization-free part of the prediction, model units.
+    pub work_units: f64,
+    /// Regression accumulators for the poll-cost slope: Σx, Σx², Σy, Σxy
+    /// over (polls, ns) pairs.
+    pub sum_polls: f64,
+    /// Σx² of the poll-cost regression.
+    pub sum_polls_sq: f64,
+    /// Σy of the poll-cost regression.
+    pub sum_ns: f64,
+    /// Σxy of the poll-cost regression.
+    pub sum_polls_ns: f64,
+}
+
+impl StoredTelemetry {
+    fn validate(&self) -> Result<(), PersistError> {
+        if self.variant > TAG_WAVEFRONT {
+            return Err(structural(format!(
+                "telemetry record with unknown variant tag {}",
+                self.variant
+            )));
+        }
+        if self.samples == 0 {
+            return Err(structural("telemetry record with zero samples"));
+        }
+        let floats = [
+            self.ewma_ns,
+            self.pred_units,
+            self.work_units,
+            self.sum_polls,
+            self.sum_polls_sq,
+            self.sum_ns,
+            self.sum_polls_ns,
+        ];
+        if floats.iter().any(|v| !v.is_finite()) {
+            return Err(structural("telemetry record with non-finite accumulator"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
 // The store.
 
 /// A snapshot of a plan cache: plans most-recently-used first, each tagged
@@ -780,6 +939,10 @@ pub struct PlanStore {
     pub(crate) entries: Vec<(u64, Arc<ExecutionPlan>)>,
     /// Nonzero invalidation generations at snapshot time.
     pub(crate) generations: Vec<(PatternFingerprint, u64)>,
+    /// Host calibration captured with the snapshot (v3, optional).
+    pub(crate) calibration: Option<StoredCalibration>,
+    /// Variant telemetry captured with the snapshot (v3).
+    pub(crate) telemetry: Vec<StoredTelemetry>,
 }
 
 impl PlanStore {
@@ -825,6 +988,27 @@ impl PlanStore {
         self.generations.push((key, generation));
     }
 
+    /// The host calibration captured with this store, if any. Consumers
+    /// must gate on [`StoredCalibration::is_valid`] before pricing with it.
+    pub fn calibration(&self) -> Option<&StoredCalibration> {
+        self.calibration.as_ref()
+    }
+
+    /// Attaches (or clears) the host calibration to persist.
+    pub fn set_calibration(&mut self, calibration: Option<StoredCalibration>) {
+        self.calibration = calibration;
+    }
+
+    /// The variant-telemetry records captured with this store.
+    pub fn telemetry(&self) -> &[StoredTelemetry] {
+        &self.telemetry
+    }
+
+    /// Appends one telemetry record to persist.
+    pub fn push_telemetry(&mut self, record: StoredTelemetry) {
+        self.telemetry.push(record);
+    }
+
     /// Serializes the store (see the module docs for the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -843,6 +1027,35 @@ impl PlanStore {
             let record = encode_plan(plan);
             put_u64(&mut out, record.len() as u64);
             out.extend_from_slice(&record);
+        }
+        match &self.calibration {
+            Some(calibration) => {
+                put_bool(&mut out, true);
+                for field in calibration.fields() {
+                    put_f64(&mut out, field);
+                }
+            }
+            None => put_bool(&mut out, false),
+        }
+        put_u64(&mut out, self.telemetry.len() as u64);
+        for t in &self.telemetry {
+            for word in t.fingerprint.to_raw() {
+                put_u64(&mut out, word);
+            }
+            out.push(t.variant);
+            put_u64(&mut out, t.samples);
+            put_f64(&mut out, t.ewma_ns);
+            put_u64(&mut out, t.min_ns);
+            put_u64(&mut out, t.last_ns);
+            put_u64(&mut out, t.wait_polls);
+            put_u64(&mut out, t.barriers);
+            put_u64(&mut out, t.terms);
+            put_f64(&mut out, t.pred_units);
+            put_f64(&mut out, t.work_units);
+            put_f64(&mut out, t.sum_polls);
+            put_f64(&mut out, t.sum_polls_sq);
+            put_f64(&mut out, t.sum_ns);
+            put_f64(&mut out, t.sum_polls_ns);
         }
         let checksum = fnv64(&out);
         put_u64(&mut out, checksum);
@@ -897,6 +1110,46 @@ impl PlanStore {
             let record = r.take(len)?;
             entries.push((generation, Arc::new(decode_plan(record)?)));
         }
+        let calibration = if r.bool()? {
+            let mut fields = [0.0f64; 13];
+            for field in fields.iter_mut() {
+                *field = r.f64()?;
+            }
+            Some(StoredCalibration::from_fields(fields))
+        } else {
+            None
+        };
+        // Fixed-width telemetry records: fingerprint + tag + 7 u64s/u8 +
+        // 7 f64s = 40 + 1 + 48 + 56 bytes.
+        let ntelemetry = r.counted(5 * 8 + 1 + 6 * 8 + 7 * 8)?;
+        let mut telemetry = Vec::with_capacity(ntelemetry);
+        for _ in 0..ntelemetry {
+            let mut raw = [0u64; 5];
+            for word in raw.iter_mut() {
+                *word = r.u64()?;
+            }
+            let fingerprint = PatternFingerprint::from_raw(raw)
+                .ok_or_else(|| structural("telemetry fingerprint overflows usize"))?;
+            let record = StoredTelemetry {
+                fingerprint,
+                variant: r.u8()?,
+                samples: r.u64()?,
+                ewma_ns: r.f64()?,
+                min_ns: r.u64()?,
+                last_ns: r.u64()?,
+                wait_polls: r.u64()?,
+                barriers: r.u64()?,
+                terms: r.u64()?,
+                pred_units: r.f64()?,
+                work_units: r.f64()?,
+                sum_polls: r.f64()?,
+                sum_polls_sq: r.f64()?,
+                sum_ns: r.f64()?,
+                sum_polls_ns: r.f64()?,
+            };
+            record.validate()?;
+            telemetry.push(record);
+        }
         if r.remaining() != 0 {
             return Err(PersistError::Malformed(format!(
                 "{} trailing bytes after last plan record",
@@ -906,6 +1159,8 @@ impl PlanStore {
         Ok(Self {
             entries,
             generations,
+            calibration,
+            telemetry,
         })
     }
 
@@ -1108,6 +1363,138 @@ mod tests {
                 "prefix {k}: {err:?}"
             );
         }
+    }
+
+    fn sample_calibration() -> StoredCalibration {
+        StoredCalibration {
+            model: doacross_sim::CostModel::multimax(),
+            unit_ns: 1.75,
+        }
+    }
+
+    fn sample_telemetry(fp: PatternFingerprint, variant: u8) -> StoredTelemetry {
+        StoredTelemetry {
+            fingerprint: fp,
+            variant,
+            samples: 12,
+            ewma_ns: 52_000.0,
+            min_ns: 48_000,
+            last_ns: 55_000,
+            wait_polls: 340,
+            barriers: 0,
+            terms: 4_000,
+            pred_units: 9_800.0,
+            work_units: 9_000.0,
+            sum_polls: 340.0,
+            sum_polls_sq: 11_000.0,
+            sum_ns: 624_000.0,
+            sum_polls_ns: 17_900_000.0,
+        }
+    }
+
+    #[test]
+    fn calibration_and_telemetry_sections_round_trip() {
+        let plan = plans_of_every_variant().remove(2);
+        let fp = *plan.fingerprint();
+        let mut store = PlanStore::new();
+        store.push_entry(0, Arc::new(plan));
+        store.set_calibration(Some(sample_calibration()));
+        store.push_telemetry(sample_telemetry(fp, TAG_DOACROSS));
+        store.push_telemetry(StoredTelemetry {
+            barriers: 19,
+            ..sample_telemetry(fp, TAG_WAVEFRONT)
+        });
+
+        let bytes = store.to_bytes();
+        let back = PlanStore::from_bytes(&bytes).expect("own bytes parse");
+        assert_eq!(back.calibration(), Some(&sample_calibration()));
+        assert!(back.calibration().unwrap().is_valid());
+        assert_eq!(back.telemetry().len(), 2);
+        assert_eq!(back.telemetry()[0], store.telemetry()[0]);
+        assert_eq!(back.telemetry()[1].barriers, 19);
+        assert_eq!(back.to_bytes(), bytes, "serialization is stable");
+
+        // Absent sections round-trip as absent.
+        let empty = PlanStore::new();
+        let back = PlanStore::from_bytes(&empty.to_bytes()).unwrap();
+        assert!(back.calibration().is_none());
+        assert!(back.telemetry().is_empty());
+    }
+
+    #[test]
+    fn unphysical_calibration_round_trips_but_fails_validation() {
+        // The codec preserves the bits (the checksum proves they were
+        // written on purpose); is_valid() is the consumer's gate, so a
+        // buggy producer degrades to re-calibration, not a load failure.
+        let mut cal = sample_calibration();
+        cal.model.barrier = f64::NAN;
+        let mut store = PlanStore::new();
+        store.set_calibration(Some(cal));
+        let back = PlanStore::from_bytes(&store.to_bytes()).unwrap();
+        let restored = back.calibration().expect("section survives");
+        assert!(restored.unit_ns == 1.75 && restored.model.barrier.is_nan());
+        assert!(!restored.is_valid());
+
+        let mut cal = sample_calibration();
+        cal.unit_ns = -1.0;
+        assert!(!cal.is_valid());
+        assert!(sample_calibration().is_valid());
+    }
+
+    #[test]
+    fn malformed_telemetry_records_are_rejected_typed() {
+        let fp = *Arc::new(plans_of_every_variant().remove(1)).fingerprint();
+        for (what, record) in [
+            (
+                "unknown tag",
+                StoredTelemetry {
+                    variant: 9,
+                    ..sample_telemetry(fp, 0)
+                },
+            ),
+            (
+                "zero samples",
+                StoredTelemetry {
+                    samples: 0,
+                    ..sample_telemetry(fp, 0)
+                },
+            ),
+            (
+                "non-finite accumulator",
+                StoredTelemetry {
+                    ewma_ns: f64::INFINITY,
+                    ..sample_telemetry(fp, 0)
+                },
+            ),
+        ] {
+            let mut store = PlanStore::new();
+            store.push_telemetry(record);
+            let err = PlanStore::from_bytes(&store.to_bytes()).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Structural(_)),
+                "{what}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_stores_are_rejected_with_a_typed_version_error() {
+        // Regression for the v2 → v3 format bump (adaptive sections): a
+        // v2 relic fails typed on every load path — the version check
+        // precedes the checksum, so no patching can smuggle the old
+        // layout in — and warm-start boot paths treat the rejection as a
+        // cold start per the ROADMAP version policy.
+        let mut store = PlanStore::new();
+        store.push_entry(0, Arc::new(plans_of_every_variant().remove(5)));
+        let mut bytes = store.to_bytes();
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            PlanStore::from_bytes(&bytes),
+            Err(PersistError::UnsupportedVersion {
+                found: 2,
+                supported: FORMAT_VERSION,
+            })
+        ));
     }
 
     #[test]

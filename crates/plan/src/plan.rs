@@ -61,6 +61,23 @@ pub struct VariantCosts {
     pub wavefront: Option<f64>,
 }
 
+impl VariantCosts {
+    /// The predicted price of `variant`'s candidate (`None` when the
+    /// planner never priced it — illegal or inapplicable for the pattern).
+    /// Payloads (`Linear`'s subscript, `Blocked`'s block size) are ignored:
+    /// candidates are priced per variant family.
+    pub fn of(&self, variant: PlanVariant) -> Option<f64> {
+        match variant {
+            PlanVariant::Sequential => Some(self.sequential),
+            PlanVariant::Doacross => self.doacross,
+            PlanVariant::Linear(_) => self.linear,
+            PlanVariant::Reordered => self.reordered,
+            PlanVariant::Blocked { .. } => self.blocked,
+            PlanVariant::Wavefront => self.wavefront,
+        }
+    }
+}
+
 /// A reusable, cached execution recipe for one access pattern: the
 /// preprocessing products the paper computes per run, captured once.
 ///

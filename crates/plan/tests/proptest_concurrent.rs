@@ -65,7 +65,7 @@ proptest! {
             let (plan_u, hit_u) = unsharded
                 .get_or_build(&key, || planner.plan(&pool, &l))
                 .expect("plannable");
-            let (plan_s, _, hit_s) = sharded
+            let (plan_s, _, _, hit_s) = sharded
                 .get_or_build(&key, |_| true, || planner.plan(&pool, &l))
                 .expect("plannable");
             prop_assert_eq!(hit_u, hit_s, "hit/miss outcome agrees");

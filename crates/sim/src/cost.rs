@@ -115,6 +115,75 @@ impl Default for CostModel {
     }
 }
 
+/// Runtime-measured per-action costs, in the same normalized units as the
+/// [`CostModel`] they refine. Produced by `doacross-adapt`'s telemetry
+/// layer from real solves; consumed by [`CostModel::refined_from`].
+///
+/// Every field is optional: a constant is `Some` only once enough
+/// independent evidence exists for it (the recorder's confidence
+/// threshold), and a `None` leaves the base model's value untouched.
+/// `weight` is how far to move from the base toward the observation —
+/// the recorder grows it with the sample count, so a freshly-started
+/// engine prices like its preset and an engine that has watched thousands
+/// of solves prices like its hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ObservedConstants {
+    /// Measured cost of one `ready`-flag poll (model units).
+    pub wait_poll: Option<f64>,
+    /// Measured cost of one in-region spin-barrier crossing (model units).
+    pub barrier: Option<f64>,
+    /// Measured per-reference executor cost — the observed `term + check`
+    /// aggregate (model units). Split across the two fields in the base
+    /// model's proportions.
+    pub chain_per_term: Option<f64>,
+    /// Blend factor in `[0, 1]`: 0 keeps the base model, 1 takes the
+    /// observation outright. Values outside the interval are clamped.
+    pub weight: f64,
+}
+
+impl ObservedConstants {
+    /// Whether any constant carries usable evidence.
+    pub fn has_evidence(&self) -> bool {
+        self.weight > 0.0
+            && (self.wait_poll.is_some() || self.barrier.is_some() || self.chain_per_term.is_some())
+    }
+}
+
+fn lerp(base: f64, observed: Option<f64>, w: f64) -> f64 {
+    match observed {
+        // Evidence must be physical: a non-finite or non-positive
+        // measurement is recorder noise and never displaces the base.
+        Some(obs) if obs.is_finite() && obs > 0.0 => base + (obs - base) * w,
+        _ => base,
+    }
+}
+
+impl CostModel {
+    /// A copy of `base` with the runtime-observed constants blended in:
+    /// `refined = base + (observed − base) · weight` per constant, the
+    /// online cost-model refinement behind `doacross-adapt`. Constants
+    /// without evidence (`None`, non-finite, or non-positive) keep their
+    /// base values, so refinement can only move selection toward what the
+    /// machine actually measured — never invent a cost out of noise.
+    pub fn refined_from(base: &CostModel, observed: &ObservedConstants) -> CostModel {
+        let w = observed.weight.clamp(0.0, 1.0);
+        let mut refined = *base;
+        refined.wait_poll = lerp(base.wait_poll, observed.wait_poll, w);
+        refined.barrier = lerp(base.barrier, observed.barrier, w);
+        // The per-reference aggregate is observed as one number (telemetry
+        // cannot separate the `iter` load from the multiply); preserve the
+        // base's term/check split while matching the measured sum.
+        let base_per_term = base.term + base.check;
+        let refined_per_term = lerp(base_per_term, observed.chain_per_term, w);
+        if base_per_term > 0.0 {
+            let scale = refined_per_term / base_per_term;
+            refined.term = base.term * scale;
+            refined.check = base.check * scale;
+        }
+        refined
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +209,65 @@ mod tests {
         let c = CostModel::multimax();
         assert_eq!(c.sequential_time(10, 50), 2.0 * 10.0 + 1.0 * 50.0);
         assert_eq!(c.sequential_time(0, 0), 0.0);
+    }
+
+    #[test]
+    fn refined_from_blends_only_evidenced_constants() {
+        let base = CostModel::multimax();
+        let obs = ObservedConstants {
+            wait_poll: Some(2.25),
+            barrier: None,
+            chain_per_term: Some(2.5),
+            weight: 0.5,
+        };
+        assert!(obs.has_evidence());
+        let refined = CostModel::refined_from(&base, &obs);
+        assert!((refined.wait_poll - (0.25 + (2.25 - 0.25) * 0.5)).abs() < 1e-12);
+        assert_eq!(refined.barrier, base.barrier, "no evidence, no change");
+        // term + check moves halfway from 1.25 to 2.5, split preserved.
+        let per_term = refined.term + refined.check;
+        assert!((per_term - 1.875).abs() < 1e-12, "{per_term}");
+        assert!((refined.term / refined.check - base.term / base.check).abs() < 1e-12);
+        // Untouched constants survive bit-for-bit.
+        assert_eq!(refined.region_dispatch, base.region_dispatch);
+        assert_eq!(refined.seq_iter, base.seq_iter);
+    }
+
+    #[test]
+    fn refined_from_rejects_unphysical_evidence_and_clamps_weight() {
+        let base = CostModel::multimax();
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            let refined = CostModel::refined_from(
+                &base,
+                &ObservedConstants {
+                    wait_poll: Some(bad),
+                    barrier: Some(bad),
+                    chain_per_term: Some(bad),
+                    weight: 1.0,
+                },
+            );
+            assert_eq!(refined, base, "evidence {bad} must be ignored");
+        }
+        // weight > 1 clamps to the observation, never overshoots.
+        let refined = CostModel::refined_from(
+            &base,
+            &ObservedConstants {
+                barrier: Some(10.0),
+                weight: 7.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(refined.barrier, 10.0);
+        // Zero weight is a no-op regardless of evidence.
+        let refined = CostModel::refined_from(
+            &base,
+            &ObservedConstants {
+                barrier: Some(10.0),
+                weight: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(refined, base);
     }
 
     #[test]

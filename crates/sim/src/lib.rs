@@ -37,6 +37,6 @@ pub mod machine;
 pub mod result;
 
 pub use calib::{calibrate, CalibratedModel};
-pub use cost::CostModel;
+pub use cost::{CostModel, ObservedConstants};
 pub use machine::{Machine, SimOptions};
 pub use result::SimResult;

@@ -31,8 +31,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .display()
             .to_string()
     });
-    let had_store = std::path::Path::new(&path).exists();
-
     // A fixed worker count keeps plans priced identically across runs; a
     // plan priced for another pool size would be repriced (a miss).
     let engine = Engine::builder()
@@ -40,12 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .cache_capacity(16)
         .warm_start(&path)
         .try_build()?;
+    // Gate the assertion on plans actually restored, not on the file
+    // existing: a store from a superseded FORMAT_VERSION (e.g. a relic
+    // in the temp dir from before a format bump) is a legitimate cold
+    // start under the version policy, and this run rewrites it current.
+    let restored = engine.cache_len();
     println!(
         "store {path}: {}",
-        if had_store {
-            format!("loaded, {} plans restored", engine.cache_len())
+        if restored > 0 {
+            format!("loaded, {restored} plans restored")
         } else {
-            "not found, starting cold".into()
+            "no usable plans (first boot or format succession), starting cold".into()
         }
     );
 
@@ -61,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.total,
             stats.inspector,
         );
-        if had_store {
+        if restored > 0 {
             assert_eq!(
                 stats.provenance,
                 PlanProvenance::PlanCached,

@@ -106,7 +106,18 @@
 //!   behind warm starts. The wavefront variant converts the doacross into
 //!   barrier-separated level doalls — zero busy-wait polls — whenever the
 //!   cost model predicts the flag bill exceeds the barrier bill.
+//! * [`adapt`] — the adaptive-planning subsystem behind
+//!   `Engine::builder().adaptive()`: per-`(structure, variant)` runtime
+//!   telemetry, online cost-model refinement (measured `wait_poll` /
+//!   `barrier` / per-reference costs blended into the static model), and
+//!   the promotion/demotion policy that re-prices a cached plan when its
+//!   observed cost diverges from prediction, trials the measured-cheaper
+//!   variant, and commits or rolls back on measurement — with hysteresis,
+//!   so it can never flip-flop. Learned state (telemetry + host
+//!   calibration) persists in v3 plan stores, so a warm-started engine
+//!   resumes with what it already knew.
 
+pub use doacross_adapt as adapt;
 pub use doacross_core as core;
 pub use doacross_doconsider as doconsider;
 pub use doacross_engine as engine;

@@ -94,6 +94,21 @@ impl VariantKind {
     }
 }
 
+/// The observability family of a telemetry kind — a 1:1 rename (both sides
+/// are the payload-free variant families).
+impl From<VariantKind> for doacross_obs::ObsVariant {
+    fn from(kind: VariantKind) -> Self {
+        match kind {
+            VariantKind::Sequential => doacross_obs::ObsVariant::Sequential,
+            VariantKind::Doacross => doacross_obs::ObsVariant::Doacross,
+            VariantKind::Linear => doacross_obs::ObsVariant::Linear,
+            VariantKind::Reordered => doacross_obs::ObsVariant::Reordered,
+            VariantKind::Blocked => doacross_obs::ObsVariant::Blocked,
+            VariantKind::Wavefront => doacross_obs::ObsVariant::Wavefront,
+        }
+    }
+}
+
 impl From<PlanVariant> for VariantKind {
     fn from(variant: PlanVariant) -> Self {
         match variant {

@@ -1,0 +1,53 @@
+//! Prints the observability disabled-vs-enabled per-solve overhead on the
+//! five Table 1 structures and writes the machine-readable
+//! `BENCH_obs.json`.
+//!
+//! Regenerate with `cargo run -p doacross-bench --release --bin obs`.
+
+use doacross_bench::obs::{disabled_check_cost, obs_overhead, to_json, ON_OVERHEAD_BOUND};
+use doacross_bench::report::Table;
+use doacross_sparse::ProblemKind;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    println!("observability off vs. on, warmed per-solve cost on {workers} host threads");
+    println!("(min of 5 reps x 20 solves; both engines serve from cached plans)\n");
+
+    let check_ns = disabled_check_cost(10_000_000);
+    println!("disabled path: {check_ns:.3} ns per enabled() check (the whole per-event bill)\n");
+
+    let points = obs_overhead(workers, &ProblemKind::all(), 20, 5);
+    let mut table = Table::new([
+        "problem",
+        "rows",
+        "obs off/solve",
+        "obs on/solve",
+        "overhead",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.kind.name().into(),
+            p.rows.to_string(),
+            format!("{:?}", p.off),
+            format!("{:?}", p.on),
+            format!("{:.3}x", p.overhead()),
+        ]);
+        assert!(
+            p.overhead() <= ON_OVERHEAD_BOUND,
+            "{}: observability on costs {:.3}x off (bound {ON_OVERHEAD_BOUND}x)",
+            p.kind.name(),
+            p.overhead()
+        );
+    }
+    print!("{}", table.render());
+
+    let worst = points.iter().map(|p| p.overhead()).fold(f64::MIN, f64::max);
+    println!("\nworst-case enabled overhead: {worst:.3}x (bound {ON_OVERHEAD_BOUND}x)");
+
+    let json = to_json(&points, workers, check_ns);
+    let path = "BENCH_obs.json";
+    std::fs::write(path, &json).expect("write BENCH_obs.json");
+    println!("wrote {path}");
+}

@@ -30,6 +30,10 @@
 //!   the calibrate-by-default measurement (calibration cost vs. one cold
 //!   solve); writes the machine-readable `BENCH_adaptive.json`.
 //!   Regenerate with `cargo run -p doacross-bench --release --bin adaptive`.
+//! * [`obs`] — the observability tax: disabled-vs-enabled per-solve cost
+//!   on warmed engines, plus the direct price of the disabled path's
+//!   branch check; writes the machine-readable `BENCH_obs.json`.
+//!   Regenerate with `cargo run -p doacross-bench --release --bin obs`.
 //! * [`report`] — plain-text table rendering shared by the binaries.
 //!
 //! Every binary prints both the **simulated 16-processor** numbers (the
@@ -40,6 +44,7 @@ pub mod adaptive;
 pub mod amortize;
 pub mod fig6;
 pub mod host;
+pub mod obs;
 pub mod report;
 pub mod table1;
 pub mod warm;

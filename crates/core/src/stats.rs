@@ -59,6 +59,21 @@ pub enum PlanProvenance {
     PlanCached,
 }
 
+impl PlanProvenance {
+    /// How much per-call preprocessing work the provenance implies:
+    /// `Inline` (2) ran the inspector in this call, `PlanCold` (1) built a
+    /// plan for this call, `PlanCached` (0) reused one. Aggregation keeps
+    /// the *coldest* constituent (see [`RunStats::absorb`]) so a merged
+    /// stat never claims more amortization than its worst block had.
+    pub fn coldness(self) -> u8 {
+        match self {
+            PlanProvenance::Inline => 2,
+            PlanProvenance::PlanCold => 1,
+            PlanProvenance::PlanCached => 0,
+        }
+    }
+}
+
 impl std::fmt::Display for PlanProvenance {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -93,6 +108,10 @@ pub struct RunStats {
     pub stalls: u64,
     /// Total failed `ready` polls across all stalls — the busy-wait bill.
     pub wait_polls: u64,
+    /// Barrier crossings the run performed: `levels − 1` for a wavefront
+    /// run (its synchronization bill, which `wait_polls == 0` by
+    /// construction would otherwise hide), 0 for the flag-based variants.
+    pub barrier_crossings: u64,
     /// Where this run's preprocessing came from (inline inspection vs. a
     /// prebuilt or cached execution plan).
     pub provenance: PlanProvenance,
@@ -124,6 +143,14 @@ impl RunStats {
         self.deps.intra += other.deps.intra;
         self.stalls += other.stalls;
         self.wait_polls += other.wait_polls;
+        self.barrier_crossings += other.barrier_crossings;
+        // Coldest wins: the aggregate claims only as much plan
+        // amortization as its coldest constituent actually had. Absorbing
+        // a PlanCold block into a PlanCached aggregate must not keep
+        // reporting plan:cached.
+        if other.provenance.coldness() > self.provenance.coldness() {
+            self.provenance = other.provenance;
+        }
     }
 }
 
@@ -132,7 +159,8 @@ impl std::fmt::Display for RunStats {
         write!(
             f,
             "{} iterations on {} workers in {:?} (inspector {:?}, executor {:?}, post {:?}); \
-             refs: {} true / {} old / {} intra; {} stalls, {} wait polls; preprocessing {}",
+             refs: {} true / {} old / {} intra; {} stalls, {} wait polls, \
+             {} barrier crossings; preprocessing {}",
             self.iterations,
             self.workers,
             self.total,
@@ -144,6 +172,7 @@ impl std::fmt::Display for RunStats {
             self.deps.intra,
             self.stalls,
             self.wait_polls,
+            self.barrier_crossings,
             self.provenance,
         )
     }
@@ -272,6 +301,54 @@ mod tests {
         assert_eq!(a.workers, 4);
         assert_eq!(a.blocks, 2);
         assert_eq!(a.stalls, 7);
+    }
+
+    #[test]
+    fn absorb_keeps_the_coldest_provenance() {
+        // PlanCold absorbed into PlanCached must flip the aggregate.
+        let mut a = RunStats {
+            provenance: PlanProvenance::PlanCached,
+            ..Default::default()
+        };
+        a.absorb(&RunStats {
+            provenance: PlanProvenance::PlanCold,
+            ..Default::default()
+        });
+        assert_eq!(a.provenance, PlanProvenance::PlanCold);
+        // Absorbing a warmer block must NOT warm the aggregate back up.
+        a.absorb(&RunStats {
+            provenance: PlanProvenance::PlanCached,
+            ..Default::default()
+        });
+        assert_eq!(a.provenance, PlanProvenance::PlanCold);
+        // Inline is the coldest of all.
+        a.absorb(&RunStats {
+            provenance: PlanProvenance::Inline,
+            ..Default::default()
+        });
+        assert_eq!(a.provenance, PlanProvenance::Inline);
+    }
+
+    #[test]
+    fn absorb_accumulates_barrier_crossings() {
+        let mut a = RunStats {
+            barrier_crossings: 3,
+            ..Default::default()
+        };
+        a.absorb(&RunStats {
+            barrier_crossings: 4,
+            ..Default::default()
+        });
+        assert_eq!(a.barrier_crossings, 7);
+    }
+
+    #[test]
+    fn display_mentions_barrier_crossings() {
+        let s = RunStats {
+            barrier_crossings: 9,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("9 barrier crossings"));
     }
 
     #[test]

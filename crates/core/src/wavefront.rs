@@ -582,6 +582,14 @@ impl WavefrontDoacross {
         }
         stats.executor = t1.elapsed();
         sink.drain_into(&mut stats);
+        // The wavefront's synchronization bill: one barrier between each
+        // pair of adjacent levels (every worker crosses each). Without
+        // this, `wait_polls == 0` by construction makes the variant's
+        // synchronization cost invisible. A per-level max-wait timing was
+        // considered and rejected: two clock reads per worker per level
+        // is microseconds of overhead on solves that run tens of
+        // microseconds end to end.
+        stats.barrier_crossings = nlevels.saturating_sub(1) as u64;
 
         // Postprocessor: copy the shadow results back (no flags to reset —
         // the wavefront runtime has none).
@@ -681,6 +689,10 @@ mod tests {
             assert_eq!(y, expect, "workers={workers}");
             assert_eq!(stats.wait_polls, 0);
             assert_eq!(stats.stalls, 0);
+            assert_eq!(
+                stats.barrier_crossings, 299,
+                "levels - 1 barriers separate a 300-level chain"
+            );
             assert_eq!(stats.deps.true_deps, 299);
             assert_eq!(stats.deps.anti_or_unwritten, 1);
         }

@@ -22,6 +22,7 @@ use doacross_adapt::{
     SolveSample, StructureState, TelemetryEntry, TelemetryTotals, VariantKind, VariantTelemetry,
 };
 use doacross_core::{seq::run_sequential, DoacrossLoop, RunStats};
+use doacross_obs::TraceEvent;
 use doacross_plan::{ExecutionPlan, PatternFingerprint, Planner, StoredCalibration};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -156,12 +157,11 @@ impl AdaptiveRuntime {
         let statics = inner.planner.costs();
         let census = plan.census();
 
-        // 1. Record the solve.
+        // 1. Record the solve. Barrier crossings come straight from the
+        // run's own count (the wavefront executor reports `levels − 1`;
+        // every other variant reports 0).
         let split = pricing::breakdown(plan, statics);
-        let barriers = match plan.variant() {
-            doacross_plan::PlanVariant::Wavefront => census.critical_path.saturating_sub(1) as u64,
-            _ => 0,
-        };
+        let barriers = stats.barrier_crossings;
         self.telemetry.record(
             &fingerprint,
             kind,
@@ -184,6 +184,11 @@ impl AdaptiveRuntime {
         // RELEASED, so a large structure's probe never stalls other
         // tenants' bookkeeping; the policy re-checks its state when the
         // lock is re-taken, so a racing evaluation degrades to a no-op.
+        // Trace events decided under the structure lock are emitted after
+        // it is released: a sink is user code, and one that re-enters the
+        // engine (say, `invalidate` on a demotion) must not deadlock on
+        // the lock we would still hold.
+        let mut decision_event: Option<TraceEvent> = None;
         let wants_evaluation = {
             let mut structures = self.structures.lock();
             let structure = structures.entry(fingerprint).or_default();
@@ -213,6 +218,12 @@ impl AdaptiveRuntime {
                     self.policy
                         .complete_trial(&mut structure.policy, trial, true);
                     self.promotions.fetch_add(1, Ordering::Relaxed);
+                    if inner.obs.enabled() {
+                        decision_event = Some(TraceEvent::TrialCommitted {
+                            fp: plan.fingerprint().into(),
+                            variant: kind.into(),
+                        });
+                    }
                     None
                 }
                 Action::Demote(trial) => {
@@ -222,18 +233,33 @@ impl AdaptiveRuntime {
                     self.policy
                         .complete_trial(&mut structure.policy, trial, false);
                     self.demotions.fetch_add(1, Ordering::Relaxed);
+                    if inner.obs.enabled() {
+                        decision_event = Some(TraceEvent::TrialDemoted {
+                            fp: plan.fingerprint().into(),
+                            variant: kind.into(),
+                        });
+                    }
                     None
                 }
                 Action::Evaluate { probe_baseline } => Some(probe_baseline),
             }
         };
+        if let Some(event) = decision_event {
+            inner.obs.emit(event);
+        }
         if let Some(probe_baseline) = wants_evaluation {
             if probe_baseline {
                 self.probe_baseline(inner, loop_, y, plan);
             }
-            let mut structures = self.structures.lock();
-            let structure = structures.entry(fingerprint).or_default();
-            self.evaluate(inner, loop_, plan, kind, structure);
+            let mut events = Vec::new();
+            {
+                let mut structures = self.structures.lock();
+                let structure = structures.entry(fingerprint).or_default();
+                self.evaluate(inner, loop_, plan, kind, structure, &mut events);
+            }
+            for event in events {
+                inner.obs.emit(event);
+            }
         }
     }
 
@@ -272,11 +298,18 @@ impl AdaptiveRuntime {
             },
         );
         self.baseline_probes.fetch_add(1, Ordering::Relaxed);
+        if inner.obs.enabled() {
+            inner.obs.emit(TraceEvent::BaselineProbed {
+                fp: plan.fingerprint().into(),
+                ns,
+            });
+        }
     }
 
     /// One evaluation point: refine, re-price, and — if the policy
     /// proposes a challenger — build it with the refined model and swap
-    /// it in as a trial.
+    /// it in as a trial. Runs under the structure lock; trace events go
+    /// into `events` for the caller to emit after release.
     fn evaluate<L: DoacrossLoop + ?Sized>(
         &self,
         inner: &EngineInner,
@@ -284,6 +317,7 @@ impl AdaptiveRuntime {
         plan: &Arc<ExecutionPlan>,
         kind: VariantKind,
         structure: &mut Structure,
+        events: &mut Vec<TraceEvent>,
     ) {
         let statics = inner.planner.costs();
         self.repricings.fetch_add(1, Ordering::Relaxed);
@@ -319,6 +353,17 @@ impl AdaptiveRuntime {
             |k| pricing::price_of(&refined_costs, k),
         );
         let Some(_) = proposal else { return };
+        // A proposal means the refined price disagreed with the static
+        // one enough to consider acting: the divergence event, whether or
+        // not a trial follows.
+        if inner.obs.enabled() {
+            events.push(TraceEvent::Divergence {
+                fp: plan.fingerprint().into(),
+                variant: kind.into(),
+                static_price,
+                refined_price,
+            });
+        }
         if !self.policy.may_trial(&structure.policy) {
             return;
         }
@@ -346,6 +391,13 @@ impl AdaptiveRuntime {
             structure.incumbent = Some(Arc::clone(plan));
             inner.cache.swap_plan(Arc::new(built));
             self.trials.fetch_add(1, Ordering::Relaxed);
+            if inner.obs.enabled() {
+                events.push(TraceEvent::TrialStarted {
+                    fp: plan.fingerprint().into(),
+                    challenger: built_kind.into(),
+                    incumbent: kind.into(),
+                });
+            }
         }
     }
 }

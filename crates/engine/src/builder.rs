@@ -7,6 +7,7 @@ use crate::engine::Engine;
 use crate::error::EngineError;
 use doacross_adapt::AdaptiveConfig;
 use doacross_core::DoacrossConfig;
+use doacross_obs::{ColdStartReason, Obs, ObsConfig, TraceEvent};
 use doacross_par::ThreadPool;
 use doacross_plan::{
     default_shard_count, ConcurrentPlanCache, PersistError, PlanStore, Planner, StoredCalibration,
@@ -48,6 +49,7 @@ pub struct EngineBuilder {
     warm_start: Option<PathBuf>,
     calibrate: bool,
     adaptive: Option<AdaptiveConfig>,
+    observability: Option<ObsConfig>,
 }
 
 impl Default for EngineBuilder {
@@ -72,6 +74,7 @@ impl EngineBuilder {
             warm_start: None,
             calibrate: false,
             adaptive: None,
+            observability: None,
         }
     }
 
@@ -164,6 +167,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Turns on the observability layer with default capacities: every
+    /// plan build, cache operation, persistence operation, adaptive
+    /// decision, and completed solve emits a structured
+    /// [`doacross_obs::TraceEvent`] into a bounded ring, feeds the metric
+    /// registry behind [`crate::Engine::metrics_text`] /
+    /// [`crate::Engine::metrics_json`], and (for solves) the flight
+    /// recorder behind [`crate::Engine::recent_solves`]. Off by default —
+    /// a disabled handle costs one branch per would-be event.
+    pub fn observability_default(self) -> Self {
+        self.observability(ObsConfig::default())
+    }
+
+    /// [`EngineBuilder::observability_default`] with explicit capacities
+    /// (trace-ring size and sharding, flight-recorder depth, the
+    /// per-fingerprint metric-series bound).
+    pub fn observability(mut self, config: ObsConfig) -> Self {
+        self.observability = Some(config);
+        self
+    }
+
     /// Warm-starts the engine from the plan store at `path` (written by a
     /// previous process via [`Engine::save_plans`]): every structure in
     /// the store begins life cached, so its first solve after a restart
@@ -202,11 +225,26 @@ impl EngineBuilder {
                 .unwrap_or(2)
                 .min(8)
         });
+        let obs = self
+            .observability
+            .map(Obs::new)
+            .unwrap_or_else(Obs::disabled);
         let store = match &self.warm_start {
             None => None,
             Some(path) => match PlanStore::load(path) {
                 Ok(store) => Some(store),
-                Err(PersistError::NotFound) | Err(PersistError::UnsupportedVersion { .. }) => None,
+                Err(PersistError::NotFound) => {
+                    obs.emit(TraceEvent::ColdStart {
+                        reason: ColdStartReason::NotFound,
+                    });
+                    None
+                }
+                Err(PersistError::UnsupportedVersion { .. }) => {
+                    obs.emit(TraceEvent::ColdStart {
+                        reason: ColdStartReason::VersionMismatch,
+                    });
+                    None
+                }
                 Err(err) => return Err(err.into()),
             },
         };
@@ -234,13 +272,16 @@ impl EngineBuilder {
             .adaptive
             .filter(|_| self.cache_capacity > 0) // nothing to swap plans in
             .map(|config| AdaptiveRuntime::new(config, shards, calibration.as_ref()));
+        let mut cache = ConcurrentPlanCache::new(self.cache_capacity, shards);
+        cache.set_obs(obs.clone());
         let engine = Engine::from_parts(
             ThreadPool::new(workers),
             planner,
             self.config,
-            ConcurrentPlanCache::new(self.cache_capacity, shards),
+            cache,
             calibration,
             adaptive,
+            obs,
         );
         if let Some(store) = &store {
             engine.warm_from(store);

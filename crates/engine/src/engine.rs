@@ -5,7 +5,8 @@ use crate::builder::EngineBuilder;
 use crate::error::EngineError;
 use crate::prepared::PreparedLoop;
 use doacross_adapt::{TelemetryEntry, TelemetryTotals, VariantKind};
-use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, RunStats};
+use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, PlanProvenance, RunStats};
+use doacross_obs::{render, Obs, ObsProvenance, SolveRecord, TraceEvent, TracedEvent};
 use doacross_par::ThreadPool;
 use doacross_plan::{
     CacheStats, ConcurrentPlanCache, ExecutionPlan, PatternFingerprint, PlanExecutor, PlanStore,
@@ -13,6 +14,16 @@ use doacross_plan::{
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// The observability view of a core provenance. A free function because
+/// both types are foreign to this crate (orphan rule).
+pub(crate) fn obs_provenance(p: PlanProvenance) -> ObsProvenance {
+    match p {
+        PlanProvenance::Inline => ObsProvenance::Inline,
+        PlanProvenance::PlanCold => ObsProvenance::PlanCold,
+        PlanProvenance::PlanCached => ObsProvenance::PlanCached,
+    }
+}
 
 /// Shared state behind every [`Engine`] clone and [`PreparedLoop`] handle.
 pub(crate) struct EngineInner {
@@ -26,6 +37,10 @@ pub(crate) struct EngineInner {
     pub(crate) calibration: Option<StoredCalibration>,
     /// The feedback loop (present for `adaptive()` engines).
     pub(crate) adaptive: Option<AdaptiveRuntime>,
+    /// The observability handle every layer emits into (disabled unless
+    /// built with [`EngineBuilder::observability`] — then each emit is a
+    /// single branch).
+    pub(crate) obs: Obs,
     /// Checked-out-and-returned scratch executors: each concurrent
     /// execution borrows a private one (per-variant scratch arrays are
     /// `&mut` state), and returning it keeps the paper's scratch-reuse
@@ -35,14 +50,18 @@ pub(crate) struct EngineInner {
 
 impl EngineInner {
     /// Executes `plan` against `loop_` with a checked-out scratch
-    /// executor; on an adaptive engine, feeds the telemetry/policy hook
-    /// afterwards (off the result path — adaptation can never change what
-    /// this call returns, only what a *later* prepare serves).
+    /// executor; stamps the handle's provenance into the stats, feeds the
+    /// flight recorder/trace, and — on an adaptive engine — runs the
+    /// telemetry/policy hook afterwards (off the result path — adaptation
+    /// can never change what this call returns, only what a *later*
+    /// prepare serves).
     pub(crate) fn execute_plan<L: DoacrossLoop + ?Sized>(
         &self,
         loop_: &L,
         y: &mut [f64],
         plan: &Arc<ExecutionPlan>,
+        from_cache: bool,
+        generation: u64,
     ) -> Result<RunStats, EngineError> {
         let mut executor = self
             .executors
@@ -51,7 +70,34 @@ impl EngineInner {
             .unwrap_or_else(|| PlanExecutor::new(self.config));
         let result = executor.execute(&self.pool, loop_, y, plan);
         self.executors.lock().push(executor);
-        let stats = result.map_err(EngineError::from)?;
+        let mut stats = result.map_err(EngineError::from)?;
+        // Stamped here, before the observability and adaptive hooks, so
+        // both see the solve the caller will see.
+        stats.provenance = if from_cache {
+            PlanProvenance::PlanCached
+        } else {
+            PlanProvenance::PlanCold
+        };
+        if self.obs.enabled() {
+            let clamp = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+            self.obs.emit(TraceEvent::SolveFinished {
+                record: SolveRecord {
+                    fp: plan.fingerprint().into(),
+                    variant: plan.variant().into(),
+                    provenance: obs_provenance(stats.provenance),
+                    generation,
+                    total_ns: clamp(stats.total),
+                    inspector_ns: clamp(stats.inspector),
+                    executor_ns: clamp(stats.executor),
+                    post_ns: clamp(stats.post),
+                    iterations: stats.iterations as u64,
+                    workers: stats.workers as u64,
+                    stalls: stats.stalls,
+                    wait_polls: stats.wait_polls,
+                    barrier_crossings: stats.barrier_crossings,
+                },
+            });
+        }
         if let Some(adaptive) = &self.adaptive {
             adaptive.after_solve(self, loop_, y, plan, &stats);
         }
@@ -108,6 +154,7 @@ impl Engine {
         cache: ConcurrentPlanCache,
         calibration: Option<StoredCalibration>,
         adaptive: Option<AdaptiveRuntime>,
+        obs: Obs,
     ) -> Self {
         Self {
             inner: Arc::new(EngineInner {
@@ -117,6 +164,7 @@ impl Engine {
                 cache,
                 calibration,
                 adaptive,
+                obs,
                 executors: Mutex::new(Vec::new()),
             }),
         }
@@ -205,6 +253,19 @@ impl Engine {
                     .plan_with_fingerprint(&self.inner.pool, pattern, fingerprint)
             },
         )?;
+        if !hit && self.inner.obs.enabled() {
+            let census = plan.census();
+            self.inner.obs.emit(TraceEvent::PlanBuilt {
+                fp: plan.fingerprint().into(),
+                variant: plan.variant().into(),
+                build_ns: plan.build_time().as_nanos().min(u64::MAX as u128) as u64,
+                iterations: census.iterations as u64,
+                true_deps: census.true_deps,
+                critical_path: census.critical_path as u64,
+                chosen_price: plan.costs().of(plan.variant()).unwrap_or(f64::NAN),
+                candidate_prices: plan.costs().as_candidate_prices(),
+            });
+        }
         Ok(PreparedLoop::new(
             Arc::clone(&self.inner),
             plan,
@@ -337,6 +398,12 @@ impl Engine {
         if let Some(adaptive) = &self.inner.adaptive {
             adaptive.restore_telemetry(store.telemetry());
         }
+        if self.inner.obs.enabled() {
+            self.inner.obs.emit(TraceEvent::StoreLoaded {
+                plans: store.len() as u64,
+                restored: restored as u64,
+            });
+        }
         restored
     }
 
@@ -348,6 +415,11 @@ impl Engine {
     pub fn save_plans(&self, path: impl AsRef<std::path::Path>) -> Result<usize, EngineError> {
         let store = self.snapshot();
         store.save(path)?;
+        if self.inner.obs.enabled() {
+            self.inner.obs.emit(TraceEvent::StoreSaved {
+                plans: store.len() as u64,
+            });
+        }
         Ok(store.len())
     }
 
@@ -383,12 +455,188 @@ impl Engine {
         &self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<usize, EngineError> {
+        use doacross_obs::ColdStartReason;
         use doacross_plan::PersistError;
         match self.load_plans(path) {
-            Err(EngineError::Persist(PersistError::NotFound))
-            | Err(EngineError::Persist(PersistError::UnsupportedVersion { .. })) => Ok(0),
+            Err(EngineError::Persist(PersistError::NotFound)) => {
+                if self.inner.obs.enabled() {
+                    self.inner.obs.emit(TraceEvent::ColdStart {
+                        reason: ColdStartReason::NotFound,
+                    });
+                }
+                Ok(0)
+            }
+            Err(EngineError::Persist(PersistError::UnsupportedVersion { .. })) => {
+                if self.inner.obs.enabled() {
+                    self.inner.obs.emit(TraceEvent::ColdStart {
+                        reason: ColdStartReason::VersionMismatch,
+                    });
+                }
+                Ok(0)
+            }
             other => other,
         }
+    }
+
+    /// The engine's observability handle — disabled (inert) unless the
+    /// engine was built with [`EngineBuilder::observability`]. Use it to
+    /// register an [`doacross_obs::ObsSink`] for live event streaming.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// Whether observability was enabled at build time.
+    pub fn observability_enabled(&self) -> bool {
+        self.inner.obs.enabled()
+    }
+
+    /// The flight recorder: the last N completed solves (oldest first),
+    /// each with its structure, variant, provenance, generation, timing
+    /// split, and synchronization counters. Empty when observability is
+    /// disabled.
+    pub fn recent_solves(&self) -> Vec<SolveRecord> {
+        self.inner.obs.recent_solves()
+    }
+
+    /// The retained trace events, oldest first (empty when observability
+    /// is disabled). Strictly increasing `seq`; gaps mean the bounded
+    /// ring dropped events.
+    pub fn trace_events(&self) -> Vec<TracedEvent> {
+        self.inner.obs.trace_events()
+    }
+
+    /// Renders the engine's metrics in Prometheus text-exposition format:
+    /// first the engine-sampled values (pool and cache gauges, the cache's
+    /// exact traffic counters, the adaptive decision counters under the
+    /// `doacross_adaptive_` prefix), then — when observability is enabled
+    /// — the full `doacross-obs` registry (solve counters and latency
+    /// histograms by variant, plan-build/persistence/policy counters,
+    /// per-structure series). Metric names are documented at
+    /// [`doacross_obs`]'s crate root.
+    ///
+    /// The sampled section works on any engine; an observability-disabled
+    /// engine simply scrapes a shorter document.
+    pub fn metrics_text(&self) -> String {
+        let mut buf = String::new();
+        render::gauge(
+            &mut buf,
+            "doacross_workers",
+            "Worker (processor) count of the engine's pool.",
+            self.threads() as u64,
+        );
+        render::gauge(
+            &mut buf,
+            "doacross_cache_plans",
+            "Execution plans currently cached.",
+            self.cache_len() as u64,
+        );
+        render::gauge(
+            &mut buf,
+            "doacross_cache_capacity",
+            "Total plan capacity across cache shards.",
+            self.inner.cache.capacity() as u64,
+        );
+        render::gauge(
+            &mut buf,
+            "doacross_cache_shards",
+            "Shard count of the plan cache.",
+            self.shards() as u64,
+        );
+        let cache = self.cache_stats();
+        render::counter(
+            &mut buf,
+            "doacross_cache_hits_total",
+            "Plan-cache lookups served from a cached plan.",
+            cache.hits,
+        );
+        render::counter(
+            &mut buf,
+            "doacross_cache_misses_total",
+            "Plan-cache lookups that required a build.",
+            cache.misses,
+        );
+        render::counter(
+            &mut buf,
+            "doacross_cache_evictions_total",
+            "Plans pushed out by LRU capacity.",
+            cache.evictions,
+        );
+        render::counter(
+            &mut buf,
+            "doacross_cache_insertions_total",
+            "Plans admitted to the cache.",
+            cache.insertions,
+        );
+        if let Some(a) = self.adaptive_stats() {
+            render::counter(
+                &mut buf,
+                "doacross_adaptive_repricings_total",
+                "Adaptive evaluation points that refined the model and re-priced a plan.",
+                a.repricings,
+            );
+            render::counter(
+                &mut buf,
+                "doacross_adaptive_trials_total",
+                "Adaptive trials started (plans swapped in on refined evidence).",
+                a.trials,
+            );
+            render::counter(
+                &mut buf,
+                "doacross_adaptive_promotions_total",
+                "Adaptive trials committed.",
+                a.promotions,
+            );
+            render::counter(
+                &mut buf,
+                "doacross_adaptive_demotions_total",
+                "Adaptive trials rolled back.",
+                a.demotions,
+            );
+            render::counter(
+                &mut buf,
+                "doacross_adaptive_baseline_probes_total",
+                "Sequential baseline probes run to anchor refinement.",
+                a.baseline_probes,
+            );
+        }
+        self.inner.obs.render_prometheus(&mut buf);
+        buf
+    }
+
+    /// The same payload as [`Engine::metrics_text`] as one JSON object:
+    /// `workers`, `cache` (gauges + exact traffic), `adaptive` (decision
+    /// counters or `null` for a static engine), and `obs` (the registry —
+    /// `{}` when observability is disabled).
+    pub fn metrics_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut buf = String::new();
+        let cache = self.cache_stats();
+        let _ = write!(
+            buf,
+            "{{\"workers\":{},\"cache\":{{\"plans\":{},\"capacity\":{},\"shards\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"insertions\":{}}},\"adaptive\":",
+            self.threads(),
+            self.cache_len(),
+            self.inner.cache.capacity(),
+            self.shards(),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.insertions,
+        );
+        match self.adaptive_stats() {
+            Some(a) => {
+                let _ = write!(
+                    buf,
+                    "{{\"repricings\":{},\"trials\":{},\"promotions\":{},\"demotions\":{},\"baseline_probes\":{}}}",
+                    a.repricings, a.trials, a.promotions, a.demotions, a.baseline_probes,
+                );
+            }
+            None => buf.push_str("null"),
+        }
+        buf.push_str(",\"obs\":");
+        self.inner.obs.render_json(&mut buf);
+        buf.push('}');
+        buf
     }
 }
 

@@ -21,6 +21,11 @@
 //!   [`ExecutionPlan`](doacross_plan::ExecutionPlan) plus the generation
 //!   it was prepared under) that can be built once and executed from many
 //!   threads via [`PreparedLoop::execute`] / [`PreparedLoop::execute_into`].
+//! * **Observability** — [`EngineBuilder::observability`] turns on the
+//!   `doacross-obs` layer: structured trace events from plan build, cache,
+//!   persistence, adaptive policy, and execute; Prometheus / JSON metrics
+//!   via [`Engine::metrics_text`] / [`Engine::metrics_json`]; and a
+//!   flight recorder of recent solves via [`Engine::recent_solves`].
 //! * [`EngineError`] — the typed failure surface, including
 //!   [`EngineError::StalePlan`] for handles outlived by
 //!   [`Engine::invalidate`] and [`EngineError::Persist`] for plan stores
@@ -78,3 +83,10 @@ pub use doacross_plan::ShardStats;
 // The adaptive-policy vocabulary ([`EngineBuilder::adaptive_config`],
 // telemetry accessors), re-exported likewise.
 pub use doacross_adapt::{AdaptiveConfig, TelemetryEntry, TelemetryTotals, VariantKind};
+// The observability vocabulary ([`EngineBuilder::observability`], sinks,
+// the trace/flight types behind [`Engine::trace_events`] /
+// [`Engine::recent_solves`]). Metric names are documented at
+// [`doacross_obs`]'s crate root.
+pub use doacross_obs::{
+    Obs, ObsConfig, ObsProvenance, ObsSink, ObsVariant, SolveRecord, TraceEvent, TracedEvent,
+};

@@ -2,7 +2,7 @@
 
 use crate::engine::EngineInner;
 use crate::error::EngineError;
-use doacross_core::{DoacrossError, DoacrossLoop, PlanProvenance, RunStats};
+use doacross_core::{DoacrossError, DoacrossLoop, RunStats};
 use doacross_plan::{ExecutionPlan, PatternFingerprint, PlanVariant};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -112,13 +112,10 @@ impl PreparedLoop {
                 current_generation: current,
             });
         }
-        let mut stats = self.inner.execute_plan(loop_, y, &self.plan)?;
-        stats.provenance = if self.from_cache {
-            PlanProvenance::PlanCached
-        } else {
-            PlanProvenance::PlanCold
-        };
-        Ok(stats)
+        // Provenance is stamped inside `execute_plan`, before the
+        // observability and adaptive hooks see the stats.
+        self.inner
+            .execute_plan(loop_, y, &self.plan, self.from_cache, self.generation)
     }
 
     /// Like [`PreparedLoop::execute`], but leaves `y` untouched and writes

@@ -1,0 +1,390 @@
+//! End-to-end observability tests: a mixed workload on an instrumented
+//! engine, with the Prometheus scrape actually parsed — format validity
+//! (TYPE before samples, cumulative buckets, `+Inf` = `_count`), coverage
+//! of the required metric families, and reconciliation of the scraped
+//! numbers against the engine's own counters.
+
+use doacross_core::TestLoop;
+use doacross_engine::{Engine, ObsConfig, ObsProvenance, TraceEvent};
+use std::collections::BTreeMap;
+
+/// One parsed sample: label set (sorted) and value.
+type Sample = (BTreeMap<String, String>, f64);
+
+/// A parsed metric family.
+struct Family {
+    kind: String,
+    samples: Vec<Sample>,
+}
+
+/// A deliberately strict parser for the Prometheus text exposition
+/// format, as far as this workspace emits it. Panics — with the offending
+/// line — on anything malformed: a sample before its `# TYPE`, an unknown
+/// suffix, bad label syntax.
+fn parse_prometheus(text: &str) -> BTreeMap<String, Family> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap().to_string();
+            let kind = it.next().expect("TYPE line missing kind").to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind} in: {line}"
+            );
+            let prev = families.insert(
+                name.clone(),
+                Family {
+                    kind,
+                    samples: Vec::new(),
+                },
+            );
+            assert!(prev.is_none(), "duplicate TYPE for {name}");
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP
+        }
+        let (name_and_labels, value) = line.rsplit_once(' ').expect("sample missing value");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value: {line}"));
+        let (name, labels) = match name_and_labels.split_once('{') {
+            None => (name_and_labels.to_string(), BTreeMap::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').expect("unterminated label set");
+                let mut labels = BTreeMap::new();
+                for pair in body.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label missing =");
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or_else(|| panic!("unquoted label value: {line}"));
+                    labels.insert(k.to_string(), v.to_string());
+                }
+                (name.to_string(), labels)
+            }
+        };
+        // Resolve the family: exact name, or a histogram suffix.
+        let family_name = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|base| families.get(*base).is_some_and(|f| f.kind == "histogram"))
+            })
+            .unwrap_or(&name)
+            .to_string();
+        let family = families
+            .get_mut(&family_name)
+            .unwrap_or_else(|| panic!("sample before TYPE: {line}"));
+        if family.kind == "histogram" {
+            // Re-attach the suffix so reconciliation below can tell the
+            // series apart.
+            let mut labels = labels;
+            labels.insert("__series".into(), name.clone());
+            family.samples.push((labels, value));
+        } else {
+            family.samples.push((labels, value));
+        }
+    }
+    // Histogram integrity: per label set, buckets cumulative
+    // non-decreasing in order of appearance, ending at +Inf == _count.
+    for (name, family) in &families {
+        if family.kind != "histogram" {
+            continue;
+        }
+        // Per label set: the (le, value) buckets in order plus the _count.
+        type HistogramSeries = (Vec<(String, f64)>, Option<f64>);
+        let mut by_series: BTreeMap<BTreeMap<String, String>, HistogramSeries> = BTreeMap::new();
+        for (labels, value) in &family.samples {
+            let series = labels.get("__series").unwrap().clone();
+            let mut key = labels.clone();
+            key.remove("__series");
+            let le = key.remove("le");
+            let entry = by_series.entry(key).or_default();
+            if series == format!("{name}_bucket") {
+                entry.0.push((le.expect("bucket without le"), *value));
+            } else if series == format!("{name}_count") {
+                entry.1 = Some(*value);
+            }
+        }
+        for (labels, (buckets, count)) in by_series {
+            assert!(!buckets.is_empty(), "{name}{labels:?}: no buckets");
+            let mut prev = 0.0;
+            for (le, v) in &buckets {
+                assert!(*v >= prev, "{name}: bucket le={le} decreased");
+                prev = *v;
+            }
+            let (last_le, last_v) = buckets.last().unwrap();
+            assert_eq!(last_le, "+Inf", "{name}: final bucket not +Inf");
+            assert_eq!(Some(*last_v), count, "{name}: +Inf != _count");
+        }
+    }
+    families
+}
+
+fn counter_value(families: &BTreeMap<String, Family>, name: &str) -> f64 {
+    let family = families
+        .get(name)
+        .unwrap_or_else(|| panic!("{name} missing from scrape"));
+    family.samples.iter().map(|(_, v)| v).sum()
+}
+
+#[test]
+fn scrape_parses_and_covers_the_required_metrics() {
+    let engine = Engine::builder()
+        .workers(2)
+        .adaptive()
+        .observability_default()
+        .build();
+    // Mixed workload: three structures (different sizes/dependence
+    // shapes), repeated solves, one invalidation, one save/load cycle.
+    let loops: Vec<TestLoop> = [(400usize, 8usize), (300, 7), (500, 9)]
+        .iter()
+        .map(|&(n, l)| TestLoop::new(n, 1, l))
+        .collect();
+    let mut solves = 0u64;
+    for round in 0..3 {
+        for l in &loops {
+            let mut y = l.initial_y();
+            engine.run(l, &mut y).unwrap();
+            solves += 1;
+        }
+        if round == 1 {
+            let fp = doacross_plan::PatternFingerprint::of(&loops[0]);
+            assert!(engine.invalidate(&fp));
+        }
+    }
+    let store =
+        std::env::temp_dir().join(format!("doacross-obs-test-{}.plans", std::process::id()));
+    let _ = std::fs::remove_file(&store);
+    let saved = engine.save_plans(&store).unwrap();
+    let restored = engine.load_plans(&store).unwrap();
+    let _ = std::fs::remove_file(&store);
+
+    let text = engine.metrics_text();
+    let families = parse_prometheus(&text);
+
+    // Cache traffic reconciles exactly with the engine's own counters.
+    let stats = engine.cache_stats();
+    assert_eq!(
+        counter_value(&families, "doacross_cache_hits_total") as u64,
+        stats.hits
+    );
+    assert_eq!(
+        counter_value(&families, "doacross_cache_misses_total") as u64,
+        stats.misses
+    );
+    assert_eq!(
+        counter_value(&families, "doacross_cache_insertions_total") as u64,
+        stats.insertions
+    );
+
+    // Every completed solve is counted, by (variant, provenance).
+    assert_eq!(
+        counter_value(&families, "doacross_solves_total") as u64,
+        solves
+    );
+    for (labels, _) in &families["doacross_solves_total"].samples {
+        assert!(labels.contains_key("variant") && labels.contains_key("provenance"));
+    }
+
+    // Per-variant latency histograms: present, and their counts cover
+    // the solves.
+    let hist = &families["doacross_solve_ns"];
+    assert_eq!(hist.kind, "histogram");
+    let hist_count: f64 = hist
+        .samples
+        .iter()
+        .filter(|(l, _)| {
+            l.get("__series")
+                .is_some_and(|s| s == "doacross_solve_ns_count")
+        })
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(hist_count as u64, solves);
+
+    // Adaptive decision counters render for an adaptive engine.
+    for name in [
+        "doacross_adaptive_repricings_total",
+        "doacross_adaptive_trials_total",
+        "doacross_adaptive_promotions_total",
+        "doacross_adaptive_demotions_total",
+        "doacross_adaptive_baseline_probes_total",
+    ] {
+        assert!(families.contains_key(name), "{name} missing");
+    }
+    // ... and the registry's own policy counters exist (values depend on
+    // what the host measured; presence and parseability are the contract).
+    for name in [
+        "doacross_divergences_total",
+        "doacross_trials_started_total",
+        "doacross_trials_committed_total",
+        "doacross_trials_demoted_total",
+    ] {
+        assert!(families.contains_key(name), "{name} missing");
+    }
+
+    // Plan builds, invalidation, persistence.
+    assert!(counter_value(&families, "doacross_plan_builds_total") >= 3.0);
+    assert_eq!(
+        counter_value(&families, "doacross_cache_invalidations_total"),
+        1.0
+    );
+    assert_eq!(counter_value(&families, "doacross_store_saves_total"), 1.0);
+    assert_eq!(
+        counter_value(&families, "doacross_store_plans_saved_total") as usize,
+        saved
+    );
+    assert_eq!(counter_value(&families, "doacross_store_loads_total"), 1.0);
+    assert_eq!(
+        counter_value(&families, "doacross_store_plans_restored_total") as usize,
+        restored
+    );
+
+    // Per-structure series carry the 32-hex-char fingerprint label.
+    let structure = &families["doacross_structure_solves_total"];
+    assert!(!structure.samples.is_empty());
+    for (labels, _) in &structure.samples {
+        let fp = &labels["fingerprint"];
+        assert!(fp == "other" || (fp.len() == 32 && fp.chars().all(|c| c.is_ascii_hexdigit())));
+    }
+
+    // JSON view is emitted and carries the same cache traffic.
+    let json = engine.metrics_json();
+    assert!(json.contains(&format!("\"hits\":{}", stats.hits)));
+    assert!(json.contains("\"obs\":{"));
+}
+
+#[test]
+fn recent_solves_returns_the_last_n_with_variant_and_provenance() {
+    let engine = Engine::builder()
+        .workers(2)
+        .observability(ObsConfig {
+            flight_capacity: 4,
+            ..ObsConfig::default()
+        })
+        .build();
+    let loop_ = TestLoop::new(300, 1, 8);
+    for _ in 0..7 {
+        let mut y = loop_.initial_y();
+        engine.run(&loop_, &mut y).unwrap();
+    }
+    let solves = engine.recent_solves();
+    assert_eq!(solves.len(), 4, "bounded to flight capacity");
+    // All seven solves were of the same structure; all retained ones are
+    // cache-served (the cold first solve aged out of the ring).
+    let expected_fp = doacross_obs::FpId::from(&doacross_plan::PatternFingerprint::of(&loop_));
+    for s in &solves {
+        assert_eq!(s.fp, expected_fp);
+        assert_eq!(s.provenance, ObsProvenance::PlanCached);
+        assert!(s.total_ns > 0);
+        assert!(s.workers >= 1, "a solve always reports its worker count");
+    }
+    // A fresh structure's solve lands at the tail with cold provenance.
+    let other = TestLoop::new(200, 1, 7);
+    let mut y = other.initial_y();
+    engine.run(&other, &mut y).unwrap();
+    let solves = engine.recent_solves();
+    let last = solves.last().unwrap();
+    assert_eq!(
+        last.fp,
+        doacross_obs::FpId::from(&doacross_plan::PatternFingerprint::of(&other))
+    );
+    assert_eq!(last.provenance, ObsProvenance::PlanCold);
+}
+
+#[test]
+fn trace_records_the_plan_lifecycle_in_order() {
+    let engine = Engine::builder().workers(2).observability_default().build();
+    let loop_ = TestLoop::new(250, 1, 8);
+    let mut y = loop_.initial_y();
+    engine.run(&loop_, &mut y).unwrap();
+    let mut y = loop_.initial_y();
+    engine.run(&loop_, &mut y).unwrap();
+    let fp = doacross_plan::PatternFingerprint::of(&loop_);
+    engine.invalidate(&fp);
+
+    let kinds: Vec<&'static str> = engine
+        .trace_events()
+        .iter()
+        .map(|e| e.event.kind())
+        .collect();
+    assert_eq!(
+        kinds,
+        [
+            "cache_miss",
+            "plan_built",
+            "solve_finished",
+            "cache_hit",
+            "solve_finished",
+            "cache_invalidated",
+        ]
+    );
+    // The build event carries the decision record: a chosen price and at
+    // least the sequential candidate priced.
+    let events = engine.trace_events();
+    let built = events
+        .iter()
+        .find_map(|e| match &e.event {
+            TraceEvent::PlanBuilt {
+                chosen_price,
+                candidate_prices,
+                ..
+            } => Some((*chosen_price, *candidate_prices)),
+            _ => None,
+        })
+        .unwrap();
+    assert!(built.0.is_finite());
+    assert!(built.1[0].is_some(), "sequential is always priced");
+    // Sequence numbers are strictly increasing.
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq);
+    }
+}
+
+#[test]
+fn disabled_observability_is_inert_but_sampled_metrics_remain() {
+    let engine = Engine::builder().workers(2).build();
+    assert!(!engine.observability_enabled());
+    let loop_ = TestLoop::new(300, 1, 8);
+    for _ in 0..3 {
+        let mut y = loop_.initial_y();
+        engine.run(&loop_, &mut y).unwrap();
+    }
+    assert!(engine.recent_solves().is_empty());
+    assert!(engine.trace_events().is_empty());
+    let text = engine.metrics_text();
+    let families = parse_prometheus(&text);
+    // The engine-sampled section still scrapes...
+    assert_eq!(counter_value(&families, "doacross_cache_misses_total"), 1.0);
+    assert_eq!(counter_value(&families, "doacross_cache_hits_total"), 2.0);
+    assert!(families.contains_key("doacross_workers"));
+    // ...but the registry section is absent.
+    assert!(!families.contains_key("doacross_solves_total"));
+    assert!(engine.metrics_json().contains("\"obs\":{}"));
+}
+
+#[test]
+fn cold_start_reasons_are_traced() {
+    let missing =
+        std::env::temp_dir().join(format!("doacross-obs-missing-{}.plans", std::process::id()));
+    let _ = std::fs::remove_file(&missing);
+    let engine = Engine::builder()
+        .workers(2)
+        .observability_default()
+        .warm_start(&missing)
+        .build();
+    let kinds: Vec<&'static str> = engine
+        .trace_events()
+        .iter()
+        .map(|e| e.event.kind())
+        .collect();
+    assert_eq!(kinds, ["cold_start"]);
+    let text = engine.metrics_text();
+    let families = parse_prometheus(&text);
+    assert_eq!(counter_value(&families, "doacross_cold_starts_total"), 1.0);
+}

@@ -1,0 +1,275 @@
+//! The trace vocabulary: every structured event the engine can emit.
+//!
+//! This crate deliberately owns its own copies of the engine's small
+//! enums ([`ObsVariant`], [`ObsProvenance`]) instead of depending on
+//! `doacross-plan` / `doacross-core` — the observability layer sits *below*
+//! every other crate in the dependency graph so all of them can emit into
+//! it. The producing crates provide `From` conversions on their side.
+
+/// A pattern fingerprint reduced to its two independent 64-bit hash
+/// streams — enough to identify a structure in traces and metric labels
+/// without depending on the planner's full fingerprint type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FpId(pub u64, pub u64);
+
+impl std::fmt::Display for FpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// Executor variant families, mirroring the planner's `PlanVariant` (and
+/// the adaptive layer's `VariantKind`) without their payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObsVariant {
+    Sequential,
+    Doacross,
+    Linear,
+    Reordered,
+    Blocked,
+    Wavefront,
+}
+
+impl ObsVariant {
+    /// All variants, in [`ObsVariant::index`] order.
+    pub const ALL: [ObsVariant; 6] = [
+        ObsVariant::Sequential,
+        ObsVariant::Doacross,
+        ObsVariant::Linear,
+        ObsVariant::Reordered,
+        ObsVariant::Blocked,
+        ObsVariant::Wavefront,
+    ];
+
+    /// Dense index (0..6) for per-variant metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ObsVariant::Sequential => 0,
+            ObsVariant::Doacross => 1,
+            ObsVariant::Linear => 2,
+            ObsVariant::Reordered => 3,
+            ObsVariant::Blocked => 4,
+            ObsVariant::Wavefront => 5,
+        }
+    }
+
+    /// The `variant` metric-label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObsVariant::Sequential => "sequential",
+            ObsVariant::Doacross => "doacross",
+            ObsVariant::Linear => "linear",
+            ObsVariant::Reordered => "reordered",
+            ObsVariant::Blocked => "blocked",
+            ObsVariant::Wavefront => "wavefront",
+        }
+    }
+}
+
+impl std::fmt::Display for ObsVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a solve's plan came from, mirroring `RunStats`' `PlanProvenance`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObsProvenance {
+    /// No plan involved: inspector ran inline with the executor.
+    Inline,
+    /// A plan was built for this solve (cache miss).
+    PlanCold,
+    /// A previously built plan was reused (cache hit).
+    PlanCached,
+}
+
+impl ObsProvenance {
+    /// All provenances, in [`ObsProvenance::index`] order.
+    pub const ALL: [ObsProvenance; 3] = [
+        ObsProvenance::Inline,
+        ObsProvenance::PlanCold,
+        ObsProvenance::PlanCached,
+    ];
+
+    /// Dense index (0..3) for per-provenance metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ObsProvenance::Inline => 0,
+            ObsProvenance::PlanCold => 1,
+            ObsProvenance::PlanCached => 2,
+        }
+    }
+
+    /// The `provenance` metric-label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObsProvenance::Inline => "inline",
+            ObsProvenance::PlanCold => "plan_cold",
+            ObsProvenance::PlanCached => "plan_cached",
+        }
+    }
+}
+
+impl std::fmt::Display for ObsProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why the engine started with an empty cache despite a configured
+/// warm-start store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdStartReason {
+    /// The store file did not exist yet (first run).
+    NotFound,
+    /// The store file was written by an incompatible format version.
+    VersionMismatch,
+}
+
+impl ColdStartReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ColdStartReason::NotFound => "not_found",
+            ColdStartReason::VersionMismatch => "version_mismatch",
+        }
+    }
+}
+
+/// One completed solve, as kept by the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRecord {
+    /// Fingerprint of the solved structure.
+    pub fp: FpId,
+    /// Variant that executed.
+    pub variant: ObsVariant,
+    /// Where the plan came from.
+    pub provenance: ObsProvenance,
+    /// Cache generation of the plan at execute time.
+    pub generation: u64,
+    /// Wall time of the whole solve.
+    pub total_ns: u64,
+    /// Inspector (preprocessing) share.
+    pub inspector_ns: u64,
+    /// Executor share.
+    pub executor_ns: u64,
+    /// Post-processing (gather/reduce) share.
+    pub post_ns: u64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Workers the solve ran on.
+    pub workers: u64,
+    /// Busy-wait stall events (flag-based variants).
+    pub stalls: u64,
+    /// Busy-wait poll loops (flag-based variants).
+    pub wait_polls: u64,
+    /// Barrier crossings (wavefront variant; 0 elsewhere).
+    pub barrier_crossings: u64,
+}
+
+/// Per-candidate predicted prices recorded with a plan build, indexed by
+/// [`ObsVariant::index`]; `None` = the planner never priced that family.
+pub type CandidatePrices = [Option<f64>; 6];
+
+/// A structured event. Everything the engine does that changes plan or
+/// policy state emits exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// The planner built a plan: the full decision record, including the
+    /// losing candidates' prices.
+    PlanBuilt {
+        fp: FpId,
+        variant: ObsVariant,
+        build_ns: u64,
+        iterations: u64,
+        true_deps: u64,
+        critical_path: u64,
+        chosen_price: f64,
+        candidate_prices: CandidatePrices,
+    },
+    /// Plan cache served an existing plan.
+    CacheHit { fp: FpId },
+    /// Plan cache had no usable plan; a build followed.
+    CacheMiss { fp: FpId },
+    /// LRU capacity pushed a plan out.
+    CacheEvicted { fp: FpId },
+    /// A plan was explicitly invalidated; `dropped` is false when the
+    /// fingerprint was not resident (generation still advances).
+    CacheInvalidated {
+        fp: FpId,
+        generation: u64,
+        dropped: bool,
+    },
+    /// The adaptive layer atomically replaced a plan (same fingerprint,
+    /// new variant, bumped generation).
+    PlanSwapped {
+        fp: FpId,
+        variant: ObsVariant,
+        generation: u64,
+    },
+    /// Cache contents persisted to a store.
+    StoreSaved { plans: u64 },
+    /// A store was read and its plans offered to the cache; `restored`
+    /// counts those actually admitted.
+    StoreLoaded { plans: u64, restored: u64 },
+    /// A warm-start store was configured but unusable; the engine started
+    /// cold.
+    ColdStart { reason: ColdStartReason },
+    /// Adaptive: measured cost diverged from the static model's
+    /// prediction for the committed variant.
+    Divergence {
+        fp: FpId,
+        variant: ObsVariant,
+        static_price: f64,
+        refined_price: f64,
+    },
+    /// Adaptive: a challenger variant entered trial.
+    TrialStarted {
+        fp: FpId,
+        challenger: ObsVariant,
+        incumbent: ObsVariant,
+    },
+    /// Adaptive: the trial variant won and was committed.
+    TrialCommitted { fp: FpId, variant: ObsVariant },
+    /// Adaptive: the trial variant lost and the incumbent was restored.
+    TrialDemoted { fp: FpId, variant: ObsVariant },
+    /// Adaptive: a deliberate baseline re-measurement ran.
+    BaselineProbed { fp: FpId, ns: u64 },
+    /// A solve finished; also feeds the flight recorder and the
+    /// latency/counter metrics.
+    SolveFinished { record: SolveRecord },
+}
+
+/// A trace-ring entry: the event plus its global sequence number and
+/// time offset (nanoseconds since the `Obs` handle was created).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedEvent {
+    /// Global, strictly increasing sequence number (gaps mean drops).
+    pub seq: u64,
+    /// Nanoseconds since observability started.
+    pub at_ns: u64,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+impl TraceEvent {
+    /// Short lowercase tag naming the event kind (for sinks and logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PlanBuilt { .. } => "plan_built",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::CacheEvicted { .. } => "cache_evicted",
+            TraceEvent::CacheInvalidated { .. } => "cache_invalidated",
+            TraceEvent::PlanSwapped { .. } => "plan_swapped",
+            TraceEvent::StoreSaved { .. } => "store_saved",
+            TraceEvent::StoreLoaded { .. } => "store_loaded",
+            TraceEvent::ColdStart { .. } => "cold_start",
+            TraceEvent::Divergence { .. } => "divergence",
+            TraceEvent::TrialStarted { .. } => "trial_started",
+            TraceEvent::TrialCommitted { .. } => "trial_committed",
+            TraceEvent::TrialDemoted { .. } => "trial_demoted",
+            TraceEvent::BaselineProbed { .. } => "baseline_probed",
+            TraceEvent::SolveFinished { .. } => "solve_finished",
+        }
+    }
+}

@@ -1,0 +1,721 @@
+//! Observability layer for the preprocessed-doacross engine: structured
+//! tracing, a metrics registry with Prometheus/JSON export, and a solve
+//! flight recorder.
+//!
+//! This crate has **zero dependencies** (std only) and sits below every
+//! other crate in the workspace so plan, cache, persistence, adaptive, and
+//! execute layers can all emit into one [`Obs`] handle. The handle is an
+//! `Option<Arc<_>>` internally: a disabled handle is a single branch on
+//! the hot path — no event is constructed, no lock touched, no time read.
+//!
+//! # Exported metrics
+//!
+//! Everything below is emitted by [`Obs::render_prometheus`] (and hence by
+//! the engine's `metrics_text()`). Durations are nanoseconds; histograms
+//! use the factor-4 bucket bounds in
+//! [`metrics::LATENCY_BUCKET_BOUNDS_NS`] plus `+Inf`.
+//!
+//! | Metric | Type | Labels | Meaning |
+//! |---|---|---|---|
+//! | `doacross_solves_total` | counter | `variant`, `provenance` | Completed solves by executor variant and plan provenance (`inline` / `plan_cold` / `plan_cached`). |
+//! | `doacross_solve_ns` | histogram | `variant` | End-to-end solve latency per variant. |
+//! | `doacross_wait_polls_total` | counter | — | Busy-wait poll loops across all solves (flag-based variants). |
+//! | `doacross_stalls_total` | counter | — | Busy-wait stall events across all solves. |
+//! | `doacross_barrier_crossings_total` | counter | — | Wavefront barrier crossings across all solves. |
+//! | `doacross_plan_builds_total` | counter | `variant` | Plans built, by chosen variant. |
+//! | `doacross_plan_build_ns` | histogram | — | Plan build (preprocessing) latency. |
+//! | `doacross_cache_invalidations_total` | counter | — | Explicit plan invalidations. |
+//! | `doacross_plan_swaps_total` | counter | — | Adaptive in-place plan replacements. |
+//! | `doacross_store_saves_total` | counter | — | Plan-store save operations. |
+//! | `doacross_store_loads_total` | counter | — | Plan-store load operations. |
+//! | `doacross_store_plans_saved_total` | counter | — | Plans written across all saves. |
+//! | `doacross_store_plans_restored_total` | counter | — | Plans admitted to the cache across all loads. |
+//! | `doacross_cold_starts_total` | counter | — | Warm starts that fell back to empty (missing or version-mismatched store). |
+//! | `doacross_divergences_total` | counter | — | Adaptive divergence detections (measured cost vs static prediction). |
+//! | `doacross_trials_started_total` | counter | — | Adaptive challenger trials started. |
+//! | `doacross_trials_committed_total` | counter | — | Trials that won and were committed. |
+//! | `doacross_trials_demoted_total` | counter | — | Trials that lost and were rolled back. |
+//! | `doacross_baseline_probes_total` | counter | — | Deliberate baseline re-measurements. |
+//! | `doacross_trace_events_total` | counter | — | Trace events ever emitted. |
+//! | `doacross_trace_dropped_total` | counter | — | Trace events dropped to bound the ring. |
+//! | `doacross_structure_solves_total` | counter | `fingerprint`, `variant` | Per-structure solve counts (bounded; overflow aggregates under `fingerprint="other"`). |
+//! | `doacross_structure_solve_ns_total` | counter | `fingerprint`, `variant` | Per-structure total solve time. |
+//!
+//! The engine's `metrics_text()` prepends engine-sampled values that live
+//! outside this registry (documented on the engine): `doacross_workers`,
+//! `doacross_cache_plans`, `doacross_cache_capacity`,
+//! `doacross_cache_shards`, `doacross_cache_hits_total`,
+//! `doacross_cache_misses_total`, `doacross_cache_evictions_total`,
+//! `doacross_cache_insertions_total`, and the adaptive decision gauges
+//! sampled from `AdaptiveStats`.
+
+mod event;
+mod flight;
+pub mod metrics;
+pub mod render;
+mod trace;
+
+pub use event::{
+    CandidatePrices, ColdStartReason, FpId, ObsProvenance, ObsVariant, SolveRecord, TraceEvent,
+    TracedEvent,
+};
+pub use metrics::{HistogramSnapshot, VariantLatency};
+
+use flight::FlightRecorder;
+use metrics::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// A subscriber notified synchronously of every emitted [`TraceEvent`]
+/// (after the registry and rings have absorbed it). Keep `on_event` cheap:
+/// it runs on the emitting thread.
+pub trait ObsSink: Send + Sync {
+    fn on_event(&self, event: &TraceEvent);
+}
+
+/// Capacity knobs for the observability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Total trace-ring capacity (events retained across all shards).
+    pub trace_capacity: usize,
+    /// Trace-ring shard count (rounded up to a power of two). More shards
+    /// mean less producer contention; threads are assigned round-robin.
+    pub trace_shards: usize,
+    /// Flight-recorder capacity (recent solves retained).
+    pub flight_capacity: usize,
+    /// Per-fingerprint metric series bound; structures past it aggregate
+    /// under the `fingerprint="other"` label.
+    pub max_fingerprints: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            trace_capacity: 4096,
+            trace_shards: 8,
+            flight_capacity: 128,
+            max_fingerprints: 64,
+        }
+    }
+}
+
+struct ObsInner {
+    start: Instant,
+    config: ObsConfig,
+    trace: trace::TraceRing,
+    registry: Registry,
+    flight: FlightRecorder,
+    sinks: RwLock<Vec<Arc<dyn ObsSink>>>,
+    has_sinks: AtomicBool,
+}
+
+/// The observability handle. Cheap to clone (an `Option<Arc<_>>`); a
+/// [`Obs::disabled`] handle makes every emit a single branch.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A no-op handle: every emit is one branch, nothing is allocated.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle with the given capacities.
+    pub fn new(config: ObsConfig) -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner {
+                start: Instant::now(),
+                config,
+                trace: trace::TraceRing::new(config.trace_capacity, config.trace_shards),
+                registry: Registry::default(),
+                flight: FlightRecorder::new(config.flight_capacity),
+                sinks: RwLock::new(Vec::new()),
+                has_sinks: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Call sites use this to skip
+    /// event *construction* (reading clocks, cloning fingerprints) when
+    /// observability is off.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The configuration this handle was built with (`None` if disabled).
+    pub fn config(&self) -> Option<ObsConfig> {
+        self.inner.as_ref().map(|i| i.config)
+    }
+
+    /// Registers a subscriber for all future events.
+    pub fn add_sink(&self, sink: Arc<dyn ObsSink>) {
+        if let Some(inner) = &self.inner {
+            let mut sinks = match inner.sinks.write() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            sinks.push(sink);
+            inner.has_sinks.store(true, Ordering::Release);
+        }
+    }
+
+    /// Records `event`: updates the metrics registry, appends to the
+    /// trace ring, feeds the flight recorder (for
+    /// [`TraceEvent::SolveFinished`]), and notifies sinks. A no-op on a
+    /// disabled handle.
+    pub fn emit(&self, event: TraceEvent) {
+        let Some(inner) = &self.inner else { return };
+        let at_ns = inner.start.elapsed().as_nanos() as u64;
+        match &event {
+            TraceEvent::SolveFinished { record } => {
+                inner
+                    .registry
+                    .record_solve(record, inner.config.max_fingerprints);
+                inner.flight.push(*record);
+            }
+            TraceEvent::PlanBuilt {
+                variant, build_ns, ..
+            } => inner.registry.record_plan_built(*variant, *build_ns),
+            TraceEvent::CacheInvalidated { .. } => {
+                inner
+                    .registry
+                    .cache_invalidations_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::PlanSwapped { .. } => {
+                inner
+                    .registry
+                    .plan_swaps_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::StoreSaved { plans } => {
+                inner
+                    .registry
+                    .store_saves_total
+                    .fetch_add(1, Ordering::Relaxed);
+                inner
+                    .registry
+                    .store_plans_saved_total
+                    .fetch_add(*plans, Ordering::Relaxed);
+            }
+            TraceEvent::StoreLoaded { restored, .. } => {
+                inner
+                    .registry
+                    .store_loads_total
+                    .fetch_add(1, Ordering::Relaxed);
+                inner
+                    .registry
+                    .store_plans_restored_total
+                    .fetch_add(*restored, Ordering::Relaxed);
+            }
+            TraceEvent::ColdStart { .. } => {
+                inner
+                    .registry
+                    .cold_starts_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::Divergence { .. } => {
+                inner
+                    .registry
+                    .divergences_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::TrialStarted { .. } => {
+                inner
+                    .registry
+                    .trials_started_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::TrialCommitted { .. } => {
+                inner
+                    .registry
+                    .trials_committed_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::TrialDemoted { .. } => {
+                inner
+                    .registry
+                    .trials_demoted_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::BaselineProbed { .. } => {
+                inner
+                    .registry
+                    .baseline_probes_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheMiss { .. }
+            | TraceEvent::CacheEvicted { .. } => {
+                // Counted by the cache's own exact CacheStats, which the
+                // engine samples at scrape time; the registry does not
+                // duplicate them. The trace ring still records each one.
+            }
+        }
+        inner.trace.push(at_ns, event);
+        if inner.has_sinks.load(Ordering::Acquire) {
+            let sinks = match inner.sinks.read() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for sink in sinks.iter() {
+                sink.on_event(&event);
+            }
+        }
+    }
+
+    /// Snapshot of the retained trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<TracedEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| i.trace.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Retained flight-recorder solves, oldest first.
+    pub fn recent_solves(&self) -> Vec<SolveRecord> {
+        self.inner
+            .as_ref()
+            .map(|i| i.flight.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Per-variant solve-latency histograms (only variants with at least
+    /// one recorded solve).
+    pub fn solve_latency(&self) -> Vec<VariantLatency> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        ObsVariant::ALL
+            .iter()
+            .filter_map(|&v| {
+                let (buckets, sum_ns, count) = inner.registry.solve_ns[v.index()].snapshot();
+                (count > 0).then_some(VariantLatency {
+                    variant: v,
+                    histogram: HistogramSnapshot {
+                        buckets,
+                        sum_ns,
+                        count,
+                    },
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the registry in Prometheus text-exposition format into
+    /// `buf`. The metric names are documented at the crate root. A no-op
+    /// on a disabled handle.
+    pub fn render_prometheus(&self, buf: &mut String) {
+        let Some(inner) = &self.inner else { return };
+        let r = &inner.registry;
+        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+
+        let mut solve_samples: Vec<([(&str, &str); 2], u64)> = Vec::new();
+        for v in ObsVariant::ALL {
+            for p in ObsProvenance::ALL {
+                let n = load(&r.solves[v.index()][p.index()]);
+                if n > 0 {
+                    solve_samples.push(([("variant", v.as_str()), ("provenance", p.as_str())], n));
+                }
+            }
+        }
+        let solve_refs: Vec<(&[(&str, &str)], u64)> =
+            solve_samples.iter().map(|(l, n)| (&l[..], *n)).collect();
+        render::counter_family(
+            buf,
+            "doacross_solves_total",
+            "Completed solves by executor variant and plan provenance.",
+            &solve_refs,
+        );
+
+        let latencies = self.solve_latency();
+        let latency_labels: Vec<[(&str, &str); 1]> = latencies
+            .iter()
+            .map(|l| [("variant", l.variant.as_str())])
+            .collect();
+        let latency_refs: Vec<(&[(&str, &str)], &HistogramSnapshot)> = latencies
+            .iter()
+            .zip(latency_labels.iter())
+            .map(|(l, labels)| (&labels[..], &l.histogram))
+            .collect();
+        render::histogram_family(
+            buf,
+            "doacross_solve_ns",
+            "End-to-end solve latency in nanoseconds, by executor variant.",
+            &latency_refs,
+        );
+
+        render::counter(
+            buf,
+            "doacross_wait_polls_total",
+            "Busy-wait poll loops across all solves (flag-based variants).",
+            load(&r.wait_polls_total),
+        );
+        render::counter(
+            buf,
+            "doacross_stalls_total",
+            "Busy-wait stall events across all solves.",
+            load(&r.stalls_total),
+        );
+        render::counter(
+            buf,
+            "doacross_barrier_crossings_total",
+            "Wavefront barrier crossings across all solves.",
+            load(&r.barrier_crossings_total),
+        );
+
+        let build_samples: Vec<([(&str, &str); 1], u64)> = ObsVariant::ALL
+            .iter()
+            .filter_map(|&v| {
+                let n = load(&r.plan_builds[v.index()]);
+                (n > 0).then_some(([("variant", v.as_str())], n))
+            })
+            .collect();
+        let build_refs: Vec<(&[(&str, &str)], u64)> =
+            build_samples.iter().map(|(l, n)| (&l[..], *n)).collect();
+        render::counter_family(
+            buf,
+            "doacross_plan_builds_total",
+            "Execution plans built, by chosen variant.",
+            &build_refs,
+        );
+        let (buckets, sum_ns, count) = r.plan_build_ns.snapshot();
+        let build_hist = HistogramSnapshot {
+            buckets,
+            sum_ns,
+            count,
+        };
+        render::histogram_family(
+            buf,
+            "doacross_plan_build_ns",
+            "Plan build (preprocessing) latency in nanoseconds.",
+            &[(&[], &build_hist)],
+        );
+
+        render::counter(
+            buf,
+            "doacross_cache_invalidations_total",
+            "Explicit plan invalidations.",
+            load(&r.cache_invalidations_total),
+        );
+        render::counter(
+            buf,
+            "doacross_plan_swaps_total",
+            "Adaptive in-place plan replacements.",
+            load(&r.plan_swaps_total),
+        );
+        render::counter(
+            buf,
+            "doacross_store_saves_total",
+            "Plan-store save operations.",
+            load(&r.store_saves_total),
+        );
+        render::counter(
+            buf,
+            "doacross_store_loads_total",
+            "Plan-store load operations.",
+            load(&r.store_loads_total),
+        );
+        render::counter(
+            buf,
+            "doacross_store_plans_saved_total",
+            "Plans written across all saves.",
+            load(&r.store_plans_saved_total),
+        );
+        render::counter(
+            buf,
+            "doacross_store_plans_restored_total",
+            "Plans admitted to the cache across all loads.",
+            load(&r.store_plans_restored_total),
+        );
+        render::counter(
+            buf,
+            "doacross_cold_starts_total",
+            "Warm starts that fell back to an empty cache.",
+            load(&r.cold_starts_total),
+        );
+        render::counter(
+            buf,
+            "doacross_divergences_total",
+            "Adaptive divergence detections.",
+            load(&r.divergences_total),
+        );
+        render::counter(
+            buf,
+            "doacross_trials_started_total",
+            "Adaptive challenger trials started.",
+            load(&r.trials_started_total),
+        );
+        render::counter(
+            buf,
+            "doacross_trials_committed_total",
+            "Adaptive trials committed.",
+            load(&r.trials_committed_total),
+        );
+        render::counter(
+            buf,
+            "doacross_trials_demoted_total",
+            "Adaptive trials rolled back.",
+            load(&r.trials_demoted_total),
+        );
+        render::counter(
+            buf,
+            "doacross_baseline_probes_total",
+            "Deliberate adaptive baseline re-measurements.",
+            load(&r.baseline_probes_total),
+        );
+        render::counter(
+            buf,
+            "doacross_trace_events_total",
+            "Trace events ever emitted.",
+            inner.trace.pushed(),
+        );
+        render::counter(
+            buf,
+            "doacross_trace_dropped_total",
+            "Trace events dropped to bound the ring.",
+            inner.trace.dropped(),
+        );
+
+        // Per-structure series, fingerprint-sorted for a stable scrape.
+        let map = match r.per_fp.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut rows: Vec<(String, [u64; 6], [u64; 6])> = map
+            .iter()
+            .map(|(fp, m)| {
+                let solves = std::array::from_fn(|i| load(&m.solves[i]));
+                let ns = std::array::from_fn(|i| load(&m.solve_ns_total[i]));
+                (fp.to_string(), solves, ns)
+            })
+            .collect();
+        drop(map);
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let overflow_solves: [u64; 6] = std::array::from_fn(|i| load(&r.overflow.solves[i]));
+        let overflow_ns: [u64; 6] = std::array::from_fn(|i| load(&r.overflow.solve_ns_total[i]));
+        if overflow_solves.iter().any(|&n| n > 0) {
+            rows.push(("other".to_string(), overflow_solves, overflow_ns));
+        }
+        let mut solve_rows: Vec<([(&str, &str); 2], u64)> = Vec::new();
+        let mut ns_rows: Vec<([(&str, &str); 2], u64)> = Vec::new();
+        for (fp, solves, ns) in &rows {
+            for v in ObsVariant::ALL {
+                let n = solves[v.index()];
+                if n > 0 {
+                    solve_rows.push(([("fingerprint", fp), ("variant", v.as_str())], n));
+                    ns_rows.push((
+                        [("fingerprint", fp), ("variant", v.as_str())],
+                        ns[v.index()],
+                    ));
+                }
+            }
+        }
+        let solve_row_refs: Vec<(&[(&str, &str)], u64)> =
+            solve_rows.iter().map(|(l, n)| (&l[..], *n)).collect();
+        render::counter_family(
+            buf,
+            "doacross_structure_solves_total",
+            "Per-structure solve counts (bounded; overflow under fingerprint=\"other\").",
+            &solve_row_refs,
+        );
+        let ns_row_refs: Vec<(&[(&str, &str)], u64)> =
+            ns_rows.iter().map(|(l, n)| (&l[..], *n)).collect();
+        render::counter_family(
+            buf,
+            "doacross_structure_solve_ns_total",
+            "Per-structure total solve time in nanoseconds.",
+            &ns_row_refs,
+        );
+    }
+
+    /// Renders the registry as a JSON object into `buf` (the engine wraps
+    /// it with its sampled values). A no-op on a disabled handle appends
+    /// `{}`.
+    pub fn render_json(&self, buf: &mut String) {
+        use std::fmt::Write as _;
+        let Some(inner) = &self.inner else {
+            buf.push_str("{}");
+            return;
+        };
+        let r = &inner.registry;
+        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        buf.push('{');
+        buf.push_str("\"solves\":{");
+        let mut first = true;
+        for v in ObsVariant::ALL {
+            for p in ObsProvenance::ALL {
+                let n = load(&r.solves[v.index()][p.index()]);
+                if n > 0 {
+                    if !first {
+                        buf.push(',');
+                    }
+                    first = false;
+                    let _ = write!(buf, "\"{}/{}\":{}", v.as_str(), p.as_str(), n);
+                }
+            }
+        }
+        buf.push_str("},\"solve_ns\":{");
+        let latencies = self.solve_latency();
+        for (i, l) in latencies.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(
+                buf,
+                "\"{}\":{{\"count\":{},\"sum_ns\":{},\"buckets\":[",
+                l.variant.as_str(),
+                l.histogram.count,
+                l.histogram.sum_ns
+            );
+            for (j, b) in l.histogram.buckets.iter().enumerate() {
+                if j > 0 {
+                    buf.push(',');
+                }
+                let _ = write!(buf, "{b}");
+            }
+            buf.push_str("]}");
+        }
+        buf.push_str("},\"counters\":{");
+        let counters: [(&str, u64); 16] = [
+            ("wait_polls", load(&r.wait_polls_total)),
+            ("stalls", load(&r.stalls_total)),
+            ("barrier_crossings", load(&r.barrier_crossings_total)),
+            ("cache_invalidations", load(&r.cache_invalidations_total)),
+            ("plan_swaps", load(&r.plan_swaps_total)),
+            ("store_saves", load(&r.store_saves_total)),
+            ("store_loads", load(&r.store_loads_total)),
+            ("store_plans_saved", load(&r.store_plans_saved_total)),
+            ("store_plans_restored", load(&r.store_plans_restored_total)),
+            ("cold_starts", load(&r.cold_starts_total)),
+            ("divergences", load(&r.divergences_total)),
+            ("trials_started", load(&r.trials_started_total)),
+            ("trials_committed", load(&r.trials_committed_total)),
+            ("trials_demoted", load(&r.trials_demoted_total)),
+            ("baseline_probes", load(&r.baseline_probes_total)),
+            ("trace_dropped", inner.trace.dropped()),
+        ];
+        for (i, (name, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(buf, "\"{name}\":{value}");
+        }
+        buf.push_str("},\"recent_solves\":[");
+        for (i, s) in self.recent_solves().iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(
+                buf,
+                "{{\"fingerprint\":\"{}\",\"variant\":\"{}\",\"provenance\":\"{}\",\"generation\":{},\"total_ns\":{},\"stalls\":{},\"wait_polls\":{},\"barrier_crossings\":{}}}",
+                s.fp,
+                s.variant.as_str(),
+                s.provenance.as_str(),
+                s.generation,
+                s.total_ns,
+                s.stalls,
+                s.wait_polls,
+                s.barrier_crossings
+            );
+        }
+        buf.push_str("]}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn solve_event(fp: FpId, variant: ObsVariant, ns: u64) -> TraceEvent {
+        TraceEvent::SolveFinished {
+            record: SolveRecord {
+                fp,
+                variant,
+                provenance: ObsProvenance::PlanCached,
+                generation: 1,
+                total_ns: ns,
+                inspector_ns: 0,
+                executor_ns: ns,
+                post_ns: 0,
+                iterations: 10,
+                workers: 2,
+                stalls: 1,
+                wait_polls: 3,
+                barrier_crossings: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        obs.emit(solve_event(FpId(1, 2), ObsVariant::Doacross, 100));
+        assert!(obs.trace_events().is_empty());
+        assert!(obs.recent_solves().is_empty());
+        let mut buf = String::new();
+        obs.render_prometheus(&mut buf);
+        assert!(buf.is_empty());
+        obs.render_json(&mut buf);
+        assert_eq!(buf, "{}");
+    }
+
+    #[test]
+    fn emit_feeds_registry_ring_and_flight() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.emit(solve_event(
+            FpId(0xabc, 0xdef),
+            ObsVariant::Wavefront,
+            5_000,
+        ));
+        obs.emit(TraceEvent::CacheHit {
+            fp: FpId(0xabc, 0xdef),
+        });
+        assert_eq!(obs.trace_events().len(), 2);
+        let solves = obs.recent_solves();
+        assert_eq!(solves.len(), 1);
+        assert_eq!(solves[0].variant, ObsVariant::Wavefront);
+        let mut buf = String::new();
+        obs.render_prometheus(&mut buf);
+        assert!(buf
+            .contains("doacross_solves_total{variant=\"wavefront\",provenance=\"plan_cached\"} 1"));
+        assert!(buf.contains("doacross_solve_ns_bucket{variant=\"wavefront\",le=\"+Inf\"} 1"));
+        assert!(buf.contains("doacross_wait_polls_total 3"));
+        assert!(buf.contains("doacross_trace_events_total 2"));
+        assert!(buf.contains("doacross_structure_solves_total{fingerprint=\"0000000000000abc0000000000000def\",variant=\"wavefront\"} 1"));
+    }
+
+    #[test]
+    fn sinks_see_every_event() {
+        struct Counting(AtomicUsize);
+        impl ObsSink for Counting {
+            fn on_event(&self, _event: &TraceEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let obs = Obs::new(ObsConfig::default());
+        let sink = Arc::new(Counting(AtomicUsize::new(0)));
+        obs.add_sink(sink.clone());
+        obs.emit(TraceEvent::CacheMiss { fp: FpId(1, 1) });
+        obs.emit(solve_event(FpId(1, 1), ObsVariant::Sequential, 10));
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.emit(solve_event(FpId(7, 7), ObsVariant::Linear, 42));
+        let mut buf = String::new();
+        obs.render_json(&mut buf);
+        assert!(buf.starts_with('{') && buf.ends_with('}'));
+        assert!(buf.contains("\"solves\":{\"linear/plan_cached\":1}"));
+        assert!(buf
+            .contains("\"recent_solves\":[{\"fingerprint\":\"00000000000000070000000000000007\""));
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests of the observability layer's concurrency and bounding
+//! invariants: counters never lose increments under concurrent emitters,
+//! histogram totals reconcile with their counts, and the bounded rings
+//! (trace, flight) wrap without tearing records.
+
+use doacross_obs::{FpId, Obs, ObsConfig, ObsProvenance, ObsVariant, SolveRecord, TraceEvent};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A solve record whose every field is a function of `seed` — any torn or
+/// corrupted record in a snapshot breaks at least one of the derivations
+/// that [`assert_untorn`] re-checks.
+fn seeded_record(seed: u64, variant: ObsVariant) -> SolveRecord {
+    SolveRecord {
+        fp: FpId(seed, !seed),
+        variant,
+        provenance: ObsProvenance::PlanCached,
+        generation: seed % 5,
+        total_ns: seed.wrapping_mul(3).wrapping_add(1),
+        inspector_ns: 0,
+        executor_ns: seed.wrapping_mul(3),
+        post_ns: 1,
+        iterations: seed % 100,
+        workers: 2,
+        stalls: seed % 7,
+        wait_polls: seed % 11,
+        barrier_crossings: 0,
+    }
+}
+
+fn assert_untorn(r: &SolveRecord) {
+    let seed = r.fp.0;
+    assert_eq!(r.fp.1, !seed, "fp halves disagree: torn record");
+    assert_eq!(r.total_ns, seed.wrapping_mul(3).wrapping_add(1));
+    assert_eq!(r.executor_ns, seed.wrapping_mul(3));
+    assert_eq!(r.generation, seed % 5);
+    assert_eq!(r.stalls, seed % 7);
+    assert_eq!(r.wait_polls, seed % 11);
+}
+
+/// The single sample value of an unlabeled counter in a Prometheus text
+/// document.
+fn scrape_counter(text: &str, name: &str) -> u64 {
+    let prefix = format!("{name} ");
+    text.lines()
+        .find(|l| l.starts_with(&prefix))
+        .unwrap_or_else(|| panic!("{name} not in scrape"))
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Concurrent emitters never lose a counter increment: after all
+    /// threads join, the per-variant histogram counts and the scraped
+    /// poll/stall totals equal what was emitted, exactly.
+    #[test]
+    fn concurrent_recorders_lose_no_increments(
+        threads in 2usize..=4,
+        per_thread in 1usize..=40,
+    ) {
+        let obs = Obs::new(ObsConfig::default());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let obs = obs.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let seed = (t * per_thread + i) as u64;
+                        let variant = ObsVariant::ALL[t % ObsVariant::ALL.len()];
+                        obs.emit(TraceEvent::SolveFinished {
+                            record: seeded_record(seed, variant),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = obs
+            .solve_latency()
+            .iter()
+            .map(|l| l.histogram.count)
+            .sum();
+        prop_assert_eq!(total, (threads * per_thread) as u64);
+        let expected_polls: u64 = (0..(threads * per_thread) as u64).map(|s| s % 11).sum();
+        let expected_stalls: u64 = (0..(threads * per_thread) as u64).map(|s| s % 7).sum();
+        let mut text = String::new();
+        obs.render_prometheus(&mut text);
+        prop_assert_eq!(scrape_counter(&text, "doacross_wait_polls_total"), expected_polls);
+        prop_assert_eq!(scrape_counter(&text, "doacross_stalls_total"), expected_stalls);
+        prop_assert_eq!(
+            scrape_counter(&text, "doacross_trace_events_total"),
+            (threads * per_thread) as u64
+        );
+    }
+
+    /// For any latency sequence, every variant histogram reconciles:
+    /// bucket counts sum to `count`, `sum_ns` is the exact (wrapping)
+    /// total, and the rendered `+Inf` cumulative bucket equals `_count`.
+    #[test]
+    fn histogram_totals_reconcile_with_counts(
+        latencies in proptest::collection::vec(0u64..1_000_000_000, 1..120),
+    ) {
+        let obs = Obs::new(ObsConfig::default());
+        for (i, &ns) in latencies.iter().enumerate() {
+            let mut record = seeded_record(i as u64, ObsVariant::Doacross);
+            record.total_ns = ns;
+            obs.emit(TraceEvent::SolveFinished { record });
+        }
+        let lat = obs.solve_latency();
+        prop_assert_eq!(lat.len(), 1);
+        let h = &lat[0].histogram;
+        prop_assert_eq!(h.count, latencies.len() as u64);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        let expected_sum = latencies
+            .iter()
+            .fold(0u64, |acc, &ns| acc.wrapping_add(ns));
+        prop_assert_eq!(h.sum_ns, expected_sum);
+        let mut text = String::new();
+        obs.render_prometheus(&mut text);
+        let inf_line = format!(
+            "doacross_solve_ns_bucket{{variant=\"doacross\",le=\"+Inf\"}} {}",
+            h.count
+        );
+        prop_assert!(text.contains(&inf_line), "cumulative +Inf != count");
+    }
+
+    /// The flight recorder keeps exactly the newest `capacity` records in
+    /// order, each internally consistent (untorn), for any push count.
+    #[test]
+    fn flight_ring_wraps_without_tearing(
+        capacity in 1usize..=32,
+        pushes in 0usize..=100,
+    ) {
+        let obs = Obs::new(ObsConfig {
+            flight_capacity: capacity,
+            ..ObsConfig::default()
+        });
+        for seed in 0..pushes as u64 {
+            obs.emit(TraceEvent::SolveFinished {
+                record: seeded_record(seed, ObsVariant::Linear),
+            });
+        }
+        let solves = obs.recent_solves();
+        prop_assert_eq!(solves.len(), pushes.min(capacity));
+        let first = pushes.saturating_sub(capacity) as u64;
+        for (i, r) in solves.iter().enumerate() {
+            assert_untorn(r);
+            prop_assert_eq!(r.fp.0, first + i as u64, "not the newest records in order");
+        }
+    }
+
+    /// Concurrent producers into a small sharded trace ring: the snapshot
+    /// is seq-ordered with no duplicates, every retained record is untorn,
+    /// and pushed − dropped = retained, exactly.
+    #[test]
+    fn trace_ring_wraps_without_tearing_under_concurrency(
+        trace_capacity in 4usize..=64,
+        threads in 2usize..=4,
+        per_thread in 1usize..=50,
+    ) {
+        let obs = Obs::new(ObsConfig {
+            trace_capacity,
+            trace_shards: 4,
+            ..ObsConfig::default()
+        });
+        let obs = Arc::new(obs);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let obs = Arc::clone(&obs);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let seed = (t * per_thread + i) as u64;
+                        obs.emit(TraceEvent::SolveFinished {
+                            record: seeded_record(seed, ObsVariant::Wavefront),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = obs.trace_events();
+        let emitted = (threads * per_thread) as u64;
+        let mut text = String::new();
+        obs.render_prometheus(&mut text);
+        let pushed = scrape_counter(&text, "doacross_trace_events_total");
+        let dropped = scrape_counter(&text, "doacross_trace_dropped_total");
+        prop_assert_eq!(pushed, emitted);
+        prop_assert_eq!(events.len() as u64, pushed - dropped);
+        let mut last_seq = None;
+        for e in &events {
+            if let Some(prev) = last_seq {
+                prop_assert!(e.seq > prev, "snapshot not strictly seq-ordered");
+            }
+            last_seq = Some(e.seq);
+            match &e.event {
+                TraceEvent::SolveFinished { record } => assert_untorn(record),
+                other => prop_assert!(false, "unexpected event {:?}", other),
+            }
+        }
+    }
+}

@@ -173,25 +173,27 @@ impl PlanCache {
 
     /// Stores `plan` under its own fingerprint, evicting the least
     /// recently used entry if full. Replaces any existing plan for the
-    /// same fingerprint.
-    pub fn insert(&mut self, plan: Arc<ExecutionPlan>) {
+    /// same fingerprint. Returns the evicted plan, if the insert pushed
+    /// one out — same-key replacement is not an eviction.
+    pub fn insert(&mut self, plan: Arc<ExecutionPlan>) -> Option<Arc<ExecutionPlan>> {
         let key = *plan.fingerprint();
         if let Some(&slot) = self.map.get(&key) {
             self.slab[slot].plan = Some(plan);
             self.unlink(slot);
             self.push_front(slot);
             self.stats.insertions += 1;
-            return;
+            return None;
         }
         if self.capacity == 0 {
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
             self.unlink(lru);
             self.map.remove(&self.slab[lru].key);
-            self.slab[lru].plan = None;
+            evicted = self.slab[lru].plan.take();
             self.free.push(lru);
             self.stats.evictions += 1;
         }
@@ -218,6 +220,7 @@ impl PlanCache {
         self.map.insert(key, slot);
         self.push_front(slot);
         self.stats.insertions += 1;
+        evicted
     }
 
     /// Removes the plan stored under `key`, returning it if present.
@@ -441,11 +444,12 @@ mod tests {
         let (k1, p1) = plan_for(1);
         let (k2, p2) = plan_for(2);
         let (k3, p3) = plan_for(3);
-        cache.insert(p1);
-        cache.insert(p2);
+        assert!(cache.insert(p1).is_none());
+        assert!(cache.insert(p2).is_none());
         // Touch k1 so k2 becomes the LRU.
         assert!(cache.get(&k1).is_some());
-        cache.insert(p3);
+        let evicted = cache.insert(p3).expect("full cache evicts");
+        assert_eq!(evicted.fingerprint(), &k2, "the LRU plan is returned");
         assert!(cache.contains(&k1), "recently used survives");
         assert!(!cache.contains(&k2), "LRU evicted");
         assert!(cache.contains(&k3));

@@ -30,6 +30,7 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::fingerprint::PatternFingerprint;
 use crate::persist::PlanStore;
 use crate::plan::ExecutionPlan;
+use doacross_obs::{Obs, TraceEvent};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,6 +132,11 @@ pub struct ConcurrentPlanCache {
     shards: Box<[Mutex<Shard>]>,
     /// `64 − log2(shards.len())`: shard index = fingerprint high bits.
     shift: u32,
+    /// Trace emitter for hit/miss/evict/invalidate/swap events (disabled
+    /// by default — one branch per operation). Events are emitted *after*
+    /// the shard lock is released so observability never extends the
+    /// critical section.
+    obs: Obs,
 }
 
 impl ConcurrentPlanCache {
@@ -157,7 +163,15 @@ impl ConcurrentPlanCache {
         Self {
             shift: 64 - nshards.trailing_zeros(),
             shards,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; subsequent cache operations emit
+    /// [`TraceEvent`]s through it. Called by the engine builder before the
+    /// cache is shared.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Number of shards (a power of two).
@@ -234,13 +248,27 @@ impl ConcurrentPlanCache {
 
     /// Looks up `key`, marking it most recently used in its shard.
     pub fn get(&self, key: &PatternFingerprint) -> Option<Arc<ExecutionPlan>> {
-        self.shard(key).lock().lru.get(key)
+        let plan = self.shard(key).lock().lru.get(key);
+        if self.obs.enabled() {
+            self.obs.emit(match plan {
+                Some(_) => TraceEvent::CacheHit { fp: key.into() },
+                None => TraceEvent::CacheMiss { fp: key.into() },
+            });
+        }
+        plan
     }
 
     /// Stores `plan` under its own fingerprint in the owning shard.
     pub fn insert(&self, plan: Arc<ExecutionPlan>) {
         let key = *plan.fingerprint();
-        self.shard(&key).lock().lru.insert(plan);
+        let evicted = self.shard(&key).lock().lru.insert(plan);
+        if self.obs.enabled() {
+            if let Some(out) = &evicted {
+                self.obs.emit(TraceEvent::CacheEvicted {
+                    fp: out.fingerprint().into(),
+                });
+            }
+        }
     }
 
     /// The current generation of `key`: 0 until the first
@@ -256,8 +284,17 @@ impl ConcurrentPlanCache {
     /// LRU can still be live behind `Arc` handles.
     pub fn invalidate(&self, key: &PatternFingerprint) -> bool {
         let mut shard = self.shard(key).lock();
-        shard.generation_cell(key).fetch_add(1, Ordering::AcqRel);
-        shard.lru.remove(key).is_some()
+        let generation = shard.generation_cell(key).fetch_add(1, Ordering::AcqRel) + 1;
+        let dropped = shard.lru.remove(key).is_some();
+        drop(shard);
+        if self.obs.enabled() {
+            self.obs.emit(TraceEvent::CacheInvalidated {
+                fp: key.into(),
+                generation,
+                dropped,
+            });
+        }
+        dropped
     }
 
     /// Replaces the cached plan for `plan`'s own fingerprint and bumps the
@@ -268,9 +305,23 @@ impl ConcurrentPlanCache {
     /// re-preparing serves the new plan. Returns the key's new generation.
     pub fn swap_plan(&self, plan: Arc<ExecutionPlan>) -> u64 {
         let key = *plan.fingerprint();
+        let variant = plan.variant();
         let mut shard = self.shard(&key).lock();
         let generation = shard.generation_cell(&key).fetch_add(1, Ordering::AcqRel) + 1;
-        shard.lru.insert(plan); // replaces in place for an existing key
+        let evicted = shard.lru.insert(plan); // replaces in place for an existing key
+        drop(shard);
+        if self.obs.enabled() {
+            self.obs.emit(TraceEvent::PlanSwapped {
+                fp: (&key).into(),
+                variant: variant.into(),
+                generation,
+            });
+            if let Some(out) = &evicted {
+                self.obs.emit(TraceEvent::CacheEvicted {
+                    fp: out.fingerprint().into(),
+                });
+            }
+        }
         generation
     }
 
@@ -296,6 +347,10 @@ impl ConcurrentPlanCache {
         let cell = shard.generation_cell(key);
         let generation = cell.load(Ordering::Acquire);
         if let Some(plan) = shard.lru.get_matching(key, &matches) {
+            drop(shard);
+            if self.obs.enabled() {
+                self.obs.emit(TraceEvent::CacheHit { fp: key.into() });
+            }
             return Ok((plan, cell, generation, true));
         }
         // Miss: prune generation cells nobody can observe anymore (no
@@ -305,7 +360,16 @@ impl ConcurrentPlanCache {
             .generations
             .retain(|k, c| k == key || Arc::strong_count(c) > 1 || c.load(Ordering::Relaxed) > 0);
         let plan = Arc::new(build()?);
-        shard.lru.insert(Arc::clone(&plan));
+        let evicted = shard.lru.insert(Arc::clone(&plan));
+        drop(shard);
+        if self.obs.enabled() {
+            self.obs.emit(TraceEvent::CacheMiss { fp: key.into() });
+            if let Some(out) = &evicted {
+                self.obs.emit(TraceEvent::CacheEvicted {
+                    fp: out.fingerprint().into(),
+                });
+            }
+        }
         Ok((plan, cell, generation, false))
     }
 

@@ -141,6 +141,15 @@ impl PatternFingerprint {
     }
 }
 
+/// The observability identity of a fingerprint: its two hash streams.
+/// Shape totals are dropped — 128 bits already identify the structure for
+/// tracing and metric labels.
+impl From<&PatternFingerprint> for doacross_obs::FpId {
+    fn from(fp: &PatternFingerprint) -> Self {
+        doacross_obs::FpId(fp.hash, fp.hash2)
+    }
+}
+
 impl std::fmt::Display for PatternFingerprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -35,6 +35,21 @@ pub enum PlanVariant {
     Wavefront,
 }
 
+/// Collapses a variant to its observability family (payloads dropped:
+/// candidates are priced and counted per family).
+impl From<PlanVariant> for doacross_obs::ObsVariant {
+    fn from(v: PlanVariant) -> Self {
+        match v {
+            PlanVariant::Sequential => doacross_obs::ObsVariant::Sequential,
+            PlanVariant::Doacross => doacross_obs::ObsVariant::Doacross,
+            PlanVariant::Linear(_) => doacross_obs::ObsVariant::Linear,
+            PlanVariant::Reordered => doacross_obs::ObsVariant::Reordered,
+            PlanVariant::Blocked { .. } => doacross_obs::ObsVariant::Blocked,
+            PlanVariant::Wavefront => doacross_obs::ObsVariant::Wavefront,
+        }
+    }
+}
+
 impl std::fmt::Display for PlanVariant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -75,6 +90,19 @@ impl VariantCosts {
             PlanVariant::Blocked { .. } => self.blocked,
             PlanVariant::Wavefront => self.wavefront,
         }
+    }
+
+    /// All candidate prices in `doacross_obs::ObsVariant::index` order —
+    /// the shape the tracing layer records with each plan build.
+    pub fn as_candidate_prices(&self) -> doacross_obs::CandidatePrices {
+        [
+            Some(self.sequential),
+            self.doacross,
+            self.linear,
+            self.reordered,
+            self.blocked,
+            self.wavefront,
+        ]
     }
 }
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# bench_gate.sh — the bench-trajectory gate (stub).
+#
+# The repo commits machine-readable benchmark snapshots (BENCH_*.json) so
+# perf claims are reviewable alongside the code that made them. This gate
+# keeps those snapshots honest in two tiers:
+#
+#   default        structural gate (cheap, runs in CI): every committed
+#                  BENCH_*.json must parse, carry its expected problem
+#                  keys and metrics, and satisfy its internal invariants
+#                  (e.g. the observability overhead recorded must be
+#                  within the bound the snapshot itself declares).
+#
+#   --measure      trajectory gate (expensive, run on a quiet host):
+#                  regenerates each snapshot with the bench binaries and
+#                  fails if a tracked per-solve metric regressed by more
+#                  than THRESHOLD_PCT (default 50 — wide, because these
+#                  are wall-clock numbers on whatever host runs this; the
+#                  gate catches order-of-magnitude cliffs, not jitter).
+#
+# Exit nonzero on any violation, loudly.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v jq >/dev/null || { echo "bench_gate: jq is required" >&2; exit 2; }
+
+THRESHOLD_PCT="${THRESHOLD_PCT:-50}"
+PROBLEMS=(SPE2 SPE5 "5-PT" "7-PT" "9-PT")
+fail=0
+
+say() { printf '%s\n' "$*"; }
+violation() { say "bench_gate: FAIL: $*" >&2; fail=1; }
+
+# require_metric FILE PROBLEM METRIC — the key must exist and be a number.
+require_metric() {
+  local file="$1" prob="$2" metric="$3"
+  jq -e --arg p "$prob" --arg m "$metric" \
+    '.[$p][$m] | numbers' "$file" >/dev/null 2>&1 ||
+    violation "$file: missing numeric .$prob.$metric"
+}
+
+check_structure() {
+  local file="$1"; shift
+  [ -f "$file" ] || { violation "$file: committed snapshot is missing"; return; }
+  jq -e . "$file" >/dev/null 2>&1 || { violation "$file: not valid JSON"; return; }
+  local prob metric
+  for prob in "${PROBLEMS[@]}"; do
+    for metric in "$@"; do
+      require_metric "$file" "$prob" "$metric"
+    done
+  done
+  say "bench_gate: $file: structure OK"
+}
+
+check_structure BENCH_wavefront.json doacross_ns wavefront_ns wait_polls levels rows
+check_structure BENCH_adaptive.json static_ns adaptive_ns trials promotions samples
+check_structure BENCH_obs.json off_ns on_ns overhead trace_events
+
+# Internal invariant: every overhead the obs snapshot records must sit
+# within the bound the snapshot itself declares.
+if [ -f BENCH_obs.json ]; then
+  bound="$(jq -r '._meta.bound // empty' BENCH_obs.json)"
+  if [ -z "$bound" ]; then
+    violation "BENCH_obs.json: missing ._meta.bound"
+  else
+    while read -r prob over; do
+      if jq -n --argjson o "$over" --argjson b "$bound" '$o > $b' | grep -qx true; then
+        violation "BENCH_obs.json: $prob overhead $over exceeds declared bound $bound"
+      fi
+    done < <(jq -r 'to_entries[] | select(.key != "_meta") | "\(.key) \(.value.overhead)"' BENCH_obs.json)
+    say "bench_gate: BENCH_obs.json: overheads within declared bound ${bound}x"
+  fi
+fi
+
+# --- trajectory mode -------------------------------------------------------
+
+# compare FILE METRIC FRESH_DIR — fresh metric may not exceed committed by
+# more than THRESHOLD_PCT, per problem.
+compare() {
+  local file="$1" metric="$2" fresh_dir="$3" prob committed fresh limit
+  for prob in "${PROBLEMS[@]}"; do
+    committed="$(jq -r --arg p "$prob" --arg m "$metric" '.[$p][$m]' "$file")"
+    fresh="$(jq -r --arg p "$prob" --arg m "$metric" '.[$p][$m]' "$fresh_dir/$file")"
+    limit="$(jq -n --argjson c "$committed" --argjson t "$THRESHOLD_PCT" '$c * (1 + $t / 100)')"
+    if jq -n --argjson f "$fresh" --argjson l "$limit" '$f > $l' | grep -qx true; then
+      violation "$file: $prob.$metric regressed: committed $committed, fresh $fresh (> +${THRESHOLD_PCT}%)"
+    else
+      say "bench_gate: $file: $prob.$metric ok (committed $committed, fresh $fresh)"
+    fi
+  done
+}
+
+if [ "${1:-}" = "--measure" ]; then
+  fresh_dir="$(mktemp -d)"
+  trap 'rm -rf "$fresh_dir"' EXIT
+  say "bench_gate: regenerating snapshots (this runs the bench binaries)..."
+  cargo build --release -p doacross-bench --bins
+  for bin in wavefront adaptive obs; do
+    (cd "$fresh_dir" && "$OLDPWD/target/release/$bin" >/dev/null)
+  done
+  compare BENCH_wavefront.json wavefront_ns "$fresh_dir"
+  compare BENCH_adaptive.json adaptive_ns "$fresh_dir"
+  compare BENCH_obs.json on_ns "$fresh_dir"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  say "bench_gate: violations found" >&2
+  exit 1
+fi
+say "bench_gate: all checks passed"

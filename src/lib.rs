@@ -82,6 +82,20 @@
 //! `cargo run --release -p doacross-bench --bin warm` measures the
 //! first-solve gap it closes.
 //!
+//! ## Observability
+//!
+//! `Engine::builder().observability_default()` turns on the [`obs`]
+//! layer: every plan build, cache operation, persistence operation,
+//! adaptive decision, and completed solve emits a structured
+//! [`TraceEvent`] into a bounded in-memory ring; `Engine::metrics_text()`
+//! renders the whole registry — cache traffic, per-variant solve-latency
+//! histograms, adaptive decision counts, per-structure series — in
+//! Prometheus text-exposition format (`Engine::metrics_json()` is the
+//! same payload as JSON); and `Engine::recent_solves()` is a flight
+//! recorder of the last N solves with variant, provenance, and timing
+//! split. Disabled (the default), the whole layer is one branch per
+//! would-be event. `examples/observe.rs` walks the surface.
+//!
 //! ## The workspace underneath
 //!
 //! * [`engine`] — the session layer re-exported above: [`Engine`],
@@ -106,6 +120,9 @@
 //!   behind warm starts. The wavefront variant converts the doacross into
 //!   barrier-separated level doalls — zero busy-wait polls — whenever the
 //!   cost model predicts the flag bill exceeds the barrier bill.
+//! * [`obs`] — the observability layer: the trace-event vocabulary, the
+//!   metrics registry and Prometheus/JSON renderers, and the flight
+//!   recorder. Zero dependencies; every other crate emits into it.
 //! * [`adapt`] — the adaptive-planning subsystem behind
 //!   `Engine::builder().adaptive()`: per-`(structure, variant)` runtime
 //!   telemetry, online cost-model refinement (measured `wait_poll` /
@@ -121,6 +138,7 @@ pub use doacross_adapt as adapt;
 pub use doacross_core as core;
 pub use doacross_doconsider as doconsider;
 pub use doacross_engine as engine;
+pub use doacross_obs as obs;
 pub use doacross_par as par;
 pub use doacross_plan as plan;
 pub use doacross_sim as sim;
@@ -128,6 +146,7 @@ pub use doacross_sparse as sparse;
 pub use doacross_trisolve as trisolve;
 
 pub use doacross_engine::{Engine, EngineBuilder, EngineError, PreparedLoop};
+pub use doacross_obs::{ObsConfig, ObsSink, SolveRecord, TraceEvent};
 pub use doacross_plan::{PersistError, PlanStore};
 
 /// Pre-engine compatibility surface, kept while the deprecated entry

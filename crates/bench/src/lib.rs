@@ -34,6 +34,12 @@
 //!   on warmed engines, plus the direct price of the disabled path's
 //!   branch check; writes the machine-readable `BENCH_obs.json`.
 //!   Regenerate with `cargo run -p doacross-bench --release --bin obs`.
+//! * [`throughput`] — concurrent-tenant throughput through the multi-pool
+//!   scheduler (solves/sec at 1/4/16 tenants), the dispatcher's per-solve
+//!   tax (single- vs. multi-pool, no-regression bound on serial hosts),
+//!   and batched-submission amortization; writes the machine-readable
+//!   `BENCH_throughput.json`. Regenerate with
+//!   `cargo run -p doacross-bench --release --bin throughput`.
 //! * [`report`] — plain-text table rendering shared by the binaries.
 //!
 //! Every binary prints both the **simulated 16-processor** numbers (the
@@ -47,6 +53,7 @@ pub mod host;
 pub mod obs;
 pub mod report;
 pub mod table1;
+pub mod throughput;
 pub mod warm;
 pub mod wavefront;
 

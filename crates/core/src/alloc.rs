@@ -1,0 +1,96 @@
+//! [`CountingAllocator`]: a global-allocator wrapper that counts heap
+//! allocations per thread — the measurement hook behind the ROADMAP's
+//! zero-allocation steady-state audit.
+//!
+//! The paper's amortization argument is about *work*: preprocessing paid
+//! once, executions thereafter touching only pre-sized scratch. The same
+//! discipline should hold for memory — a warm solve on the flat planned
+//! path must not allocate at all. This module makes that claim testable:
+//! a bench/test binary installs
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: doacross_core::alloc::CountingAllocator =
+//!     doacross_core::alloc::CountingAllocator;
+//! ```
+//!
+//! and every allocation (alloc, alloc_zeroed, realloc) made by the
+//! *current thread* bumps a thread-local counter readable via
+//! [`thread_allocations`]. The engine samples that counter around each
+//! solve and reports the delta in `RunStats::allocations` — exactly 0 on
+//! a warm flat-doacross solve, and 0 everywhere the counting allocator is
+//! not installed (the counter never advances under the system allocator).
+//!
+//! Per-thread counting is deliberate: it isolates the dispatching
+//! thread's steady-state path from unrelated threads in the same process
+//! (test harnesses, other tenants), which a process-global counter would
+//! conflate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Allocations made by this thread since it started, counted only
+    /// while [`CountingAllocator`] is the global allocator.
+    ///
+    /// `const`-initialized and `Drop`-free, so reading it from inside the
+    /// allocator can never recurse or touch a destroyed TLS slot.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations the current thread has made so far (0 unless
+/// [`CountingAllocator`] is installed as the global allocator). Sample
+/// before and after a region; the difference is the region's bill.
+pub fn thread_allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+/// The system allocator with per-thread allocation counting (see module
+/// docs). Deallocation is free of charge: the audit targets allocation
+/// pressure, and counting frees would double-bill every temporary.
+pub struct CountingAllocator;
+
+#[inline]
+fn count_one() {
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: defers entirely to `System`; the counter is a `Drop`-free,
+// const-initialized thread local, so updating it allocates nothing and
+// cannot recurse into the allocator.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_reads_zero_under_the_system_allocator() {
+        // This test binary does not install CountingAllocator, so the
+        // counter must never advance — the RunStats::allocations field is
+        // exactly 0 in ordinary builds.
+        let before = thread_allocations();
+        let v: Vec<u64> = (0..1024).collect();
+        assert_eq!(v.len(), 1024);
+        assert_eq!(thread_allocations(), before);
+    }
+}

@@ -88,6 +88,7 @@
 //! assert_eq!(stats.iterations, 5);
 //! ```
 
+pub mod alloc;
 pub mod blocked;
 pub mod error;
 pub mod executor;

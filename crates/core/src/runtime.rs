@@ -81,6 +81,9 @@ pub struct Doacross {
     iter: IterMap,
     ready: ReadyFlags,
     ynew: Vec<f64>,
+    /// Per-worker counter cells, reused across runs (grow-don't-shrink +
+    /// reset after drain) so a warm solve allocates nothing.
+    sink: StatsSink,
 }
 
 impl Doacross {
@@ -103,6 +106,7 @@ impl Doacross {
             iter: IterMap::new(data_len),
             ready: ReadyFlags::new(data_len),
             ynew: vec![0.0; data_len],
+            sink: StatsSink::new(0),
         }
     }
 
@@ -228,6 +232,7 @@ impl Doacross {
         // Phases 2 + 3: executor (Figure 5), then postprocessor (Figure 3,
         // right) — the post pass clears this run's `iter` entries to
         // restore the reuse invariant.
+        self.sink.ensure_workers(pool.threads());
         let oracle = InspectedWriter::new(&self.iter, 0..data_len);
         exec_and_post(
             pool,
@@ -239,6 +244,7 @@ impl Doacross {
             &oracle,
             order,
             Some(&self.iter),
+            &self.sink,
             &mut stats,
         );
         stats.total = t_start.elapsed();
@@ -305,6 +311,7 @@ impl Doacross {
 
         // Executor + postprocessor; `post_map: None` — the prepared
         // artifact must survive this run, only the `ready` flags reset.
+        self.sink.ensure_workers(pool.threads());
         let oracle = prepared.oracle();
         exec_and_post(
             pool,
@@ -316,6 +323,7 @@ impl Doacross {
             &oracle,
             order,
             None,
+            &self.sink,
             &mut stats,
         );
         stats.total = t_start.elapsed();
@@ -374,7 +382,9 @@ impl Doacross {
 /// (oracle over the runtime's own scratch map, which the post pass clears)
 /// and [`Doacross::run_planned`] (oracle over a persistent prepared map,
 /// `post_map: None`). Fills `stats.executor`, `stats.post`, and the
-/// executor-side counters.
+/// executor-side counters. `sink` is the caller's reusable per-worker
+/// counter scratch, already sized for the pool (drained into `stats` and
+/// reset before returning) — no allocation happens here.
 #[allow(clippy::too_many_arguments)]
 fn exec_and_post<L: DoacrossLoop + ?Sized>(
     pool: &ThreadPool,
@@ -386,13 +396,13 @@ fn exec_and_post<L: DoacrossLoop + ?Sized>(
     oracle: &InspectedWriter<'_>,
     order: Option<&[usize]>,
     post_map: Option<&IterMap>,
+    sink: &StatsSink,
     stats: &mut RunStats,
 ) {
     let n = loop_.iterations();
 
     // Executor (Figure 5).
     let t1 = Instant::now();
-    let sink = StatsSink::new(pool.threads());
     {
         let y_view = SharedSlice::new(y);
         let ynew_view = SharedSlice::new(&mut ynew[..]);
@@ -408,11 +418,12 @@ fn exec_and_post<L: DoacrossLoop + ?Sized>(
             ynew_view,
             ready,
             0,
-            &sink,
+            sink,
         );
     }
     stats.executor = t1.elapsed();
     sink.drain_into(stats);
+    sink.reset();
 
     // Postprocessor (Figure 3, right), with copy-back unless the caller
     // reads results from the shadow array.

@@ -112,6 +112,12 @@ pub struct RunStats {
     /// run (its synchronization bill, which `wait_polls == 0` by
     /// construction would otherwise hide), 0 for the flag-based variants.
     pub barrier_crossings: u64,
+    /// Heap allocations the dispatching thread made during the solve —
+    /// the zero-allocation-audit counter. Always 0 unless the process
+    /// installed [`crate::alloc::CountingAllocator`] as its global
+    /// allocator (bench/test profiles); a warm solve on the flat planned
+    /// path reports exactly 0 even then.
+    pub allocations: u64,
     /// Where this run's preprocessing came from (inline inspection vs. a
     /// prebuilt or cached execution plan).
     pub provenance: PlanProvenance,
@@ -144,6 +150,7 @@ impl RunStats {
         self.stalls += other.stalls;
         self.wait_polls += other.wait_polls;
         self.barrier_crossings += other.barrier_crossings;
+        self.allocations += other.allocations;
         // Coldest wins: the aggregate claims only as much plan
         // amortization as its coldest constituent actually had. Absorbing
         // a PlanCold block into a PlanCached aggregate must not keep
@@ -218,6 +225,35 @@ impl StatsSink {
         Self { cells }
     }
 
+    /// Grows the sink to cover `workers` cells (never shrinks). Runtimes
+    /// keep one sink as scratch and call this before each region, so warm
+    /// solves allocate nothing — part of the zero-allocation steady state.
+    /// Cells beyond the active worker count stay zero and drain as zeros.
+    pub fn ensure_workers(&mut self, workers: usize) {
+        if workers > self.cells.len() {
+            self.cells
+                .resize_with(workers, || CachePadded::new(SinkCell::default()));
+        }
+    }
+
+    /// Number of per-worker cells currently allocated.
+    pub fn workers(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Zeroes every cell, restoring the reuse invariant after a
+    /// [`StatsSink::drain_into`]. Relaxed stores suffice: reset happens
+    /// between regions, with no workers depositing.
+    pub fn reset(&self) {
+        for c in &self.cells {
+            c.true_deps.store(0, Ordering::Relaxed);
+            c.anti_or_unwritten.store(0, Ordering::Relaxed);
+            c.intra.store(0, Ordering::Relaxed);
+            c.stalls.store(0, Ordering::Relaxed);
+            c.wait_polls.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Adds a worker's locally-accumulated counters. Relaxed ordering is
     /// sufficient: the pool's region join orders these stores before the
     /// dispatcher's reads in [`StatsSink::drain_into`].
@@ -279,6 +315,44 @@ mod tests {
         assert_eq!(stats.deps.intra, 9);
         assert_eq!(stats.stalls, 12);
         assert_eq!(stats.wait_polls, 15);
+    }
+
+    #[test]
+    fn sink_grows_resets_and_reuses() {
+        let mut sink = StatsSink::new(0);
+        sink.ensure_workers(2);
+        assert_eq!(sink.workers(), 2);
+        sink.ensure_workers(1);
+        assert_eq!(sink.workers(), 2, "never shrinks");
+        sink.deposit(
+            1,
+            LocalCounters {
+                true_deps: 3,
+                stalls: 1,
+                ..Default::default()
+            },
+        );
+        let mut stats = RunStats::default();
+        sink.drain_into(&mut stats);
+        assert_eq!(stats.deps.true_deps, 3);
+        sink.reset();
+        let mut again = RunStats::default();
+        sink.drain_into(&mut again);
+        assert_eq!(again.deps.true_deps, 0, "reset restores the invariant");
+        assert_eq!(again.stalls, 0);
+    }
+
+    #[test]
+    fn absorb_accumulates_allocations() {
+        let mut a = RunStats {
+            allocations: 2,
+            ..Default::default()
+        };
+        a.absorb(&RunStats {
+            allocations: 5,
+            ..Default::default()
+        });
+        assert_eq!(a.allocations, 7);
     }
 
     #[test]

@@ -370,7 +370,7 @@ impl AdaptiveRuntime {
         // Build the challenger with the refined model: same census path,
         // same validation, same artifacts as any cold plan build.
         let built = match Planner::with_costs(refined_model).plan_with_fingerprint(
-            &inner.pool,
+            inner.pools.primary(),
             loop_,
             *plan.fingerprint(),
         ) {

@@ -8,7 +8,6 @@ use crate::error::EngineError;
 use doacross_adapt::AdaptiveConfig;
 use doacross_core::DoacrossConfig;
 use doacross_obs::{ColdStartReason, Obs, ObsConfig, TraceEvent};
-use doacross_par::ThreadPool;
 use doacross_plan::{
     default_shard_count, ConcurrentPlanCache, PersistError, PlanStore, Planner, StoredCalibration,
 };
@@ -42,6 +41,8 @@ pub const CALIBRATION_REPS: usize = 3;
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
     workers: Option<usize>,
+    pools: Option<usize>,
+    max_pending: usize,
     cache_capacity: usize,
     shards: Option<usize>,
     planner: Planner,
@@ -67,6 +68,8 @@ impl EngineBuilder {
     pub fn new() -> Self {
         Self {
             workers: None,
+            pools: None,
+            max_pending: doacross_sched::DEFAULT_MAX_PENDING,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             shards: None,
             planner: Planner::new(),
@@ -86,6 +89,38 @@ impl EngineBuilder {
     /// [`EngineBuilder::build`] panics if `workers` is 0.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Scheduler sub-pool count: the engine's workers are partitioned
+    /// into `pools` independent thread pools of
+    /// [`EngineBuilder::workers`] threads each, and every solve leases
+    /// exactly one — so up to `pools` solves from concurrent tenants
+    /// execute truly in parallel instead of serializing at region
+    /// dispatch. Each sub-pool keeps its own scratch-executor stack, so
+    /// the paper's scratch-reuse economics survive multi-tenancy.
+    ///
+    /// Defaults to the host's available parallelism divided by the worker
+    /// count (at least 1): a 16-way host with `workers(4)` gets 4
+    /// sub-pools; a 1-core container gets 1 and behaves exactly like the
+    /// historical single-pool engine.
+    ///
+    /// # Panics
+    /// [`EngineBuilder::build`] panics if `pools` is 0 or exceeds
+    /// [`doacross_sched::MAX_POOLS`].
+    pub fn pools(mut self, pools: usize) -> Self {
+        self.pools = Some(pools);
+        self
+    }
+
+    /// Bounded solve admission: when every sub-pool is busy, up to
+    /// `max_pending` callers block waiting for one to free; the next
+    /// caller is refused with [`crate::EngineError::Saturated`] instead
+    /// of queueing without bound. `0` means never wait — refuse the
+    /// moment all sub-pools are busy. Defaults to
+    /// [`doacross_sched::DEFAULT_MAX_PENDING`].
+    pub fn max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending;
         self
     }
 
@@ -225,6 +260,15 @@ impl EngineBuilder {
                 .unwrap_or(2)
                 .min(8)
         });
+        let pools = self
+            .pools
+            .unwrap_or_else(|| {
+                let avail = std::thread::available_parallelism()
+                    .map(|v| v.get())
+                    .unwrap_or(1);
+                (avail / workers.max(1)).max(1)
+            })
+            .min(doacross_sched::MAX_POOLS);
         let obs = self
             .observability
             .map(Obs::new)
@@ -275,7 +319,7 @@ impl EngineBuilder {
         let mut cache = ConcurrentPlanCache::new(self.cache_capacity, shards);
         cache.set_obs(obs.clone());
         let engine = Engine::from_parts(
-            ThreadPool::new(workers),
+            doacross_sched::PoolSet::new(pools, workers, self.max_pending),
             planner,
             self.config,
             cache,

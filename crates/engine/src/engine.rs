@@ -9,10 +9,10 @@ use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, PlanProvenance,
 use doacross_obs::{render, Obs, ObsProvenance, SolveRecord, TraceEvent, TracedEvent};
 use doacross_par::ThreadPool;
 use doacross_plan::{
-    CacheStats, ConcurrentPlanCache, ExecutionPlan, PatternFingerprint, PlanExecutor, PlanStore,
+    CacheStats, ConcurrentPlanCache, ExecutionPlan, ExecutorPool, PatternFingerprint, PlanStore,
     Planner, ShardStats, StoredCalibration,
 };
-use parking_lot::Mutex;
+use doacross_sched::{PoolSet, PoolStats};
 use std::sync::Arc;
 
 /// The observability view of a core provenance. A free function because
@@ -27,7 +27,11 @@ pub(crate) fn obs_provenance(p: PlanProvenance) -> ObsProvenance {
 
 /// Shared state behind every [`Engine`] clone and [`PreparedLoop`] handle.
 pub(crate) struct EngineInner {
-    pub(crate) pool: ThreadPool,
+    /// The scheduler: engine workers partitioned into sub-pools, each an
+    /// independent [`ThreadPool`], behind a lock-light dispatcher with
+    /// bounded admission. One sub-pool (the default on small hosts)
+    /// behaves exactly like the old single-pool engine.
+    pub(crate) pools: PoolSet,
     pub(crate) planner: Planner,
     pub(crate) config: DoacrossConfig,
     pub(crate) cache: ConcurrentPlanCache,
@@ -41,11 +45,13 @@ pub(crate) struct EngineInner {
     /// built with [`EngineBuilder::observability`] — then each emit is a
     /// single branch).
     pub(crate) obs: Obs,
-    /// Checked-out-and-returned scratch executors: each concurrent
-    /// execution borrows a private one (per-variant scratch arrays are
-    /// `&mut` state), and returning it keeps the paper's scratch-reuse
-    /// economics across calls. Grows to the peak concurrency ever seen.
-    executors: Mutex<Vec<PlanExecutor>>,
+    /// Checked-out-and-returned scratch executors, one stack per
+    /// sub-pool: each concurrent execution borrows a private one
+    /// (per-variant scratch arrays are `&mut` state), and returning it to
+    /// the stack of the sub-pool it ran on keeps the paper's
+    /// scratch-reuse economics across calls *and* tenants. Grows to the
+    /// peak per-pool concurrency ever seen.
+    pub(crate) executors: ExecutorPool,
 }
 
 impl EngineInner {
@@ -63,14 +69,32 @@ impl EngineInner {
         from_cache: bool,
         generation: u64,
     ) -> Result<RunStats, EngineError> {
-        let mut executor = self
-            .executors
-            .lock()
-            .pop()
-            .unwrap_or_else(|| PlanExecutor::new(self.config));
-        let result = executor.execute(&self.pool, loop_, y, plan);
-        self.executors.lock().push(executor);
+        // Every solve passes through the same bounded admission gate —
+        // uniform saturation semantics, and the per-pool dispatch
+        // accounting reconciles exactly with the solve totals.
+        let trace_dispatch = self.obs.enabled() && self.pools.pools() > 1;
+        let wait_started = trace_dispatch.then(std::time::Instant::now);
+        let guard = self.pools.acquire()?;
+        let pool_index = guard.index();
+        if let Some(t0) = wait_started {
+            self.obs.emit(TraceEvent::PoolDispatched {
+                pool: pool_index as u64,
+                stolen: guard.stolen(),
+                wait_ns: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            });
+        }
+        let mut executor = self.executors.checkout(pool_index);
+        let allocs_before = doacross_core::alloc::thread_allocations();
+        let result = executor.execute(guard.pool(), loop_, y, plan);
+        let allocations = doacross_core::alloc::thread_allocations() - allocs_before;
+        self.executors.restore(pool_index, executor);
+        drop(guard);
         let mut stats = result.map_err(EngineError::from)?;
+        // The dispatching thread's heap-allocation bill for this solve —
+        // exactly 0 on a warm flat-doacross solve, and always 0 unless
+        // the audit allocator (`doacross_core::alloc::CountingAllocator`)
+        // is installed.
+        stats.allocations = allocations;
         // Stamped here, before the observability and adaptive hooks, so
         // both see the solve the caller will see.
         stats.provenance = if from_cache {
@@ -95,6 +119,7 @@ impl EngineInner {
                     stalls: stats.stalls,
                     wait_polls: stats.wait_polls,
                     barrier_crossings: stats.barrier_crossings,
+                    pool: pool_index as u64,
                 },
             });
         }
@@ -148,7 +173,7 @@ impl Engine {
     }
 
     pub(crate) fn from_parts(
-        pool: ThreadPool,
+        pools: PoolSet,
         planner: Planner,
         config: DoacrossConfig,
         cache: ConcurrentPlanCache,
@@ -156,30 +181,62 @@ impl Engine {
         adaptive: Option<AdaptiveRuntime>,
         obs: Obs,
     ) -> Self {
+        let executors = ExecutorPool::new(config, pools.pools());
         Self {
             inner: Arc::new(EngineInner {
-                pool,
+                pools,
                 planner,
                 config,
                 cache,
                 calibration,
                 adaptive,
                 obs,
-                executors: Mutex::new(Vec::new()),
+                executors,
             }),
         }
     }
 
-    /// Worker ("processor") count of the owned pool.
+    /// Worker ("processor") count each solve runs on — the paper's `p`,
+    /// per scheduler sub-pool. Total capacity is
+    /// [`Engine::total_workers`].
     pub fn threads(&self) -> usize {
-        self.inner.pool.threads()
+        self.inner.pools.workers_per_pool()
     }
 
-    /// The owned thread pool — for running non-plan work (other solvers,
-    /// the simulator's calibration loops) on the engine's workers instead
-    /// of spawning a second pool.
+    /// The primary sub-pool's thread pool — for running non-plan work
+    /// (other solvers, the simulator's calibration loops) on the engine's
+    /// workers instead of spawning a second pool.
     pub fn pool(&self) -> &ThreadPool {
-        &self.inner.pool
+        self.inner.pools.primary()
+    }
+
+    /// Scheduler sub-pool count ([`crate::EngineBuilder::pools`]).
+    pub fn pools(&self) -> usize {
+        self.inner.pools.pools()
+    }
+
+    /// Workers across all sub-pools (`pools() × threads()`).
+    pub fn total_workers(&self) -> usize {
+        self.inner.pools.total_workers()
+    }
+
+    /// Callers allowed to wait for a free sub-pool before admission
+    /// refuses with [`EngineError::Saturated`]
+    /// ([`crate::EngineBuilder::max_pending`]).
+    pub fn max_pending(&self) -> usize {
+        self.inner.pools.max_pending()
+    }
+
+    /// Solve admissions refused with [`EngineError::Saturated`] so far.
+    pub fn saturations(&self) -> u64 {
+        self.inner.pools.saturations()
+    }
+
+    /// Per-sub-pool dispatch and steal counters, in pool order. The
+    /// dispatch sum reconciles exactly with the solves this engine has
+    /// admitted (every solve leases exactly one sub-pool).
+    pub fn pool_stats(&self) -> Vec<PoolStats> {
+        self.inner.pools.stats()
     }
 
     /// The planner selecting and pricing variants.
@@ -240,7 +297,10 @@ impl Engine {
         pattern: &P,
     ) -> Result<PreparedLoop, EngineError> {
         let fingerprint = PatternFingerprint::of(pattern);
-        let processors = self.inner.pool.threads();
+        // Plans are priced for one sub-pool's worker count — the
+        // parallelism a solve actually gets — and planning-time probes run
+        // on the primary sub-pool.
+        let processors = self.inner.pools.workers_per_pool();
         let (plan, generation_cell, generation, hit) = self.inner.cache.get_or_build(
             &fingerprint,
             // A plan priced for a different worker count computes the same
@@ -248,9 +308,11 @@ impl Engine {
             // and replan (the insert replaces the stale entry).
             |plan| plan.processors() == processors,
             || {
-                self.inner
-                    .planner
-                    .plan_with_fingerprint(&self.inner.pool, pattern, fingerprint)
+                self.inner.planner.plan_with_fingerprint(
+                    self.inner.pools.primary(),
+                    pattern,
+                    fingerprint,
+                )
             },
         )?;
         if !hit && self.inner.obs.enabled() {
@@ -526,6 +588,24 @@ impl Engine {
         );
         render::gauge(
             &mut buf,
+            "doacross_pools",
+            "Scheduler sub-pool count (each sub-pool runs one solve at a time).",
+            self.pools() as u64,
+        );
+        render::gauge(
+            &mut buf,
+            "doacross_max_pending",
+            "Callers allowed to wait for a free sub-pool before Saturated.",
+            self.max_pending() as u64,
+        );
+        render::counter(
+            &mut buf,
+            "doacross_saturations_total",
+            "Solve admissions refused because every sub-pool was busy and the wait queue full.",
+            self.saturations(),
+        );
+        render::gauge(
+            &mut buf,
             "doacross_cache_plans",
             "Execution plans currently cached.",
             self.cache_len() as u64,
@@ -613,8 +693,11 @@ impl Engine {
         let cache = self.cache_stats();
         let _ = write!(
             buf,
-            "{{\"workers\":{},\"cache\":{{\"plans\":{},\"capacity\":{},\"shards\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"insertions\":{}}},\"adaptive\":",
+            "{{\"workers\":{},\"pools\":{},\"max_pending\":{},\"saturations\":{},\"cache\":{{\"plans\":{},\"capacity\":{},\"shards\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"insertions\":{}}},\"adaptive\":",
             self.threads(),
+            self.pools(),
+            self.max_pending(),
+            self.saturations(),
             self.cache_len(),
             self.inner.cache.capacity(),
             self.shards(),

@@ -18,6 +18,18 @@ pub enum EngineError {
         /// The structure's current generation.
         current_generation: u64,
     },
+    /// Solve admission was refused: every scheduler sub-pool was busy and
+    /// the bounded wait queue was already at `max_pending` callers. The
+    /// engine's state is untouched — retry later, shed the request, or
+    /// rebuild with more pools / a deeper queue
+    /// ([`crate::EngineBuilder::pools`] /
+    /// [`crate::EngineBuilder::max_pending`]).
+    Saturated {
+        /// Sub-pool count of the engine's scheduler.
+        pools: usize,
+        /// Callers allowed to wait for a free sub-pool before refusal.
+        max_pending: usize,
+    },
     /// A plan store could not be written, read, or trusted — corrupt
     /// bytes, a truncated file, an unsupported format version, or a
     /// record that failed structural revalidation. Loading never applies
@@ -40,6 +52,15 @@ impl From<PersistError> for EngineError {
     }
 }
 
+impl From<doacross_sched::Saturated> for EngineError {
+    fn from(err: doacross_sched::Saturated) -> Self {
+        EngineError::Saturated {
+            pools: err.pools,
+            max_pending: err.max_pending,
+        }
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -53,6 +74,12 @@ impl std::fmt::Display for EngineError {
                  (handle generation {prepared_generation}, current {current_generation}); \
                  re-prepare to rebuild the plan"
             ),
+            EngineError::Saturated { pools, max_pending } => write!(
+                f,
+                "engine saturated: all {pools} scheduler sub-pool(s) busy and \
+                 {max_pending} caller(s) already waiting; retry, shed load, or \
+                 rebuild with more pools / a deeper admission queue"
+            ),
             EngineError::Persist(err) => write!(f, "{err}"),
             EngineError::Doacross(err) => write!(f, "{err}"),
         }
@@ -64,7 +91,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Doacross(err) => Some(err),
             EngineError::Persist(err) => Some(err),
-            EngineError::StalePlan { .. } => None,
+            EngineError::StalePlan { .. } | EngineError::Saturated { .. } => None,
         }
     }
 }
@@ -93,5 +120,12 @@ mod tests {
         let persist: EngineError = doacross_plan::PersistError::BadMagic.into();
         assert!(persist.to_string().contains("magic"));
         assert!(std::error::Error::source(&persist).is_some());
+
+        let saturated = EngineError::Saturated {
+            pools: 2,
+            max_pending: 0,
+        };
+        assert!(saturated.to_string().contains("saturated"));
+        assert!(std::error::Error::source(&saturated).is_none());
     }
 }

@@ -65,16 +65,22 @@
 //! ```
 
 pub mod adaptive;
+pub mod batch;
 pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod prepared;
 
 pub use adaptive::AdaptiveStats;
+pub use batch::SolveBatch;
 pub use builder::EngineBuilder;
 pub use engine::Engine;
 pub use error::EngineError;
 pub use prepared::PreparedLoop;
+// The scheduler vocabulary ([`EngineBuilder::pools`] /
+// [`EngineBuilder::max_pending`], per-pool accounting behind
+// [`Engine::pool_stats`]), re-exported likewise.
+pub use doacross_sched::{PoolStats, DEFAULT_MAX_PENDING, MAX_POOLS};
 // The persistence vocabulary engine callers need, re-exported so they can
 // save/restore plans without naming doacross-plan directly.
 pub use doacross_plan::{PersistError, PlanStore, StoredCalibration};

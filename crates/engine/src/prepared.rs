@@ -104,6 +104,18 @@ impl PreparedLoop {
         loop_: &L,
         y: &mut [f64],
     ) -> Result<RunStats, EngineError> {
+        self.check_stale()?;
+        // Provenance is stamped inside `execute_plan`, before the
+        // observability and adaptive hooks see the stats.
+        self.inner
+            .execute_plan(loop_, y, &self.plan, self.from_cache, self.generation)
+    }
+
+    /// The typed staleness check behind [`PreparedLoop::execute`], also
+    /// applied per job by the batched path at execute time — a handle
+    /// invalidated while queued in a [`crate::SolveBatch`] fails here and
+    /// never executes.
+    pub(crate) fn check_stale(&self) -> Result<(), EngineError> {
         let current = self.generation_cell.load(Ordering::Acquire);
         if current != self.generation {
             return Err(EngineError::StalePlan {
@@ -112,10 +124,11 @@ impl PreparedLoop {
                 current_generation: current,
             });
         }
-        // Provenance is stamped inside `execute_plan`, before the
-        // observability and adaptive hooks see the stats.
-        self.inner
-            .execute_plan(loop_, y, &self.plan, self.from_cache, self.generation)
+        Ok(())
+    }
+
+    pub(crate) fn plan_arc(&self) -> &Arc<ExecutionPlan> {
+        &self.plan
     }
 
     /// Like [`PreparedLoop::execute`], but leaves `y` untouched and writes

@@ -299,7 +299,14 @@ fn recent_solves_returns_the_last_n_with_variant_and_provenance() {
 
 #[test]
 fn trace_records_the_plan_lifecycle_in_order() {
-    let engine = Engine::builder().workers(2).observability_default().build();
+    // One sub-pool pinned: multi-pool engines interleave
+    // `pool_dispatched` events into the trace, and this test asserts the
+    // exact single-pool lifecycle on any host.
+    let engine = Engine::builder()
+        .workers(2)
+        .pools(1)
+        .observability_default()
+        .build();
     let loop_ = TestLoop::new(250, 1, 8);
     let mut y = loop_.initial_y();
     engine.run(&loop_, &mut y).unwrap();
@@ -366,6 +373,110 @@ fn disabled_observability_is_inert_but_sampled_metrics_remain() {
     // ...but the registry section is absent.
     assert!(!families.contains_key("doacross_solves_total"));
     assert!(engine.metrics_json().contains("\"obs\":{}"));
+}
+
+/// Scheduler and batch observability: on a multi-pool engine the
+/// `doacross_pool_*` / `doacross_batch_*` families (documented at
+/// [`doacross_obs`]'s crate root) render, parse strictly, and reconcile
+/// exactly — per pool — with the scheduler's own dispatch ledger and the
+/// batch the test submitted.
+#[test]
+fn pool_and_batch_metrics_reconcile_with_the_scheduler() {
+    let engine = Engine::builder()
+        .workers(1)
+        .pools(2)
+        .observability_default()
+        .build();
+    let loops: Vec<TestLoop> = [(300usize, 8usize), (400, 7)]
+        .iter()
+        .map(|&(n, l)| TestLoop::new(n, 1, l))
+        .collect();
+
+    // Direct solves: each traces its sub-pool dispatch (pools > 1).
+    let mut direct = 0u64;
+    for _ in 0..2 {
+        for l in &loops {
+            let mut y = l.initial_y();
+            engine.run(l, &mut y).unwrap();
+            direct += 1;
+        }
+    }
+
+    // One batch over prepared handles: jobs demultiplex into one
+    // coalesced region (sequential-variant jobs) plus direct fallbacks.
+    let prepared: Vec<_> = loops.iter().map(|l| engine.prepare(l).unwrap()).collect();
+    let coalesced = prepared
+        .iter()
+        .filter(|p| matches!(p.variant(), doacross_plan::PlanVariant::Sequential))
+        .count() as u64;
+    let mut ys: Vec<Vec<f64>> = loops.iter().map(|l| l.initial_y()).collect();
+    let mut batch = engine.batch();
+    for ((p, l), y) in prepared.iter().zip(&loops).zip(&mut ys) {
+        batch.submit(p, l, y);
+    }
+    let njobs = batch.len() as u64;
+    for result in engine.execute_all(batch) {
+        result.unwrap();
+    }
+
+    let text = engine.metrics_text();
+    let families = parse_prometheus(&text);
+
+    // The scraped dispatch counter reconciles with the scheduler's own
+    // ledger — in total and per pool.
+    let pool_stats = engine.pool_stats();
+    let ledger: u64 = pool_stats.iter().map(|p| p.dispatches).sum();
+    assert_eq!(
+        counter_value(&families, "doacross_pool_dispatches_total") as u64,
+        ledger
+    );
+    for p in &pool_stats {
+        let scraped: f64 = families["doacross_pool_dispatches_total"]
+            .samples
+            .iter()
+            .filter(|(labels, _)| labels.get("pool").is_some_and(|v| *v == p.pool.to_string()))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(scraped as u64, p.dispatches, "pool {} series", p.pool);
+    }
+    assert_eq!(
+        counter_value(&families, "doacross_pool_steals_total") as u64,
+        pool_stats.iter().map(|p| p.steals).sum::<u64>()
+    );
+    assert!(families.contains_key("doacross_pool_wait_ns"));
+    assert!(families.contains_key("doacross_pool_solve_ns"));
+
+    // Batch accounting matches what was submitted.
+    assert_eq!(
+        counter_value(&families, "doacross_batch_submissions_total"),
+        1.0
+    );
+    assert_eq!(
+        counter_value(&families, "doacross_batch_jobs_total") as u64,
+        njobs
+    );
+    assert_eq!(
+        counter_value(&families, "doacross_batch_coalesced_total") as u64,
+        coalesced
+    );
+
+    // Every solve — direct and batched — is counted once, and the
+    // engine-sampled scheduler gauges scrape.
+    assert_eq!(
+        counter_value(&families, "doacross_solves_total") as u64,
+        direct + njobs
+    );
+    assert_eq!(counter_value(&families, "doacross_pools"), 2.0);
+    assert_eq!(counter_value(&families, "doacross_saturations_total"), 0.0);
+
+    // Flight-recorded solves carry an in-range pool stamp, and the JSON
+    // view exports the new counter families.
+    for s in engine.recent_solves() {
+        assert!((s.pool as usize) < engine.pools());
+    }
+    let json = engine.metrics_json();
+    assert!(json.contains("\"pool_dispatches\":"));
+    assert!(json.contains("\"batch_jobs\":"));
 }
 
 #[test]

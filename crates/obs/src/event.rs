@@ -164,6 +164,9 @@ pub struct SolveRecord {
     pub wait_polls: u64,
     /// Barrier crossings (wavefront variant; 0 elsewhere).
     pub barrier_crossings: u64,
+    /// Scheduler sub-pool the solve was dispatched to (0 on a
+    /// single-pool engine).
+    pub pool: u64,
 }
 
 /// Per-candidate predicted prices recorded with a plan build, indexed by
@@ -237,6 +240,24 @@ pub enum TraceEvent {
     /// A solve finished; also feeds the flight recorder and the
     /// latency/counter metrics.
     SolveFinished { record: SolveRecord },
+    /// The multi-pool scheduler routed a solve (or a coalesced batch
+    /// region) to a sub-pool. Emitted by multi-pool engines and the
+    /// batched-submission path; single-pool direct executes stay silent
+    /// so their trace reads exactly as before.
+    PoolDispatched {
+        /// Sub-pool index the work landed on.
+        pool: u64,
+        /// Whether the work-stealing fallback redirected it there (the
+        /// preferred sub-pool was busy).
+        stolen: bool,
+        /// Nanoseconds spent waiting for a free sub-pool (0 on the
+        /// lock-free fast path).
+        wait_ns: u64,
+    },
+    /// `Engine::execute_all` accepted a batch: `jobs` solve jobs total,
+    /// of which `coalesced` were small (sequential-variant) doalls merged
+    /// into one pool region.
+    BatchSubmitted { jobs: u64, coalesced: u64 },
 }
 
 /// A trace-ring entry: the event plus its global sequence number and
@@ -270,6 +291,8 @@ impl TraceEvent {
             TraceEvent::TrialDemoted { .. } => "trial_demoted",
             TraceEvent::BaselineProbed { .. } => "baseline_probed",
             TraceEvent::SolveFinished { .. } => "solve_finished",
+            TraceEvent::PoolDispatched { .. } => "pool_dispatched",
+            TraceEvent::BatchSubmitted { .. } => "batch_submitted",
         }
     }
 }

@@ -61,6 +61,7 @@ mod tests {
             stalls: 0,
             wait_polls: i,
             barrier_crossings: 0,
+            pool: 0,
         }
     }
 

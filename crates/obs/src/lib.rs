@@ -36,6 +36,13 @@
 //! | `doacross_trials_committed_total` | counter | — | Trials that won and were committed. |
 //! | `doacross_trials_demoted_total` | counter | — | Trials that lost and were rolled back. |
 //! | `doacross_baseline_probes_total` | counter | — | Deliberate baseline re-measurements. |
+//! | `doacross_pool_dispatches_total` | counter | `pool` | Solves routed per scheduler sub-pool (bounded; overflow aggregates under `pool="other"`). |
+//! | `doacross_pool_steals_total` | counter | — | Dispatches redirected by the work-stealing fallback (preferred sub-pool busy). |
+//! | `doacross_pool_wait_ns` | histogram | — | Time spent waiting for a free sub-pool (0 on the lock-free fast path). |
+//! | `doacross_pool_solve_ns` | histogram | `pool` | End-to-end solve latency per sub-pool (emitted once any multi-pool dispatch has been traced). |
+//! | `doacross_batch_submissions_total` | counter | — | `execute_all` batches accepted. |
+//! | `doacross_batch_jobs_total` | counter | — | Solve jobs submitted across all batches. |
+//! | `doacross_batch_coalesced_total` | counter | — | Small (sequential-variant) jobs merged into coalesced pool regions. |
 //! | `doacross_trace_events_total` | counter | — | Trace events ever emitted. |
 //! | `doacross_trace_dropped_total` | counter | — | Trace events dropped to bound the ring. |
 //! | `doacross_structure_solves_total` | counter | `fingerprint`, `variant` | Per-structure solve counts (bounded; overflow aggregates under `fingerprint="other"`). |
@@ -63,6 +70,12 @@ pub use metrics::{HistogramSnapshot, VariantLatency};
 
 use flight::FlightRecorder;
 use metrics::Registry;
+
+/// Static `pool` label values for the bounded per-sub-pool series
+/// (indices at or past [`metrics::MAX_POOL_SERIES`] render as `other`).
+const POOL_LABELS: [&str; metrics::MAX_POOL_SERIES] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+];
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -247,6 +260,18 @@ impl Obs {
                     .registry
                     .baseline_probes_total
                     .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::PoolDispatched {
+                pool,
+                stolen,
+                wait_ns,
+            } => {
+                inner
+                    .registry
+                    .record_pool_dispatch(*pool, *stolen, *wait_ns);
+            }
+            TraceEvent::BatchSubmitted { jobs, coalesced } => {
+                inner.registry.record_batch(*jobs, *coalesced);
             }
             TraceEvent::CacheHit { .. }
             | TraceEvent::CacheMiss { .. }
@@ -468,6 +493,98 @@ impl Obs {
             "Deliberate adaptive baseline re-measurements.",
             load(&r.baseline_probes_total),
         );
+
+        // Scheduler sub-pool and batch-submission series. The per-pool
+        // families only appear once a dispatch has been traced, so a
+        // single-pool engine's scrape is byte-for-byte what it was before
+        // the scheduler existed.
+        let mut pool_samples: Vec<([(&str, &str); 1], u64)> = Vec::new();
+        for (i, c) in r.pool_dispatches.iter().enumerate() {
+            let n = load(c);
+            if n > 0 {
+                pool_samples.push(([("pool", POOL_LABELS[i])], n));
+            }
+        }
+        let overflow_dispatches = load(&r.pool_overflow_dispatches);
+        if overflow_dispatches > 0 {
+            pool_samples.push(([("pool", "other")], overflow_dispatches));
+        }
+        if !pool_samples.is_empty() {
+            let pool_refs: Vec<(&[(&str, &str)], u64)> =
+                pool_samples.iter().map(|(l, n)| (&l[..], *n)).collect();
+            render::counter_family(
+                buf,
+                "doacross_pool_dispatches_total",
+                "Solves routed per scheduler sub-pool (overflow under pool=\"other\").",
+                &pool_refs,
+            );
+            render::counter(
+                buf,
+                "doacross_pool_steals_total",
+                "Dispatches redirected by the work-stealing fallback.",
+                load(&r.pool_steals_total),
+            );
+            let (buckets, sum_ns, count) = r.pool_wait_ns.snapshot();
+            let wait_hist = HistogramSnapshot {
+                buckets,
+                sum_ns,
+                count,
+            };
+            render::histogram_family(
+                buf,
+                "doacross_pool_wait_ns",
+                "Time spent waiting for a free scheduler sub-pool in nanoseconds.",
+                &[(&[], &wait_hist)],
+            );
+            let pool_latencies: Vec<([(&str, &str); 1], HistogramSnapshot)> = r
+                .pool_solve_ns
+                .iter()
+                .enumerate()
+                .filter_map(|(i, h)| {
+                    let (buckets, sum_ns, count) = h.snapshot();
+                    (count > 0).then_some((
+                        [("pool", POOL_LABELS[i])],
+                        HistogramSnapshot {
+                            buckets,
+                            sum_ns,
+                            count,
+                        },
+                    ))
+                })
+                .collect();
+            let pool_latency_refs: Vec<(&[(&str, &str)], &HistogramSnapshot)> = pool_latencies
+                .iter()
+                .map(|(labels, h)| (&labels[..], h))
+                .collect();
+            render::histogram_family(
+                buf,
+                "doacross_pool_solve_ns",
+                "End-to-end solve latency in nanoseconds, by scheduler sub-pool.",
+                &pool_latency_refs,
+            );
+        }
+        let batch_submissions = load(&r.batch_submissions_total);
+        if batch_submissions > 0 {
+            render::counter(
+                buf,
+                "doacross_batch_submissions_total",
+                "execute_all batches accepted.",
+                batch_submissions,
+            );
+            render::counter(
+                buf,
+                "doacross_batch_jobs_total",
+                "Solve jobs submitted across all batches.",
+                load(&r.batch_jobs_total),
+            );
+            render::counter(
+                buf,
+                "doacross_batch_coalesced_total",
+                "Small jobs merged into coalesced pool regions.",
+                load(&r.batch_coalesced_total),
+            );
+        }
+
         render::counter(
             buf,
             "doacross_trace_events_total",
@@ -581,7 +698,9 @@ impl Obs {
             buf.push_str("]}");
         }
         buf.push_str("},\"counters\":{");
-        let counters: [(&str, u64); 16] = [
+        let pool_dispatches_total =
+            r.pool_dispatches.iter().map(load).sum::<u64>() + load(&r.pool_overflow_dispatches);
+        let counters: [(&str, u64); 21] = [
             ("wait_polls", load(&r.wait_polls_total)),
             ("stalls", load(&r.stalls_total)),
             ("barrier_crossings", load(&r.barrier_crossings_total)),
@@ -597,6 +716,11 @@ impl Obs {
             ("trials_committed", load(&r.trials_committed_total)),
             ("trials_demoted", load(&r.trials_demoted_total)),
             ("baseline_probes", load(&r.baseline_probes_total)),
+            ("pool_dispatches", pool_dispatches_total),
+            ("pool_steals", load(&r.pool_steals_total)),
+            ("batch_submissions", load(&r.batch_submissions_total)),
+            ("batch_jobs", load(&r.batch_jobs_total)),
+            ("batch_coalesced", load(&r.batch_coalesced_total)),
             ("trace_dropped", inner.trace.dropped()),
         ];
         for (i, (name, value)) in counters.iter().enumerate() {
@@ -612,7 +736,7 @@ impl Obs {
             }
             let _ = write!(
                 buf,
-                "{{\"fingerprint\":\"{}\",\"variant\":\"{}\",\"provenance\":\"{}\",\"generation\":{},\"total_ns\":{},\"stalls\":{},\"wait_polls\":{},\"barrier_crossings\":{}}}",
+                "{{\"fingerprint\":\"{}\",\"variant\":\"{}\",\"provenance\":\"{}\",\"generation\":{},\"total_ns\":{},\"stalls\":{},\"wait_polls\":{},\"barrier_crossings\":{},\"pool\":{}}}",
                 s.fp,
                 s.variant.as_str(),
                 s.provenance.as_str(),
@@ -620,7 +744,8 @@ impl Obs {
                 s.total_ns,
                 s.stalls,
                 s.wait_polls,
-                s.barrier_crossings
+                s.barrier_crossings,
+                s.pool
             );
         }
         buf.push_str("]}");
@@ -648,6 +773,7 @@ mod tests {
                 stalls: 1,
                 wait_polls: 3,
                 barrier_crossings: 0,
+                pool: 0,
             },
         }
     }
@@ -705,6 +831,43 @@ mod tests {
         obs.emit(TraceEvent::CacheMiss { fp: FpId(1, 1) });
         obs.emit(solve_event(FpId(1, 1), ObsVariant::Sequential, 10));
         assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_and_batch_series_render_once_dispatched() {
+        let obs = Obs::new(ObsConfig::default());
+        // Before any dispatch, no pool/batch families at all — a
+        // single-pool engine's scrape is unchanged.
+        let mut quiet = String::new();
+        obs.render_prometheus(&mut quiet);
+        assert!(!quiet.contains("doacross_pool_"));
+        assert!(!quiet.contains("doacross_batch_"));
+
+        obs.emit(TraceEvent::PoolDispatched {
+            pool: 1,
+            stolen: true,
+            wait_ns: 500,
+        });
+        obs.emit(TraceEvent::BatchSubmitted {
+            jobs: 4,
+            coalesced: 3,
+        });
+        obs.emit(solve_event(FpId(1, 1), ObsVariant::Sequential, 10));
+        let mut buf = String::new();
+        obs.render_prometheus(&mut buf);
+        assert!(buf.contains("doacross_pool_dispatches_total{pool=\"1\"} 1"));
+        assert!(buf.contains("doacross_pool_steals_total 1"));
+        assert!(buf.contains("doacross_pool_wait_ns_count 1"));
+        assert!(buf.contains("doacross_pool_solve_ns_bucket{pool=\"0\",le=\"+Inf\"} 1"));
+        assert!(buf.contains("doacross_batch_submissions_total 1"));
+        assert!(buf.contains("doacross_batch_jobs_total 4"));
+        assert!(buf.contains("doacross_batch_coalesced_total 3"));
+
+        let mut json = String::new();
+        obs.render_json(&mut json);
+        assert!(json.contains("\"pool_dispatches\":1"));
+        assert!(json.contains("\"pool_steals\":1"));
+        assert!(json.contains("\"batch_jobs\":4"));
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub const LATENCY_BUCKET_BOUNDS_NS: [u64; 11] = [
 
 const NBUCKETS: usize = LATENCY_BUCKET_BOUNDS_NS.len() + 1; // + the +Inf bucket
 
+/// Distinct sub-pool metric series kept per registry. Dispatches to pools
+/// at or beyond this index aggregate under the `other` label — the same
+/// bounded-cardinality discipline as the per-fingerprint map. Sixteen
+/// covers every realistic partitioning of one engine's workers.
+pub const MAX_POOL_SERIES: usize = 16;
+
 /// A log-scaled latency histogram with an exact sum and count.
 #[derive(Default)]
 pub(crate) struct Histogram {
@@ -111,6 +117,20 @@ pub(crate) struct Registry {
     pub(crate) trials_committed_total: AtomicU64,
     pub(crate) trials_demoted_total: AtomicU64,
     pub(crate) baseline_probes_total: AtomicU64,
+    /// Dispatches per scheduler sub-pool; index [`MAX_POOL_SERIES`] and
+    /// beyond aggregate into [`Registry::pool_overflow_dispatches`].
+    pub(crate) pool_dispatches: [AtomicU64; MAX_POOL_SERIES],
+    pub(crate) pool_overflow_dispatches: AtomicU64,
+    /// Dispatches that the work-stealing fallback redirected.
+    pub(crate) pool_steals_total: AtomicU64,
+    /// Time spent waiting for a free sub-pool (0 on the fast path).
+    pub(crate) pool_wait_ns: Histogram,
+    /// Solve latency per sub-pool (from `SolveFinished`, bounded like
+    /// `pool_dispatches`).
+    pub(crate) pool_solve_ns: [Histogram; MAX_POOL_SERIES],
+    pub(crate) batch_submissions_total: AtomicU64,
+    pub(crate) batch_jobs_total: AtomicU64,
+    pub(crate) batch_coalesced_total: AtomicU64,
     /// Per-structure breakdown, bounded; overflow aggregates under
     /// [`Registry::overflow`].
     pub(crate) per_fp: Mutex<HashMap<FpId, FpMetrics>>,
@@ -129,6 +149,9 @@ impl Registry {
             .fetch_add(record.stalls, Ordering::Relaxed);
         self.barrier_crossings_total
             .fetch_add(record.barrier_crossings, Ordering::Relaxed);
+        if let Some(h) = self.pool_solve_ns.get(record.pool as usize) {
+            h.record(record.total_ns);
+        }
         let mut map = match self.per_fp.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -148,6 +171,26 @@ impl Registry {
     pub(crate) fn record_plan_built(&self, variant: ObsVariant, build_ns: u64) {
         self.plan_builds[variant.index()].fetch_add(1, Ordering::Relaxed);
         self.plan_build_ns.record(build_ns);
+    }
+
+    pub(crate) fn record_pool_dispatch(&self, pool: u64, stolen: bool, wait_ns: u64) {
+        match self.pool_dispatches.get(pool as usize) {
+            Some(c) => c.fetch_add(1, Ordering::Relaxed),
+            None => self
+                .pool_overflow_dispatches
+                .fetch_add(1, Ordering::Relaxed),
+        };
+        if stolen {
+            self.pool_steals_total.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pool_wait_ns.record(wait_ns);
+    }
+
+    pub(crate) fn record_batch(&self, jobs: u64, coalesced: u64) {
+        self.batch_submissions_total.fetch_add(1, Ordering::Relaxed);
+        self.batch_jobs_total.fetch_add(jobs, Ordering::Relaxed);
+        self.batch_coalesced_total
+            .fetch_add(coalesced, Ordering::Relaxed);
     }
 }
 
@@ -204,6 +247,7 @@ mod tests {
                 stalls: 0,
                 wait_polls: 0,
                 barrier_crossings: 0,
+                pool: 0,
             };
             r.record_solve(&record, 4);
         }
@@ -213,5 +257,28 @@ mod tests {
             r.overflow.solves[ObsVariant::Doacross.index()].load(Ordering::Relaxed),
             6
         );
+    }
+
+    #[test]
+    fn pool_series_are_bounded_with_overflow() {
+        let r = Registry::default();
+        r.record_pool_dispatch(0, false, 10);
+        r.record_pool_dispatch(0, true, 10);
+        r.record_pool_dispatch(MAX_POOL_SERIES as u64, false, 10);
+        assert_eq!(r.pool_dispatches[0].load(Ordering::Relaxed), 2);
+        assert_eq!(r.pool_overflow_dispatches.load(Ordering::Relaxed), 1);
+        assert_eq!(r.pool_steals_total.load(Ordering::Relaxed), 1);
+        let (_, _, count) = r.pool_wait_ns.snapshot();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn batch_counters_accumulate() {
+        let r = Registry::default();
+        r.record_batch(8, 5);
+        r.record_batch(2, 0);
+        assert_eq!(r.batch_submissions_total.load(Ordering::Relaxed), 2);
+        assert_eq!(r.batch_jobs_total.load(Ordering::Relaxed), 10);
+        assert_eq!(r.batch_coalesced_total.load(Ordering::Relaxed), 5);
     }
 }

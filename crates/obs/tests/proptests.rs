@@ -25,6 +25,7 @@ fn seeded_record(seed: u64, variant: ObsVariant) -> SolveRecord {
         stalls: seed % 7,
         wait_polls: seed % 11,
         barrier_crossings: 0,
+        pool: 0,
     }
 }
 

@@ -71,6 +71,7 @@
 pub mod cache;
 pub mod census;
 pub mod concurrent;
+pub mod executor_pool;
 pub mod fingerprint;
 pub mod persist;
 pub mod plan;
@@ -80,6 +81,7 @@ pub mod runtime;
 pub use cache::{CacheStats, PlanCache};
 pub use census::PlanCensus;
 pub use concurrent::{default_shard_count, ConcurrentPlanCache, ShardStats};
+pub use executor_pool::ExecutorPool;
 pub use fingerprint::PatternFingerprint;
 pub use persist::{PersistError, PlanStore, StoredCalibration, StoredTelemetry, FORMAT_VERSION};
 pub use plan::{ExecutionPlan, PlanVariant, VariantCosts};

@@ -187,8 +187,15 @@ impl PlanCachedSolver {
         match engine.run(&loop_, &mut y) {
             Ok(stats) => Ok((y, stats)),
             Err(EngineError::Doacross(err)) => Err(err),
-            Err(EngineError::StalePlan { .. } | EngineError::Persist(_)) => {
-                unreachable!("the shim never invalidates or warm-starts its private engine")
+            Err(
+                EngineError::StalePlan { .. }
+                | EngineError::Persist(_)
+                | EngineError::Saturated { .. },
+            ) => {
+                unreachable!(
+                    "the shim never invalidates, warm-starts, or saturates its private engine \
+                     (default admission bounds are far above one caller)"
+                )
             }
         }
     }

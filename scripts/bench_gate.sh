@@ -57,6 +57,38 @@ check_structure BENCH_wavefront.json doacross_ns wavefront_ns wait_polls levels 
 check_structure BENCH_adaptive.json static_ns adaptive_ns trials promotions samples
 check_structure BENCH_obs.json off_ns on_ns overhead trace_events
 
+# BENCH_throughput.json is tenant-keyed, not problem-keyed: every tenant
+# point must carry its throughput metrics, and the _meta no-regression
+# invariant (multi-pool per-solve within the declared bound of
+# single-pool) must hold as recorded.
+check_throughput_structure() {
+  local file="BENCH_throughput.json" t
+  [ -f "$file" ] || { violation "$file: committed snapshot is missing"; return; }
+  jq -e . "$file" >/dev/null 2>&1 || { violation "$file: not valid JSON"; return; }
+  for t in 1 4 16; do
+    local metric
+    for metric in solves_per_sec per_solve_ns; do
+      jq -e --arg k "tenants_$t" --arg m "$metric" '.[$k][$m] | numbers' "$file" >/dev/null 2>&1 ||
+        violation "$file: missing numeric .tenants_$t.$metric"
+    done
+  done
+  local single multi bound asserted
+  single="$(jq -r '._meta.single_pool_per_solve_ns // empty' "$file")"
+  multi="$(jq -r '._meta.multi_pool_per_solve_ns // empty' "$file")"
+  bound="$(jq -r '._meta.pool_overhead_bound // empty' "$file")"
+  asserted="$(jq -r '._meta.bound_asserted // empty' "$file")"
+  if [ -z "$single" ] || [ -z "$multi" ] || [ -z "$bound" ]; then
+    violation "$file: _meta must record single/multi pool per-solve and the bound"
+  elif [ "$asserted" = "true" ]; then
+    if jq -n --argjson m "$multi" --argjson s "$single" --argjson b "$bound" '$m > ($s * $b)' | grep -qx true; then
+      violation "$file: multi-pool per-solve ${multi}ns exceeds ${bound}x single-pool ${single}ns"
+    else
+      say "bench_gate: $file: multi-pool within declared ${bound}x no-regression bound"
+    fi
+  fi
+}
+check_throughput_structure
+
 # Internal invariant: every overhead the obs snapshot records must sit
 # within the bound the snapshot itself declares.
 if [ -f BENCH_obs.json ]; then
@@ -91,17 +123,36 @@ compare() {
   done
 }
 
+# compare_throughput FRESH_DIR — tenant-keyed variant of compare: fresh
+# per-solve latency at each tenant count may not exceed committed by more
+# than THRESHOLD_PCT. (On a multicore host this is also where the real
+# concurrent-speedup trajectory gets re-measured.)
+compare_throughput() {
+  local file="BENCH_throughput.json" fresh_dir="$1" t committed fresh limit
+  for t in 1 4 16; do
+    committed="$(jq -r --arg k "tenants_$t" '.[$k].per_solve_ns' "$file")"
+    fresh="$(jq -r --arg k "tenants_$t" '.[$k].per_solve_ns' "$fresh_dir/$file")"
+    limit="$(jq -n --argjson c "$committed" --argjson t "$THRESHOLD_PCT" '$c * (1 + $t / 100)')"
+    if jq -n --argjson f "$fresh" --argjson l "$limit" '$f > $l' | grep -qx true; then
+      violation "$file: tenants_$t.per_solve_ns regressed: committed $committed, fresh $fresh (> +${THRESHOLD_PCT}%)"
+    else
+      say "bench_gate: $file: tenants_$t.per_solve_ns ok (committed $committed, fresh $fresh)"
+    fi
+  done
+}
+
 if [ "${1:-}" = "--measure" ]; then
   fresh_dir="$(mktemp -d)"
   trap 'rm -rf "$fresh_dir"' EXIT
   say "bench_gate: regenerating snapshots (this runs the bench binaries)..."
   cargo build --release -p doacross-bench --bins
-  for bin in wavefront adaptive obs; do
+  for bin in wavefront adaptive obs throughput; do
     (cd "$fresh_dir" && "$OLDPWD/target/release/$bin" >/dev/null)
   done
   compare BENCH_wavefront.json wavefront_ns "$fresh_dir"
   compare BENCH_adaptive.json adaptive_ns "$fresh_dir"
   compare BENCH_obs.json on_ns "$fresh_dir"
+  compare_throughput "$fresh_dir"
 fi
 
 if [ "$fail" -ne 0 ]; then

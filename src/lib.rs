@@ -96,6 +96,27 @@
 //! split. Disabled (the default), the whole layer is one branch per
 //! would-be event. `examples/observe.rs` walks the surface.
 //!
+//! ## Multi-tenant throughput
+//!
+//! One engine serving many concurrent callers partitions its workers into
+//! **sub-pools** ([`sched`]): `Engine::builder().pools(4).workers(2)`
+//! builds 4 independent 2-worker pools, and each solve is dispatched to a
+//! free pool (stealing a busy one only when all are taken), so tenants
+//! stop serializing on one worker set. Admission is bounded —
+//! `EngineBuilder::max_pending` callers may wait per pool before the
+//! engine fails fast with typed [`EngineError::Saturated`]. By default
+//! `pools` is derived from host parallelism, so a plain
+//! `Engine::builder().build()` already scales out.
+//!
+//! Many *small* solves amortize better submitted together:
+//! `engine.batch()` collects jobs against prepared handles and
+//! `engine.execute_all(batch)` ([`SolveBatch`]) coalesces the
+//! sequential-variant ones into a single pool region — one dispatch, one
+//! region, N solves — while results and [`core::RunStats`] come back
+//! per-job, bit-identical to N serial `execute` calls.
+//! `examples/throughput.rs` walks both; `cargo run --release -p
+//! doacross-bench --bin throughput` measures them.
+//!
 //! ## The workspace underneath
 //!
 //! * [`engine`] — the session layer re-exported above: [`Engine`],
@@ -123,6 +144,11 @@
 //! * [`obs`] — the observability layer: the trace-event vocabulary, the
 //!   metrics registry and Prometheus/JSON renderers, and the flight
 //!   recorder. Zero dependencies; every other crate emits into it.
+//! * [`sched`] — the multi-pool scheduler behind
+//!   `Engine::builder().pools(n)`: worker partitioning, the lock-light
+//!   free-pool dispatcher (CAS on a bitmask, work-stealing fallback), and
+//!   bounded admission with per-pool dispatch/steal accounting
+//!   ([`PoolStats`]).
 //! * [`adapt`] — the adaptive-planning subsystem behind
 //!   `Engine::builder().adaptive()`: per-`(structure, variant)` runtime
 //!   telemetry, online cost-model refinement (measured `wait_poll` /
@@ -141,13 +167,15 @@ pub use doacross_engine as engine;
 pub use doacross_obs as obs;
 pub use doacross_par as par;
 pub use doacross_plan as plan;
+pub use doacross_sched as sched;
 pub use doacross_sim as sim;
 pub use doacross_sparse as sparse;
 pub use doacross_trisolve as trisolve;
 
-pub use doacross_engine::{Engine, EngineBuilder, EngineError, PreparedLoop};
+pub use doacross_engine::{Engine, EngineBuilder, EngineError, PreparedLoop, SolveBatch};
 pub use doacross_obs::{ObsConfig, ObsSink, SolveRecord, TraceEvent};
 pub use doacross_plan::{PersistError, PlanStore};
+pub use doacross_sched::PoolStats;
 
 /// Pre-engine compatibility surface, kept while the deprecated entry
 /// points exist.

@@ -41,6 +41,8 @@
 //! with no locks held across solves and no engine in sight, which is why
 //! all three layers are unit-testable with synthetic numbers.
 
+// Audit posture: this crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod policy;
 pub mod pricing;
 pub mod refine;

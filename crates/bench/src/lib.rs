@@ -46,6 +46,8 @@
 //! hardware substitution — see DESIGN.md §4) and, where cheap enough,
 //! **host-thread** numbers at the host's parallelism.
 
+// Audit posture: this crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod adaptive;
 pub mod amortize;
 pub mod fig6;

@@ -61,21 +61,29 @@ fn count_one() {
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_one();
-        System.alloc(layout)
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded
+        // verbatim to `System`.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         count_one();
-        System.alloc_zeroed(layout)
+        // SAFETY: caller upholds `GlobalAlloc::alloc_zeroed`'s contract.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_one();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract: `ptr`
+        // came from this allocator (which forwards to `System`) with
+        // `layout`.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract: `ptr`
+        // came from this allocator with `layout`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

@@ -88,6 +88,9 @@
 //! assert_eq!(stats.iterations, 5);
 //! ```
 
+// Audit posture: every dereference inside an `unsafe fn` must name its
+// own justification in an explicit `unsafe {}` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod alloc;
 pub mod blocked;
 pub mod error;

@@ -350,18 +350,19 @@ pub fn run_wavefront_executor<L>(
                     let off = loop_.term_element(i, j);
                     assert!(off < data_len, "wavefront: term {off} out of bounds");
                     let operand = match classes[base + j] {
-                        // True dependency: the writer's level is strictly
-                        // earlier; its plain `ynew` store happens-before
-                        // this load via the barrier's release/acquire
-                        // (module docs). SAFETY: bounds asserted.
                         0 => {
                             local.true_deps += 1;
+                            // SAFETY: bounds asserted above. True
+                            // dependency: the writer's level is strictly
+                            // earlier; its plain `ynew` store happens-before
+                            // this load via the barrier's release/acquire
+                            // (module docs).
                             unsafe { ynew.read(off) }
                         }
-                        // Antidependency / never written: the old value.
-                        // SAFETY: y is read-only during the region.
                         1 => {
                             local.anti_or_unwritten += 1;
+                            // SAFETY: antidependency / never written — the
+                            // old value; `y` is read-only during the region.
                             unsafe { y.read(off) }
                         }
                         // Intra-iteration: the register accumulator.

@@ -27,6 +27,8 @@
 //!
 //! [`AccessPattern`]: doacross_core::AccessPattern
 
+// Audit posture: this crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod dag;
 pub mod levels;
 pub mod reorder;

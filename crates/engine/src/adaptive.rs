@@ -384,6 +384,22 @@ impl AdaptiveRuntime {
         if structure.policy.rejected().contains(&built_kind) {
             return; // the full replan landed on a measured loser
         }
+        // Promotion gate: a challenger must prove its synchronization
+        // schedule sound against the live pattern before it can replace a
+        // working plan. Release builds skip the planner's debug_assert, so
+        // this is the production-path check — an unsound challenger is
+        // dropped (and the failure traced), never trialed.
+        let verdict = built.verify_against(loop_);
+        if inner.obs.enabled() {
+            events.push(TraceEvent::PlanVerified {
+                fp: built.fingerprint().into(),
+                variant: built.variant().into(),
+                sound: verdict.is_ok(),
+            });
+        }
+        if verdict.is_err() {
+            return;
+        }
         if self
             .policy
             .begin_trial(&mut structure.policy, built_kind, kind)

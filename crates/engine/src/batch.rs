@@ -105,7 +105,9 @@ impl<'a, L: ?Sized> SeqSlots<'a, '_, L> {
     /// is what makes the `&self -> &mut` aliasing sound.
     #[allow(clippy::mut_from_ref)]
     unsafe fn claim(&self, k: usize) -> &mut SeqSlot<'a, L> {
-        &mut *self.0[k].get()
+        // SAFETY: exclusivity of `k` is the caller's contract (doc above);
+        // the `UnsafeCell` projection itself is always in bounds.
+        unsafe { &mut *self.0[k].get() }
     }
 }
 

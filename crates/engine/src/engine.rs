@@ -337,6 +337,31 @@ impl Engine {
         ))
     }
 
+    /// Statically proves the pattern's plan (cached, or built by this
+    /// call) covers every flow/anti/output dependence its index arrays
+    /// imply — full translation validation via `doacross-verify`, sharing
+    /// no code with the planner's own census. Returns the verified
+    /// dependence census on success and
+    /// [`EngineError::Unsound`] naming the first uncovered dependence edge
+    /// otherwise; either way the outcome is traced as a `plan_verified`
+    /// event and counted in `doacross_verify_{passes,failures}_total`.
+    pub fn verify_plan<P: AccessPattern + ?Sized>(
+        &self,
+        pattern: &P,
+    ) -> Result<doacross_plan::SoundnessReport, EngineError> {
+        let prepared = self.prepare(pattern)?;
+        let plan = prepared.plan();
+        let verdict = plan.verify_against(pattern);
+        if self.inner.obs.enabled() {
+            self.inner.obs.emit(TraceEvent::PlanVerified {
+                fp: plan.fingerprint().into(),
+                variant: plan.variant().into(),
+                sound: verdict.is_ok(),
+            });
+        }
+        verdict.map_err(EngineError::Unsound)
+    }
+
     /// Prepares and executes in one call: plan on first sight of the
     /// access pattern, preprocessing skipped thereafter. Results are
     /// bit-identical to `doacross_core::seq::run_sequential`; the returned

@@ -38,6 +38,10 @@ pub enum EngineError {
     Persist(PersistError),
     /// The underlying planner or runtime rejected the loop.
     Doacross(DoacrossError),
+    /// [`crate::Engine::verify_plan`] proved the pattern's plan unsound:
+    /// its synchronization schedule fails to cover a dependence the index
+    /// arrays imply. Carries the first uncovered edge.
+    Unsound(doacross_plan::SoundnessViolation),
 }
 
 impl From<DoacrossError> for EngineError {
@@ -82,6 +86,9 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::Persist(err) => write!(f, "{err}"),
             EngineError::Doacross(err) => write!(f, "{err}"),
+            EngineError::Unsound(violation) => {
+                write!(f, "plan failed soundness verification: {violation}")
+            }
         }
     }
 }
@@ -91,6 +98,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Doacross(err) => Some(err),
             EngineError::Persist(err) => Some(err),
+            EngineError::Unsound(violation) => Some(violation),
             EngineError::StalePlan { .. } | EngineError::Saturated { .. } => None,
         }
     }

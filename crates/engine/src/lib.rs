@@ -64,6 +64,9 @@
 //! assert_eq!(engine.cache_stats().hits, 1);
 //! ```
 
+// Audit posture: every dereference inside an `unsafe fn` must name its
+// own justification in an explicit `unsafe {}` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod adaptive;
 pub mod batch;
 pub mod builder;

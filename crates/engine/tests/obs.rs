@@ -354,6 +354,40 @@ fn trace_records_the_plan_lifecycle_in_order() {
 }
 
 #[test]
+fn verify_plan_traces_its_verdict() {
+    let engine = Engine::builder()
+        .workers(2)
+        .pools(1)
+        .observability_default()
+        .build();
+    let loop_ = TestLoop::new(200, 1, 8);
+    let report = engine.verify_plan(&loop_).expect("test loop plan is sound");
+    assert!(report.references > 0);
+    let fp = doacross_obs::FpId::from(&doacross_plan::PatternFingerprint::of(&loop_));
+    assert!(
+        engine.trace_events().iter().any(|e| matches!(
+            e.event,
+            TraceEvent::PlanVerified {
+                fp: got,
+                sound: true,
+                ..
+            } if got == fp
+        )),
+        "verify_plan must leave a plan_verified trace event"
+    );
+    let text = engine.metrics_text();
+    let families = parse_prometheus(&text);
+    assert_eq!(
+        counter_value(&families, "doacross_verify_passes_total"),
+        1.0
+    );
+    assert_eq!(
+        counter_value(&families, "doacross_verify_failures_total"),
+        0.0
+    );
+}
+
+#[test]
 fn disabled_observability_is_inert_but_sampled_metrics_remain() {
     let engine = Engine::builder().workers(2).build();
     assert!(!engine.observability_enabled());

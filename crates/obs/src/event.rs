@@ -189,6 +189,16 @@ pub enum TraceEvent {
         chosen_price: f64,
         candidate_prices: CandidatePrices,
     },
+    /// A plan's synchronization schedule was run through the soundness
+    /// verifier (`doacross-verify`): at build, at persisted-store load, on
+    /// `Engine::verify_plan`, or gating an adaptive promotion.
+    PlanVerified {
+        fp: FpId,
+        variant: ObsVariant,
+        /// Whether the schedule proved sound; an unsound verdict carries
+        /// the structured violation on the erroring path, not here.
+        sound: bool,
+    },
     /// Plan cache served an existing plan.
     CacheHit { fp: FpId },
     /// Plan cache had no usable plan; a build followed.
@@ -277,6 +287,7 @@ impl TraceEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::PlanBuilt { .. } => "plan_built",
+            TraceEvent::PlanVerified { .. } => "plan_verified",
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::CacheEvicted { .. } => "cache_evicted",

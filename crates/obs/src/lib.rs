@@ -31,6 +31,8 @@
 //! | `doacross_store_plans_saved_total` | counter | — | Plans written across all saves. |
 //! | `doacross_store_plans_restored_total` | counter | — | Plans admitted to the cache across all loads. |
 //! | `doacross_cold_starts_total` | counter | — | Warm starts that fell back to empty (missing or version-mismatched store). |
+//! | `doacross_verify_passes_total` | counter | — | Plan schedules the soundness verifier proved sound. |
+//! | `doacross_verify_failures_total` | counter | — | Plan schedules the soundness verifier rejected. |
 //! | `doacross_divergences_total` | counter | — | Adaptive divergence detections (measured cost vs static prediction). |
 //! | `doacross_trials_started_total` | counter | — | Adaptive challenger trials started. |
 //! | `doacross_trials_committed_total` | counter | — | Trials that won and were committed. |
@@ -56,6 +58,8 @@
 //! `doacross_cache_insertions_total`, and the adaptive decision gauges
 //! sampled from `AdaptiveStats`.
 
+// Audit posture: this crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 mod event;
 mod flight;
 pub mod metrics;
@@ -230,6 +234,14 @@ impl Obs {
                     .registry
                     .cold_starts_total
                     .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::PlanVerified { sound, .. } => {
+                let counter = if *sound {
+                    &inner.registry.verify_passes_total
+                } else {
+                    &inner.registry.verify_failures_total
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
             }
             TraceEvent::Divergence { .. } => {
                 inner
@@ -462,6 +474,18 @@ impl Obs {
             "doacross_cold_starts_total",
             "Warm starts that fell back to an empty cache.",
             load(&r.cold_starts_total),
+        );
+        render::counter(
+            buf,
+            "doacross_verify_passes_total",
+            "Plan schedules the soundness verifier proved sound.",
+            load(&r.verify_passes_total),
+        );
+        render::counter(
+            buf,
+            "doacross_verify_failures_total",
+            "Plan schedules the soundness verifier rejected.",
+            load(&r.verify_failures_total),
         );
         render::counter(
             buf,
@@ -700,7 +724,7 @@ impl Obs {
         buf.push_str("},\"counters\":{");
         let pool_dispatches_total =
             r.pool_dispatches.iter().map(load).sum::<u64>() + load(&r.pool_overflow_dispatches);
-        let counters: [(&str, u64); 21] = [
+        let counters: [(&str, u64); 23] = [
             ("wait_polls", load(&r.wait_polls_total)),
             ("stalls", load(&r.stalls_total)),
             ("barrier_crossings", load(&r.barrier_crossings_total)),
@@ -711,6 +735,8 @@ impl Obs {
             ("store_plans_saved", load(&r.store_plans_saved_total)),
             ("store_plans_restored", load(&r.store_plans_restored_total)),
             ("cold_starts", load(&r.cold_starts_total)),
+            ("verify_passes", load(&r.verify_passes_total)),
+            ("verify_failures", load(&r.verify_failures_total)),
             ("divergences", load(&r.divergences_total)),
             ("trials_started", load(&r.trials_started_total)),
             ("trials_committed", load(&r.trials_committed_total)),

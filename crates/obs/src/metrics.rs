@@ -112,6 +112,10 @@ pub(crate) struct Registry {
     pub(crate) store_plans_saved_total: AtomicU64,
     pub(crate) store_plans_restored_total: AtomicU64,
     pub(crate) cold_starts_total: AtomicU64,
+    /// Soundness-verifier outcomes (build gate, store load, engine
+    /// surface, adaptive promotion).
+    pub(crate) verify_passes_total: AtomicU64,
+    pub(crate) verify_failures_total: AtomicU64,
     pub(crate) divergences_total: AtomicU64,
     pub(crate) trials_started_total: AtomicU64,
     pub(crate) trials_committed_total: AtomicU64,

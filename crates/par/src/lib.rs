@@ -28,6 +28,9 @@
 //! yield the CPU so the writer can run; that is [`WaitStrategy::SpinYield`]
 //! and [`WaitStrategy::Backoff`].
 
+// Audit posture: every dereference inside an `unsafe fn` must name its
+// own justification in an explicit `unsafe {}` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod parallel;
 pub mod pool;
 pub mod schedule;

@@ -113,6 +113,8 @@ mod tests {
         for sched in all_schedules() {
             let mut data = vec![0usize; 1000];
             let view = SharedSlice::new(&mut data);
+            // SAFETY: `parallel_for` hands each `i` to exactly one
+            // worker, and its join orders the writes before the reads.
             parallel_for(&pool, 1000, sched, |i| unsafe { view.write(i, 3 * i) });
             assert!(
                 data.iter().enumerate().all(|(i, &v)| v == 3 * i),

@@ -257,6 +257,8 @@ mod tests {
             if i >= 1024 {
                 break;
             }
+            // SAFETY: `fetch_add` hands each index to exactly one
+            // worker; `run`'s join orders the writes before the reads.
             unsafe { view.write(i, i + 1) };
         });
         for (i, v) in data.iter().enumerate() {

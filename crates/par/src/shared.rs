@@ -160,9 +160,11 @@ mod tests {
         let mut data = vec![0.0f64; 8];
         let view = SharedSlice::new(&mut data);
         for i in 0..view.len() {
+            // SAFETY: single-threaded, in-bounds, disjoint indices.
             unsafe { view.write(i, i as f64 * 1.5) };
         }
         for i in 0..view.len() {
+            // SAFETY: single-threaded; the writes above have completed.
             assert_eq!(unsafe { view.read(i) }, i as f64 * 1.5);
         }
         let _ = view;
@@ -174,6 +176,8 @@ mod tests {
         let mut data = vec![1u32, 2, 3];
         let a = SharedSlice::new(&mut data);
         let b = a; // Copy
+                   // SAFETY: single-threaded; both views alias, but the write and the
+                   // read are sequenced on this thread.
         unsafe { b.write(0, 7) };
         assert_eq!(unsafe { a.read(0) }, 7);
     }
@@ -191,6 +195,8 @@ mod tests {
                 s.spawn(move || {
                     let mut i = t;
                     while i < N {
+                        // SAFETY: each thread strides a disjoint
+                        // residue class; join orders the final reads.
                         unsafe { view.write(i, i * 10) };
                         i += THREADS;
                     }
@@ -211,6 +217,8 @@ mod tests {
         let flag = AtomicU32::new(0);
         std::thread::scope(|s| {
             s.spawn(|| {
+                // SAFETY: the release store below orders this write for
+                // the acquiring reader.
                 unsafe { view.write(0, 42.0) };
                 flag.store(1, Ordering::Release);
             });
@@ -218,6 +226,8 @@ mod tests {
                 while flag.load(Ordering::Acquire) == 0 {
                     std::hint::spin_loop();
                 }
+                // SAFETY: the acquire loop above observed the
+                // writer's release, ordering its write before this read.
                 assert_eq!(unsafe { view.read(0) }, 42.0);
             });
         });
@@ -229,6 +239,8 @@ mod tests {
     fn debug_bounds_check_fires() {
         let mut data = vec![0u8; 4];
         let view = SharedSlice::new(&mut data);
+        // SAFETY: deliberately violates the bounds contract to prove the
+        // debug assertion catches it (the read never executes).
         unsafe { view.read(4) };
     }
 

@@ -202,6 +202,23 @@ impl PlanCensus {
         (census, schedule)
     }
 
+    /// The census facts `doacross-verify`'s artifact-mode checks run on —
+    /// the schedule-relevant subset, converted into the verifier's own
+    /// (layering-neutral) vocabulary.
+    pub fn facts(&self) -> doacross_verify::CensusFacts {
+        doacross_verify::CensusFacts {
+            iterations: self.iterations,
+            data_len: self.data_len,
+            total_terms: self.total_terms,
+            true_deps: self.true_deps,
+            anti_deps: self.anti_deps,
+            intra: self.intra,
+            unwritten: self.unwritten,
+            injective: self.injective,
+            min_duplicate_write_gap: self.min_duplicate_write_gap,
+        }
+    }
+
     /// Whether the loop is a doall (no cross- or intra-iteration
     /// dependencies at all — the odd-`L` regime of Figure 6).
     pub fn is_doall(&self) -> bool {

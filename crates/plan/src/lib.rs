@@ -68,6 +68,8 @@
 //! assert_eq!(rt.cache_stats().hits, 1);
 //! ```
 
+// Audit posture: this crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod cache;
 pub mod census;
 pub mod concurrent;
@@ -87,6 +89,11 @@ pub use persist::{PersistError, PlanStore, StoredCalibration, StoredTelemetry, F
 pub use plan::{ExecutionPlan, PlanVariant, VariantCosts};
 pub use planner::{detect_linear, Planner, BLOCKED_DATA_SPACE_FACTOR};
 pub use runtime::{PlanExecutor, PlannedDoacross};
+// The verifier's verdict vocabulary, re-exported so plan consumers can
+// match on violations without depending on `doacross-verify` directly.
+pub use doacross_verify::{
+    CensusFacts, DependenceEdge, SoundnessReport, SoundnessViolation, SyncSchedule,
+};
 
 /// Shared test fixture: the wavefront-friendly dependence grid. Not
 /// API — exposed (hidden) so the workspace's integration and engine

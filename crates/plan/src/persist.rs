@@ -132,6 +132,12 @@ pub enum PersistError {
     /// permutation, a census that disagrees with its fingerprint. The
     /// plan is rejected rather than trusted.
     Structural(String),
+    /// The record decoded and is internally coherent, but its
+    /// synchronization schedule fails the soundness verifier: the plan
+    /// would not cover every dependence its own census implies. Typed
+    /// separately from [`PersistError::Structural`] so callers can tell a
+    /// corrupted encoding from a schedule that is well-formed yet wrong.
+    Unsound(doacross_verify::SoundnessViolation),
     /// No store exists at the given path — distinguished from other IO
     /// failures because a missing store is the normal first-boot state,
     /// which warm-start callers treat as a clean cold start.
@@ -160,13 +166,32 @@ impl std::fmt::Display for PersistError {
             PersistError::Structural(what) => {
                 write!(f, "plan store failed structural revalidation: {what}")
             }
+            PersistError::Unsound(violation) => {
+                write!(
+                    f,
+                    "persisted plan failed soundness verification: {violation}"
+                )
+            }
             PersistError::NotFound => write!(f, "plan store not found"),
             PersistError::Io(what) => write!(f, "plan store io error: {what}"),
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Unsound(violation) => Some(violation),
+            _ => None,
+        }
+    }
+}
+
+impl From<doacross_verify::SoundnessViolation> for PersistError {
+    fn from(violation: doacross_verify::SoundnessViolation) -> Self {
+        PersistError::Unsound(violation)
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(err: std::io::Error) -> Self {
@@ -449,6 +474,12 @@ pub fn decode_plan(bytes: &[u8]) -> Result<ExecutionPlan, PersistError> {
             r.remaining()
         )));
     }
+    // Structural revalidation above only proves the encoding is coherent;
+    // the soundness pass proves the decoded schedule could actually cover
+    // the dependences its own census implies. A store that fails here is
+    // well-formed but wrong — rejected with a typed violation, never
+    // trusted into the cache.
+    plan.verify_artifacts()?;
     Ok(plan)
 }
 
@@ -1293,6 +1324,70 @@ mod tests {
                 (None, None) => {}
                 other => panic!("prepared mismatch: {other:?}"),
             }
+        }
+    }
+
+    /// A record that decodes and is structurally coherent but whose
+    /// schedule is unsound must be rejected with the typed `Unsound`
+    /// error: a block size one past the census's duplicate-write gap is a
+    /// well-formed encoding of a plan that would corrupt results.
+    #[test]
+    fn decode_rejects_block_size_exceeding_write_gap() {
+        let mut plan = plans_of_every_variant().into_iter().nth(4).unwrap();
+        let gap = plan
+            .census()
+            .min_duplicate_write_gap
+            .expect("blocked fixture is non-injective");
+        plan.variant = PlanVariant::Blocked {
+            block_size: gap + 1,
+        };
+        let bytes = encode_plan(&plan);
+        match decode_plan(&bytes) {
+            Err(PersistError::Unsound(
+                doacross_verify::SoundnessViolation::BlockExceedsWriteGap {
+                    block_size,
+                    min_gap,
+                },
+            )) => {
+                assert_eq!(block_size, gap + 1);
+                assert_eq!(min_gap, gap);
+            }
+            other => panic!("expected unsound rejection, got {other:?}"),
+        }
+    }
+
+    /// A writer map with one entry dropped (the at-rest form of a dropped
+    /// ready flag) passes every structural check — no iteration writes
+    /// twice — but an injective pattern's map must be a *bijection*:
+    /// `iterations` entries exactly. Only the soundness pass catches it.
+    #[test]
+    fn decode_rejects_writer_map_with_dropped_entry() {
+        let mut plan = plans_of_every_variant().into_iter().nth(2).unwrap();
+        let prepared = plan.prepared.as_ref().expect("doacross carries a map");
+        let mut writers: Vec<i64> = (0..prepared.data_len())
+            .map(|e| prepared.writer(e))
+            .collect();
+        let written = writers
+            .iter()
+            .position(|&w| w != MAXINT)
+            .expect("map has entries");
+        writers[written] = MAXINT;
+        plan.prepared = Some(
+            PreparedInspection::from_writer_map(plan.census().iterations, &writers)
+                .expect("still a valid (partial) map"),
+        );
+        let bytes = encode_plan(&plan);
+        match decode_plan(&bytes) {
+            Err(PersistError::Unsound(doacross_verify::SoundnessViolation::ArtifactMismatch {
+                what,
+                expected,
+                got,
+            })) => {
+                assert_eq!(what, "writer map entries");
+                assert_eq!(expected, plan.census().iterations as u64);
+                assert_eq!(got, expected - 1);
+            }
+            other => panic!("expected unsound rejection, got {other:?}"),
         }
     }
 

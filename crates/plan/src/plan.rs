@@ -3,7 +3,8 @@
 
 use crate::census::PlanCensus;
 use crate::fingerprint::PatternFingerprint;
-use doacross_core::{LevelSchedule, LinearSubscript, PreparedInspection};
+use doacross_core::{AccessPattern, LevelSchedule, LinearSubscript, PreparedInspection};
+use doacross_verify::{SoundnessReport, SoundnessViolation, SyncSchedule};
 use std::time::Duration;
 
 /// Which runtime the planner selected for the pattern.
@@ -187,6 +188,53 @@ impl ExecutionPlan {
     /// Wall time spent building the plan.
     pub fn build_time(&self) -> Duration {
         self.build_time
+    }
+
+    /// Projects the plan onto its synchronization schedule — the lossless
+    /// view `doacross-verify` checks. Fails (as an artifact mismatch) only
+    /// when the variant's required artifact is missing, which no planner
+    /// build produces; the projection exists so persisted or hand-built
+    /// plans cannot dodge verification by dropping an artifact.
+    pub fn sync_schedule(&self) -> Result<SyncSchedule<'_>, SoundnessViolation> {
+        let missing = |what: &'static str| SoundnessViolation::ArtifactMismatch {
+            what,
+            expected: 1,
+            got: 0,
+        };
+        Ok(match self.variant {
+            PlanVariant::Sequential => SyncSchedule::Sequential,
+            PlanVariant::Doacross => SyncSchedule::FlagsNatural {
+                writers: self.prepared.as_ref().ok_or(missing("writer map"))?,
+            },
+            PlanVariant::Linear(subscript) => SyncSchedule::FlagsLinear { subscript },
+            PlanVariant::Reordered => SyncSchedule::FlagsOrdered {
+                writers: self.prepared.as_ref().ok_or(missing("writer map"))?,
+                order: self.order.as_deref().ok_or(missing("claim order"))?,
+            },
+            PlanVariant::Blocked { block_size } => SyncSchedule::Blocked { block_size },
+            PlanVariant::Wavefront => SyncSchedule::Wavefront {
+                schedule: self.levels.as_ref().ok_or(missing("level schedule"))?,
+            },
+        })
+    }
+
+    /// Full soundness verification against the pattern the plan claims to
+    /// serve: statically proves the synchronization schedule covers every
+    /// flow/anti/output dependence the index arrays imply. This is
+    /// translation validation — the verifier re-derives the dependence
+    /// structure itself, sharing no code with the census or the planner.
+    pub fn verify_against<P: AccessPattern + ?Sized>(
+        &self,
+        pattern: &P,
+    ) -> Result<SoundnessReport, SoundnessViolation> {
+        doacross_verify::verify_pattern(pattern, &self.sync_schedule()?)
+    }
+
+    /// Pattern-free soundness verification: everything provable from the
+    /// plan's artifacts and census alone. This is what persisted-plan
+    /// loading runs (the index arrays are not in the store).
+    pub fn verify_artifacts(&self) -> Result<(), SoundnessViolation> {
+        doacross_verify::verify_artifacts(&self.census.facts(), &self.sync_schedule()?)
     }
 
     /// Approximate heap footprint in bytes (writer map + order + level

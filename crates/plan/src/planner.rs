@@ -133,7 +133,14 @@ impl Planner {
         let p = pool.threads();
 
         if !census.injective {
-            return Ok(self.plan_non_injective(fingerprint, census, linear, p, start));
+            let plan = self.plan_non_injective(fingerprint, census, linear, p, start);
+            debug_assert!(
+                plan.verify_against(pattern).is_ok(),
+                "planner built an unsound {} plan: {}",
+                plan.variant(),
+                plan.verify_against(pattern).unwrap_err(),
+            );
+            return Ok(plan);
         }
 
         let n = census.iterations as f64;
@@ -272,7 +279,7 @@ impl Planner {
             _ => None,
         };
 
-        Ok(ExecutionPlan {
+        let plan = ExecutionPlan {
             fingerprint,
             processors: p,
             variant,
@@ -283,7 +290,18 @@ impl Planner {
             linear,
             costs,
             build_time: start.elapsed(),
-        })
+        };
+        // Translation validation: in debug builds every freshly built plan
+        // is proven sound against the very pattern it was built from. The
+        // verifier re-derives the dependence structure independently, so a
+        // census or schedule-construction bug trips here, at the source.
+        debug_assert!(
+            plan.verify_against(pattern).is_ok(),
+            "planner built an unsound {} plan: {}",
+            plan.variant(),
+            plan.verify_against(pattern).unwrap_err(),
+        );
+        Ok(plan)
     }
 
     /// Plans a loop the flat construct rejects: blocked if duplicate writes

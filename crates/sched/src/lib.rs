@@ -27,6 +27,8 @@
 //! waiter count, done. The condvar's mutex is touched only on the
 //! contended path.
 
+// Audit posture: this crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -8,6 +8,9 @@
 //! print the median ns/iteration. No statistics beyond min/median/max, no
 //! HTML reports, no comparison to saved baselines.
 
+// Audit posture: this shim needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Identifier for one benchmark within a group.

@@ -1,0 +1,336 @@
+//! The cooperative scheduler: one controlled execution of a model.
+//!
+//! Model threads are real OS threads, but only one makes progress at a
+//! time. Every shim operation (atomic access, shared-cell access, blocking
+//! poll) is a *decision point*: the thread announces it has reached one and
+//! parks until the scheduler grants it the token. The scheduler waits until
+//! every live thread is parked at a point (or blocked), picks one — from a
+//! DFS replay prefix or a seeded RNG — and hands over the token. The
+//! granted thread performs exactly one operation under the execution lock,
+//! then runs its local (non-shared) code and parks at the next point.
+//!
+//! Because all shared state is only touched inside granted operations, the
+//! whole execution is serialized and deterministic for a given choice
+//! sequence, which is what makes exhaustive replay-based DFS possible.
+
+use crate::FailureKind;
+use std::panic::panic_any;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Sentinel panic payload used to unwind model threads when the execution
+/// is being torn down (failure found, or another thread panicked). Caught
+/// by the per-thread wrapper and *not* reported as a model panic.
+pub(crate) struct Abort;
+
+/// Vector clock: `clock[t]` is the newest epoch of thread `t` whose effects
+/// are ordered before the owner's next action.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn new(n: usize) -> Self {
+        VClock(vec![0; n])
+    }
+
+    /// Pointwise maximum — the happens-before join.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+}
+
+/// What a model thread is doing, as seen by the scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Executing local code (or its granted operation); the scheduler must
+    /// wait for it to reach its next decision point.
+    Running,
+    /// Parked at a decision point, eligible for the next grant.
+    AtPoint,
+    /// Parked inside [`crate::spin_until`] after observing a false
+    /// condition; eligible only once `mod_count` exceeds the snapshot.
+    Blocked {
+        /// `mod_count` at the time the spinner last saw the condition false.
+        snapshot: u64,
+    },
+    /// The model closure returned (or unwound).
+    Done,
+}
+
+/// Mutable state of one controlled execution, shared by all model threads
+/// and the scheduler under a single mutex.
+pub(crate) struct ExecState {
+    pub(crate) phases: Vec<Phase>,
+    /// Thread granted the token; consumed by that thread.
+    pub(crate) grant: Option<usize>,
+    /// Bumped by every atomic write; blocked spinners wait for it to move.
+    pub(crate) mod_count: u64,
+    /// Decision points granted so far in this execution.
+    pub(crate) steps: u64,
+    /// Tear-down flag: parked threads unwind with [`Abort`] when set.
+    pub(crate) abort: bool,
+    /// First failure observed (panic, race, deadlock, step limit).
+    pub(crate) failure: Option<FailureKind>,
+    /// Per-thread vector clocks for happens-before tracking.
+    pub(crate) clocks: Vec<VClock>,
+    /// The schedule so far: granted thread ids, in order.
+    pub(crate) granted: Vec<usize>,
+}
+
+/// One controlled execution, shared by the scheduler and all model threads.
+pub(crate) struct Exec {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl Exec {
+    pub(crate) fn new(n_threads: usize) -> Arc<Self> {
+        Arc::new(Exec {
+            state: Mutex::new(ExecState {
+                phases: vec![Phase::Running; n_threads],
+                grant: None,
+                mod_count: 0,
+                steps: 0,
+                abort: false,
+                failure: None,
+                clocks: (0..n_threads).map(|_| VClock::new(n_threads)).collect(),
+                granted: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Locks the state, tolerating poison: a model thread that panics while
+    /// holding the lock (race detection aborts by unwinding) must not wedge
+    /// the scheduler or the surviving threads.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, guard: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+        self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Parks `tid` at a decision point and blocks until the scheduler
+    /// grants it the token, then runs `op` under the execution lock and
+    /// returns its result. `op` gets the state (for clocks / `mod_count`)
+    /// and may report a failure, which tears the execution down.
+    pub(crate) fn step<R>(
+        &self,
+        tid: usize,
+        op: impl FnOnce(&mut ExecState) -> Result<R, FailureKind>,
+    ) -> R {
+        let mut st = self.lock();
+        st.phases[tid] = Phase::AtPoint;
+        self.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                panic_any(Abort);
+            }
+            if st.grant == Some(tid) {
+                break;
+            }
+            st = self.wait(st);
+        }
+        st.grant = None;
+        st.steps += 1;
+        st.granted.push(tid);
+        match op(&mut st) {
+            Ok(r) => {
+                st.phases[tid] = Phase::Running;
+                drop(st);
+                self.notify_all();
+                r
+            }
+            Err(kind) => {
+                if st.failure.is_none() {
+                    st.failure = Some(kind);
+                }
+                st.abort = true;
+                drop(st);
+                self.notify_all();
+                panic_any(Abort);
+            }
+        }
+    }
+
+    /// Parks `tid` as blocked-on-change: it becomes eligible for a grant
+    /// only once `mod_count` has advanced past `snapshot`. Returns when
+    /// granted (the caller re-polls its condition).
+    pub(crate) fn block_on_change(&self, tid: usize, snapshot: u64) {
+        let mut st = self.lock();
+        st.phases[tid] = Phase::Blocked { snapshot };
+        self.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                panic_any(Abort);
+            }
+            if st.grant == Some(tid) {
+                break;
+            }
+            st = self.wait(st);
+        }
+        st.grant = None;
+        st.steps += 1;
+        st.granted.push(tid);
+        st.phases[tid] = Phase::Running;
+        drop(st);
+        self.notify_all();
+    }
+
+    /// Marks `tid` finished. `panicked` carries a model panic message (an
+    /// [`Abort`] unwind passes `None`). The first real panic becomes the
+    /// execution's failure and tears everything down.
+    pub(crate) fn finish(&self, tid: usize, panicked: Option<String>) {
+        let mut st = self.lock();
+        st.phases[tid] = Phase::Done;
+        if let Some(message) = panicked {
+            if st.failure.is_none() {
+                st.failure = Some(FailureKind::Panic {
+                    thread: tid,
+                    message,
+                });
+            }
+            st.abort = true;
+        }
+        drop(st);
+        self.notify_all();
+    }
+
+    /// Current `mod_count`, for the spinner's blocked-snapshot.
+    pub(crate) fn mod_count(&self) -> u64 {
+        self.lock().mod_count
+    }
+
+    /// The scheduler loop: drives one execution to completion.
+    ///
+    /// `decide(k, width)` picks the k-th choice among `width` runnable
+    /// threads (sorted by tid). Returns the branching record for DFS
+    /// backtracking plus the failure, if any. Must be called from the
+    /// driver thread while the model threads run.
+    pub(crate) fn drive(
+        &self,
+        max_steps: u64,
+        mut decide: impl FnMut(usize, usize) -> usize,
+    ) -> Drive {
+        let mut choices = Vec::new();
+        let mut widths = Vec::new();
+        loop {
+            let mut st = self.lock();
+            // Wait until no thread is mid-operation or running local code.
+            loop {
+                let settled =
+                    st.grant.is_none() && st.phases.iter().all(|p| !matches!(p, Phase::Running));
+                if st.abort || settled {
+                    break;
+                }
+                st = self.wait(st);
+            }
+            if st.abort {
+                // A thread recorded a failure (panic or race). Unwind the
+                // rest and wait for them to finish.
+                return self.teardown(st, choices, widths);
+            }
+            if st.phases.iter().all(|p| matches!(p, Phase::Done)) {
+                let failure = st.failure.take();
+                let granted = std::mem::take(&mut st.granted);
+                return Drive {
+                    choices,
+                    widths,
+                    granted,
+                    failure,
+                };
+            }
+            let runnable: Vec<usize> = st
+                .phases
+                .iter()
+                .enumerate()
+                .filter_map(|(tid, p)| match p {
+                    Phase::AtPoint => Some(tid),
+                    Phase::Blocked { snapshot } if *snapshot < st.mod_count => Some(tid),
+                    _ => None,
+                })
+                .collect();
+            if runnable.is_empty() {
+                let blocked: Vec<usize> = st
+                    .phases
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(tid, p)| matches!(p, Phase::Blocked { .. }).then_some(tid))
+                    .collect();
+                st.failure = Some(FailureKind::Deadlock { blocked });
+                st.abort = true;
+                return self.teardown(st, choices, widths);
+            }
+            if st.steps >= max_steps {
+                st.failure = Some(FailureKind::StepLimit { steps: st.steps });
+                st.abort = true;
+                return self.teardown(st, choices, widths);
+            }
+            let width = runnable.len();
+            // A diverging replay (the model was nondeterministic) clamps
+            // rather than panicking; the DFS then explores from there.
+            let choice = decide(choices.len(), width).min(width - 1);
+            choices.push(choice);
+            widths.push(width);
+            st.grant = Some(runnable[choice]);
+            drop(st);
+            self.notify_all();
+        }
+    }
+
+    /// Wakes every parked thread into an [`Abort`] unwind and waits for
+    /// all of them to report [`Phase::Done`].
+    fn teardown(
+        &self,
+        mut st: MutexGuard<'_, ExecState>,
+        choices: Vec<usize>,
+        widths: Vec<usize>,
+    ) -> Drive {
+        st.abort = true;
+        self.notify_all();
+        while !st.phases.iter().all(|p| matches!(p, Phase::Done)) {
+            st = self.wait(st);
+        }
+        let failure = st.failure.take();
+        let granted = std::mem::take(&mut st.granted);
+        Drive {
+            choices,
+            widths,
+            granted,
+            failure,
+        }
+    }
+}
+
+/// Outcome of one driven execution.
+pub(crate) struct Drive {
+    /// Index chosen at each decision point.
+    pub(crate) choices: Vec<usize>,
+    /// Number of runnable threads at each decision point.
+    pub(crate) widths: Vec<usize>,
+    /// The granted-thread schedule, for counterexample reporting.
+    pub(crate) granted: Vec<usize>,
+    pub(crate) failure: Option<FailureKind>,
+}

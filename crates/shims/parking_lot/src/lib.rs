@@ -6,6 +6,9 @@
 //! Poisoned locks are recovered transparently (`parking_lot` has no poison
 //! concept; the pool's panic handling latches failures separately).
 
+// Audit posture: this shim needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// Mutex with `parking_lot`'s panic-free `lock()` signature.

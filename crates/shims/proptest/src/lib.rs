@@ -12,6 +12,9 @@
 //!   path and name, so every run explores the same cases (reproducible by
 //!   construction, at the cost of fresh exploration between runs).
 
+// Audit posture: this shim needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -7,6 +7,9 @@
 //! `SmallRng` uses on 64-bit targets; statistical quality far exceeds what
 //! the synthetic test matrices need.
 
+// Audit posture: this shim needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
+
 /// Seeding by `u64`, as in `rand::SeedableRng`.
 pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;

@@ -31,6 +31,8 @@
 //! assert!((result.efficiency - 0.33).abs() < 0.05);
 //! ```
 
+// Audit posture: this crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod calib;
 pub mod cost;
 pub mod machine;

@@ -22,6 +22,8 @@
 //! coefficients — the dependence structure of the triangular solve (the
 //! thing the paper measures) is a function of the sparsity pattern only.
 
+// Audit posture: this crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod block;
 pub mod builder;
 pub mod csr;

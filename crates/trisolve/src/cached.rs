@@ -190,11 +190,13 @@ impl PlanCachedSolver {
             Err(
                 EngineError::StalePlan { .. }
                 | EngineError::Persist(_)
-                | EngineError::Saturated { .. },
+                | EngineError::Saturated { .. }
+                | EngineError::Unsound(_),
             ) => {
                 unreachable!(
-                    "the shim never invalidates, warm-starts, or saturates its private engine \
-                     (default admission bounds are far above one caller)"
+                    "the shim never invalidates, warm-starts, saturates, or explicitly \
+                     verifies its private engine (default admission bounds are far above \
+                     one caller, and run() does not call verify_plan)"
                 )
             }
         }

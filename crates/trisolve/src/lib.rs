@@ -32,6 +32,9 @@
 //!
 //! [`TriangularMatrix`]: doacross_sparse::TriangularMatrix
 
+// Audit posture: every dereference inside an `unsafe fn` must name its
+// own justification in an explicit `unsafe {}` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod blocked_solver;
 pub mod cached;
 pub mod fig7;

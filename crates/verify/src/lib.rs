@@ -1,0 +1,65 @@
+//! # doacross-verify — static plan-soundness verification
+//!
+//! The paper's premise is that preprocessing extracts a dependence
+//! structure making the parallel execution *provably* equivalent to the
+//! sequential loop. This crate supplies the proof checker: given a
+//! pattern's index arrays and a plan's synchronization schedule, it
+//! re-derives every flow, anti, output, and intra-iteration dependence and
+//! statically shows the schedule covers each one — or reports the first
+//! uncovered [`DependenceEdge`] as a structured [`SoundnessViolation`].
+//!
+//! It is *translation validation*, not trusted-builder reasoning: the
+//! verifier shares no code with the planner's census/schedule construction
+//! (it re-derives the writer map itself from the `AccessPattern`), so a
+//! bug, a corrupted persisted store, or a bad adaptive promotion each get
+//! caught by an independent check.
+//!
+//! ## Dependence-coverage rules per variant
+//!
+//! The executor resolves each right-hand-side reference `y[e]` in
+//! iteration `i` by comparing the schedule's claimed writer `w(e)` against
+//! `i` (paper Figure 5): `w < i` → wait on `ready[e]`, read the new value;
+//! `w == i` → read the iteration's own accumulator; `w > i` or unwritten →
+//! read the old value. Flags are indexed by *element*, so a schedule is
+//! sound exactly when every reference's claimed three-way outcome matches
+//! the outcome the true last-writer map implies, plus each variant's
+//! ordering obligation:
+//!
+//! | Variant (`SyncSchedule`) | Flow (true) deps | Anti deps | Output deps | Ordering obligation |
+//! |---|---|---|---|---|
+//! | `Sequential` | program order | program order | program order | — |
+//! | `FlagsNatural` (doacross) | per-element flag: claimed class must be *new value* | claimed class must be *old value* | inexpressible — lhs must be injective | natural claim order covers `w < i` by construction |
+//! | `FlagsLinear` (linear) | as doacross, writer derived from `a(i) = c·i + d` | as doacross | lhs injective (`c ≥ 1` ⇒ automatic) | `lhs(i) ≡ c·i + d` must hold exactly |
+//! | `FlagsOrdered` (reordered) | as doacross | as doacross | lhs must be injective | claim order must be a permutation *and* topological: `pos[w] < pos[i]` for every flow edge, else livelock |
+//! | `Blocked` | cross-block: sequential block order + copy-back; in-block: the per-block inspector re-derives them | same | tolerated *across* blocks only — two writes must never share a block | `block_size ≥ 1` |
+//! | `Wavefront` | level barrier: `level(w) < level(i)` strictly, and the stored operand class must be *new value* | class must be *old value* | inexpressible — lhs must be injective | per-iteration class stream must match the pattern's reference count |
+//!
+//! A reference to an element no iteration writes must be classified *old
+//! value* everywhere; claiming it *new* is a [`SoundnessViolation::PhantomWait`]
+//! (the flag can never fire — guaranteed deadlock).
+//!
+//! ## Two modes
+//!
+//! * [`verify_pattern`] — the full check, used when the index arrays are
+//!   in hand: plan build (`debug_assert!`-gated), adaptive promotion
+//!   (a trial plan must verify before it is swapped in), and
+//!   `Engine::verify_plan()`.
+//! * [`verify_artifacts`] — the pattern-free check persisted-plan loading
+//!   runs: writer-map bijectivity, claim-order permutation, block size vs
+//!   the census's minimum duplicate-write gap, wavefront class counts vs
+//!   the census — everything provable from the artifacts alone.
+//!
+//! The crate deliberately depends only on `doacross-core`:
+//! `doacross-plan` sits *above* it and projects `ExecutionPlan` into
+//! [`SyncSchedule`] on its side, the same layering `doacross-obs` uses.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod schedule;
+mod verifier;
+mod violation;
+
+pub use schedule::{CensusFacts, SyncSchedule};
+pub use verifier::{verify_artifacts, verify_pattern};
+pub use violation::{DependenceEdge, SoundnessReport, SoundnessViolation};

@@ -1,0 +1,113 @@
+//! The verifier's view of a plan: the synchronization schedule alone.
+//!
+//! This crate sits *below* `doacross-plan` in the dependency graph (the
+//! plan layer calls into it from plan build, persistence load, and
+//! adaptive promotion), so it cannot name `ExecutionPlan` or
+//! `PlanVariant`. Instead it verifies a [`SyncSchedule`] — the
+//! synchronization-relevant artifacts of each variant, all of which are
+//! `doacross-core` types. `doacross-plan` provides the lossless
+//! `ExecutionPlan → SyncSchedule` projection on its side (the same
+//! arrangement `doacross-obs` uses for its event vocabulary).
+
+use doacross_core::{LevelSchedule, LinearSubscript, PreparedInspection};
+
+/// The synchronization schedule of one executor variant, borrowed from a
+/// plan's artifacts.
+#[derive(Debug, Clone, Copy)]
+pub enum SyncSchedule<'a> {
+    /// Source order on one worker: every dependence is covered by program
+    /// order.
+    Sequential,
+    /// The flat preprocessed doacross: per-element ready flags, natural
+    /// (increasing) claim order, writer queries answered by the prebuilt
+    /// inspector map.
+    FlagsNatural {
+        /// The prebuilt writer map (`iter(a(i)) = i`).
+        writers: &'a PreparedInspection,
+    },
+    /// §2.3's linear-subscript doacross: per-element ready flags, natural
+    /// claim order, writer queries answered arithmetically from
+    /// `a(i) = c·i + d`.
+    FlagsLinear {
+        /// The declared left-hand-side subscript.
+        subscript: LinearSubscript,
+    },
+    /// The flat doacross claiming iterations in a doconsider order: the
+    /// flags are the same, but progress additionally requires the order to
+    /// be topological over the flow dependences.
+    FlagsOrdered {
+        /// The prebuilt writer map.
+        writers: &'a PreparedInspection,
+        /// The claim order (must be a permutation of the iteration space).
+        order: &'a [usize],
+    },
+    /// §2.3's strip-mined doacross: blocks of `block_size` contiguous
+    /// iterations run as flat doacrosses with a per-block inspector;
+    /// blocks execute sequentially with a copy-back in between, which
+    /// covers every cross-block dependence.
+    Blocked {
+        /// Iterations per `L_outer` step.
+        block_size: usize,
+    },
+    /// Level-scheduled wavefront: each level is a barrier-separated doall;
+    /// flow dependences are covered iff the writer's level is strictly
+    /// earlier, and every reference's operand class routes it to the right
+    /// array (shadow / old / accumulator).
+    Wavefront {
+        /// The prebuilt level schedule (CSR levels + operand classes).
+        schedule: &'a LevelSchedule,
+    },
+}
+
+impl SyncSchedule<'_> {
+    /// Short lowercase name of the schedule's variant family (matches the
+    /// planner's `PlanVariant` display names).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            SyncSchedule::Sequential => "sequential",
+            SyncSchedule::FlagsNatural { .. } => "doacross",
+            SyncSchedule::FlagsLinear { .. } => "linear",
+            SyncSchedule::FlagsOrdered { .. } => "reordered",
+            SyncSchedule::Blocked { .. } => "blocked",
+            SyncSchedule::Wavefront { .. } => "wavefront",
+        }
+    }
+
+    /// Whether this schedule's executor presumes an injective left-hand
+    /// side (every flat flag-based variant and the wavefront; the blocked
+    /// variant tolerates duplicates across block boundaries, and the
+    /// sequential loop tolerates anything).
+    pub fn requires_injective(&self) -> bool {
+        !matches!(
+            self,
+            SyncSchedule::Sequential | SyncSchedule::Blocked { .. }
+        )
+    }
+}
+
+/// The census facts artifact-mode verification runs on — a value-level
+/// mirror of `doacross_plan::PlanCensus`'s schedule-relevant fields, owned
+/// here for the same layering reason as [`SyncSchedule`]. The plan layer
+/// converts on its side.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CensusFacts {
+    /// Outer-loop iterations.
+    pub iterations: usize,
+    /// Data-space size.
+    pub data_len: usize,
+    /// Total right-hand-side references.
+    pub total_terms: u64,
+    /// References to elements written by an earlier iteration.
+    pub true_deps: u64,
+    /// References to elements written by a later iteration.
+    pub anti_deps: u64,
+    /// References to the iteration's own output element.
+    pub intra: u64,
+    /// References to elements no iteration writes.
+    pub unwritten: u64,
+    /// Whether the left-hand side is injective.
+    pub injective: bool,
+    /// For non-injective patterns: the smallest iteration gap between two
+    /// writes to the same element.
+    pub min_duplicate_write_gap: Option<usize>,
+}

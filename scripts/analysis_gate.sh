@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# analysis_gate.sh — the static-analysis gate.
+#
+# bench_gate.sh keeps the perf claims honest; this gate keeps the
+# *soundness* claims honest. Three tiers, all cheap enough for CI:
+#
+#   lints          cargo clippy --workspace --all-targets -D warnings.
+#                  Deprecation stays allowed (-A deprecated): the facade
+#                  and bench crates each keep one deliberate use of the
+#                  deprecated PlannedDoacross::run path as a migration
+#                  canary, and ci.yml separately asserts the canary still
+#                  fires.
+#
+#   audit          every crate root must pin its unsafe posture: either
+#                  #![forbid(unsafe_code)] or
+#                  #![deny(unsafe_op_in_unsafe_fn)], and every `unsafe`
+#                  block or impl in a deny-posture crate must carry a
+#                  SAFETY comment within the three lines above it.
+#
+#   checkers       the machine-checked soundness suites: the interleave
+#                  model checker's own tests, the par/sched protocol
+#                  models (whose mutation tests prove the checker still
+#                  catches corrupted protocols), and the plan-soundness
+#                  verifier's suites (whose seeded schedule mutations
+#                  prove the verifier still rejects unsound plans).
+#
+# Exit nonzero on any violation, loudly.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+say() { printf '%s\n' "$*"; }
+violation() { say "analysis_gate: FAIL: $*" >&2; fail=1; }
+
+# --- lints ------------------------------------------------------------------
+
+say "analysis_gate: clippy (deny warnings, deprecation canaries allowed)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings -A deprecated ||
+  violation "clippy reported warnings"
+
+# --- audit ------------------------------------------------------------------
+
+say "analysis_gate: unsafe posture audit"
+for root in crates/*/src/lib.rs crates/shims/*/src/lib.rs src/lib.rs; do
+  [ -f "$root" ] || continue
+  if ! grep -Eq '^#!\[(forbid\(unsafe_code\)|deny\(unsafe_op_in_unsafe_fn\))\]' "$root"; then
+    violation "$root: crate root declares neither forbid(unsafe_code) nor deny(unsafe_op_in_unsafe_fn)"
+  fi
+done
+
+# In deny-posture crates, every `unsafe` keyword outside a comment must have
+# a SAFETY comment in the (possibly multi-line) comment block directly above
+# it. `unsafe fn` declarations document their contract in their rustdoc
+# (`# Safety` section), which the same walk accepts.
+audit=$(awk '
+  /^[[:space:]]*\/\// { comment[FNR] = $0; next }
+  /(^|[^A-Za-z_])unsafe([^A-Za-z_]|$)/ {
+    ok = 0
+    # `unsafe fn`/`unsafe trait` declarations carry their contract in
+    # rustdoc (`# Safety`); the posture lint forces their bodies back
+    # through explicit `unsafe {}` blocks, which this walk does check.
+    if ($0 ~ /unsafe (fn|trait)/) ok = 1
+    for (l = FNR - 1; !ok && (l in comment); l--)
+      if (comment[l] ~ /SAFETY|# Safety/) ok = 1
+    # One SAFETY comment covers an adjacent cluster of unsafe lines.
+    if (FILENAME == lastfile && FNR - lastok <= 1) ok = 1
+    if (ok) { lastfile = FILENAME; lastok = FNR }
+    else printf "%s:%d: unsafe without a SAFETY comment above it\n", FILENAME, FNR
+  }
+' $(find crates/core/src crates/par/src crates/engine/src crates/trisolve/src -name '*.rs'))
+if [ -n "$audit" ]; then
+  while IFS= read -r miss; do violation "$miss"; done <<<"$audit"
+fi
+
+# --- checkers ---------------------------------------------------------------
+
+say "analysis_gate: interleave checker self-tests"
+cargo test -q -p interleave ||
+  violation "interleave checker self-tests failed"
+
+say "analysis_gate: synchronization protocol models (par, sched)"
+cargo test -q -p doacross-par --test interleave_models ||
+  violation "par protocol models failed (ready flags / spin barrier)"
+cargo test -q -p doacross-sched --test interleave_models ||
+  violation "sched protocol models failed (free-pool bitmask)"
+
+say "analysis_gate: plan-soundness verifier (mutation kills + equivalence)"
+cargo test -q -p doacross-verify ||
+  violation "verifier suites failed"
+cargo test -q -p doacross-trisolve --test verify_table1 ||
+  violation "Table 1 plan-soundness acceptance failed"
+
+# ---------------------------------------------------------------------------
+
+if [ "$fail" -ne 0 ]; then
+  say "analysis_gate: FAILED" >&2
+  exit 1
+fi
+say "analysis_gate: OK"

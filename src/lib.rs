@@ -160,6 +160,9 @@
 //!   calibration) persists in v3 plan stores, so a warm-started engine
 //!   resumes with what it already knew.
 
+// Audit posture: this facade re-exports the engine; it needs no unsafe code.
+#![forbid(unsafe_code)]
+
 pub use doacross_adapt as adapt;
 pub use doacross_core as core;
 pub use doacross_doconsider as doconsider;

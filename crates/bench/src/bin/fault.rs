@@ -1,0 +1,77 @@
+//! Prints what the fault-injection sites cost when nobody is injecting
+//! faults — disarmed vs. armed-inert per-solve cost on the five Table 1
+//! structures — and writes the machine-readable `BENCH_fault.json`.
+//!
+//! Regenerate with `cargo run -p doacross-bench --release --bin fault`.
+
+use doacross_bench::fault::{
+    disarmed_check_cost, fault_overhead, to_json, ARMED_INERT_BOUND, DISARMED_OVERHEAD_BOUND,
+};
+use doacross_bench::report::Table;
+use doacross_sparse::ProblemKind;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    println!(
+        "failpoint sites disarmed vs. armed-inert, warmed per-solve cost on {workers} host threads"
+    );
+    println!("(min of 5 reps x 20 solves; one engine serves both, only the registry differs)\n");
+
+    let check_ns = disarmed_check_cost(10_000_000);
+    println!(
+        "disarmed path: {check_ns:.3} ns per hit(None) check (the whole per-iteration bill)\n"
+    );
+
+    let points = fault_overhead(workers, &ProblemKind::all(), 20, 5);
+    let mut table = Table::new([
+        "problem",
+        "rows",
+        "disarmed/solve",
+        "armed-inert/solve",
+        "armed",
+        "disarmed bill",
+    ]);
+    for p in &points {
+        let disarmed = p.disarmed_overhead(check_ns);
+        table.row(vec![
+            p.kind.name().into(),
+            p.rows.to_string(),
+            format!("{:?}", p.off),
+            format!("{:?}", p.on),
+            format!("{:.3}x", p.armed_overhead()),
+            format!("{disarmed:.5}x"),
+        ]);
+        assert!(
+            disarmed <= DISARMED_OVERHEAD_BOUND,
+            "{}: disarmed sites bill {disarmed:.5}x per solve (bound {DISARMED_OVERHEAD_BOUND}x)",
+            p.kind.name(),
+        );
+        assert!(
+            p.armed_overhead() <= ARMED_INERT_BOUND,
+            "{}: armed-inert sites cost {:.3}x disarmed (bound {ARMED_INERT_BOUND}x)",
+            p.kind.name(),
+            p.armed_overhead()
+        );
+    }
+    print!("{}", table.render());
+
+    let worst_armed = points
+        .iter()
+        .map(|p| p.armed_overhead())
+        .fold(f64::MIN, f64::max);
+    let worst_disarmed = points
+        .iter()
+        .map(|p| p.disarmed_overhead(check_ns))
+        .fold(f64::MIN, f64::max);
+    println!(
+        "\nworst-case disarmed bill: {worst_disarmed:.5}x (bound {DISARMED_OVERHEAD_BOUND}x); \
+         worst-case armed-inert: {worst_armed:.3}x (bound {ARMED_INERT_BOUND}x)"
+    );
+
+    let json = to_json(&points, workers, check_ns);
+    let path = "BENCH_fault.json";
+    std::fs::write(path, &json).expect("write BENCH_fault.json");
+    println!("wrote {path}");
+}

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 pub mod adaptive;
 pub mod amortize;
+pub mod fault;
 pub mod fig6;
 pub mod host;
 pub mod obs;

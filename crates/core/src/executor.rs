@@ -34,9 +34,19 @@ use crate::flags::ReadyFlags;
 use crate::oracle::WriterOracle;
 use crate::pattern::DoacrossLoop;
 use crate::stats::{LocalCounters, StatsSink};
-use doacross_par::{Schedule, SharedSlice, ThreadPool, WaitStrategy};
+use doacross_par::{abort_region, Schedule, SharedSlice, ThreadPool, WaitAbort, WaitStrategy};
 use std::ops::Range;
 use std::sync::atomic::AtomicUsize;
+
+/// Fault-injection site consulted once per executor region; armed actions
+/// apply per iteration (see the `failpoint` crate's hot-path discipline).
+pub(crate) const FAILPOINT_ITER: &str = "core::executor::iter";
+
+/// Iterations between deadline clock reads in the executor body (power of
+/// two). Waits check the deadline themselves; this catches regions that
+/// are slow while *making* progress, so a wedged solve still times out
+/// even when no wait ever stalls.
+pub(crate) const DEADLINE_ITER_PERIOD: u64 = 64;
 
 /// Runs the doacross executor over iterations `iter_range`.
 ///
@@ -86,14 +96,40 @@ pub fn run_executor<L, W>(
     let counter = AtomicUsize::new(0);
     let data_len = loop_.data_len();
     let window_len = ynew.len();
+    // Fault containment: capture the region's poison word and deadline
+    // once, and snapshot any armed fault-injection action, all before
+    // dispatch — per-iteration checks then touch only a stack local and
+    // one shared read-mostly atomic.
+    let poison = pool.poison();
+    let deadline = pool.deadline();
+    let failpoint = failpoint::lookup(FAILPOINT_ITER);
 
     pool.run(|worker| {
         let mut local = LocalCounters::default();
+        let mut executed: u64 = 0;
         schedule.drive(worker, nworkers, count, &counter, |k| {
             let i = match order {
                 Some(ord) => ord[base + k],
                 None => base + k,
             };
+            failpoint::hit(failpoint, i as u64);
+            // A sibling's fault means flags may never be published past
+            // this point: stop claiming work and drain (partial counters
+            // are deposited so the fault observer sees this worker's
+            // progress — ordered by the poison word's release/acquire).
+            if let Some(fault) = poison.fault() {
+                sink.deposit(worker, std::mem::take(&mut local));
+                abort_region(poison, WaitAbort::Poisoned(fault));
+            }
+            executed += 1;
+            if deadline.is_some() && executed.is_multiple_of(DEADLINE_ITER_PERIOD) {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        sink.deposit(worker, std::mem::take(&mut local));
+                        abort_region(poison, WaitAbort::DeadlineExpired);
+                    }
+                }
+            }
             let lhs = loop_.lhs(i);
             assert!(lhs < data_len, "executor: lhs {lhs} out of bounds");
             let lhs_slot = lhs - window_start;
@@ -112,7 +148,14 @@ pub fn run_executor<L, W>(
                     // S3–S5: true dependency on an earlier iteration.
                     local.true_deps += 1;
                     let slot = off - window_start;
-                    let polls = wait.wait_until(|| ready.is_done(slot));
+                    let polls =
+                        match wait.wait_until_guarded(|| ready.is_done(slot), poison, deadline) {
+                            Ok(polls) => polls,
+                            Err(abort) => {
+                                sink.deposit(worker, std::mem::take(&mut local));
+                                abort_region(poison, abort);
+                            }
+                        };
                     if polls > 0 {
                         local.stalls += 1;
                         local.wait_polls += polls;

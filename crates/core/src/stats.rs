@@ -121,6 +121,12 @@ pub struct RunStats {
     /// Where this run's preprocessing came from (inline inspection vs. a
     /// prebuilt or cached execution plan).
     pub provenance: PlanProvenance,
+    /// How many solve attempts the engine made to deliver this result:
+    /// 1 for a clean solve, 2 when a faulted parallel solve fell back to
+    /// the sequential variant, higher when saturation retries were spent.
+    /// 0 when the run was produced outside the engine's fault-contained
+    /// path (direct executor use).
+    pub attempts: u32,
 }
 
 impl RunStats {
@@ -158,6 +164,7 @@ impl RunStats {
         if other.provenance.coldness() > self.provenance.coldness() {
             self.provenance = other.provenance;
         }
+        self.attempts = self.attempts.max(other.attempts);
     }
 }
 

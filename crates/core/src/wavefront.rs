@@ -48,12 +48,20 @@
 //! crossover.
 
 use crate::error::DoacrossError;
+use crate::executor::DEADLINE_ITER_PERIOD;
 use crate::pattern::DoacrossLoop;
 use crate::runtime::DoacrossConfig;
 use crate::stats::{LocalCounters, PlanProvenance, RunStats, StatsSink};
-use doacross_par::{parallel_for, CachePadded, Schedule, SharedSlice, SpinBarrier, ThreadPool};
+use doacross_par::{
+    abort_region, parallel_for, CachePadded, Schedule, SharedSlice, SpinBarrier, ThreadPool,
+    WaitAbort,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Fault-injection site consulted once per wavefront region; armed
+/// actions apply per iteration.
+pub(crate) const FAILPOINT_ITER: &str = "core::wavefront::iter";
 
 /// Where an executor resolves a right-hand-side operand from — Figure 5's
 /// three-way check, decided at preprocessing time instead of per run.
@@ -315,9 +323,17 @@ pub fn run_wavefront_executor<L>(
     let data_len = loop_.data_len();
     let term_offsets = schedule.term_offsets();
     let classes = schedule.classes();
+    // Fault containment (same shape as the flat executor): a worker that
+    // panics mid-level never arrives at the barrier, so both the
+    // iteration body and the barrier arrival poll the region's poison
+    // word and the optional deadline.
+    let poison = pool.poison();
+    let deadline = pool.deadline();
+    let failpoint = failpoint::lookup(FAILPOINT_ITER);
 
     pool.run(|worker| {
         let mut local = LocalCounters::default();
+        let mut executed: u64 = 0;
         for (l, counter) in counters[..nlevels].iter().enumerate() {
             let level = schedule.level_iterations(l);
             let width = level.len();
@@ -333,6 +349,20 @@ pub fn run_wavefront_executor<L>(
             };
             level_sched.drive(worker, nworkers, width, counter, |k| {
                 let i = level[k];
+                failpoint::hit(failpoint, i as u64);
+                if let Some(fault) = poison.fault() {
+                    sink.deposit(worker, std::mem::take(&mut local));
+                    abort_region(poison, WaitAbort::Poisoned(fault));
+                }
+                executed += 1;
+                if deadline.is_some() && executed.is_multiple_of(DEADLINE_ITER_PERIOD) {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            sink.deposit(worker, std::mem::take(&mut local));
+                            abort_region(poison, WaitAbort::DeadlineExpired);
+                        }
+                    }
+                }
                 let lhs = loop_.lhs(i);
                 assert!(lhs < data_len, "wavefront: lhs {lhs} out of bounds");
 
@@ -380,7 +410,10 @@ pub fn run_wavefront_executor<L>(
                 unsafe { ynew.write(lhs, loop_.finish(i, acc)) };
             });
             if l + 1 < nlevels {
-                barrier.wait();
+                if let Err(abort) = barrier.wait_guarded(poison, deadline) {
+                    sink.deposit(worker, std::mem::take(&mut local));
+                    abort_region(poison, abort);
+                }
             }
         }
         sink.deposit(worker, local);

@@ -43,6 +43,11 @@ pub struct AdaptiveStats {
     pub demotions: u64,
     /// Sequential baseline probes run to anchor refinement.
     pub baseline_probes: u64,
+    /// Faulted parallel solves replayed on the sequential variant
+    /// (graceful degradation). Each also feeds a sequential telemetry
+    /// sample, so repeated demotions re-price the structure toward the
+    /// variant that actually delivers.
+    pub fallbacks: u64,
 }
 
 /// Per-structure engine-side state: the policy's value state plus the
@@ -67,6 +72,7 @@ pub(crate) struct AdaptiveRuntime {
     promotions: AtomicU64,
     demotions: AtomicU64,
     baseline_probes: AtomicU64,
+    fallbacks: AtomicU64,
 }
 
 impl AdaptiveRuntime {
@@ -85,6 +91,7 @@ impl AdaptiveRuntime {
             promotions: AtomicU64::new(0),
             demotions: AtomicU64::new(0),
             baseline_probes: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -95,6 +102,7 @@ impl AdaptiveRuntime {
             promotions: self.promotions.load(Ordering::Relaxed),
             demotions: self.demotions.load(Ordering::Relaxed),
             baseline_probes: self.baseline_probes.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -304,6 +312,34 @@ impl AdaptiveRuntime {
                 ns,
             });
         }
+    }
+
+    /// Feeds the sequential telemetry sample from a fault-driven
+    /// sequential fallback ([`crate::FallbackPolicy::SequentialRetry`]).
+    /// The demoted parallel attempt produced no completed-solve sample,
+    /// but the replay is a genuine sequential measurement — recording it
+    /// anchors refinement exactly like a baseline probe, so a structure
+    /// that keeps faulting re-prices toward the variant that actually
+    /// delivers answers.
+    pub(crate) fn record_fallback(&self, inner: &EngineInner, plan: &Arc<ExecutionPlan>, ns: u64) {
+        let census = plan.census();
+        let units = inner
+            .planner
+            .costs()
+            .sequential_time(census.iterations, census.total_terms as usize);
+        self.telemetry.record(
+            plan.fingerprint(),
+            VariantKind::Sequential,
+            SolveSample {
+                ns,
+                wait_polls: 0,
+                barriers: 0,
+                terms: census.total_terms,
+                pred_units: units,
+                work_units: units,
+            },
+        );
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One evaluation point: refine, re-price, and — if the policy

@@ -240,6 +240,7 @@ impl<'a, L: DoacrossLoop + ?Sized> SolveBatch<'a, L> {
                             workers: 1,
                             blocks: 1,
                             total: start.elapsed(),
+                            attempts: 1,
                             ..Default::default()
                         });
                     };
@@ -297,6 +298,7 @@ impl<'a, L: DoacrossLoop + ?Sized> SolveBatch<'a, L> {
                                     wait_polls: stats.wait_polls,
                                     barrier_crossings: stats.barrier_crossings,
                                     pool: pool_index as u64,
+                                    outcome: doacross_obs::SolveOutcome::Ok,
                                 },
                             });
                         }

@@ -5,13 +5,15 @@
 use crate::adaptive::AdaptiveRuntime;
 use crate::engine::Engine;
 use crate::error::EngineError;
+use crate::fault::FallbackPolicy;
 use doacross_adapt::AdaptiveConfig;
 use doacross_core::DoacrossConfig;
 use doacross_obs::{ColdStartReason, Obs, ObsConfig, TraceEvent};
 use doacross_plan::{
     default_shard_count, ConcurrentPlanCache, PersistError, PlanStore, Planner, StoredCalibration,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Default total plan capacity across shards.
 pub const DEFAULT_CACHE_CAPACITY: usize = 128;
@@ -51,6 +53,8 @@ pub struct EngineBuilder {
     calibrate: bool,
     adaptive: Option<AdaptiveConfig>,
     observability: Option<ObsConfig>,
+    solve_deadline: Option<Duration>,
+    fallback: FallbackPolicy,
 }
 
 impl Default for EngineBuilder {
@@ -78,6 +82,8 @@ impl EngineBuilder {
             calibrate: false,
             adaptive: None,
             observability: None,
+            solve_deadline: None,
+            fallback: FallbackPolicy::default(),
         }
     }
 
@@ -222,6 +228,30 @@ impl EngineBuilder {
         self
     }
 
+    /// Wall-clock budget for each parallel solve. When a solve runs past
+    /// the deadline, every worker aborts cooperatively at its next poll
+    /// site (ready-flag wait, barrier arrival, or the iteration-body
+    /// check every few dozen iterations), the region is drained, and the
+    /// solve fails with [`crate::EngineError::SolveTimeout`] — unless the
+    /// [`EngineBuilder::fallback`] policy then delivers the answer on the
+    /// sequential variant. Partial statistics for the aborted attempt
+    /// land in the flight recorder. Unset by default: solves may run
+    /// arbitrarily long.
+    pub fn solve_deadline(mut self, deadline: Duration) -> Self {
+        self.solve_deadline = Some(deadline);
+        self
+    }
+
+    /// What to do when a parallel solve panics or times out:
+    /// [`FallbackPolicy::SequentialRetry`] (the default) replays the
+    /// solve once on the sequential variant against a pristine copy of
+    /// the caller's input and delivers that answer;
+    /// [`FallbackPolicy::Disabled`] surfaces the typed error.
+    pub fn fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.fallback = policy;
+        self
+    }
+
     /// Warm-starts the engine from the plan store at `path` (written by a
     /// previous process via [`Engine::save_plans`]): every structure in
     /// the store begins life cached, so its first solve after a restart
@@ -232,11 +262,18 @@ impl EngineBuilder {
     /// `persist::FORMAT_VERSION` (the version policy: a rejected store is
     /// just a cold start, and the next save rewrites the current format —
     /// a format-bumping deploy must not crash-loop on its own previous
-    /// checkpoint). An unreadable, corrupt, or truncated store of the
-    /// current format fails [`EngineBuilder::try_build`] with
-    /// [`EngineError::Persist`] — silently starting cold over a *damaged*
-    /// store would hide exactly the regression persistence exists to
-    /// prevent.
+    /// checkpoint). A corrupt, truncated, or structurally invalid store
+    /// of the current format is **quarantined**: renamed aside to
+    /// `<path>.corrupt-<n>` (the two newest quarantine files are kept for
+    /// post-mortem, older ones pruned), a
+    /// [`doacross_obs::TraceEvent::StoreQuarantined`] and a
+    /// [`doacross_obs::ColdStartReason::Corrupt`] cold start are traced,
+    /// and the boot proceeds cold — a damaged checkpoint must never
+    /// crash-loop the service that wrote it. The damage stays loud (the
+    /// trace, the `doacross_store_quarantines_total` counter, and the
+    /// preserved `.corrupt-*` file) without becoming a boot failure; the
+    /// strict typed-error path remains available via
+    /// [`Engine::load_plans`].
     pub fn warm_start(mut self, path: impl Into<PathBuf>) -> Self {
         self.warm_start = Some(path.into());
         self
@@ -250,9 +287,9 @@ impl EngineBuilder {
     /// plans warm the cache, its telemetry warms an adaptive engine's
     /// recorder, and a valid stored calibration satisfies
     /// [`EngineBuilder::calibrated`] without re-measuring. First-boot
-    /// rules as in [`Engine::warm_start_plans`]: missing or
+    /// rules as in [`EngineBuilder::warm_start`]: missing or
     /// version-superseded stores are a clean cold start, damaged stores
-    /// of the current format fail typed.
+    /// are quarantined aside and the boot proceeds cold.
     pub fn try_build(self) -> Result<Engine, EngineError> {
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -289,7 +326,18 @@ impl EngineBuilder {
                     });
                     None
                 }
-                Err(err) => return Err(err.into()),
+                // Corruption-class failure: quarantine the damaged store
+                // and boot cold rather than crash-looping on a checkpoint
+                // this very process may have half-written before dying.
+                Err(_corrupt) => {
+                    if let Some(index) = quarantine_store(path) {
+                        obs.emit(TraceEvent::StoreQuarantined { index });
+                    }
+                    obs.emit(TraceEvent::ColdStart {
+                        reason: ColdStartReason::Corrupt,
+                    });
+                    None
+                }
             },
         };
         let (planner, calibration) = if self.calibrate {
@@ -326,6 +374,8 @@ impl EngineBuilder {
             calibration,
             adaptive,
             obs,
+            self.solve_deadline,
+            self.fallback,
         );
         if let Some(store) = &store {
             engine.warm_from(store);
@@ -334,17 +384,54 @@ impl EngineBuilder {
     }
 
     /// Builds the engine; identical to [`EngineBuilder::try_build`] except
-    /// that a failing warm start panics. Infallible when
-    /// [`EngineBuilder::warm_start`] is not configured; prefer `try_build`
-    /// when it is.
+    /// that a failing build panics. Since store quarantine made damaged
+    /// warm starts a cold boot instead of an error, the two only differ
+    /// on future fallible configuration.
     ///
     /// # Panics
-    /// Panics if `workers` is 0 or a configured warm-start store exists
-    /// but cannot be loaded.
+    /// Panics if `workers` is 0.
     pub fn build(self) -> Engine {
         self.try_build()
             .expect("engine build failed: configured warm-start store is unreadable")
     }
+}
+
+/// Renames a damaged plan store to `<path>.corrupt-<n>` so the next boot
+/// finds no store (clean cold start) while the bytes survive for
+/// post-mortem. Keeps the two newest quarantine files and prunes older
+/// ones — a crash-looping writer must not fill the disk with corpses.
+/// Returns the suffix index on success; `None` when the rename failed
+/// (the boot still proceeds cold — quarantine is best-effort).
+pub(crate) fn quarantine_store(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?.to_owned();
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let prefix = format!("{name}.corrupt-");
+    let mut existing: Vec<(u64, PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let Some(file) = file.to_str() else { continue };
+            if let Some(index) = file
+                .strip_prefix(&prefix)
+                .and_then(|suffix| suffix.parse::<u64>().ok())
+            {
+                existing.push((index, entry.path()));
+            }
+        }
+    }
+    let next = existing.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+    std::fs::rename(path, dir.join(format!("{prefix}{next}"))).ok()?;
+    // The file just written plus the newest survivor make two.
+    existing.sort_unstable_by_key(|(i, _)| *i);
+    while existing.len() > 1 {
+        let (_, stale) = existing.remove(0);
+        let _ = std::fs::remove_file(stale);
+    }
+    Some(next)
 }
 
 #[cfg(test)]
@@ -417,6 +504,51 @@ mod tests {
             .expect("missing store is first boot, not an error");
         assert_eq!(engine.cache_len(), 0);
         assert_eq!(engine.cache_stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn quarantine_rotation_keeps_the_two_newest_corpses() {
+        let dir = std::env::temp_dir().join(format!(
+            "doacross-quarantine-rotation-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("engine.plans");
+        for round in 0..4u64 {
+            std::fs::write(&store, b"definitely not a plan store").unwrap();
+            let index = quarantine_store(&store).expect("rename succeeds");
+            assert_eq!(index, round);
+            assert!(!store.exists(), "original moved aside");
+        }
+        let corpses: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(corpses.len(), 2, "{corpses:?}");
+        assert!(corpses.contains(&"engine.plans.corrupt-2".to_owned()));
+        assert!(corpses.contains(&"engine.plans.corrupt-3".to_owned()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_warm_start_quarantines_and_boots_cold() {
+        let dir =
+            std::env::temp_dir().join(format!("doacross-quarantine-boot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("engine.plans");
+        std::fs::write(&store, b"garbage bytes, not a store").unwrap();
+        let engine = EngineBuilder::new()
+            .workers(2)
+            .warm_start(&store)
+            .try_build()
+            .expect("corrupt store is quarantined, not fatal");
+        assert_eq!(engine.cache_len(), 0, "booted cold");
+        assert!(!store.exists(), "damaged store moved aside");
+        assert!(dir.join("engine.plans.corrupt-0").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

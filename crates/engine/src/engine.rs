@@ -3,17 +3,23 @@
 use crate::adaptive::{AdaptiveRuntime, AdaptiveStats};
 use crate::builder::EngineBuilder;
 use crate::error::EngineError;
+use crate::fault::{FallbackPolicy, RetryPolicy};
 use crate::prepared::PreparedLoop;
 use doacross_adapt::{TelemetryEntry, TelemetryTotals, VariantKind};
 use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, PlanProvenance, RunStats};
-use doacross_obs::{render, Obs, ObsProvenance, SolveRecord, TraceEvent, TracedEvent};
-use doacross_par::ThreadPool;
+use doacross_obs::{
+    render, Obs, ObsFault, ObsProvenance, SolveOutcome, SolveRecord, TraceEvent, TracedEvent,
+};
+use doacross_par::{RegionFault, ThreadPool};
 use doacross_plan::{
     CacheStats, ConcurrentPlanCache, ExecutionPlan, ExecutorPool, PatternFingerprint, PlanStore,
-    Planner, ShardStats, StoredCalibration,
+    PlanVariant, Planner, ShardStats, StoredCalibration,
 };
 use doacross_sched::{PoolSet, PoolStats};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The observability view of a core provenance. A free function because
 /// both types are foreign to this crate (orphan rule).
@@ -52,6 +58,19 @@ pub(crate) struct EngineInner {
     /// scratch-reuse economics across calls *and* tenants. Grows to the
     /// peak per-pool concurrency ever seen.
     pub(crate) executors: ExecutorPool,
+    /// Wall-clock budget per parallel solve
+    /// ([`EngineBuilder::solve_deadline`]); `None` means unbounded.
+    pub(crate) solve_deadline: Option<Duration>,
+    /// What to do when a parallel solve faults
+    /// ([`EngineBuilder::fallback`]).
+    pub(crate) fallback: FallbackPolicy,
+    /// Reusable pristine-input snapshot buffers for the sequential
+    /// fallback. A faulted parallel region may leave the caller's `y`
+    /// torn (the blocked variant copies back per block), so the replay
+    /// needs the input as it was *before* the parallel attempt. Buffers
+    /// are checked out per solve and returned, growing to peak
+    /// concurrency — warm solves snapshot with zero heap allocations.
+    pub(crate) snapshots: Mutex<Vec<Vec<f64>>>,
 }
 
 impl EngineInner {
@@ -73,8 +92,22 @@ impl EngineInner {
         // uniform saturation semantics, and the per-pool dispatch
         // accounting reconciles exactly with the solve totals.
         let trace_dispatch = self.obs.enabled() && self.pools.pools() > 1;
-        let wait_started = trace_dispatch.then(std::time::Instant::now);
-        let guard = self.pools.acquire()?;
+        let wait_started = trace_dispatch.then(Instant::now);
+        let guard = match self.pools.acquire() {
+            Ok(guard) => guard,
+            Err(saturated) => {
+                // No pool was ever leased, but the refused attempt still
+                // shows in the flight recorder (counters and histograms
+                // skip non-delivered outcomes).
+                self.emit_solve_record(plan, generation, 0, SolveOutcome::Saturated, &{
+                    RunStats {
+                        attempts: 1,
+                        ..RunStats::default()
+                    }
+                });
+                return Err(saturated.into());
+            }
+        };
         let pool_index = guard.index();
         if let Some(t0) = wait_started {
             self.obs.emit(TraceEvent::PoolDispatched {
@@ -83,18 +116,169 @@ impl EngineInner {
                 wait_ns: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             });
         }
+        // A faulted parallel region may leave `y` torn, so the sequential
+        // fallback replays from a pristine copy taken up front. Only
+        // parallel variants can fault (the sequential variant runs no
+        // region), and a disabled policy never replays — skip the copy.
+        let snapshot = (self.fallback == FallbackPolicy::SequentialRetry
+            && plan.variant() != PlanVariant::Sequential)
+            .then(|| {
+                let mut buf = self.snapshots.lock().pop().unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(y);
+                buf
+            });
+        let deadline = self.solve_deadline.map(|budget| Instant::now() + budget);
+        guard.pool().set_deadline(deadline);
         let mut executor = self.executors.checkout(pool_index);
         let allocs_before = doacross_core::alloc::thread_allocations();
-        let result = executor.execute(guard.pool(), loop_, y, plan);
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            executor.execute(guard.pool(), loop_, y, plan)
+        }));
+        let elapsed = started.elapsed();
         let allocations = doacross_core::alloc::thread_allocations() - allocs_before;
-        self.executors.restore(pool_index, executor);
-        drop(guard);
-        let mut stats = result.map_err(EngineError::from)?;
+        guard.pool().set_deadline(None);
+        let result = match outcome {
+            Ok(result) => {
+                self.executors.restore(pool_index, executor);
+                drop(guard);
+                result.map_err(EngineError::from)
+            }
+            Err(payload) => {
+                // The executor's scratch (and the barrier, for a
+                // wavefront region) may be mid-flight state — discard it;
+                // the pool replenishes the stack with a fresh one.
+                drop(executor);
+                let fault = match payload.downcast::<RegionFault>() {
+                    Ok(fault) => *fault,
+                    // Not a contained region fault (e.g. an assertion in
+                    // engine code): containment does not apply. Free the
+                    // sub-pool and let the panic keep unwinding.
+                    Err(payload) => {
+                        drop(guard);
+                        resume_unwind(payload);
+                    }
+                };
+                if matches!(fault, RegionFault::WorkerPanicked { .. }) {
+                    // Health-probe the sub-pool before releasing it: one
+                    // empty region proves every worker is answering
+                    // dispatch (and `ThreadPool::run`'s entry hygiene
+                    // clears the poison). A recurring panic here keeps
+                    // the guard's release path intact — the next tenant
+                    // gets the same typed containment, not a hang.
+                    let _ = catch_unwind(AssertUnwindSafe(|| guard.pool().run(|_| {})));
+                }
+                drop(guard);
+                if self.obs.enabled() {
+                    self.obs.emit(TraceEvent::SolvePoisoned {
+                        fp: plan.fingerprint().into(),
+                        variant: plan.variant().into(),
+                        pool: pool_index as u64,
+                        fault: match fault {
+                            RegionFault::WorkerPanicked { worker } => ObsFault::WorkerPanic {
+                                worker: worker as u64,
+                            },
+                            RegionFault::DeadlineExpired => ObsFault::DeadlineExpired,
+                        },
+                    });
+                }
+                // The aborted attempt's flight record: what the engine
+                // can still measure (wall time, attempt count) — the
+                // per-worker counters unwound with the region.
+                let partial = RunStats {
+                    workers: self.pools.workers_per_pool(),
+                    total: elapsed,
+                    executor: elapsed,
+                    attempts: 1,
+                    ..RunStats::default()
+                };
+                let (failed_outcome, err) = match fault {
+                    RegionFault::WorkerPanicked { worker } => (
+                        SolveOutcome::Panicked,
+                        EngineError::SolvePanicked {
+                            pool: pool_index,
+                            worker,
+                        },
+                    ),
+                    RegionFault::DeadlineExpired => (
+                        SolveOutcome::TimedOut,
+                        EngineError::SolveTimeout {
+                            pool: pool_index,
+                            deadline: self.solve_deadline.unwrap_or_default(),
+                        },
+                    ),
+                };
+                self.emit_solve_record(
+                    plan,
+                    generation,
+                    pool_index as u64,
+                    failed_outcome,
+                    &partial,
+                );
+                Err(err)
+            }
+        };
+        let mut stats = match result {
+            Ok(stats) => stats,
+            Err(err) => {
+                // Only contained region faults are eligible for the
+                // sequential replay: a typed rejection (mismatched
+                // buffer, bad plan) is deterministic and would fail — or
+                // panic — identically on the sequential variant.
+                let faulted = matches!(
+                    err,
+                    EngineError::SolvePanicked { .. } | EngineError::SolveTimeout { .. }
+                );
+                let Some(pristine) = snapshot.as_deref().filter(|_| faulted) else {
+                    self.return_snapshot(snapshot);
+                    return Err(err);
+                };
+                // Graceful degradation: replay on the sequential variant
+                // against the restored input. The parallel attempt
+                // delivered nothing, so the unpreprocessed loop — immune
+                // to region faults by construction — earns its keep.
+                y.copy_from_slice(pristine);
+                let replay_started = Instant::now();
+                doacross_core::seq::run_sequential(loop_, y);
+                let replay = replay_started.elapsed();
+                let ns = replay.as_nanos().min(u64::MAX as u128) as u64;
+                if self.obs.enabled() {
+                    self.obs.emit(TraceEvent::SolveFellBack {
+                        fp: plan.fingerprint().into(),
+                        from: plan.variant().into(),
+                    });
+                }
+                if let Some(adaptive) = &self.adaptive {
+                    adaptive.record_fallback(self, plan, ns);
+                }
+                let stats = RunStats {
+                    iterations: loop_.iterations(),
+                    workers: 1,
+                    blocks: 1,
+                    executor: replay,
+                    total: replay,
+                    attempts: 2,
+                    ..RunStats::default()
+                };
+                let record = SolveRecord {
+                    variant: doacross_obs::ObsVariant::Sequential,
+                    ..self.solve_record(plan, generation, 0, SolveOutcome::FellBack, &stats)
+                };
+                if self.obs.enabled() {
+                    self.obs.emit(TraceEvent::SolveFinished { record });
+                }
+                self.return_snapshot(snapshot);
+                return Ok(stats);
+            }
+        };
+        self.return_snapshot(snapshot);
         // The dispatching thread's heap-allocation bill for this solve —
         // exactly 0 on a warm flat-doacross solve, and always 0 unless
         // the audit allocator (`doacross_core::alloc::CountingAllocator`)
         // is installed.
         stats.allocations = allocations;
+        stats.attempts = 1;
         // Stamped here, before the observability and adaptive hooks, so
         // both see the solve the caller will see.
         stats.provenance = if from_cache {
@@ -102,31 +286,69 @@ impl EngineInner {
         } else {
             PlanProvenance::PlanCold
         };
-        if self.obs.enabled() {
-            let clamp = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
-            self.obs.emit(TraceEvent::SolveFinished {
-                record: SolveRecord {
-                    fp: plan.fingerprint().into(),
-                    variant: plan.variant().into(),
-                    provenance: obs_provenance(stats.provenance),
-                    generation,
-                    total_ns: clamp(stats.total),
-                    inspector_ns: clamp(stats.inspector),
-                    executor_ns: clamp(stats.executor),
-                    post_ns: clamp(stats.post),
-                    iterations: stats.iterations as u64,
-                    workers: stats.workers as u64,
-                    stalls: stats.stalls,
-                    wait_polls: stats.wait_polls,
-                    barrier_crossings: stats.barrier_crossings,
-                    pool: pool_index as u64,
-                },
-            });
-        }
+        self.emit_solve_record(
+            plan,
+            generation,
+            pool_index as u64,
+            SolveOutcome::Ok,
+            &stats,
+        );
         if let Some(adaptive) = &self.adaptive {
             adaptive.after_solve(self, loop_, y, plan, &stats);
         }
         Ok(stats)
+    }
+
+    /// Builds the flight-recorder row for one solve attempt.
+    fn solve_record(
+        &self,
+        plan: &Arc<ExecutionPlan>,
+        generation: u64,
+        pool: u64,
+        outcome: SolveOutcome,
+        stats: &RunStats,
+    ) -> SolveRecord {
+        let clamp = |d: Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+        SolveRecord {
+            fp: plan.fingerprint().into(),
+            variant: plan.variant().into(),
+            provenance: obs_provenance(stats.provenance),
+            generation,
+            total_ns: clamp(stats.total),
+            inspector_ns: clamp(stats.inspector),
+            executor_ns: clamp(stats.executor),
+            post_ns: clamp(stats.post),
+            iterations: stats.iterations as u64,
+            workers: stats.workers as u64,
+            stalls: stats.stalls,
+            wait_polls: stats.wait_polls,
+            barrier_crossings: stats.barrier_crossings,
+            pool,
+            outcome,
+        }
+    }
+
+    fn emit_solve_record(
+        &self,
+        plan: &Arc<ExecutionPlan>,
+        generation: u64,
+        pool: u64,
+        outcome: SolveOutcome,
+        stats: &RunStats,
+    ) {
+        if self.obs.enabled() {
+            self.obs.emit(TraceEvent::SolveFinished {
+                record: self.solve_record(plan, generation, pool, outcome, stats),
+            });
+        }
+    }
+
+    /// Returns a fallback snapshot buffer to the reuse stack (keeps its
+    /// capacity; the next solve of the same tenant snapshots alloc-free).
+    fn return_snapshot(&self, snapshot: Option<Vec<f64>>) {
+        if let Some(buf) = snapshot {
+            self.snapshots.lock().push(buf);
+        }
     }
 }
 
@@ -172,6 +394,7 @@ impl Engine {
         EngineBuilder::new()
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         pools: PoolSet,
         planner: Planner,
@@ -180,6 +403,8 @@ impl Engine {
         calibration: Option<StoredCalibration>,
         adaptive: Option<AdaptiveRuntime>,
         obs: Obs,
+        solve_deadline: Option<Duration>,
+        fallback: FallbackPolicy,
     ) -> Self {
         let executors = ExecutorPool::new(config, pools.pools());
         Self {
@@ -192,6 +417,9 @@ impl Engine {
                 adaptive,
                 obs,
                 executors,
+                solve_deadline,
+                fallback,
+                snapshots: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -230,6 +458,62 @@ impl Engine {
     /// Solve admissions refused with [`EngineError::Saturated`] so far.
     pub fn saturations(&self) -> u64 {
         self.inner.pools.saturations()
+    }
+
+    /// The per-solve wall-clock budget
+    /// ([`crate::EngineBuilder::solve_deadline`]), when configured.
+    pub fn solve_deadline(&self) -> Option<Duration> {
+        self.inner.solve_deadline
+    }
+
+    /// What this engine does when a parallel solve faults
+    /// ([`crate::EngineBuilder::fallback`]).
+    pub fn fallback_policy(&self) -> FallbackPolicy {
+        self.inner.fallback
+    }
+
+    /// [`PreparedLoop::execute`] with bounded, jittered exponential
+    /// backoff on [`EngineError::Saturated`] — the one transient,
+    /// load-induced failure. Every other error (fault containment's typed
+    /// panics/timeouts included — those already spent the fallback) is
+    /// returned unchanged on first sight: retrying a deterministic
+    /// rejection reproduces it, slower.
+    ///
+    /// Each retry emits a `solve_retried` trace event (counted in
+    /// `doacross_retry_total`), and the retries spent are added to the
+    /// returned [`RunStats::attempts`].
+    pub fn execute_with_retry<L: DoacrossLoop + ?Sized>(
+        &self,
+        handle: &PreparedLoop,
+        loop_: &L,
+        y: &mut [f64],
+        policy: RetryPolicy,
+    ) -> Result<RunStats, EngineError> {
+        let mut delays = policy.delays();
+        let mut retries = 0u32;
+        loop {
+            match handle.execute(loop_, y) {
+                Err(EngineError::Saturated { .. }) if retries < policy.max_retries => {
+                    retries += 1;
+                    if self.inner.obs.enabled() {
+                        self.inner.obs.emit(TraceEvent::SolveRetried {
+                            fp: handle.plan().fingerprint().into(),
+                            attempt: retries as u64,
+                        });
+                    }
+                    if let Some(delay) = delays.next() {
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                }
+                Ok(mut stats) => {
+                    stats.attempts += retries;
+                    return Ok(stats);
+                }
+                Err(err) => return Err(err),
+            }
+        }
     }
 
     /// Per-sub-pool dispatch and steal counters, in pool order. The
@@ -527,23 +811,30 @@ impl Engine {
     /// deploy that bumps `persist::FORMAT_VERSION` starts cold instead of
     /// crash-looping on its own previous checkpoint. A *damaged* store of
     /// the current format (bad magic, checksum mismatch, truncation,
-    /// structural inconsistency) still fails typed: that is corruption,
-    /// not succession, and silently starting cold over it would hide
-    /// exactly the regression persistence exists to prevent.
+    /// structural inconsistency) is **quarantined**: renamed aside to
+    /// `<path>.corrupt-<n>` (the two newest corpses are kept for
+    /// post-mortem), traced as `store_quarantined` plus a `corrupt` cold
+    /// start, and the boot proceeds cold (`Ok(0)`) — a service must never
+    /// crash-loop on a checkpoint it half-wrote before dying, and the
+    /// damage stays loud in the trace, the
+    /// `doacross_store_quarantines_total` counter, and the preserved
+    /// `.corrupt-*` file.
     ///
-    /// This is the one place the first-boot rules live;
-    /// [`crate::EngineBuilder::warm_start`] and `trisolve`'s warm-started
-    /// solver both route through it, and checking the error instead of
-    /// pre-checking existence leaves no window for the store to vanish
-    /// between the two. [`Engine::load_plans`] stays strict — an explicit
-    /// load of a version-mismatched store reports the typed
-    /// [`doacross_plan::PersistError::UnsupportedVersion`].
+    /// This is the one place the boot rules live; `trisolve`'s
+    /// warm-started solver routes through it
+    /// ([`crate::EngineBuilder::warm_start`] applies the same rules at
+    /// build time), and checking the error instead of pre-checking
+    /// existence leaves no window for the store to vanish between the
+    /// two. [`Engine::load_plans`] stays strict — an explicit load of a
+    /// version-mismatched or damaged store reports the typed
+    /// [`doacross_plan::PersistError`].
     pub fn warm_start_plans(
         &self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<usize, EngineError> {
         use doacross_obs::ColdStartReason;
         use doacross_plan::PersistError;
+        let path = path.as_ref();
         match self.load_plans(path) {
             Err(EngineError::Persist(PersistError::NotFound)) => {
                 if self.inner.obs.enabled() {
@@ -557,6 +848,21 @@ impl Engine {
                 if self.inner.obs.enabled() {
                     self.inner.obs.emit(TraceEvent::ColdStart {
                         reason: ColdStartReason::VersionMismatch,
+                    });
+                }
+                Ok(0)
+            }
+            // Anything else `PlanStore::load` reports is corruption-class:
+            // quarantine the corpse and boot cold (see the doc above).
+            Err(EngineError::Persist(_)) => {
+                if let Some(index) = crate::builder::quarantine_store(path) {
+                    if self.inner.obs.enabled() {
+                        self.inner.obs.emit(TraceEvent::StoreQuarantined { index });
+                    }
+                }
+                if self.inner.obs.enabled() {
+                    self.inner.obs.emit(TraceEvent::ColdStart {
+                        reason: ColdStartReason::Corrupt,
                     });
                 }
                 Ok(0)
@@ -703,6 +1009,12 @@ impl Engine {
                 "Sequential baseline probes run to anchor refinement.",
                 a.baseline_probes,
             );
+            render::counter(
+                &mut buf,
+                "doacross_adaptive_fallbacks_total",
+                "Faulted parallel solves replayed on the sequential variant.",
+                a.fallbacks,
+            );
         }
         self.inner.obs.render_prometheus(&mut buf);
         buf
@@ -735,8 +1047,13 @@ impl Engine {
             Some(a) => {
                 let _ = write!(
                     buf,
-                    "{{\"repricings\":{},\"trials\":{},\"promotions\":{},\"demotions\":{},\"baseline_probes\":{}}}",
-                    a.repricings, a.trials, a.promotions, a.demotions, a.baseline_probes,
+                    "{{\"repricings\":{},\"trials\":{},\"promotions\":{},\"demotions\":{},\"baseline_probes\":{},\"fallbacks\":{}}}",
+                    a.repricings,
+                    a.trials,
+                    a.promotions,
+                    a.demotions,
+                    a.baseline_probes,
+                    a.fallbacks,
                 );
             }
             None => buf.push_str("null"),

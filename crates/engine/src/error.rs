@@ -42,6 +42,29 @@ pub enum EngineError {
     /// its synchronization schedule fails to cover a dependence the index
     /// arrays imply. Carries the first uncovered edge.
     Unsound(doacross_plan::SoundnessViolation),
+    /// A worker panicked inside a parallel region. The region was
+    /// poisoned, every other worker unwound cooperatively (no hang), the
+    /// sub-pool was health-probed and released, and the caller's output
+    /// buffer was restored — but the solve produced nothing. Surfaced
+    /// only when [`crate::FallbackPolicy::Disabled`] suppresses the
+    /// sequential fallback (or the fallback itself failed).
+    SolvePanicked {
+        /// Scheduler sub-pool the faulted region ran on.
+        pool: usize,
+        /// Worker index whose closure panicked (first cause wins when
+        /// several race).
+        worker: usize,
+    },
+    /// The parallel solve ran past the engine's
+    /// [`crate::EngineBuilder::solve_deadline`]. All workers unwound
+    /// cooperatively at the next poll site; partial statistics for the
+    /// aborted attempt are in the flight recorder.
+    SolveTimeout {
+        /// Scheduler sub-pool the expired region ran on.
+        pool: usize,
+        /// The configured deadline that was exceeded.
+        deadline: std::time::Duration,
+    },
 }
 
 impl From<DoacrossError> for EngineError {
@@ -89,6 +112,17 @@ impl std::fmt::Display for EngineError {
             EngineError::Unsound(violation) => {
                 write!(f, "plan failed soundness verification: {violation}")
             }
+            EngineError::SolvePanicked { pool, worker } => write!(
+                f,
+                "parallel solve panicked: worker {worker} on sub-pool {pool} \
+                 poisoned the region; all workers unwound and the sub-pool \
+                 was released (no partial output was delivered)"
+            ),
+            EngineError::SolveTimeout { pool, deadline } => write!(
+                f,
+                "parallel solve on sub-pool {pool} exceeded its {deadline:?} \
+                 deadline and was aborted cooperatively"
+            ),
         }
     }
 }
@@ -99,7 +133,10 @@ impl std::error::Error for EngineError {
             EngineError::Doacross(err) => Some(err),
             EngineError::Persist(err) => Some(err),
             EngineError::Unsound(violation) => Some(violation),
-            EngineError::StalePlan { .. } | EngineError::Saturated { .. } => None,
+            EngineError::StalePlan { .. }
+            | EngineError::Saturated { .. }
+            | EngineError::SolvePanicked { .. }
+            | EngineError::SolveTimeout { .. } => None,
         }
     }
 }
@@ -135,5 +172,17 @@ mod tests {
         };
         assert!(saturated.to_string().contains("saturated"));
         assert!(std::error::Error::source(&saturated).is_none());
+
+        let panicked = EngineError::SolvePanicked { pool: 1, worker: 3 };
+        assert!(panicked.to_string().contains("worker 3"));
+        assert!(panicked.to_string().contains("sub-pool 1"));
+        assert!(std::error::Error::source(&panicked).is_none());
+
+        let timed_out = EngineError::SolveTimeout {
+            pool: 0,
+            deadline: std::time::Duration::from_millis(10),
+        };
+        assert!(timed_out.to_string().contains("deadline"));
+        assert!(std::error::Error::source(&timed_out).is_none());
     }
 }

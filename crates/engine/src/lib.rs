@@ -72,6 +72,7 @@ pub mod batch;
 pub mod builder;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod prepared;
 
 pub use adaptive::AdaptiveStats;
@@ -79,6 +80,7 @@ pub use batch::SolveBatch;
 pub use builder::EngineBuilder;
 pub use engine::Engine;
 pub use error::EngineError;
+pub use fault::{FallbackPolicy, RetryPolicy};
 pub use prepared::PreparedLoop;
 // The scheduler vocabulary ([`EngineBuilder::pools`] /
 // [`EngineBuilder::max_pending`], per-pool accounting behind
@@ -97,5 +99,6 @@ pub use doacross_adapt::{AdaptiveConfig, TelemetryEntry, TelemetryTotals, Varian
 // [`Engine::recent_solves`]). Metric names are documented at
 // [`doacross_obs`]'s crate root.
 pub use doacross_obs::{
-    Obs, ObsConfig, ObsProvenance, ObsSink, ObsVariant, SolveRecord, TraceEvent, TracedEvent,
+    Obs, ObsConfig, ObsFault, ObsProvenance, ObsSink, ObsVariant, SolveOutcome, SolveRecord,
+    TraceEvent, TracedEvent,
 };

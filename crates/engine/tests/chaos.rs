@@ -1,0 +1,546 @@
+//! Chaos suite: deterministic fault injection against a live engine.
+//!
+//! Every test arms a `failpoint` site (a worker panic at a chosen
+//! iteration, a per-iteration delay that trips the solve deadline, or
+//! synthetic admission saturation), drives a solve through the full
+//! engine path, and proves the failure mode resolves **typed and
+//! recoverable**: a specific `EngineError` within a hard watchdog bound
+//! (never a hang), the sub-pool reusable immediately afterwards, other
+//! tenants bit-identical to the sequential oracle throughout, and — when
+//! the fallback policy is on — the answer still delivered.
+//!
+//! The failpoint registry is process-global, so every test serializes on
+//! [`chaos_lock`] and disarms on the way out.
+
+use doacross_core::{seq::run_sequential, AccessPattern, DoacrossLoop, IndirectLoop, TestLoop};
+use doacross_engine::{
+    Engine, EngineError, FallbackPolicy, ObsConfig, RetryPolicy, SolveOutcome, TraceEvent,
+};
+use doacross_plan::{PlanVariant, BLOCKED_DATA_SPACE_FACTOR};
+use failpoint::FailAction;
+use std::sync::{mpsc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Serializes chaos tests (the failpoint registry is process-global). A
+/// test that panicked while holding the lock poisons it; the next test
+/// still runs (and re-disarms).
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    failpoint::disarm_all();
+    guard
+}
+
+/// The no-hang proof: runs `solve` on a helper thread and panics if it
+/// has not produced a result within `bound` — a wedged region fails the
+/// test instead of wedging the suite.
+fn within<T: Send + 'static>(bound: Duration, solve: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let watchdog = std::thread::spawn(move || {
+        let _ = tx.send(solve());
+    });
+    let result = rx
+        .recv_timeout(bound)
+        .expect("watchdog: solve did not resolve within the hang bound");
+    watchdog.join().expect("solver thread exited cleanly");
+    result
+}
+
+const HANG_BOUND: Duration = Duration::from_secs(30);
+
+fn oracle_of<L: DoacrossLoop + ?Sized>(loop_: &L, y0: &[f64]) -> Vec<f64> {
+    let mut oracle = y0.to_vec();
+    run_sequential(loop_, &mut oracle);
+    oracle
+}
+
+fn fresh_y(len: usize) -> Vec<f64> {
+    (0..len).map(|e| 1.0 + (e % 10) as f64 / 10.0).collect()
+}
+
+/// Dependence-free, non-linear (reversed) subscript: plans as the flat
+/// inspected doacross.
+fn doacross_victim() -> IndirectLoop {
+    let n = 4_000;
+    let a: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
+    IndirectLoop::new(n, a, vec![vec![]; n], vec![vec![]; n]).unwrap()
+}
+
+/// Interleaved distance-1 chains: the doconsider claim order wins.
+fn reordered_victim() -> IndirectLoop {
+    let (chains, len) = (32, 16);
+    let n = chains * len;
+    let a: Vec<usize> = (0..n).collect();
+    let rhs: Vec<Vec<usize>> = (0..n)
+        .map(|i| if i % len == 0 { vec![] } else { vec![i - 1] })
+        .collect();
+    let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![0.5; r.len()]).collect();
+    IndirectLoop::new(n, a, rhs, coeff).unwrap()
+}
+
+/// Sparse doall over a data space `BLOCKED_DATA_SPACE_FACTOR` times the
+/// iteration count: strip-mined into cache-sized blocks.
+fn blocked_victim() -> IndirectLoop {
+    let n = 4_096;
+    let spread = BLOCKED_DATA_SPACE_FACTOR;
+    let a: Vec<usize> = (0..n).map(|i| (n - 1 - i) * spread).collect();
+    let rhs: Vec<Vec<usize>> = (0..n)
+        .map(|i| vec![i * spread + 3, ((i + 9) % n) * spread + 3])
+        .collect();
+    let coeff = vec![vec![0.5, 0.25]; n];
+    IndirectLoop::new(n * spread, a, rhs, coeff).unwrap()
+}
+
+/// Wide dependence grid: level-scheduled wavefront with one barrier per
+/// level.
+fn wavefront_victim() -> IndirectLoop {
+    doacross_plan::testgrid::deep_grid(64, 20, 3, 7)
+}
+
+const EXECUTOR_ITER: &str = "core::executor::iter";
+const WAVEFRONT_ITER: &str = "core::wavefront::iter";
+const SCHED_ACQUIRE: &str = "sched::acquire";
+
+/// One injected-panic round trip: arm the site, prove the typed error
+/// arrives under the watchdog, disarm, prove the *same* handle and
+/// sub-pool immediately solve to the oracle.
+fn assert_panic_contained<L>(
+    engine: &Engine,
+    loop_: L,
+    wants: fn(PlanVariant) -> bool,
+    site: &'static str,
+    iteration: u64,
+) where
+    L: DoacrossLoop + Clone + Send + 'static,
+{
+    let prepared = engine.prepare(&loop_).unwrap();
+    assert!(
+        wants(prepared.variant()),
+        "loop shape picked {:?}",
+        prepared.variant()
+    );
+    let y0 = fresh_y(loop_.data_len());
+    let oracle = oracle_of(&loop_, &y0);
+
+    failpoint::arm(site, FailAction::PanicAt { iteration });
+    let err = {
+        let (prepared, loop_, mut y) = (prepared.clone(), loop_.clone(), y0.clone());
+        within(HANG_BOUND, move || {
+            prepared.execute(&loop_, &mut y).unwrap_err()
+        })
+    };
+    assert!(
+        matches!(err, EngineError::SolvePanicked { .. }),
+        "{:?}: {err:?}",
+        prepared.variant()
+    );
+    failpoint::disarm(site);
+
+    // The sub-pool is immediately reusable and the same prepared handle
+    // now solves correctly — containment, not contamination.
+    let mut y = y0;
+    let stats = prepared.execute(&loop_, &mut y).unwrap();
+    assert_eq!(y, oracle, "{:?}: recovered solve", prepared.variant());
+    assert_eq!(stats.attempts, 1);
+}
+
+#[test]
+fn injected_worker_panic_fails_typed_across_every_parallel_variant() {
+    let _serial = chaos_lock();
+    let engine = Engine::builder()
+        .workers(4)
+        .pools(1)
+        .fallback(FallbackPolicy::Disabled)
+        .observability(ObsConfig::default())
+        .build();
+
+    assert_panic_contained(
+        &engine,
+        TestLoop::new(2_000, 1, 7),
+        |v| matches!(v, PlanVariant::Linear(_)),
+        EXECUTOR_ITER,
+        1_900,
+    );
+    assert_panic_contained(
+        &engine,
+        doacross_victim(),
+        |v| v == PlanVariant::Doacross,
+        EXECUTOR_ITER,
+        3_900,
+    );
+    assert_panic_contained(
+        &engine,
+        reordered_victim(),
+        |v| v == PlanVariant::Reordered,
+        EXECUTOR_ITER,
+        500,
+    );
+    assert_panic_contained(
+        &engine,
+        wavefront_victim(),
+        |v| v == PlanVariant::Wavefront,
+        WAVEFRONT_ITER,
+        1_200,
+    );
+    // The blocked variant dispatches several regions per solve (one per
+    // strip-mined block); a panic in a late block must contain
+    // identically. The executor's failpoint sees the *global* iteration
+    // index, so 4 000 lands in a late block.
+    assert_panic_contained(
+        &engine,
+        blocked_victim(),
+        |v| matches!(v, PlanVariant::Blocked { .. }),
+        EXECUTOR_ITER,
+        4_000,
+    );
+
+    // Every injected fault left a Panicked record in the flight recorder.
+    let panicked = engine
+        .recent_solves()
+        .iter()
+        .filter(|r| r.outcome == SolveOutcome::Panicked)
+        .count();
+    assert_eq!(panicked, 5, "one failed-attempt record per variant");
+    failpoint::disarm_all();
+}
+
+#[test]
+fn fallback_delivers_the_oracle_answer_after_a_panic() {
+    let _serial = chaos_lock();
+    let engine = Engine::builder()
+        .workers(4)
+        .pools(1)
+        .adaptive()
+        .observability(ObsConfig::default())
+        .build();
+    assert_eq!(engine.fallback_policy(), FallbackPolicy::SequentialRetry);
+    let loop_ = doacross_victim();
+    let prepared = engine.prepare(&loop_).unwrap();
+    assert_eq!(prepared.variant(), PlanVariant::Doacross);
+    let y0 = fresh_y(loop_.data_len());
+    let oracle = oracle_of(&loop_, &y0);
+
+    failpoint::arm(EXECUTOR_ITER, FailAction::PanicAt { iteration: 3_900 });
+    let (stats, y) = {
+        let (prepared, loop_, mut y) = (prepared.clone(), loop_.clone(), y0.clone());
+        within(HANG_BOUND, move || {
+            let stats = prepared.execute(&loop_, &mut y).unwrap();
+            (stats, y)
+        })
+    };
+    failpoint::disarm(EXECUTOR_ITER);
+
+    assert_eq!(y, oracle, "fallback replays against the pristine input");
+    assert_eq!(stats.attempts, 2, "one parallel fault, one replay");
+    assert_eq!(stats.workers, 1, "the replay is sequential");
+
+    // The demotion is visible everywhere it should be: the trace, the
+    // flight recorder (failed attempt AND delivering replay), adaptive
+    // telemetry, and the scrape.
+    let events = engine.trace_events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, TraceEvent::SolvePoisoned { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, TraceEvent::SolveFellBack { .. })));
+    let outcomes: Vec<SolveOutcome> = engine.recent_solves().iter().map(|r| r.outcome).collect();
+    assert!(outcomes.contains(&SolveOutcome::Panicked), "{outcomes:?}");
+    assert!(outcomes.contains(&SolveOutcome::FellBack), "{outcomes:?}");
+    assert_eq!(engine.adaptive_stats().unwrap().fallbacks, 1);
+    let text = engine.metrics_text();
+    assert!(text.contains("doacross_fault_panics_total 1"), "{text}");
+    assert!(text.contains("doacross_fault_fallbacks_total 1"), "{text}");
+    assert!(text.contains("doacross_adaptive_fallbacks_total 1"));
+    failpoint::disarm_all();
+}
+
+#[test]
+fn solve_deadline_resolves_a_wedged_solve_typed() {
+    let _serial = chaos_lock();
+    let deadline = Duration::from_millis(40);
+    let engine = Engine::builder()
+        .workers(4)
+        .pools(1)
+        .solve_deadline(deadline)
+        .fallback(FallbackPolicy::Disabled)
+        .observability(ObsConfig::default())
+        .build();
+    assert_eq!(engine.solve_deadline(), Some(deadline));
+    let loop_ = doacross_victim();
+    let prepared = engine.prepare(&loop_).unwrap();
+    assert_eq!(prepared.variant(), PlanVariant::Doacross);
+    let y0 = fresh_y(loop_.data_len());
+    let oracle = oracle_of(&loop_, &y0);
+
+    // ~200µs of injected drag per iteration wedges the region far past
+    // the 40ms budget; the iteration-body deadline poll drains it.
+    failpoint::arm(EXECUTOR_ITER, FailAction::DelayNs { ns: 200_000 });
+    let err = {
+        let (prepared, loop_, mut y) = (prepared.clone(), loop_.clone(), y0.clone());
+        within(HANG_BOUND, move || {
+            prepared.execute(&loop_, &mut y).unwrap_err()
+        })
+    };
+    assert_eq!(
+        err,
+        EngineError::SolveTimeout { pool: 0, deadline },
+        "typed timeout"
+    );
+    failpoint::disarm(EXECUTOR_ITER);
+
+    // The aborted attempt left a TimedOut record with partial stats.
+    let record = engine
+        .recent_solves()
+        .into_iter()
+        .find(|r| r.outcome == SolveOutcome::TimedOut)
+        .expect("flight recorder kept the aborted attempt");
+    assert!(
+        record.total_ns >= deadline.as_nanos() as u64,
+        "attempt ran at least the budget: {record:?}"
+    );
+    assert!(engine
+        .metrics_text()
+        .contains("doacross_fault_timeouts_total 1"));
+
+    // Un-wedged, the same handle beats the deadline and solves.
+    let mut y = y0;
+    prepared.execute(&loop_, &mut y).unwrap();
+    assert_eq!(y, oracle);
+}
+
+#[test]
+fn solve_deadline_with_fallback_still_delivers() {
+    let _serial = chaos_lock();
+    let engine = Engine::builder()
+        .workers(4)
+        .pools(1)
+        .solve_deadline(Duration::from_millis(40))
+        .build();
+    let loop_ = doacross_victim();
+    let prepared = engine.prepare(&loop_).unwrap();
+    let y0 = fresh_y(loop_.data_len());
+    let oracle = oracle_of(&loop_, &y0);
+
+    // The failpoint sites live in the parallel executors only — the
+    // sequential replay is immune to the very drag that wedged the
+    // parallel attempt.
+    failpoint::arm(EXECUTOR_ITER, FailAction::DelayNs { ns: 200_000 });
+    let (stats, y) = {
+        let (prepared, loop_, mut y) = (prepared.clone(), loop_.clone(), y0.clone());
+        within(HANG_BOUND, move || {
+            let stats = prepared.execute(&loop_, &mut y).unwrap();
+            (stats, y)
+        })
+    };
+    failpoint::disarm(EXECUTOR_ITER);
+    assert_eq!(y, oracle);
+    assert_eq!(stats.attempts, 2);
+}
+
+#[test]
+fn injected_saturation_is_retried_with_bounded_backoff() {
+    let _serial = chaos_lock();
+    let engine = Engine::builder()
+        .workers(2)
+        .pools(1)
+        .observability(ObsConfig::default())
+        .build();
+    let loop_ = TestLoop::new(600, 1, 7);
+    let prepared = engine.prepare(&loop_).unwrap();
+    let y0 = fresh_y(loop_.data_len());
+    let oracle = oracle_of(&loop_, &y0);
+
+    // Two synthetic refusals, then the gate opens: the retry loop spends
+    // two backoffs and delivers.
+    failpoint::arm(SCHED_ACQUIRE, FailAction::Saturate { times: 2 });
+    let policy = RetryPolicy {
+        max_retries: 3,
+        base_delay: Duration::from_micros(200),
+        max_delay: Duration::from_millis(2),
+        seed: 42,
+    };
+    let mut y = y0.clone();
+    let stats = engine
+        .execute_with_retry(&prepared, &loop_, &mut y, policy)
+        .expect("retries outlast the injected saturation");
+    assert_eq!(y, oracle);
+    assert_eq!(stats.attempts, 3, "1 delivery + 2 saturated retries");
+    assert!(engine.metrics_text().contains("doacross_retry_total 2"));
+
+    // A refusal budget larger than the retry budget surfaces typed.
+    failpoint::arm(SCHED_ACQUIRE, FailAction::Saturate { times: 100 });
+    let mut y = y0.clone();
+    let err = engine
+        .execute_with_retry(&prepared, &loop_, &mut y, policy)
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Saturated { .. }), "{err:?}");
+    failpoint::disarm(SCHED_ACQUIRE);
+
+    // And with the gate open again, the plain path works.
+    let mut y = y0;
+    prepared.execute(&loop_, &mut y).unwrap();
+    assert_eq!(y, oracle);
+    failpoint::disarm_all();
+}
+
+#[test]
+fn faults_leave_concurrent_tenants_bit_identical() {
+    let _serial = chaos_lock();
+    let engine = Engine::builder()
+        .workers(4)
+        .pools(2)
+        .fallback(FallbackPolicy::Disabled)
+        .build();
+    let victim_loop = doacross_victim();
+    let victim = engine.prepare(&victim_loop).unwrap();
+    assert_eq!(victim.variant(), PlanVariant::Doacross);
+
+    // Tenant loops are far smaller than the armed iteration (3 900), so
+    // the global failpoint site never fires for them.
+    let tenants: Vec<TestLoop> = vec![TestLoop::new(300, 1, 7), TestLoop::new(280, 2, 8)];
+    for t in &tenants {
+        let mut y = t.initial_y();
+        engine.run(t, &mut y).unwrap();
+    }
+
+    failpoint::arm(EXECUTOR_ITER, FailAction::PanicAt { iteration: 3_900 });
+    let (typed_faults, tenant_rounds) = within(HANG_BOUND, {
+        let engine = engine.clone();
+        let victim = victim.clone();
+        let victim_loop = victim_loop.clone();
+        let tenants = tenants.clone();
+        move || {
+            std::thread::scope(|scope| {
+                let victim_thread = scope.spawn(|| {
+                    let mut typed = 0;
+                    for _ in 0..4 {
+                        let mut y = fresh_y(victim_loop.data_len());
+                        match victim.execute(&victim_loop, &mut y) {
+                            Err(EngineError::SolvePanicked { .. }) => typed += 1,
+                            other => panic!("victim expected typed panic, got {other:?}"),
+                        }
+                    }
+                    typed
+                });
+                let mut rounds = 0;
+                for _ in 0..20 {
+                    for t in &tenants {
+                        let mut y = t.initial_y();
+                        engine.run(t, &mut y).expect("tenant solves never fault");
+                        let mut oracle = t.initial_y();
+                        run_sequential(t, &mut oracle);
+                        assert_eq!(y, oracle, "tenant output is bit-identical");
+                        rounds += 1;
+                    }
+                }
+                (victim_thread.join().expect("victim thread"), rounds)
+            })
+        }
+    });
+    failpoint::disarm(EXECUTOR_ITER);
+    assert_eq!(typed_faults, 4, "every victim attempt failed typed");
+    assert_eq!(tenant_rounds, 40, "tenants ran to completion throughout");
+
+    // After the storm, the victim's own structure solves clean.
+    let mut y = fresh_y(victim_loop.data_len());
+    let y0 = y.clone();
+    victim.execute(&victim_loop, &mut y).unwrap();
+    assert_eq!(y, oracle_of(&victim_loop, &y0));
+}
+
+#[test]
+fn batched_submission_contains_a_faulted_parallel_job() {
+    let _serial = chaos_lock();
+    let engine = Engine::builder()
+        .workers(4)
+        .pools(1)
+        .fallback(FallbackPolicy::Disabled)
+        .build();
+    let victim_loop = doacross_victim();
+    let victim = engine.prepare(&victim_loop).unwrap();
+    assert_eq!(victim.variant(), PlanVariant::Doacross);
+    let small: Vec<TestLoop> = (0..3).map(|k| TestLoop::new(120 + k, 1, 7)).collect();
+    let small_prepared: Vec<_> = small.iter().map(|t| engine.prepare(t).unwrap()).collect();
+
+    failpoint::arm(EXECUTOR_ITER, FailAction::PanicAt { iteration: 3_900 });
+    let (statuses, ys) = within(HANG_BOUND, {
+        let engine = engine.clone();
+        let victim = victim.clone();
+        let victim_loop = victim_loop.clone();
+        let small = small.clone();
+        let small_prepared = small_prepared.clone();
+        move || {
+            let mut victim_y = fresh_y(victim_loop.data_len());
+            let mut ys: Vec<Vec<f64>> = small.iter().map(|t| t.initial_y()).collect();
+            let statuses: Vec<Result<(), EngineError>> = {
+                let mut batch = engine.batch::<dyn DoacrossLoop>();
+                batch.submit(&victim, &victim_loop, &mut victim_y);
+                for (prepared, (t, y)) in small_prepared.iter().zip(small.iter().zip(&mut ys)) {
+                    batch.submit(prepared, t, y);
+                }
+                batch
+                    .execute_all()
+                    .into_iter()
+                    .map(|r| r.map(|_| ()))
+                    .collect()
+            };
+            (statuses, ys)
+        }
+    });
+    failpoint::disarm(EXECUTOR_ITER);
+
+    assert!(
+        matches!(statuses[0], Err(EngineError::SolvePanicked { .. })),
+        "victim job fails typed inside the batch: {statuses:?}"
+    );
+    for (k, (t, y)) in small.iter().zip(&ys).enumerate() {
+        assert!(statuses[k + 1].is_ok(), "co-batched job {k} unharmed");
+        let mut oracle = t.initial_y();
+        run_sequential(t, &mut oracle);
+        assert_eq!(y, &oracle, "co-batched job {k} is bit-identical");
+    }
+
+    // The engine survives the batch fault: the same victim handle solves.
+    let mut y = fresh_y(victim_loop.data_len());
+    let y0 = y.clone();
+    victim.execute(&victim_loop, &mut y).unwrap();
+    assert_eq!(y, oracle_of(&victim_loop, &y0));
+}
+
+#[test]
+fn consecutive_panics_do_not_wedge_the_pool() {
+    let _serial = chaos_lock();
+    let engine = Engine::builder()
+        .workers(4)
+        .pools(1)
+        .fallback(FallbackPolicy::Disabled)
+        .build();
+    let loop_ = doacross_victim();
+    let prepared = engine.prepare(&loop_).unwrap();
+    let y0 = fresh_y(loop_.data_len());
+    let oracle = oracle_of(&loop_, &y0);
+
+    failpoint::arm(EXECUTOR_ITER, FailAction::PanicAt { iteration: 3_900 });
+    for round in 0..3 {
+        let err = {
+            let (prepared, loop_, mut y) = (prepared.clone(), loop_.clone(), y0.clone());
+            within(HANG_BOUND, move || {
+                prepared.execute(&loop_, &mut y).unwrap_err()
+            })
+        };
+        assert!(
+            matches!(err, EngineError::SolvePanicked { .. }),
+            "round {round}: {err:?}"
+        );
+    }
+    failpoint::disarm(EXECUTOR_ITER);
+
+    let mut y = y0;
+    let stats = prepared.execute(&loop_, &mut y).unwrap();
+    assert_eq!(y, oracle, "pool recovered after repeated poisonings");
+    assert_eq!(stats.workers, 4, "still running the full parallel width");
+}

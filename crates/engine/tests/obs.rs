@@ -5,7 +5,7 @@
 //! numbers against the engine's own counters.
 
 use doacross_core::TestLoop;
-use doacross_engine::{Engine, ObsConfig, ObsProvenance, TraceEvent};
+use doacross_engine::{Engine, ObsConfig, ObsProvenance, SolveOutcome, TraceEvent};
 use std::collections::BTreeMap;
 
 /// One parsed sample: label set (sorted) and value.
@@ -245,6 +245,25 @@ fn scrape_parses_and_covers_the_required_metrics() {
         restored
     );
 
+    // Fault-containment counters render unconditionally — a fault-free
+    // workload scrapes them all at zero, so dashboards can alert on any
+    // increase without waiting for a first fault. (The chaos suite covers
+    // the nonzero side.)
+    for name in [
+        "doacross_fault_panics_total",
+        "doacross_fault_timeouts_total",
+        "doacross_fault_fallbacks_total",
+        "doacross_retry_total",
+        "doacross_store_quarantines_total",
+        "doacross_adaptive_fallbacks_total",
+    ] {
+        assert_eq!(
+            counter_value(&families, name),
+            0.0,
+            "{name} nonzero on a clean workload"
+        );
+    }
+
     // Per-structure series carry the 32-hex-char fingerprint label.
     let structure = &families["doacross_structure_solves_total"];
     assert!(!structure.samples.is_empty());
@@ -283,6 +302,8 @@ fn recent_solves_returns_the_last_n_with_variant_and_provenance() {
         assert_eq!(s.provenance, ObsProvenance::PlanCached);
         assert!(s.total_ns > 0);
         assert!(s.workers >= 1, "a solve always reports its worker count");
+        assert_eq!(s.outcome, SolveOutcome::Ok, "clean solves record Ok");
+        assert!(s.outcome.delivered());
     }
     // A fresh structure's solve lands at the tail with cold provenance.
     let other = TestLoop::new(200, 1, 7);

@@ -125,11 +125,8 @@ fn corrupt_stores_fail_with_typed_persist_errors() {
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
     std::fs::write(&path, &bytes).unwrap();
-    let err = Engine::builder()
-        .workers(2)
-        .warm_start(&path)
-        .try_build()
-        .unwrap_err();
+    let fresh = engine(2);
+    let err = fresh.load_plans(&path).unwrap_err();
     assert!(
         matches!(
             err,
@@ -137,11 +134,6 @@ fn corrupt_stores_fail_with_typed_persist_errors() {
         ),
         "{err:?}"
     );
-    let fresh = engine(2);
-    assert!(matches!(
-        fresh.load_plans(&path),
-        Err(EngineError::Persist(_))
-    ));
     assert_eq!(fresh.cache_len(), 0, "failed load leaves the cache cold");
 
     // Truncation → typed error, never a panic or a partial restore.
@@ -181,6 +173,69 @@ fn corrupt_stores_fail_with_typed_persist_errors() {
         Err(EngineError::Persist(PersistError::NotFound))
     ));
     assert_eq!(fresh.warm_start_plans(&path).unwrap(), 0);
+}
+
+#[test]
+fn damaged_boot_store_quarantines_and_the_boot_loop_recovers() {
+    let path = store_path("quarantine-loop");
+    let _ = std::fs::remove_file(&path);
+    let source = engine(2);
+    let loop_ = TestLoop::new(500, 1, 8);
+    let mut y = loop_.initial_y();
+    source.run(&loop_, &mut y).unwrap();
+
+    let corrupt_checkpoint = |path: &std::path::Path| {
+        source.save_plans(path).unwrap();
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(path, &bytes).unwrap();
+    };
+
+    // A crash-looping service keeps re-writing and re-corrupting its
+    // checkpoint. Every boot must come up cold and serving — quarantine
+    // exists precisely so a damaged checkpoint cannot wedge the restart
+    // loop — while the corpse is preserved aside for post-mortem.
+    for round in 0..3u64 {
+        corrupt_checkpoint(&path);
+        let booted = Engine::builder()
+            .workers(2)
+            .cache_capacity(8)
+            .warm_start(&path)
+            .try_build()
+            .expect("a corrupt checkpoint must not prevent boot");
+        assert_eq!(booted.cache_len(), 0, "round {round}: booted cold");
+        assert!(!path.exists(), "round {round}: corpse moved aside");
+        let mut y = loop_.initial_y();
+        booted.run(&loop_, &mut y).unwrap();
+        let mut oracle = loop_.initial_y();
+        run_sequential(&loop_, &mut oracle);
+        assert_eq!(y, oracle, "round {round}: cold boot still solves");
+    }
+
+    // The rotation is bounded: only the two newest corpses survive.
+    let dir = path.parent().unwrap().to_path_buf();
+    let prefix = format!("{}.corrupt-", path.file_name().unwrap().to_str().unwrap());
+    let corpses: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|f| f.starts_with(&prefix))
+        .collect();
+    assert_eq!(corpses.len(), 2, "{corpses:?}");
+
+    // The runtime boot path (warm_start_plans) applies the same rule.
+    corrupt_checkpoint(&path);
+    let fresh = engine(2);
+    assert_eq!(fresh.warm_start_plans(&path).unwrap(), 0);
+    assert!(!path.exists(), "runtime boot path quarantines too");
+
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(&prefix) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
 }
 
 #[test]

@@ -124,6 +124,9 @@ pub enum ColdStartReason {
     NotFound,
     /// The store file was written by an incompatible format version.
     VersionMismatch,
+    /// The store file failed to parse (truncated or corrupted); it was
+    /// quarantined (renamed aside) so the next boot does not retry it.
+    Corrupt,
 }
 
 impl ColdStartReason {
@@ -131,7 +134,59 @@ impl ColdStartReason {
         match self {
             ColdStartReason::NotFound => "not_found",
             ColdStartReason::VersionMismatch => "version_mismatch",
+            ColdStartReason::Corrupt => "corrupt",
         }
+    }
+}
+
+/// Why a parallel solve attempt was abandoned mid-region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsFault {
+    /// A pool worker panicked; siblings drained via the poison protocol.
+    WorkerPanic {
+        /// Worker index within the sub-pool (first cause wins).
+        worker: u64,
+    },
+    /// The solve deadline expired before the region completed.
+    DeadlineExpired,
+}
+
+/// How a solve attempt ended, as kept by the flight recorder.
+///
+/// `Ok` and `FellBack` delivered a correct answer (the latter on the
+/// sequential retry after a contained fault); the others are failures
+/// whose records carry partial stats for the attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveOutcome {
+    /// The solve completed normally.
+    #[default]
+    Ok,
+    /// A worker panicked mid-region; the attempt was abandoned.
+    Panicked,
+    /// The solve deadline expired; the attempt was abandoned.
+    TimedOut,
+    /// A faulted parallel attempt was retried sequentially and succeeded.
+    FellBack,
+    /// Admission control rejected the solve (every sub-pool busy).
+    Saturated,
+}
+
+impl SolveOutcome {
+    /// The `outcome` label / JSON value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolveOutcome::Ok => "ok",
+            SolveOutcome::Panicked => "panicked",
+            SolveOutcome::TimedOut => "timed_out",
+            SolveOutcome::FellBack => "fell_back",
+            SolveOutcome::Saturated => "saturated",
+        }
+    }
+
+    /// Whether the record carries a correct completed solve (its stats
+    /// belong in the latency histograms and throughput counters).
+    pub fn delivered(self) -> bool {
+        matches!(self, SolveOutcome::Ok | SolveOutcome::FellBack)
     }
 }
 
@@ -167,6 +222,9 @@ pub struct SolveRecord {
     /// Scheduler sub-pool the solve was dispatched to (0 on a
     /// single-pool engine).
     pub pool: u64,
+    /// How the attempt ended. Non-[`SolveOutcome::Ok`] records carry
+    /// partial stats (`total_ns` of the failed attempt; zeros elsewhere).
+    pub outcome: SolveOutcome,
 }
 
 /// Per-candidate predicted prices recorded with a plan build, indexed by
@@ -268,6 +326,37 @@ pub enum TraceEvent {
     /// of which `coalesced` were small (sequential-variant) doalls merged
     /// into one pool region.
     BatchSubmitted { jobs: u64, coalesced: u64 },
+    /// A parallel solve attempt was abandoned: a worker panicked or the
+    /// solve deadline expired, and the poison protocol drained the region
+    /// into a typed error.
+    SolvePoisoned {
+        fp: FpId,
+        variant: ObsVariant,
+        /// Sub-pool the faulted attempt ran on.
+        pool: u64,
+        fault: ObsFault,
+    },
+    /// A faulted parallel attempt was re-run on the sequential variant
+    /// against a fresh output buffer (graceful degradation).
+    SolveFellBack {
+        fp: FpId,
+        /// The parallel variant that faulted.
+        from: ObsVariant,
+    },
+    /// `execute_with_retry` re-submitted a saturated solve after backoff.
+    SolveRetried {
+        fp: FpId,
+        /// 1-based retry number (the first retry is 1).
+        attempt: u64,
+    },
+    /// A warm-start store failed to parse and was renamed aside
+    /// (`<path>.corrupt-<index>`) so the next boot starts clean; a
+    /// [`TraceEvent::ColdStart`] with [`ColdStartReason::Corrupt`]
+    /// accompanies it.
+    StoreQuarantined {
+        /// Suffix index of the quarantine file.
+        index: u64,
+    },
 }
 
 /// A trace-ring entry: the event plus its global sequence number and
@@ -304,6 +393,10 @@ impl TraceEvent {
             TraceEvent::SolveFinished { .. } => "solve_finished",
             TraceEvent::PoolDispatched { .. } => "pool_dispatched",
             TraceEvent::BatchSubmitted { .. } => "batch_submitted",
+            TraceEvent::SolvePoisoned { .. } => "solve_poisoned",
+            TraceEvent::SolveFellBack { .. } => "solve_fell_back",
+            TraceEvent::SolveRetried { .. } => "solve_retried",
+            TraceEvent::StoreQuarantined { .. } => "store_quarantined",
         }
     }
 }

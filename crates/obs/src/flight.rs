@@ -44,7 +44,7 @@ impl FlightRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{FpId, ObsProvenance, ObsVariant};
+    use crate::event::{FpId, ObsProvenance, ObsVariant, SolveOutcome};
 
     fn record(i: u64) -> SolveRecord {
         SolveRecord {
@@ -62,6 +62,7 @@ mod tests {
             wait_polls: i,
             barrier_crossings: 0,
             pool: 0,
+            outcome: SolveOutcome::Ok,
         }
     }
 

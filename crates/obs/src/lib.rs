@@ -38,6 +38,11 @@
 //! | `doacross_trials_committed_total` | counter | — | Trials that won and were committed. |
 //! | `doacross_trials_demoted_total` | counter | — | Trials that lost and were rolled back. |
 //! | `doacross_baseline_probes_total` | counter | — | Deliberate baseline re-measurements. |
+//! | `doacross_fault_panics_total` | counter | — | Parallel attempts abandoned because a worker panicked (poison protocol). |
+//! | `doacross_fault_timeouts_total` | counter | — | Parallel attempts abandoned because the solve deadline expired. |
+//! | `doacross_fault_fallbacks_total` | counter | — | Faulted attempts re-run successfully on the sequential variant. |
+//! | `doacross_retry_total` | counter | — | Saturated solves re-submitted after bounded backoff (`execute_with_retry`). |
+//! | `doacross_store_quarantines_total` | counter | — | Corrupt warm-start stores renamed aside (`.corrupt-<n>`). |
 //! | `doacross_pool_dispatches_total` | counter | `pool` | Solves routed per scheduler sub-pool (bounded; overflow aggregates under `pool="other"`). |
 //! | `doacross_pool_steals_total` | counter | — | Dispatches redirected by the work-stealing fallback (preferred sub-pool busy). |
 //! | `doacross_pool_wait_ns` | histogram | — | Time spent waiting for a free sub-pool (0 on the lock-free fast path). |
@@ -67,8 +72,8 @@ pub mod render;
 mod trace;
 
 pub use event::{
-    CandidatePrices, ColdStartReason, FpId, ObsProvenance, ObsVariant, SolveRecord, TraceEvent,
-    TracedEvent,
+    CandidatePrices, ColdStartReason, FpId, ObsFault, ObsProvenance, ObsVariant, SolveOutcome,
+    SolveRecord, TraceEvent, TracedEvent,
 };
 pub use metrics::{HistogramSnapshot, VariantLatency};
 
@@ -284,6 +289,28 @@ impl Obs {
             }
             TraceEvent::BatchSubmitted { jobs, coalesced } => {
                 inner.registry.record_batch(*jobs, *coalesced);
+            }
+            TraceEvent::SolvePoisoned { fault, .. } => {
+                let counter = match fault {
+                    ObsFault::WorkerPanic { .. } => &inner.registry.fault_panics_total,
+                    ObsFault::DeadlineExpired => &inner.registry.fault_timeouts_total,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::SolveFellBack { .. } => {
+                inner
+                    .registry
+                    .fault_fallbacks_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::SolveRetried { .. } => {
+                inner.registry.retry_total.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::StoreQuarantined { .. } => {
+                inner
+                    .registry
+                    .store_quarantines_total
+                    .fetch_add(1, Ordering::Relaxed);
             }
             TraceEvent::CacheHit { .. }
             | TraceEvent::CacheMiss { .. }
@@ -517,6 +544,36 @@ impl Obs {
             "Deliberate adaptive baseline re-measurements.",
             load(&r.baseline_probes_total),
         );
+        render::counter(
+            buf,
+            "doacross_fault_panics_total",
+            "Parallel attempts abandoned because a worker panicked.",
+            load(&r.fault_panics_total),
+        );
+        render::counter(
+            buf,
+            "doacross_fault_timeouts_total",
+            "Parallel attempts abandoned because the solve deadline expired.",
+            load(&r.fault_timeouts_total),
+        );
+        render::counter(
+            buf,
+            "doacross_fault_fallbacks_total",
+            "Faulted attempts re-run successfully on the sequential variant.",
+            load(&r.fault_fallbacks_total),
+        );
+        render::counter(
+            buf,
+            "doacross_retry_total",
+            "Saturated solves re-submitted after bounded backoff.",
+            load(&r.retry_total),
+        );
+        render::counter(
+            buf,
+            "doacross_store_quarantines_total",
+            "Corrupt warm-start stores renamed aside.",
+            load(&r.store_quarantines_total),
+        );
 
         // Scheduler sub-pool and batch-submission series. The per-pool
         // families only appear once a dispatch has been traced, so a
@@ -724,7 +781,7 @@ impl Obs {
         buf.push_str("},\"counters\":{");
         let pool_dispatches_total =
             r.pool_dispatches.iter().map(load).sum::<u64>() + load(&r.pool_overflow_dispatches);
-        let counters: [(&str, u64); 23] = [
+        let counters: [(&str, u64); 28] = [
             ("wait_polls", load(&r.wait_polls_total)),
             ("stalls", load(&r.stalls_total)),
             ("barrier_crossings", load(&r.barrier_crossings_total)),
@@ -747,6 +804,11 @@ impl Obs {
             ("batch_submissions", load(&r.batch_submissions_total)),
             ("batch_jobs", load(&r.batch_jobs_total)),
             ("batch_coalesced", load(&r.batch_coalesced_total)),
+            ("fault_panics", load(&r.fault_panics_total)),
+            ("fault_timeouts", load(&r.fault_timeouts_total)),
+            ("fault_fallbacks", load(&r.fault_fallbacks_total)),
+            ("retries", load(&r.retry_total)),
+            ("store_quarantines", load(&r.store_quarantines_total)),
             ("trace_dropped", inner.trace.dropped()),
         ];
         for (i, (name, value)) in counters.iter().enumerate() {
@@ -762,7 +824,7 @@ impl Obs {
             }
             let _ = write!(
                 buf,
-                "{{\"fingerprint\":\"{}\",\"variant\":\"{}\",\"provenance\":\"{}\",\"generation\":{},\"total_ns\":{},\"stalls\":{},\"wait_polls\":{},\"barrier_crossings\":{},\"pool\":{}}}",
+                "{{\"fingerprint\":\"{}\",\"variant\":\"{}\",\"provenance\":\"{}\",\"generation\":{},\"total_ns\":{},\"stalls\":{},\"wait_polls\":{},\"barrier_crossings\":{},\"pool\":{},\"outcome\":\"{}\"}}",
                 s.fp,
                 s.variant.as_str(),
                 s.provenance.as_str(),
@@ -771,7 +833,8 @@ impl Obs {
                 s.stalls,
                 s.wait_polls,
                 s.barrier_crossings,
-                s.pool
+                s.pool,
+                s.outcome.as_str()
             );
         }
         buf.push_str("]}");
@@ -800,6 +863,7 @@ mod tests {
                 wait_polls: 3,
                 barrier_crossings: 0,
                 pool: 0,
+                outcome: SolveOutcome::Ok,
             },
         }
     }

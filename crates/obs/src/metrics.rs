@@ -135,6 +135,16 @@ pub(crate) struct Registry {
     pub(crate) batch_submissions_total: AtomicU64,
     pub(crate) batch_jobs_total: AtomicU64,
     pub(crate) batch_coalesced_total: AtomicU64,
+    /// Parallel attempts abandoned because a worker panicked.
+    pub(crate) fault_panics_total: AtomicU64,
+    /// Parallel attempts abandoned because the solve deadline expired.
+    pub(crate) fault_timeouts_total: AtomicU64,
+    /// Faulted attempts re-run (successfully) on the sequential variant.
+    pub(crate) fault_fallbacks_total: AtomicU64,
+    /// Saturated solves re-submitted by `execute_with_retry` backoff.
+    pub(crate) retry_total: AtomicU64,
+    /// Corrupt warm-start stores renamed aside.
+    pub(crate) store_quarantines_total: AtomicU64,
     /// Per-structure breakdown, bounded; overflow aggregates under
     /// [`Registry::overflow`].
     pub(crate) per_fp: Mutex<HashMap<FpId, FpMetrics>>,
@@ -145,6 +155,12 @@ pub(crate) struct Registry {
 impl Registry {
     pub(crate) fn record_solve(&self, record: &crate::SolveRecord, max_fingerprints: usize) {
         let v = record.variant.index();
+        if !record.outcome.delivered() {
+            // Failed attempts reach the flight recorder (the caller pushes
+            // every record there) but must not pollute the throughput
+            // counters or latency histograms with partial numbers.
+            return;
+        }
         self.solves[v][record.provenance.index()].fetch_add(1, Ordering::Relaxed);
         self.solve_ns[v].record(record.total_ns);
         self.wait_polls_total
@@ -252,6 +268,7 @@ mod tests {
                 wait_polls: 0,
                 barrier_crossings: 0,
                 pool: 0,
+                outcome: crate::SolveOutcome::Ok,
             };
             r.record_solve(&record, 4);
         }

@@ -3,7 +3,9 @@
 //! histogram totals reconcile with their counts, and the bounded rings
 //! (trace, flight) wrap without tearing records.
 
-use doacross_obs::{FpId, Obs, ObsConfig, ObsProvenance, ObsVariant, SolveRecord, TraceEvent};
+use doacross_obs::{
+    FpId, Obs, ObsConfig, ObsProvenance, ObsVariant, SolveOutcome, SolveRecord, TraceEvent,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -26,6 +28,7 @@ fn seeded_record(seed: u64, variant: ObsVariant) -> SolveRecord {
         wait_polls: seed % 11,
         barrier_crossings: 0,
         pool: 0,
+        outcome: SolveOutcome::Ok,
     }
 }
 

@@ -27,11 +27,22 @@
 //! oversubscribed (more workers than hardware threads) the waiting side must
 //! yield the CPU so the writer can run; that is [`WaitStrategy::SpinYield`]
 //! and [`WaitStrategy::Backoff`].
+//!
+//! That contract holds only while every iteration runs to completion. A
+//! worker that *panics* mid-region never publishes the flags (or never
+//! arrives at the barrier) its siblings wait on — so every wait site has a
+//! fault-aware variant ([`WaitStrategy::wait_until_guarded`],
+//! [`SpinBarrier::wait_guarded`]) that polls the region's [`RegionPoison`]
+//! word and unwinds cooperatively, turning a would-be deadlock into a
+//! finite drain and a typed [`RegionFault`] panic from [`ThreadPool::run`].
+//! The same poll sites enforce an optional region deadline
+//! ([`ThreadPool::set_deadline`]). See [`poison`] for the full protocol.
 
 // Audit posture: every dereference inside an `unsafe fn` must name its
 // own justification in an explicit `unsafe {}` block.
 #![deny(unsafe_op_in_unsafe_fn)]
 pub mod parallel;
+pub mod poison;
 pub mod pool;
 pub mod schedule;
 pub mod shared;
@@ -39,6 +50,7 @@ pub mod sync;
 pub mod wait;
 
 pub use parallel::{parallel_for, parallel_for_with_id, parallel_reduce};
+pub use poison::{abort_region, RegionFault, RegionPoison, WaitAbort};
 pub use pool::ThreadPool;
 pub use schedule::Schedule;
 pub use shared::SharedSlice;

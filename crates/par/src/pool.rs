@@ -12,10 +12,11 @@
 //! its `iter`/`ready` scratch arrays across loops for the same reason:
 //! per-instance setup cost must be amortizable).
 
+use crate::poison::{CoopUnwind, RegionPoison};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Type-erased pointer to the job closure currently being executed.
 ///
@@ -47,8 +48,14 @@ struct PoolShared {
     work_cv: Condvar,
     /// The dispatcher sleeps here until `active` drops to zero.
     done_cv: Condvar,
-    /// Latched when any worker's job invocation panicked.
-    panicked: AtomicBool,
+    /// The current region's fault latch: set (first cause wins, with the
+    /// panicking worker's id) by the worker-side `catch_unwind`, polled by
+    /// every guarded wait site, consumed by the dispatcher after the
+    /// drain, and reset at the start of every dispatch.
+    poison: RegionPoison,
+    /// Deadline applied to guarded wait sites of subsequent regions; set
+    /// by the pool's current owner before dispatching.
+    deadline: Mutex<Option<Instant>>,
 }
 
 /// A pool of `p` persistent worker threads; `p` plays the role of the
@@ -91,7 +98,8 @@ impl ThreadPool {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            panicked: AtomicBool::new(false),
+            poison: RegionPoison::new(),
+            deadline: Mutex::new(None),
         });
         let handles = (0..nworkers)
             .map(|worker_id| {
@@ -116,6 +124,28 @@ impl ThreadPool {
         self.nworkers
     }
 
+    /// The pool's region fault latch. Wait sites inside a region capture
+    /// this before dispatch and poll it alongside their real conditions
+    /// (see [`WaitStrategy::wait_until_guarded`](crate::WaitStrategy::wait_until_guarded)).
+    #[inline]
+    pub fn poison(&self) -> &RegionPoison {
+        &self.shared.poison
+    }
+
+    /// Sets (or clears) the deadline guarded wait sites of subsequent
+    /// regions check. The pool stores it; executors read it via
+    /// [`Self::deadline`] when entering a region. Callers that share a
+    /// pool must own it exclusively (e.g. hold its scheduler guard) while
+    /// a deadline is set, and clear it when done.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        *self.shared.deadline.lock() = deadline;
+    }
+
+    /// The deadline for regions dispatched now, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        *self.shared.deadline.lock()
+    }
+
     /// Executes `job(worker_id)` once on every worker, blocking until all
     /// workers have returned. Equivalent to one `parallel do` region.
     ///
@@ -123,13 +153,19 @@ impl ThreadPool {
     /// workers wrote and the dispatcher's subsequent reads.
     ///
     /// # Panics
-    /// Panics if any worker's `job` invocation panicked (after all workers
-    /// finished the region).
+    /// Panics if any worker's `job` invocation panicked or a guarded wait
+    /// expired the region deadline — after all workers drained the region
+    /// (poisoning keeps the drain finite; see [`crate::poison`]). The
+    /// panic payload is the typed [`crate::RegionFault`], carrying the
+    /// panicking worker's id, for an engine boundary to downcast.
     pub fn run<F>(&self, job: F)
     where
         F: Fn(usize) + Sync,
     {
         let _dispatch = self.dispatch_lock.lock();
+        // Panic-flag hygiene: a stale fault (e.g. latched by a region
+        // whose dispatcher unwound early) must not leak into this region.
+        self.shared.poison.clear();
         let erased: *const (dyn Fn(usize) + Sync) = &job;
         // SAFETY: we erase the closure's lifetime to store it in the shared
         // slot; the blocking loop below guarantees the pointer is dead
@@ -149,8 +185,8 @@ impl ThreadPool {
             self.shared.done_cv.wait(&mut state);
         }
         drop(state);
-        if self.shared.panicked.swap(false, Ordering::AcqRel) {
-            panic!("a doacross pool worker panicked during a parallel region");
+        if let Some(fault) = self.shared.poison.take() {
+            std::panic::panic_any(fault);
         }
     }
 }
@@ -197,8 +233,14 @@ fn worker_loop(shared: &PoolShared, worker_id: usize) {
         // SAFETY: the dispatcher keeps the closure alive until `active`
         // reaches zero, which happens only after this call returns.
         let call = std::panic::AssertUnwindSafe(|| unsafe { (*job.0)(worker_id) });
-        if std::panic::catch_unwind(call).is_err() {
-            shared.panicked.store(true, Ordering::Release);
+        if let Err(payload) = std::panic::catch_unwind(call) {
+            // A cooperative unwind is a *reaction* to an existing fault
+            // (or carries its own deadline poison already); only a real
+            // panic poisons, and first cause wins so the cascade of
+            // sibling unwinds never masks the original worker id.
+            if payload.downcast_ref::<CoopUnwind>().is_none() {
+                shared.poison.poison_worker(worker_id);
+            }
         }
         let mut state = shared.state.lock();
         state.active -= 1;
@@ -300,13 +342,126 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err(), "panic must propagate");
+        let payload = result.expect_err("panic must propagate");
+        // The dispatcher re-panics with the typed fault naming the worker.
+        let fault = payload
+            .downcast_ref::<crate::RegionFault>()
+            .expect("payload must be the typed RegionFault");
+        assert_eq!(*fault, crate::RegionFault::WorkerPanicked { worker: 0 });
         // The pool must remain usable after a worker panic.
         let hits = AtomicUsize::new(0);
         pool.run(|_| {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn consecutive_panicking_regions_each_report_and_pool_stays_usable() {
+        // Panic-flag hygiene: the fault latch must reset per dispatch, so
+        // back-to-back failing regions each surface their own worker id
+        // and a following clean region runs silently.
+        let pool = ThreadPool::new(4);
+        for victim in [1usize, 3, 2] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|w| {
+                    if w == victim {
+                        panic!("injected failure on {victim}");
+                    }
+                });
+            }));
+            let payload = result.expect_err("each region's panic must propagate");
+            let fault = payload.downcast_ref::<crate::RegionFault>().unwrap();
+            assert_eq!(
+                *fault,
+                crate::RegionFault::WorkerPanicked { worker: victim }
+            );
+        }
+        let hits = AtomicUsize::new(0);
+        pool.run(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4, "clean region after faults");
+    }
+
+    #[test]
+    fn first_cause_wins_when_several_workers_panic() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|_| panic!("everyone fails"));
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let fault = payload.downcast_ref::<crate::RegionFault>().unwrap();
+        assert!(
+            matches!(fault, crate::RegionFault::WorkerPanicked { worker } if *worker < 4),
+            "{fault:?}"
+        );
+    }
+
+    #[test]
+    fn guarded_waiters_drain_when_a_sibling_panics() {
+        // The end-to-end poison protocol at pool level: worker 0 panics
+        // before publishing the flag workers 1..3 busy-wait on. Unguarded,
+        // this region would never drain; the guarded wait observes the
+        // poison and unwinds cooperatively, and the dispatcher reports the
+        // *panicking* worker, not one of the cooperative unwinds.
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::new(4);
+        let flag = AtomicBool::new(false);
+        let wait = crate::WaitStrategy::default();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let poison = pool.poison();
+            pool.run(|w| {
+                if w == 0 {
+                    panic!("dies before raising the flag");
+                }
+                match wait.wait_until_guarded(|| flag.load(Ordering::Acquire), poison, None) {
+                    Ok(_) => {}
+                    Err(abort) => crate::abort_region(poison, abort),
+                }
+            });
+        }));
+        let payload = result.expect_err("the region must fail, not hang");
+        let fault = payload.downcast_ref::<crate::RegionFault>().unwrap();
+        assert_eq!(*fault, crate::RegionFault::WorkerPanicked { worker: 0 });
+        // And the pool is immediately reusable.
+        let hits = AtomicUsize::new(0);
+        pool.run(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn deadline_expiry_drains_the_region_and_reports_timeout() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::new(2);
+        let flag = AtomicBool::new(false); // never raised
+        let wait = crate::WaitStrategy::default();
+        pool.set_deadline(Some(Instant::now() + std::time::Duration::from_millis(10)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let poison = pool.poison();
+            let deadline = pool.deadline();
+            pool.run(|_| {
+                match wait.wait_until_guarded(|| flag.load(Ordering::Acquire), poison, deadline) {
+                    Ok(_) => {}
+                    Err(abort) => crate::abort_region(poison, abort),
+                }
+            });
+        }));
+        pool.set_deadline(None);
+        let payload = result.expect_err("the wedged region must time out, not hang");
+        let fault = payload.downcast_ref::<crate::RegionFault>().unwrap();
+        assert_eq!(*fault, crate::RegionFault::DeadlineExpired);
+        let hits = AtomicUsize::new(0);
+        pool.run(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            2,
+            "pool reusable after timeout"
+        );
     }
 
     #[test]

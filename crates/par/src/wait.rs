@@ -38,6 +38,12 @@ impl Default for WaitStrategy {
     }
 }
 
+/// Guarded waits re-check the deadline every `DEADLINE_POLL_PERIOD`
+/// misses: `Instant::now()` is ~20ns, so amortized over 1024 idle polls
+/// the clock read is free, while a busy wait still notices an expired
+/// deadline within microseconds.
+const DEADLINE_POLL_PERIOD: u64 = 1024;
+
 impl WaitStrategy {
     /// Polls `cond` until it returns `true`; returns the number of polls
     /// that found the condition false (0 when it was already satisfied).
@@ -90,11 +96,57 @@ impl WaitStrategy {
         }
         misses
     }
+
+    /// [`Self::wait_until`], fault-aware: alongside `cond`, every poll
+    /// also checks the region's poison word, and (when a `deadline` is
+    /// set) the clock every [`DEADLINE_POLL_PERIOD`] misses. The spin
+    /// policy (spin/yield/backoff cadence) is exactly `wait_until`'s.
+    ///
+    /// Returns `Ok(misses)` when `cond` came true, `Err` when the wait
+    /// aborted: [`WaitAbort::Poisoned`] if a sibling already faulted (stop
+    /// waiting for flags that will never be published),
+    /// [`WaitAbort::DeadlineExpired`] if this waiter noticed the expiry
+    /// first — the caller must poison the region before unwinding, which
+    /// is what [`abort_region`](crate::abort_region) does.
+    #[inline]
+    pub fn wait_until_guarded<F: FnMut() -> bool>(
+        &self,
+        mut cond: F,
+        poison: &crate::RegionPoison,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<u64, crate::WaitAbort> {
+        let mut aborted: Option<crate::WaitAbort> = None;
+        let mut misses: u64 = 0;
+        let polls = self.wait_until(|| {
+            if cond() {
+                return true;
+            }
+            if let Some(fault) = poison.fault() {
+                aborted = Some(crate::WaitAbort::Poisoned(fault));
+                return true;
+            }
+            misses += 1;
+            if let Some(deadline) = deadline {
+                if misses.is_multiple_of(DEADLINE_POLL_PERIOD)
+                    && std::time::Instant::now() >= deadline
+                {
+                    aborted = Some(crate::WaitAbort::DeadlineExpired);
+                    return true;
+                }
+            }
+            false
+        });
+        match aborted {
+            None => Ok(polls),
+            Some(abort) => Err(abort),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{RegionFault, RegionPoison, WaitAbort};
     use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
     use std::sync::Arc;
 
@@ -156,6 +208,87 @@ mod tests {
         match WaitStrategy::default() {
             WaitStrategy::SpinYield { spins } => assert!(spins > 0),
             other => panic!("unexpected default {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_wait_matches_plain_wait_when_clean() {
+        let poison = RegionPoison::new();
+        for s in strategies() {
+            assert_eq!(s.wait_until_guarded(|| true, &poison, None), Ok(0), "{s:?}");
+            let calls = AtomicU32::new(0);
+            let misses = s
+                .wait_until_guarded(|| calls.fetch_add(1, Ordering::Relaxed) >= 3, &poison, None)
+                .expect("clean region must not abort");
+            assert!(misses >= 3, "{s:?}: {misses}");
+        }
+    }
+
+    #[test]
+    fn guarded_wait_aborts_on_pre_poisoned_region() {
+        let poison = RegionPoison::new();
+        poison.poison_worker(1);
+        for s in strategies() {
+            let abort = s
+                .wait_until_guarded(|| false, &poison, None)
+                .expect_err("a poisoned region must abort the wait");
+            assert_eq!(
+                abort,
+                WaitAbort::Poisoned(RegionFault::WorkerPanicked { worker: 1 }),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guarded_wait_aborts_when_poisoned_cross_thread() {
+        for s in strategies() {
+            let poison = Arc::new(RegionPoison::new());
+            let poisoner = {
+                let poison = Arc::clone(&poison);
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    poison.poison_worker(2);
+                })
+            };
+            let abort = s
+                .wait_until_guarded(|| false, &poison, None)
+                .expect_err("the cross-thread poison must be observed");
+            poisoner.join().unwrap();
+            assert!(matches!(abort, WaitAbort::Poisoned(_)), "{s:?}: {abort:?}");
+        }
+    }
+
+    #[test]
+    fn guarded_wait_aborts_on_an_expired_deadline() {
+        let poison = RegionPoison::new();
+        let deadline = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        for s in strategies() {
+            let abort = s
+                .wait_until_guarded(|| false, &poison, Some(deadline))
+                .expect_err("an already-expired deadline must abort");
+            assert_eq!(abort, WaitAbort::DeadlineExpired, "{s:?}");
+            assert!(
+                !poison.is_poisoned(),
+                "the wait itself must not poison; that is the caller's job"
+            );
+        }
+    }
+
+    #[test]
+    fn guarded_wait_with_future_deadline_completes_normally() {
+        let poison = RegionPoison::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        for s in strategies() {
+            let calls = AtomicU32::new(0);
+            let misses = s
+                .wait_until_guarded(
+                    || calls.fetch_add(1, Ordering::Relaxed) >= 5,
+                    &poison,
+                    Some(deadline),
+                )
+                .expect("a future deadline must not fire");
+            assert!(misses >= 5, "{s:?}");
         }
     }
 }

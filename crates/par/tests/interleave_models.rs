@@ -264,3 +264,207 @@ fn mutation_count_reset_after_gate_deadlocks_the_next_generation() {
         "{failure}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Poison-aware flag wait: a faulting writer deposits its partial progress,
+// then publishes the region poison word (`RegionPoison`'s first-cause CAS in
+// production; a single release store here) — and never raises the ready
+// flag. A poison-aware waiter polls the flag AND the poison word, harvests
+// the deposit, and aborts; a dead writer can no longer strand it.
+// ---------------------------------------------------------------------------
+
+struct PoisonedFlag {
+    ready: AtomicU64,
+    /// The region poison word: 0 = clean, nonzero = a packed `RegionFault`.
+    poison: AtomicU64,
+    /// The faulting worker's partial iteration count, deposited before the
+    /// poison store (production: the counters-sink deposit before
+    /// `abort_region`, which the partial `RunStats` are rebuilt from).
+    partial: Shared<u64>,
+}
+
+fn poisoned_flag() -> PoisonedFlag {
+    PoisonedFlag {
+        ready: AtomicU64::new(0),
+        poison: AtomicU64::new(0),
+        partial: Shared::named("partial[w]", 0),
+    }
+}
+
+/// A worker panicking mid-region: deposit what it got done, publish the
+/// poison word, unwind — the ready flag is never raised.
+fn faulting_writer(m: &PoisonedFlag, poison_order: Ordering) {
+    m.partial.write(17);
+    m.poison.store(1, poison_order);
+}
+
+/// The production wait loop with its poison poll: exits on the flag *or*
+/// the poison word; on poison it harvests the deposit and aborts instead
+/// of touching `y[e]`.
+fn poison_aware_reader(m: &PoisonedFlag) -> Option<u64> {
+    spin_until(|| m.ready.load(Ordering::Acquire) == 1 || m.poison.load(Ordering::Acquire) != 0);
+    if m.poison.load(Ordering::Acquire) != 0 {
+        return Some(m.partial.read());
+    }
+    None
+}
+
+#[test]
+fn poisoned_flag_wait_always_terminates_and_harvests_the_deposit() {
+    let report = check(
+        &Config::default(),
+        poisoned_flag,
+        &[
+            &|m: &PoisonedFlag| faulting_writer(m, Ordering::Release),
+            &|m: &PoisonedFlag| {
+                let harvested = poison_aware_reader(m)
+                    .expect("the writer faulted, so the waiter must see poison");
+                assert_eq!(harvested, 17, "deposit visible via the poison store");
+            },
+        ],
+    )
+    .expect("poison poll frees the waiter on every schedule");
+    assert!(
+        report.exhaustive,
+        "the poisoned handoff must be exhaustible"
+    );
+}
+
+#[test]
+fn mutation_relaxed_poison_store_races_the_partial_deposit() {
+    // Weakening the poison publication to Relaxed severs the deposit's
+    // happens-before edge: the waiter can observe poison yet read the
+    // partial counter concurrently with the faulting writer's store.
+    let failure = check(
+        &Config::default(),
+        poisoned_flag,
+        &[
+            &|m: &PoisonedFlag| faulting_writer(m, Ordering::Relaxed),
+            &|m: &PoisonedFlag| {
+                let _ = poison_aware_reader(m);
+            },
+        ],
+    )
+    .expect_err("a relaxed poison store publishes no deposit");
+    assert!(
+        matches!(&failure.kind, FailureKind::Race { what } if what.contains("partial")),
+        "{failure}"
+    );
+    assert!(!failure.schedule.is_empty(), "counterexample must replay");
+}
+
+#[test]
+fn mutation_unchecked_wait_loop_deadlocks_on_a_faulted_writer() {
+    // The pre-containment wait loop — flag only, no poison poll — is
+    // exactly the hang this PR's protocol exists to prevent: the writer
+    // died, the flag will never rise, the waiter spins forever.
+    let failure = check(
+        &Config::default(),
+        poisoned_flag,
+        &[
+            &|m: &PoisonedFlag| faulting_writer(m, Ordering::Release),
+            &|m: &PoisonedFlag| {
+                spin_until(|| m.ready.load(Ordering::Acquire) == 1);
+            },
+        ],
+    )
+    .expect_err("an unchecked wait loop must strand the waiter");
+    assert!(
+        matches!(&failure.kind, FailureKind::Deadlock { blocked } if blocked == &[1]),
+        "{failure}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Poison-aware barrier arrival: a participant that faults publishes poison
+// instead of arriving; the spinners poll the generation AND the poison word
+// (production: `SpinBarrier::wait`'s poison poll), so a lost arrival aborts
+// the region instead of wedging every surviving level-mate.
+// ---------------------------------------------------------------------------
+
+struct PoisonedBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    poison: AtomicU64,
+}
+
+fn poisoned_barrier() -> PoisonedBarrier {
+    PoisonedBarrier {
+        count: AtomicUsize::new(0),
+        generation: AtomicUsize::new(0),
+        poison: AtomicU64::new(0),
+    }
+}
+
+/// One poison-aware `SpinBarrier::wait` arrival. Returns `Err(())` when the
+/// spin exit was the poison word rather than the generation bump.
+fn poisoned_barrier_arrive(m: &PoisonedBarrier, poll_poison: bool) -> Result<bool, ()> {
+    let gen = m.generation.load(Ordering::Acquire);
+    let arrived = m.count.fetch_add(1, Ordering::AcqRel) + 1;
+    if arrived == PARTICIPANTS {
+        m.count.store(0, Ordering::Relaxed);
+        m.generation.fetch_add(1, Ordering::Release);
+        return Ok(true);
+    }
+    if poll_poison {
+        spin_until(|| {
+            m.generation.load(Ordering::Acquire) != gen || m.poison.load(Ordering::Acquire) != 0
+        });
+        if m.generation.load(Ordering::Acquire) == gen {
+            return Err(());
+        }
+    } else {
+        spin_until(|| m.generation.load(Ordering::Acquire) != gen);
+    }
+    Ok(false)
+}
+
+#[test]
+fn poisoned_barrier_arrival_always_terminates() {
+    // Thread 1 faults before its arrival; thread 0's arrival must resolve
+    // on every schedule — either it aborts on poison, or (when the checker
+    // schedules nothing in between) it keeps spinning until the poison
+    // store lands and then aborts. It can never be the last arriver.
+    let report = check(
+        &Config::default(),
+        poisoned_barrier,
+        &[
+            &|m: &PoisonedBarrier| {
+                assert_eq!(
+                    poisoned_barrier_arrive(m, true),
+                    Err(()),
+                    "with a faulted peer the arrival must abort, not release"
+                );
+            },
+            &|m: &PoisonedBarrier| {
+                m.poison.store(1, Ordering::Release);
+            },
+        ],
+    )
+    .expect("poison poll frees the barrier spinner on every schedule");
+    assert!(
+        report.exhaustive,
+        "the poisoned arrival must be exhaustible"
+    );
+}
+
+#[test]
+fn mutation_unchecked_barrier_spin_deadlocks_on_a_faulted_peer() {
+    let failure = check(
+        &Config::default(),
+        poisoned_barrier,
+        &[
+            &|m: &PoisonedBarrier| {
+                let _ = poisoned_barrier_arrive(m, false);
+            },
+            &|m: &PoisonedBarrier| {
+                m.poison.store(1, Ordering::Release);
+            },
+        ],
+    )
+    .expect_err("an unchecked generation spin must strand the arrival");
+    assert!(
+        matches!(&failure.kind, FailureKind::Deadlock { blocked } if blocked == &[0]),
+        "{failure}"
+    );
+}

@@ -87,6 +87,11 @@ struct PoolSlot {
     steals: AtomicU64,
 }
 
+/// Fault-injection site: arm with `FailAction::Saturate { times }` to make
+/// the next `times` calls to [`PoolSet::acquire`] fail as if every sub-pool
+/// were busy, exercising admission-control error paths deterministically.
+pub const FAILPOINT_ACQUIRE: &str = "sched::acquire";
+
 /// A partition of the engine's workers into independent sub-pools with a
 /// lock-light free-pool dispatcher and bounded solve admission.
 pub struct PoolSet {
@@ -226,6 +231,13 @@ impl PoolSet {
     /// [`Saturated`] if every sub-pool is busy and `max_pending` callers
     /// are already waiting.
     pub fn acquire(&self) -> Result<PoolGuard<'_>, Saturated> {
+        if failpoint::fire_saturate(FAILPOINT_ACQUIRE) {
+            self.saturations.fetch_add(1, Ordering::Relaxed);
+            return Err(Saturated {
+                pools: self.slots.len(),
+                max_pending: self.max_pending,
+            });
+        }
         let preferred = self.rotor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
         // Fast path: lock-free claim.
         if let Some(idx) = self.try_claim(preferred) {
@@ -445,5 +457,46 @@ mod tests {
             hits.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn injected_saturation_fails_typed_then_recovers() {
+        let set = PoolSet::new(2, 1, DEFAULT_MAX_PENDING);
+        failpoint::arm(
+            FAILPOINT_ACQUIRE,
+            failpoint::FailAction::Saturate { times: 2 },
+        );
+        let before = set.saturations();
+        assert!(set.acquire().is_err());
+        assert!(set.acquire().is_err());
+        assert_eq!(set.saturations(), before + 2);
+        // The countdown is spent: admission recovers with no disarm needed.
+        let g = set.acquire().expect("saturation injection must be bounded");
+        drop(g);
+        failpoint::disarm(FAILPOINT_ACQUIRE);
+    }
+
+    #[test]
+    fn guard_releases_the_sub_pool_when_a_region_panics() {
+        let set = PoolSet::new(1, 2, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let g = set.acquire().unwrap();
+            g.pool().run(|worker| {
+                if worker == 0 {
+                    panic!("chaos");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the region's fault must propagate");
+        // The guard dropped during unwinding, so the sole sub-pool is free
+        // again and the pool itself still runs clean regions.
+        let g = set
+            .acquire()
+            .expect("panicked region must not leak its lease");
+        let hits = AtomicUsize::new(0);
+        g.pool().run(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 }

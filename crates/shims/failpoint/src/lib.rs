@@ -1,0 +1,268 @@
+//! Deterministic fault-injection sites for the doacross workspace — an
+//! offline stand-in for the `fail` crate's failpoint idea, shaped for this
+//! engine's hot paths.
+//!
+//! A *site* is a `&'static str` name compiled into production code
+//! (`"core::executor::iter"`, `"sched::acquire"`, …). Tests arm a site
+//! with a [`FailAction`]; production code consults the registry and
+//! injects the armed fault — a panic at a chosen iteration, a busy-wait
+//! delay, or a synthetic saturation. Disarmed (the production default)
+//! every consultation is one `Relaxed` load of a process-wide counter and
+//! a predicted-not-taken branch.
+//!
+//! # Hot-path discipline
+//!
+//! Per-iteration code must NOT consult the registry per iteration. The
+//! intended pattern is a per-region snapshot:
+//!
+//! ```
+//! let site = failpoint::lookup("core::executor::iter"); // once per region
+//! for i in 0..100u64 {
+//!     failpoint::hit(site, i); // Option<FailAction> on the stack
+//!     // ... real work ...
+//! }
+//! ```
+//!
+//! `lookup` pays the registry lock only when at least one site anywhere is
+//! armed; `hit(None, _)` is a branch on a stack local. Sites consulted
+//! once per solve (`sched::acquire`, `engine::execute`) may use the
+//! stateful helpers ([`fire_saturate`], [`maybe_delay`]) directly.
+//!
+//! # Determinism
+//!
+//! Actions are plain values: `PanicAt { iteration }` fires exactly when
+//! the instrumented code reaches that iteration index, every time, on
+//! whichever worker owns it — no randomness, no clocks. `Saturate`
+//! carries a countdown so a test can inject N rejections and then observe
+//! recovery. Arm/disarm between solves, not during one; the per-region
+//! snapshot means a mid-region re-arm is simply not observed until the
+//! next region.
+//!
+//! The registry is process-global: test binaries that arm sites must
+//! serialize those tests (the chaos suites take a shared mutex).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The fault a site injects when armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic when the instrumented code reaches this iteration index —
+    /// the worker that owns the iteration dies, deterministically.
+    PanicAt {
+        /// Iteration index (as passed to [`hit`]) that triggers the panic.
+        iteration: u64,
+    },
+    /// Busy-wait approximately this many nanoseconds at every hit — slows
+    /// a region down deterministically enough to trip a solve deadline.
+    DelayNs {
+        /// Nanoseconds to burn per hit (0 = take the armed path but inject
+        /// nothing, for measuring the armed-path overhead itself).
+        ns: u64,
+    },
+    /// Report synthetic saturation for the next `times` fires, then go
+    /// inert (stay armed, stop firing) — lets a test inject N rejections
+    /// and then watch recovery.
+    Saturate {
+        /// Remaining fires.
+        times: u64,
+    },
+}
+
+/// Number of armed sites, process-wide. The disarmed fast path is one
+/// `Relaxed` load of this counter.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<&'static str, FailAction>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, FailAction>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// `true` when any site anywhere is armed. One `Relaxed` load.
+#[inline]
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Relaxed) != 0
+}
+
+/// Arms `site` with `action`, replacing any previous action on the site.
+pub fn arm(site: &'static str, action: FailAction) {
+    let mut sites = registry().lock().expect("failpoint registry poisoned");
+    if sites.insert(site, action).is_none() {
+        ARMED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Disarms `site`. Idempotent.
+pub fn disarm(site: &'static str) {
+    let mut sites = registry().lock().expect("failpoint registry poisoned");
+    if sites.remove(site).is_some() {
+        ARMED.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Disarms every site — test teardown.
+pub fn disarm_all() {
+    let mut sites = registry().lock().expect("failpoint registry poisoned");
+    let n = sites.len();
+    sites.clear();
+    ARMED.fetch_sub(n, Ordering::Relaxed);
+}
+
+/// The action armed on `site`, if any — the once-per-region snapshot.
+/// Disarmed cost: one `Relaxed` load and a branch.
+#[inline]
+pub fn lookup(site: &'static str) -> Option<FailAction> {
+    if !enabled() {
+        return None;
+    }
+    registry()
+        .lock()
+        .expect("failpoint registry poisoned")
+        .get(site)
+        .copied()
+}
+
+/// Executes a snapshotted action for iteration `iter`: panics on a
+/// matching [`FailAction::PanicAt`], burns the armed delay, ignores
+/// saturation actions (those belong to [`fire_saturate`] sites).
+///
+/// # Panics
+///
+/// Deliberately, when the armed action says so — that is the injection.
+#[inline]
+pub fn hit(site: Option<FailAction>, iter: u64) {
+    let Some(action) = site else { return };
+    match action {
+        FailAction::PanicAt { iteration } if iteration == iter => {
+            panic!("failpoint: injected panic at iteration {iter}")
+        }
+        FailAction::PanicAt { .. } => {}
+        FailAction::DelayNs { ns } => burn(ns),
+        FailAction::Saturate { .. } => {}
+    }
+}
+
+/// For saturation sites (`sched::acquire`): `true` when the site is armed
+/// with [`FailAction::Saturate`] and fires remain; decrements the
+/// countdown. Disarmed cost: one `Relaxed` load and a branch.
+#[inline]
+pub fn fire_saturate(site: &'static str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let mut sites = registry().lock().expect("failpoint registry poisoned");
+    match sites.get_mut(site) {
+        Some(FailAction::Saturate { times }) if *times > 0 => {
+            *times -= 1;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// For once-per-solve delay sites: burns the armed delay, if any.
+/// Disarmed cost: one `Relaxed` load and a branch.
+#[inline]
+pub fn maybe_delay(site: &'static str) {
+    if !enabled() {
+        return;
+    }
+    if let Some(FailAction::DelayNs { ns }) = lookup(site) {
+        burn(ns);
+    }
+}
+
+/// Busy-waits ~`ns` nanoseconds. A spin wait, not a sleep: OS sleep
+/// granularity would turn a 50µs injection into milliseconds and make
+/// deadline tests flaky.
+fn burn(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let until = Instant::now() + Duration::from_nanos(ns);
+    while Instant::now() < until {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // The registry is process-global; these tests serialize on it.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_sites_are_inert_and_cheap() {
+        let _s = serial();
+        disarm_all();
+        assert!(!enabled());
+        assert_eq!(lookup("core::executor::iter"), None);
+        hit(None, 0);
+        assert!(!fire_saturate("sched::acquire"));
+        maybe_delay("engine::execute");
+    }
+
+    #[test]
+    fn panic_at_fires_exactly_on_its_iteration() {
+        let _s = serial();
+        disarm_all();
+        arm("t::iter", FailAction::PanicAt { iteration: 3 });
+        let site = lookup("t::iter");
+        assert!(site.is_some());
+        for i in 0..3 {
+            hit(site, i); // must not fire
+        }
+        let err =
+            catch_unwind(AssertUnwindSafe(|| hit(site, 3))).expect_err("iteration 3 must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected panic at iteration 3"), "{msg}");
+        hit(site, 4); // past the armed iteration: inert again
+        disarm("t::iter");
+        assert_eq!(lookup("t::iter"), None);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn saturate_counts_down_then_goes_inert() {
+        let _s = serial();
+        disarm_all();
+        arm("t::acquire", FailAction::Saturate { times: 2 });
+        assert!(fire_saturate("t::acquire"));
+        assert!(fire_saturate("t::acquire"));
+        assert!(!fire_saturate("t::acquire"), "countdown exhausted");
+        assert!(enabled(), "exhausted but still armed");
+        disarm_all();
+    }
+
+    #[test]
+    fn delay_burns_at_least_the_armed_time() {
+        let _s = serial();
+        disarm_all();
+        arm("t::delay", FailAction::DelayNs { ns: 200_000 });
+        let start = Instant::now();
+        maybe_delay("t::delay");
+        assert!(start.elapsed() >= Duration::from_micros(200));
+        disarm_all();
+    }
+
+    #[test]
+    fn rearming_replaces_without_double_counting() {
+        let _s = serial();
+        disarm_all();
+        arm("t::site", FailAction::DelayNs { ns: 1 });
+        arm("t::site", FailAction::DelayNs { ns: 2 });
+        assert_eq!(lookup("t::site"), Some(FailAction::DelayNs { ns: 2 }));
+        disarm("t::site");
+        assert!(!enabled(), "armed count must return to zero");
+    }
+}

@@ -191,12 +191,16 @@ impl PlanCachedSolver {
                 EngineError::StalePlan { .. }
                 | EngineError::Persist(_)
                 | EngineError::Saturated { .. }
-                | EngineError::Unsound(_),
+                | EngineError::Unsound(_)
+                | EngineError::SolvePanicked { .. }
+                | EngineError::SolveTimeout { .. },
             ) => {
                 unreachable!(
                     "the shim never invalidates, warm-starts, saturates, or explicitly \
                      verifies its private engine (default admission bounds are far above \
-                     one caller, and run() does not call verify_plan)"
+                     one caller, and run() does not call verify_plan); fault containment \
+                     cannot surface either: no solve deadline is configured and the \
+                     default sequential fallback absorbs worker panics"
                 )
             }
         }

@@ -19,8 +19,11 @@
 #
 #   checkers       the machine-checked soundness suites: the interleave
 #                  model checker's own tests, the par/sched protocol
-#                  models (whose mutation tests prove the checker still
-#                  catches corrupted protocols), and the plan-soundness
+#                  models — including the poison-aware wait/barrier
+#                  models, whose mutation tests prove the checker still
+#                  catches corrupted protocols — the fault-injection
+#                  chaos suite (every injected failure mode must resolve
+#                  typed and recoverable), and the plan-soundness
 #                  verifier's suites (whose seeded schedule mutations
 #                  prove the verifier still rejects unsound plans).
 #
@@ -81,9 +84,13 @@ cargo test -q -p interleave ||
 
 say "analysis_gate: synchronization protocol models (par, sched)"
 cargo test -q -p doacross-par --test interleave_models ||
-  violation "par protocol models failed (ready flags / spin barrier)"
+  violation "par protocol models failed (ready flags / spin barrier / poison protocol)"
 cargo test -q -p doacross-sched --test interleave_models ||
   violation "sched protocol models failed (free-pool bitmask)"
+
+say "analysis_gate: fault-containment chaos suite (failpoint injection)"
+cargo test -q -p doacross-engine --test chaos ||
+  violation "chaos suite failed (injected faults must resolve typed and recoverable)"
 
 say "analysis_gate: plan-soundness verifier (mutation kills + equivalence)"
 cargo test -q -p doacross-verify ||

@@ -56,6 +56,7 @@ check_structure() {
 check_structure BENCH_wavefront.json doacross_ns wavefront_ns wait_polls levels rows
 check_structure BENCH_adaptive.json static_ns adaptive_ns trials promotions samples
 check_structure BENCH_obs.json off_ns on_ns overhead trace_events
+check_structure BENCH_fault.json off_ns on_ns overhead disarmed_overhead
 
 # BENCH_throughput.json is tenant-keyed, not problem-keyed: every tenant
 # point must carry its throughput metrics, and the _meta no-regression
@@ -105,6 +106,27 @@ if [ -f BENCH_obs.json ]; then
   fi
 fi
 
+# Internal invariant: the fault snapshot's disarmed per-solve bill must sit
+# within the 2% acceptance bound it declares, and the armed-inert on/off
+# ratio within its (looser, noise-envelope) armed bound.
+if [ -f BENCH_fault.json ]; then
+  bound="$(jq -r '._meta.bound // empty' BENCH_fault.json)"
+  armed_bound="$(jq -r '._meta.armed_bound // empty' BENCH_fault.json)"
+  if [ -z "$bound" ] || [ -z "$armed_bound" ]; then
+    violation "BENCH_fault.json: missing ._meta.bound / ._meta.armed_bound"
+  else
+    while read -r prob disarmed armed; do
+      if jq -n --argjson o "$disarmed" --argjson b "$bound" '$o > $b' | grep -qx true; then
+        violation "BENCH_fault.json: $prob disarmed_overhead $disarmed exceeds declared bound $bound"
+      fi
+      if jq -n --argjson o "$armed" --argjson b "$armed_bound" '$o > $b' | grep -qx true; then
+        violation "BENCH_fault.json: $prob armed overhead $armed exceeds declared bound $armed_bound"
+      fi
+    done < <(jq -r 'to_entries[] | select(.key != "_meta") | "\(.key) \(.value.disarmed_overhead) \(.value.overhead)"' BENCH_fault.json)
+    say "bench_gate: BENCH_fault.json: disarmed bill within ${bound}x, armed-inert within ${armed_bound}x"
+  fi
+fi
+
 # --- trajectory mode -------------------------------------------------------
 
 # compare FILE METRIC FRESH_DIR — fresh metric may not exceed committed by
@@ -146,12 +168,13 @@ if [ "${1:-}" = "--measure" ]; then
   trap 'rm -rf "$fresh_dir"' EXIT
   say "bench_gate: regenerating snapshots (this runs the bench binaries)..."
   cargo build --release -p doacross-bench --bins
-  for bin in wavefront adaptive obs throughput; do
+  for bin in wavefront adaptive obs throughput fault; do
     (cd "$fresh_dir" && "$OLDPWD/target/release/$bin" >/dev/null)
   done
   compare BENCH_wavefront.json wavefront_ns "$fresh_dir"
   compare BENCH_adaptive.json adaptive_ns "$fresh_dir"
   compare BENCH_obs.json on_ns "$fresh_dir"
+  compare BENCH_fault.json on_ns "$fresh_dir"
   compare_throughput "$fresh_dir"
 fi
 

@@ -65,8 +65,8 @@
 //!
 //! let engine = Engine::builder()
 //!     .workers(4)
-//!     .warm_start("plans.bin")   // missing file = clean cold start
-//!     .try_build()?;             // corrupt file = typed EngineError::Persist
+//!     .warm_start("plans.bin")   // missing = cold start; corrupt =
+//!     .try_build()?;             //   quarantined aside + cold start
 //! // ... serve traffic; first solves of persisted structures hit ...
 //! engine.save_plans("plans.bin")?;
 //! # Ok::<(), preprocessed_doacross::EngineError>(())
@@ -76,11 +76,16 @@
 //! checksum and structurally revalidates every record (writer maps must
 //! be injective and in range, claim orders must be permutations, the
 //! census must agree with the fingerprint) before anything reaches the
-//! cache, so the worst a damaged store can do is a typed
-//! [`EngineError::Persist`] — never a panic, never a silently wrong
-//! plan. `examples/warm_start.rs` demonstrates the restart round trip;
-//! `cargo run --release -p doacross-bench --bin warm` measures the
-//! first-solve gap it closes.
+//! cache — never a panic, never a silently wrong plan. A boot-path load
+//! (`warm_start` / `Engine::warm_start_plans`) treats a damaged store as
+//! a fault to recover from, not an error to die on: the file is renamed
+//! aside to `<path>.corrupt-<n>` (the two newest corpses are kept for
+//! forensics) and the engine boots cold, so a service caught in a
+//! crash-restart loop self-heals instead of crashing on the same bytes
+//! forever. The explicit [`Engine::load_plans`] stays strict and fails
+//! typed with [`EngineError::Persist`]. `examples/warm_start.rs`
+//! demonstrates the restart round trip; `cargo run --release -p
+//! doacross-bench --bin warm` measures the first-solve gap it closes.
 //!
 //! ## Observability
 //!
@@ -116,6 +121,37 @@
 //! per-job, bit-identical to N serial `execute` calls.
 //! `examples/throughput.rs` walks both; `cargo run --release -p
 //! doacross-bench --bin throughput` measures them.
+//!
+//! ## Fault tolerance
+//!
+//! A multi-tenant engine must contain one tenant's disaster, not share
+//! it. The synchronization protocols ([`par`]) are **poison-aware**: when
+//! a worker panics mid-region, the pool publishes the fault into a
+//! per-region poison word, and every busy-wait and barrier arrival polls
+//! it — so the survivors unwind cooperatively instead of spinning forever
+//! on a ready flag their dead peer will never raise. The engine catches
+//! the fault at the dispatch boundary and surfaces it as typed
+//! [`EngineError::SolvePanicked`]; the sub-pool is immediately reusable
+//! and co-tenants never notice.
+//!
+//! `Engine::builder().solve_deadline(..)` arms a per-solve wall-clock
+//! budget through the same poll sites, so a wedged solve resolves as
+//! typed [`EngineError::SolveTimeout`] instead of hanging its caller.
+//! By default the engine then **degrades gracefully**
+//! ([`FallbackPolicy::SequentialRetry`]): a faulted parallel solve is
+//! replayed once on the sequential variant against the caller's pristine
+//! input, delivering the correct answer at reduced speed —
+//! `RunStats::attempts` records the demotion, and the trace, flight
+//! recorder ([`SolveOutcome`]), and `doacross_fault_*` metrics make every
+//! fault visible. [`Engine::execute_with_retry`] adds bounded,
+//! jittered backoff for transient [`EngineError::Saturated`] admission
+//! failures ([`RetryPolicy`]).
+//!
+//! All of it is proven by deterministic fault injection: the `failpoint`
+//! shim compiles to a no-op branch when disarmed, and the chaos suite
+//! (`crates/engine/tests/chaos.rs`, plus `examples/chaos.rs`) injects
+//! worker panics, wedges, and saturation into every parallel variant to
+//! show each failure mode resolves typed and recoverable.
 //!
 //! ## The workspace underneath
 //!
@@ -175,8 +211,10 @@ pub use doacross_sim as sim;
 pub use doacross_sparse as sparse;
 pub use doacross_trisolve as trisolve;
 
-pub use doacross_engine::{Engine, EngineBuilder, EngineError, PreparedLoop, SolveBatch};
-pub use doacross_obs::{ObsConfig, ObsSink, SolveRecord, TraceEvent};
+pub use doacross_engine::{
+    Engine, EngineBuilder, EngineError, FallbackPolicy, PreparedLoop, RetryPolicy, SolveBatch,
+};
+pub use doacross_obs::{ObsConfig, ObsSink, SolveOutcome, SolveRecord, TraceEvent};
 pub use doacross_plan::{PersistError, PlanStore};
 pub use doacross_sched::PoolStats;
 

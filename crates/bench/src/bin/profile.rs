@@ -1,0 +1,76 @@
+//! Prints what the solve profiler costs — warmed per-solve time without
+//! profiling vs. with profiling armed on the five Table 1 structures,
+//! plus the directly-priced disarmed branch — and writes the
+//! machine-readable `BENCH_profile.json`.
+//!
+//! Regenerate with `cargo run -p doacross-bench --release --bin profile`.
+
+use doacross_bench::profile::{
+    disarmed_check_cost, profile_overhead, to_json, ARMED_OVERHEAD_BOUND, DISARMED_OVERHEAD_BOUND,
+};
+use doacross_bench::report::Table;
+use doacross_sparse::ProblemKind;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    println!("solve profiler off vs. armed, warmed per-solve cost on {workers} host threads");
+    println!("(min of 5 reps x 20 solves; separate engines — profiling is a build-time choice)\n");
+
+    let check_ns = disarmed_check_cost(10_000_000);
+    println!("disarmed path: {check_ns:.3} ns per Option branch (the whole per-site bill)\n");
+
+    let points = profile_overhead(workers, &ProblemKind::all(), 20, 5);
+    let mut table = Table::new([
+        "problem",
+        "rows",
+        "off/solve",
+        "armed/solve",
+        "armed",
+        "disarmed bill",
+        "sites",
+    ]);
+    for p in &points {
+        let disarmed = p.disarmed_overhead(check_ns);
+        table.row(vec![
+            p.kind.name().into(),
+            p.rows.to_string(),
+            format!("{:?}", p.off),
+            format!("{:?}", p.on),
+            format!("{:.3}x", p.armed_overhead()),
+            format!("{disarmed:.5}x"),
+            p.sites.to_string(),
+        ]);
+        assert!(
+            disarmed <= DISARMED_OVERHEAD_BOUND,
+            "{}: disarmed deposit sites bill {disarmed:.5}x per solve (bound {DISARMED_OVERHEAD_BOUND}x)",
+            p.kind.name(),
+        );
+        assert!(
+            p.armed_overhead() <= ARMED_OVERHEAD_BOUND,
+            "{}: armed profiling costs {:.3}x unprofiled (bound {ARMED_OVERHEAD_BOUND}x)",
+            p.kind.name(),
+            p.armed_overhead()
+        );
+    }
+    print!("{}", table.render());
+
+    let worst_armed = points
+        .iter()
+        .map(|p| p.armed_overhead())
+        .fold(f64::MIN, f64::max);
+    let worst_disarmed = points
+        .iter()
+        .map(|p| p.disarmed_overhead(check_ns))
+        .fold(f64::MIN, f64::max);
+    println!(
+        "\nworst-case disarmed bill: {worst_disarmed:.5}x (bound {DISARMED_OVERHEAD_BOUND}x); \
+         worst-case armed: {worst_armed:.3}x (bound {ARMED_OVERHEAD_BOUND}x)"
+    );
+
+    let json = to_json(&points, workers, check_ns);
+    let path = "BENCH_profile.json";
+    std::fs::write(path, &json).expect("write BENCH_profile.json");
+    println!("wrote {path}");
+}

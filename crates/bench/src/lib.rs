@@ -54,6 +54,7 @@ pub mod fault;
 pub mod fig6;
 pub mod host;
 pub mod obs;
+pub mod profile;
 pub mod report;
 pub mod table1;
 pub mod throughput;

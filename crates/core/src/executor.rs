@@ -34,6 +34,7 @@ use crate::flags::ReadyFlags;
 use crate::oracle::WriterOracle;
 use crate::pattern::DoacrossLoop;
 use crate::stats::{LocalCounters, StatsSink};
+use doacross_obs::profile::{ProfArena, SpanKind, NO_LEVEL};
 use doacross_par::{abort_region, Schedule, SharedSlice, ThreadPool, WaitAbort, WaitStrategy};
 use std::ops::Range;
 use std::sync::atomic::AtomicUsize;
@@ -87,6 +88,49 @@ pub fn run_executor<L, W>(
     L: DoacrossLoop + ?Sized,
     W: WriterOracle,
 {
+    run_executor_profiled(
+        pool,
+        schedule,
+        wait,
+        loop_,
+        iter_range,
+        order,
+        oracle,
+        y,
+        ynew,
+        ready,
+        window_start,
+        sink,
+        None,
+    )
+}
+
+/// [`run_executor`] with optional span profiling. With `prof` set, each
+/// worker records one [`SpanKind::Work`] span covering its share of the
+/// region (`aux` = iterations executed, actual stalls nested inside) plus
+/// one [`SpanKind::FlagWait`] span per stall (`aux` = poll count), so
+/// span counts reconcile exactly with `RunStats`' `stalls` and the span
+/// `aux` totals with `wait_polls`. `None` costs one branch per would-be
+/// span — the never-stalling fast path reads no clock.
+#[allow(clippy::too_many_arguments)]
+pub fn run_executor_profiled<L, W>(
+    pool: &ThreadPool,
+    schedule: Schedule,
+    wait: WaitStrategy,
+    loop_: &L,
+    iter_range: Range<usize>,
+    order: Option<&[usize]>,
+    oracle: &W,
+    y: SharedSlice<'_, f64>,
+    ynew: SharedSlice<'_, f64>,
+    ready: &ReadyFlags,
+    window_start: usize,
+    sink: &StatsSink,
+    prof: Option<&ProfArena>,
+) where
+    L: DoacrossLoop + ?Sized,
+    W: WriterOracle,
+{
     let nworkers = pool.threads();
     let base = iter_range.start;
     let count = iter_range.end - iter_range.start;
@@ -107,6 +151,7 @@ pub fn run_executor<L, W>(
     pool.run(|worker| {
         let mut local = LocalCounters::default();
         let mut executed: u64 = 0;
+        let work_started = prof.map(|arena| arena.now_ns());
         schedule.drive(worker, nworkers, count, &counter, |k| {
             let i = match order {
                 Some(ord) => ord[base + k],
@@ -148,17 +193,35 @@ pub fn run_executor<L, W>(
                     // S3–S5: true dependency on an earlier iteration.
                     local.true_deps += 1;
                     let slot = off - window_start;
-                    let polls =
-                        match wait.wait_until_guarded(|| ready.is_done(slot), poison, deadline) {
-                            Ok(polls) => polls,
-                            Err(abort) => {
-                                sink.deposit(worker, std::mem::take(&mut local));
-                                abort_region(poison, abort);
-                            }
-                        };
+                    let waited = match prof {
+                        None => wait
+                            .wait_until_guarded(|| ready.is_done(slot), poison, deadline)
+                            .map(|polls| (polls, 0)),
+                        Some(_) => {
+                            wait.wait_until_guarded_timed(|| ready.is_done(slot), poison, deadline)
+                        }
+                    };
+                    let (polls, wait_ns) = match waited {
+                        Ok(waited) => waited,
+                        Err(abort) => {
+                            sink.deposit(worker, std::mem::take(&mut local));
+                            abort_region(poison, abort);
+                        }
+                    };
                     if polls > 0 {
                         local.stalls += 1;
                         local.wait_polls += polls;
+                        if let Some(arena) = prof {
+                            let end = arena.now_ns();
+                            arena.record(
+                                worker,
+                                SpanKind::FlagWait,
+                                NO_LEVEL,
+                                end.saturating_sub(wait_ns),
+                                wait_ns,
+                                polls,
+                            );
+                        }
                     }
                     // SAFETY: the acquire in `is_done` pairs with the
                     // writer's release in `mark_done`; `ynew[slot]` was
@@ -184,6 +247,17 @@ pub fn run_executor<L, W>(
             unsafe { ynew.write(lhs_slot, loop_.finish(i, acc)) };
             ready.mark_done(lhs_slot);
         });
+        if let (Some(arena), Some(started)) = (prof, work_started) {
+            let end = arena.now_ns();
+            arena.record(
+                worker,
+                SpanKind::Work,
+                NO_LEVEL,
+                started,
+                end.saturating_sub(started),
+                executed,
+            );
+        }
         sink.deposit(worker, local);
     });
 }

@@ -10,7 +10,7 @@
 //! preprocessed doacross loops" (§2.1).
 
 use crate::error::DoacrossError;
-use crate::executor::run_executor;
+use crate::executor::run_executor_profiled;
 use crate::flags::{IterMap, ReadyFlags};
 use crate::inspector::{reset_scratch, run_inspector};
 use crate::oracle::InspectedWriter;
@@ -18,6 +18,7 @@ use crate::pattern::{AccessPattern, DoacrossLoop};
 use crate::post::run_post;
 use crate::prepared::PreparedInspection;
 use crate::stats::{PlanProvenance, RunStats, StatsSink};
+use doacross_obs::profile::ProfArena;
 use doacross_par::{Schedule, SharedSlice, ThreadPool, WaitStrategy};
 use std::time::Instant;
 
@@ -246,6 +247,7 @@ impl Doacross {
             Some(&self.iter),
             &self.sink,
             &mut stats,
+            None,
         );
         stats.total = t_start.elapsed();
         debug_assert!(self.scratch_is_clean(), "reuse invariant violated on exit");
@@ -273,6 +275,23 @@ impl Doacross {
         y: &mut [f64],
         prepared: &PreparedInspection,
         order: Option<&[usize]>,
+    ) -> Result<RunStats, DoacrossError> {
+        self.run_planned_profiled(pool, loop_, y, prepared, order, None)
+    }
+
+    /// Like [`Doacross::run_planned`], but deposits per-worker profiling
+    /// spans (work intervals and true-dependency flag waits) into `prof`
+    /// when one is supplied. `None` keeps the exact unprofiled code paths —
+    /// one branch per would-be span site, no clock reads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_planned_profiled<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+        prepared: &PreparedInspection,
+        order: Option<&[usize]>,
+        prof: Option<&ProfArena>,
     ) -> Result<RunStats, DoacrossError> {
         let data_len = loop_.data_len();
         if y.len() != data_len {
@@ -325,6 +344,7 @@ impl Doacross {
             None,
             &self.sink,
             &mut stats,
+            prof,
         );
         stats.total = t_start.elapsed();
         debug_assert!(self.scratch_is_clean(), "reuse invariant violated on exit");
@@ -398,6 +418,7 @@ fn exec_and_post<L: DoacrossLoop + ?Sized>(
     post_map: Option<&IterMap>,
     sink: &StatsSink,
     stats: &mut RunStats,
+    prof: Option<&ProfArena>,
 ) {
     let n = loop_.iterations();
 
@@ -406,7 +427,7 @@ fn exec_and_post<L: DoacrossLoop + ?Sized>(
     {
         let y_view = SharedSlice::new(y);
         let ynew_view = SharedSlice::new(&mut ynew[..]);
-        run_executor(
+        run_executor_profiled(
             pool,
             config.schedule,
             config.wait,
@@ -419,6 +440,7 @@ fn exec_and_post<L: DoacrossLoop + ?Sized>(
             ready,
             0,
             sink,
+            prof,
         );
     }
     stats.executor = t1.elapsed();

@@ -52,6 +52,7 @@ use crate::executor::DEADLINE_ITER_PERIOD;
 use crate::pattern::DoacrossLoop;
 use crate::runtime::DoacrossConfig;
 use crate::stats::{LocalCounters, PlanProvenance, RunStats, StatsSink};
+use doacross_obs::profile::{ProfArena, SpanKind};
 use doacross_par::{
     abort_region, parallel_for, CachePadded, Schedule, SharedSlice, SpinBarrier, ThreadPool,
     WaitAbort,
@@ -313,6 +314,44 @@ pub fn run_wavefront_executor<L>(
 ) where
     L: DoacrossLoop + ?Sized,
 {
+    run_wavefront_executor_profiled(
+        pool,
+        base_schedule,
+        chunk,
+        loop_,
+        schedule,
+        y,
+        ynew,
+        counters,
+        barrier,
+        sink,
+        None,
+    )
+}
+
+/// [`run_wavefront_executor`] with optional span profiling. With `prof`
+/// set, each worker records per level one [`SpanKind::Work`] span (`aux` =
+/// iterations executed in that level) and, between adjacent levels, one
+/// [`SpanKind::BarrierWait`] span — so each worker's barrier-wait span
+/// count equals the run's `barrier_crossings` and the per-level totals
+/// feed the profiler's level histograms. `None` costs one branch per
+/// would-be span.
+#[allow(clippy::too_many_arguments)]
+pub fn run_wavefront_executor_profiled<L>(
+    pool: &ThreadPool,
+    base_schedule: Schedule,
+    chunk: Option<usize>,
+    loop_: &L,
+    schedule: &LevelSchedule,
+    y: SharedSlice<'_, f64>,
+    ynew: SharedSlice<'_, f64>,
+    counters: &[CachePadded<AtomicUsize>],
+    barrier: &SpinBarrier,
+    sink: &StatsSink,
+    prof: Option<&ProfArena>,
+) where
+    L: DoacrossLoop + ?Sized,
+{
     let nworkers = pool.threads();
     let nlevels = schedule.level_count();
     if nlevels == 0 {
@@ -347,6 +386,8 @@ pub fn run_wavefront_executor<L>(
                 },
                 (s, _) => s,
             };
+            let level_started = prof.map(|arena| arena.now_ns());
+            let executed_before = executed;
             level_sched.drive(worker, nworkers, width, counter, |k| {
                 let i = level[k];
                 failpoint::hit(failpoint, i as u64);
@@ -409,10 +450,42 @@ pub fn run_wavefront_executor<L>(
                 // (injective `a`), and no other level touches it this run.
                 unsafe { ynew.write(lhs, loop_.finish(i, acc)) };
             });
+            if let (Some(arena), Some(started)) = (prof, level_started) {
+                let end = arena.now_ns();
+                arena.record(
+                    worker,
+                    SpanKind::Work,
+                    l as u32,
+                    started,
+                    end.saturating_sub(started),
+                    executed - executed_before,
+                );
+            }
             if l + 1 < nlevels {
-                if let Err(abort) = barrier.wait_guarded(poison, deadline) {
-                    sink.deposit(worker, std::mem::take(&mut local));
-                    abort_region(poison, abort);
+                match prof {
+                    None => {
+                        if let Err(abort) = barrier.wait_guarded(poison, deadline) {
+                            sink.deposit(worker, std::mem::take(&mut local));
+                            abort_region(poison, abort);
+                        }
+                    }
+                    Some(arena) => match barrier.wait_guarded_timed(poison, deadline) {
+                        Ok((_leader, wait_ns)) => {
+                            let end = arena.now_ns();
+                            arena.record(
+                                worker,
+                                SpanKind::BarrierWait,
+                                l as u32,
+                                end.saturating_sub(wait_ns),
+                                wait_ns,
+                                0,
+                            );
+                        }
+                        Err(abort) => {
+                            sink.deposit(worker, std::mem::take(&mut local));
+                            abort_region(poison, abort);
+                        }
+                    },
                 }
             }
         }
@@ -539,6 +612,20 @@ impl WavefrontDoacross {
         schedule: &LevelSchedule,
         chunk: Option<usize>,
     ) -> Result<RunStats, DoacrossError> {
+        self.run_chunked_profiled(pool, loop_, y, schedule, chunk, None)
+    }
+
+    /// [`WavefrontDoacross::run_chunked`] with optional span profiling —
+    /// see [`run_wavefront_executor_profiled`] for what is recorded.
+    pub fn run_chunked_profiled<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+        schedule: &LevelSchedule,
+        chunk: Option<usize>,
+        prof: Option<&ProfArena>,
+    ) -> Result<RunStats, DoacrossError> {
         let data_len = loop_.data_len();
         let n = loop_.iterations();
         if y.len() != data_len {
@@ -601,7 +688,7 @@ impl WavefrontDoacross {
         {
             let y_view = SharedSlice::new(y);
             let ynew_view = SharedSlice::new(&mut self.ynew[..data_len]);
-            run_wavefront_executor(
+            run_wavefront_executor_profiled(
                 pool,
                 self.config.schedule,
                 chunk,
@@ -612,6 +699,7 @@ impl WavefrontDoacross {
                 &self.counters[..nlevels],
                 &barrier,
                 &sink,
+                prof,
             );
         }
         stats.executor = t1.elapsed();

@@ -22,6 +22,7 @@ use doacross_adapt::{
     SolveSample, StructureState, TelemetryEntry, TelemetryTotals, VariantKind, VariantTelemetry,
 };
 use doacross_core::{seq::run_sequential, DoacrossLoop, RunStats};
+use doacross_obs::profile::ProfileSummary;
 use doacross_obs::TraceEvent;
 use doacross_plan::{ExecutionPlan, PatternFingerprint, Planner, StoredCalibration};
 use parking_lot::Mutex;
@@ -29,6 +30,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Failpoint site consulted just before an adaptive trial builds its
+/// challenger plan: a `Saturate` action is absorbed as a failed
+/// challenger build (incumbent retained, no trial), a `DelayNs` action
+/// stretches the evaluation.
+pub const FAILPOINT_TRIAL: &str = "engine::adaptive::trial";
 
 /// Counters of the adaptive feedback loop, engine-wide.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +63,11 @@ pub struct AdaptiveStats {
 struct Structure {
     policy: StructureState,
     incumbent: Option<Arc<ExecutionPlan>>,
+    /// The structure's most recent profiled solve (present when the
+    /// engine also runs the deep profiler): realized critical path and
+    /// the work/wait split — stall-structure evidence the policy and
+    /// operators can consult alongside the variant telemetry.
+    profile: Option<ProfileSummary>,
 }
 
 /// The adaptive half of an engine (present when built with
@@ -147,6 +159,27 @@ impl AdaptiveRuntime {
     pub(crate) fn forget(&self, fingerprint: &PatternFingerprint) {
         self.structures.lock().remove(fingerprint);
         self.telemetry.forget(fingerprint);
+    }
+
+    /// Folds one profiled solve's summary into the structure's evidence
+    /// ledger — the profiler's stall attribution (wait fraction, realized
+    /// critical path) rides alongside the variant telemetry, queryable
+    /// via [`crate::Engine::profile_evidence`]. Called by the engine
+    /// right after a successful harvest, before the policy hook runs.
+    pub(crate) fn observe_profile(&self, plan: &Arc<ExecutionPlan>, summary: ProfileSummary) {
+        let mut structures = self.structures.lock();
+        structures.entry(*plan.fingerprint()).or_default().profile = Some(summary);
+    }
+
+    /// The latest profile summary recorded for `fingerprint`, if any.
+    pub(crate) fn profile_evidence(
+        &self,
+        fingerprint: &PatternFingerprint,
+    ) -> Option<ProfileSummary> {
+        self.structures
+            .lock()
+            .get(fingerprint)
+            .and_then(|s| s.profile)
     }
 
     /// The post-execute hook (see module docs). `y` is the solved output
@@ -403,6 +436,15 @@ impl AdaptiveRuntime {
         if !self.policy.may_trial(&structure.policy) {
             return;
         }
+        // Failpoint: an injected trial fault behaves exactly like a
+        // failed challenger build — the incumbent keeps running and the
+        // trial is simply not started.
+        if failpoint::enabled() {
+            failpoint::maybe_delay(FAILPOINT_TRIAL);
+            if failpoint::fire_saturate(FAILPOINT_TRIAL) {
+                return;
+            }
+        }
         // Build the challenger with the refined model: same census path,
         // same validation, same artifacts as any cold plan build.
         let built = match Planner::with_costs(refined_model).plan_with_fingerprint(
@@ -432,6 +474,12 @@ impl AdaptiveRuntime {
                 variant: built.variant().into(),
                 sound: verdict.is_ok(),
             });
+            // The verify ring holds the latest verdict per fingerprint —
+            // a challenger's verification is as load-bearing as an
+            // explicit `verify_plan` call, so it lands there too.
+            inner
+                .obs
+                .record_verification(crate::engine::verify_record(&built, verdict.as_ref().ok()));
         }
         if verdict.is_err() {
             return;

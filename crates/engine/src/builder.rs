@@ -8,6 +8,7 @@ use crate::error::EngineError;
 use crate::fault::FallbackPolicy;
 use doacross_adapt::AdaptiveConfig;
 use doacross_core::DoacrossConfig;
+use doacross_obs::profile::{ProfConfig, Profiler};
 use doacross_obs::{ColdStartReason, Obs, ObsConfig, TraceEvent};
 use doacross_plan::{
     default_shard_count, ConcurrentPlanCache, PersistError, PlanStore, Planner, StoredCalibration,
@@ -53,6 +54,7 @@ pub struct EngineBuilder {
     calibrate: bool,
     adaptive: Option<AdaptiveConfig>,
     observability: Option<ObsConfig>,
+    profiling: Option<ProfConfig>,
     solve_deadline: Option<Duration>,
     fallback: FallbackPolicy,
 }
@@ -82,6 +84,7 @@ impl EngineBuilder {
             calibrate: false,
             adaptive: None,
             observability: None,
+            profiling: None,
             solve_deadline: None,
             fallback: FallbackPolicy::default(),
         }
@@ -228,6 +231,31 @@ impl EngineBuilder {
         self
     }
 
+    /// Turns on the deep solve profiler with default capacities: every
+    /// solve deposits per-worker timeline spans (work intervals,
+    /// ready-flag stalls, barrier arrivals, dispatch waits) into a
+    /// bounded per-pool arena, harvested after each successful solve into
+    /// a [`doacross_obs::profile::SolveProfile`] ring behind
+    /// [`crate::Engine::recent_profiles`] /
+    /// [`crate::Engine::profile_chrome_trace`], with realized-critical-
+    /// path and per-level barrier-wait metrics under the
+    /// `doacross_profile_` prefix. Independent of
+    /// [`EngineBuilder::observability`] (the profiler keeps its own
+    /// counters), though the per-solve `solve_profiled` trace event only
+    /// flows when observability is also on. Off by default — a disabled
+    /// profiler costs one branch per would-be span site.
+    pub fn profiling_default(self) -> Self {
+        self.profiling(ProfConfig::default())
+    }
+
+    /// [`EngineBuilder::profiling_default`] with explicit capacities
+    /// (profile-ring depth, per-worker span cap, barrier-histogram level
+    /// cardinality bound).
+    pub fn profiling(mut self, config: ProfConfig) -> Self {
+        self.profiling = Some(config);
+        self
+    }
+
     /// Wall-clock budget for each parallel solve. When a solve runs past
     /// the deadline, every worker aborts cooperatively at its next poll
     /// site (ready-flag wait, barrier arrival, or the iteration-body
@@ -366,6 +394,9 @@ impl EngineBuilder {
             .map(|config| AdaptiveRuntime::new(config, shards, calibration.as_ref()));
         let mut cache = ConcurrentPlanCache::new(self.cache_capacity, shards);
         cache.set_obs(obs.clone());
+        let profiler = self
+            .profiling
+            .map(|config| Profiler::new(pools, workers, config));
         let engine = Engine::from_parts(
             doacross_sched::PoolSet::new(pools, workers, self.max_pending),
             planner,
@@ -374,6 +405,7 @@ impl EngineBuilder {
             calibration,
             adaptive,
             obs,
+            profiler,
             self.solve_deadline,
             self.fallback,
         );

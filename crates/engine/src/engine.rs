@@ -7,6 +7,7 @@ use crate::fault::{FallbackPolicy, RetryPolicy};
 use crate::prepared::PreparedLoop;
 use doacross_adapt::{TelemetryEntry, TelemetryTotals, VariantKind};
 use doacross_core::{AccessPattern, DoacrossConfig, DoacrossLoop, PlanProvenance, RunStats};
+use doacross_obs::profile::{ProfileSummary, Profiler, SolveProfile};
 use doacross_obs::{
     render, Obs, ObsFault, ObsProvenance, SolveOutcome, SolveRecord, TraceEvent, TracedEvent,
 };
@@ -31,6 +32,26 @@ pub(crate) fn obs_provenance(p: PlanProvenance) -> ObsProvenance {
     }
 }
 
+/// Builds the verify-ring row for one plan-soundness verdict: sound
+/// verdicts carry the verified dependence census, unsound ones zeros
+/// (the verifier stops at the first uncovered edge).
+pub(crate) fn verify_record(
+    plan: &ExecutionPlan,
+    report: Option<&doacross_plan::SoundnessReport>,
+) -> doacross_obs::VerifyRecord {
+    doacross_obs::VerifyRecord {
+        fp: plan.fingerprint().into(),
+        variant: plan.variant().into(),
+        sound: report.is_some(),
+        references: report.map_or(0, |r| r.references),
+        flow_edges: report.map_or(0, |r| r.flow_edges),
+        anti_edges: report.map_or(0, |r| r.anti_edges),
+        intra_refs: report.map_or(0, |r| r.intra_refs),
+        unwritten_refs: report.map_or(0, |r| r.unwritten_refs),
+        output_pairs: report.map_or(0, |r| r.output_pairs),
+    }
+}
+
 /// Shared state behind every [`Engine`] clone and [`PreparedLoop`] handle.
 pub(crate) struct EngineInner {
     /// The scheduler: engine workers partitioned into sub-pools, each an
@@ -51,6 +72,12 @@ pub(crate) struct EngineInner {
     /// built with [`EngineBuilder::observability`] — then each emit is a
     /// single branch).
     pub(crate) obs: Obs,
+    /// The deep solve profiler (present when built with
+    /// [`EngineBuilder::profiling`]): per-pool span arenas the executors
+    /// deposit per-worker timelines into, harvested after every
+    /// successful solve into the profile ring and the
+    /// `doacross_profile_` metric families.
+    pub(crate) profiler: Option<Profiler>,
     /// Checked-out-and-returned scratch executors, one stack per
     /// sub-pool: each concurrent execution borrows a private one
     /// (per-variant scratch arrays are `&mut` state), and returning it to
@@ -92,7 +119,7 @@ impl EngineInner {
         // uniform saturation semantics, and the per-pool dispatch
         // accounting reconciles exactly with the solve totals.
         let trace_dispatch = self.obs.enabled() && self.pools.pools() > 1;
-        let wait_started = trace_dispatch.then(Instant::now);
+        let wait_started = (trace_dispatch || self.profiler.is_some()).then(Instant::now);
         let guard = match self.pools.acquire() {
             Ok(guard) => guard,
             Err(saturated) => {
@@ -109,13 +136,27 @@ impl EngineInner {
             }
         };
         let pool_index = guard.index();
-        if let Some(t0) = wait_started {
+        if let (true, Some(t0)) = (trace_dispatch, wait_started) {
             self.obs.emit(TraceEvent::PoolDispatched {
                 pool: pool_index as u64,
                 stolen: guard.stolen(),
                 wait_ns: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             });
         }
+        // Arm the profiler's arena for this pool: drop any spans a
+        // previously faulted attempt abandoned, and account the acquire
+        // wait on the dispatcher track. Sub-pools run one solve at a
+        // time, so the arena is exclusively ours until the guard drops.
+        let arena = self.profiler.as_ref().map(|profiler| {
+            let arena = profiler.arena(pool_index);
+            arena.reset();
+            if let Some(t0) = wait_started {
+                let wait_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                let end = arena.now_ns();
+                arena.record_dispatch(end.saturating_sub(wait_ns), wait_ns);
+            }
+            arena
+        });
         // A faulted parallel region may leave `y` torn, so the sequential
         // fallback replays from a pristine copy taken up front. Only
         // parallel variants can fault (the sequential variant runs no
@@ -134,7 +175,7 @@ impl EngineInner {
         let allocs_before = doacross_core::alloc::thread_allocations();
         let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            executor.execute(guard.pool(), loop_, y, plan)
+            executor.execute_profiled(guard.pool(), loop_, y, plan, arena)
         }));
         let elapsed = started.elapsed();
         let allocations = doacross_core::alloc::thread_allocations() - allocs_before;
@@ -293,6 +334,41 @@ impl EngineInner {
             SolveOutcome::Ok,
             &stats,
         );
+        // Harvest the armed arena into a profile (faulted attempts never
+        // reach this point: their partial spans are discarded by the
+        // reset when the pool's next solve arms). The priced cost is the
+        // plan's model price converted through the host calibration when
+        // one exists — otherwise unpriced, never a fabricated number.
+        if let Some(profiler) = &self.profiler {
+            let total_ns = stats.total.as_nanos().min(u64::MAX as u128) as u64;
+            let priced_ns = plan
+                .costs()
+                .of(plan.variant())
+                .filter(|price| price.is_finite())
+                .and_then(|price| self.calibration.as_ref().map(|c| price * c.unit_ns));
+            let summary = profiler.harvest(
+                pool_index,
+                plan.fingerprint().into(),
+                plan.variant().into(),
+                total_ns,
+                priced_ns,
+            );
+            if self.obs.enabled() {
+                self.obs.emit(TraceEvent::SolveProfiled {
+                    fp: plan.fingerprint().into(),
+                    variant: plan.variant().into(),
+                    realized_critical_ns: summary.realized_critical_ns,
+                    work_ns: summary.work_ns,
+                    flag_wait_ns: summary.flag_wait_ns,
+                    barrier_wait_ns: summary.barrier_wait_ns,
+                    dispatch_wait_ns: summary.dispatch_wait_ns,
+                    spans: summary.spans,
+                });
+            }
+            if let Some(adaptive) = &self.adaptive {
+                adaptive.observe_profile(plan, summary);
+            }
+        }
         if let Some(adaptive) = &self.adaptive {
             adaptive.after_solve(self, loop_, y, plan, &stats);
         }
@@ -403,6 +479,7 @@ impl Engine {
         calibration: Option<StoredCalibration>,
         adaptive: Option<AdaptiveRuntime>,
         obs: Obs,
+        profiler: Option<Profiler>,
         solve_deadline: Option<Duration>,
         fallback: FallbackPolicy,
     ) -> Self {
@@ -416,6 +493,7 @@ impl Engine {
                 calibration,
                 adaptive,
                 obs,
+                profiler,
                 executors,
                 solve_deadline,
                 fallback,
@@ -642,8 +720,19 @@ impl Engine {
                 variant: plan.variant().into(),
                 sound: verdict.is_ok(),
             });
+            self.inner
+                .obs
+                .record_verification(verify_record(plan, verdict.as_ref().ok()));
         }
         verdict.map_err(EngineError::Unsound)
+    }
+
+    /// The verify ring: the latest plan-soundness verdict per recently
+    /// verified fingerprint, oldest first — the flight recorder's
+    /// parallel ring, fed by [`Engine::verify_plan`] and the adaptive
+    /// loop's challenger gate. Empty when observability is disabled.
+    pub fn recent_verifications(&self) -> Vec<doacross_obs::VerifyRecord> {
+        self.inner.obs.recent_verifications()
     }
 
     /// Prepares and executes in one call: plan on first sight of the
@@ -883,6 +972,49 @@ impl Engine {
         self.inner.obs.enabled()
     }
 
+    /// Whether the deep solve profiler was enabled at build time
+    /// ([`EngineBuilder::profiling`]).
+    pub fn profiling_enabled(&self) -> bool {
+        self.inner.profiler.is_some()
+    }
+
+    /// The profile ring: the last N successfully profiled solves (oldest
+    /// first), each with its per-worker span timeline, per-kind time
+    /// attribution, and realized critical path. Empty when profiling is
+    /// disabled.
+    pub fn recent_profiles(&self) -> Vec<SolveProfile> {
+        self.inner
+            .profiler
+            .as_ref()
+            .map(|p| p.recent())
+            .unwrap_or_default()
+    }
+
+    /// Renders the retained profiles as Chrome trace-event JSON — one
+    /// process per profiled solve, one track per worker (plus the
+    /// dispatcher), complete events for every work/wait span. Loads
+    /// directly in Perfetto or `about://tracing`; structurally checkable
+    /// with [`doacross_obs::profile::validate_chrome_trace`]. An engine
+    /// without profiling renders an empty (but valid) trace document.
+    pub fn profile_chrome_trace(&self) -> String {
+        match &self.inner.profiler {
+            Some(p) => p.chrome_trace(),
+            None => String::from("{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}"),
+        }
+    }
+
+    /// The latest profile evidence the adaptive layer holds for
+    /// `fingerprint` — realized critical path and the work/wait split of
+    /// the structure's most recent profiled solve. `None` unless the
+    /// engine is both adaptive and profiling and the structure has
+    /// completed a profiled solve.
+    pub fn profile_evidence(&self, fingerprint: &PatternFingerprint) -> Option<ProfileSummary> {
+        self.inner
+            .adaptive
+            .as_ref()
+            .and_then(|a| a.profile_evidence(fingerprint))
+    }
+
     /// The flight recorder: the last N completed solves (oldest first),
     /// each with its structure, variant, provenance, generation, timing
     /// split, and synchronization counters. Empty when observability is
@@ -1017,6 +1149,9 @@ impl Engine {
             );
         }
         self.inner.obs.render_prometheus(&mut buf);
+        if let Some(profiler) = &self.inner.profiler {
+            profiler.render_prometheus(&mut buf);
+        }
         buf
     }
 
@@ -1060,6 +1195,11 @@ impl Engine {
         }
         buf.push_str(",\"obs\":");
         self.inner.obs.render_json(&mut buf);
+        buf.push_str(",\"profile\":");
+        match &self.inner.profiler {
+            Some(profiler) => profiler.render_json(&mut buf),
+            None => buf.push_str("null"),
+        }
         buf.push('}');
         buf
     }

@@ -102,3 +102,11 @@ pub use doacross_obs::{
     Obs, ObsConfig, ObsFault, ObsProvenance, ObsSink, ObsVariant, SolveOutcome, SolveRecord,
     TraceEvent, TracedEvent,
 };
+// The deep-profiling vocabulary ([`EngineBuilder::profiling`], the
+// profile ring behind [`Engine::recent_profiles`], the Chrome-trace
+// exporter behind [`Engine::profile_chrome_trace`] and its structural
+// validator, and the NDJSON streaming sink).
+pub use doacross_obs::profile::{
+    validate_chrome_trace, ChromeTraceStats, ProfConfig, ProfSpan, ProfileSummary, SolveProfile,
+    SpanKind, StreamingSink,
+};

@@ -14,9 +14,11 @@
 
 use doacross_core::{seq::run_sequential, AccessPattern, DoacrossLoop, IndirectLoop, TestLoop};
 use doacross_engine::{
-    Engine, EngineError, FallbackPolicy, ObsConfig, RetryPolicy, SolveOutcome, TraceEvent,
+    AdaptiveConfig, Engine, EngineError, FallbackPolicy, ObsConfig, PersistError, RetryPolicy,
+    SolveOutcome, TraceEvent,
 };
-use doacross_plan::{PlanVariant, BLOCKED_DATA_SPACE_FACTOR};
+use doacross_plan::{PlanVariant, Planner, BLOCKED_DATA_SPACE_FACTOR};
+use doacross_sim::CostModel;
 use failpoint::FailAction;
 use std::sync::{mpsc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
@@ -509,6 +511,124 @@ fn batched_submission_contains_a_faulted_parallel_job() {
     let y0 = y.clone();
     victim.execute(&victim_loop, &mut y).unwrap();
     assert_eq!(y, oracle_of(&victim_loop, &y0));
+}
+
+const PERSIST_SAVE: &str = "plan::persist::save";
+const PERSIST_LOAD: &str = "plan::persist::load";
+const ADAPTIVE_TRIAL: &str = "engine::adaptive::trial";
+
+#[test]
+fn injected_persist_faults_fail_typed_and_clear_on_disarm() {
+    let _serial = chaos_lock();
+    let path = std::env::temp_dir().join(format!(
+        "doacross-chaos-persist-{}.plans",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let engine = Engine::builder().workers(2).pools(1).build();
+    let loop_ = doacross_victim();
+    let prepared = engine.prepare(&loop_).unwrap();
+    let mut y = fresh_y(loop_.data_len());
+    prepared.execute(&loop_, &mut y).unwrap();
+
+    // An injected save fault surfaces as the typed persist error before
+    // any bytes touch the filesystem — no store, no torn temp file.
+    failpoint::arm(PERSIST_SAVE, FailAction::Saturate { times: 1 });
+    let err = within(HANG_BOUND, {
+        let engine = engine.clone();
+        let path = path.clone();
+        move || engine.save_plans(&path).unwrap_err()
+    });
+    assert!(
+        matches!(err, EngineError::Persist(PersistError::Io(ref msg)) if msg.contains("failpoint")),
+        "{err:?}"
+    );
+    assert!(!path.exists(), "a failed save leaves nothing behind");
+
+    // The countdown is spent: the very next save succeeds.
+    let saved = engine.save_plans(&path).expect("disarmed save");
+    assert_eq!(saved, 1);
+
+    // Same containment for load: injected fault first, honest load after.
+    failpoint::arm(PERSIST_LOAD, FailAction::Saturate { times: 1 });
+    let err = within(HANG_BOUND, {
+        let engine = engine.clone();
+        let path = path.clone();
+        move || engine.load_plans(&path).unwrap_err()
+    });
+    assert!(
+        matches!(err, EngineError::Persist(PersistError::Io(ref msg)) if msg.contains("failpoint")),
+        "{err:?}"
+    );
+    let restored = engine.load_plans(&path).expect("disarmed load");
+    assert_eq!(restored, 1, "the store on disk was never corrupted");
+
+    let _ = std::fs::remove_file(&path);
+    failpoint::disarm_all();
+}
+
+#[test]
+fn injected_trial_fault_keeps_the_incumbent_plan_running() {
+    let _serial = chaos_lock();
+    // The adaptive suite's mispriced setup: busy-wait polls priced
+    // absurdly high and barriers nearly free, so the narrow-deep grid
+    // statically plans as a wavefront that measurement would normally
+    // demote via a trial. With the trial failpoint saturated, every
+    // proposal is absorbed as a failed challenger build.
+    let mispriced = CostModel {
+        wait_poll: 500.0,
+        barrier: 0.001,
+        post_per_iter: 0.01,
+        region_dispatch: 1.0,
+        ..CostModel::multimax()
+    };
+    let engine = Engine::builder()
+        .workers(2)
+        .pools(1)
+        .planner(Planner::with_costs(mispriced))
+        .adaptive_config(AdaptiveConfig {
+            min_samples: 4,
+            eval_interval: 5,
+            divergence: 1.3,
+            hysteresis: 1.05,
+            max_trials: 3,
+            confidence: 4,
+        })
+        .build();
+    let loop_ = doacross_plan::testgrid::deep_grid(2, 300, 1, 1);
+    let prepared = engine.prepare(&loop_).unwrap();
+    assert_eq!(prepared.variant(), PlanVariant::Wavefront);
+    let y0 = fresh_y(loop_.data_len());
+    let oracle = oracle_of(&loop_, &y0);
+
+    failpoint::arm(ADAPTIVE_TRIAL, FailAction::Saturate { times: u64::MAX });
+    within(HANG_BOUND, {
+        let (engine, loop_, y0, oracle) = (engine.clone(), loop_.clone(), y0.clone(), oracle);
+        move || {
+            for round in 0..40 {
+                let mut y = y0.clone();
+                engine.run(&loop_, &mut y).expect("solvable");
+                assert_eq!(y, oracle, "round {round} diverged under trial faults");
+            }
+        }
+    });
+    failpoint::disarm(ADAPTIVE_TRIAL);
+
+    // Evaluation kept running (repricing happened), but no trial ever
+    // started and the statically selected plan is still the one cached —
+    // an injected trial fault degrades to "no adaptation", never to a
+    // broken or swapped plan.
+    let stats = engine.adaptive_stats().expect("adaptive engine");
+    assert!(stats.repricings >= 1, "{stats:?}");
+    assert_eq!(stats.trials, 0, "saturated trials never start: {stats:?}");
+    assert_eq!(stats.promotions, 0, "{stats:?}");
+    let still = engine.prepare(&loop_).unwrap();
+    assert_eq!(
+        still.variant(),
+        PlanVariant::Wavefront,
+        "incumbent retained"
+    );
+    failpoint::disarm_all();
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! of the required metric families, and reconciliation of the scraped
 //! numbers against the engine's own counters.
 
-use doacross_core::TestLoop;
+use doacross_core::{AccessPattern, TestLoop};
 use doacross_engine::{Engine, ObsConfig, ObsProvenance, SolveOutcome, TraceEvent};
 use std::collections::BTreeMap;
 
@@ -553,4 +553,132 @@ fn cold_start_reasons_are_traced() {
     let text = engine.metrics_text();
     let families = parse_prometheus(&text);
     assert_eq!(counter_value(&families, "doacross_cold_starts_total"), 1.0);
+}
+
+/// The `doacross_profile_*` families (documented at [`doacross_obs`]'s
+/// crate root) pass the same strict parse as everything else and
+/// reconcile exactly with the profiler's own solve ring — including the
+/// per-level barrier-wait histogram and its cardinality cap: with
+/// `max_levels = 2`, a 20-level wavefront must scrape as exactly the
+/// series `level="0"`, `level="1"`, and the `level="other"` overflow.
+#[test]
+fn profile_metrics_scrape_strictly_and_reconcile_with_the_profiler() {
+    use doacross_engine::{ProfConfig, SpanKind};
+    let engine = Engine::builder()
+        .workers(4)
+        .pools(1)
+        .observability_default()
+        .profiling(ProfConfig {
+            max_levels: 2,
+            ..ProfConfig::default()
+        })
+        .build();
+    assert!(engine.profiling_enabled());
+
+    // An armed-but-idle profiler renders nothing: the scrape is
+    // byte-identical to an unprofiled engine's until a solve lands.
+    let idle = engine.metrics_text();
+    assert!(!idle.contains("doacross_profile_"), "{idle}");
+
+    // A 20-level dependence grid plans as the wavefront; three warmed
+    // solves fill the profile ring.
+    let loop_ = doacross_plan::testgrid::deep_grid(64, 20, 3, 7);
+    let prepared = engine.prepare(&loop_).unwrap();
+    assert_eq!(prepared.variant(), doacross_plan::PlanVariant::Wavefront);
+    let y0: Vec<f64> = (0..loop_.data_len())
+        .map(|e| 1.0 + (e % 10) as f64)
+        .collect();
+    let mut stats = None;
+    for _ in 0..3 {
+        let mut y = y0.clone();
+        stats = Some(prepared.execute(&loop_, &mut y).unwrap());
+    }
+    let stats = stats.unwrap();
+    let profiles = engine.recent_profiles();
+    assert_eq!(profiles.len(), 3);
+
+    let text = engine.metrics_text();
+    let families = parse_prometheus(&text);
+
+    // Scalar counters reconcile with the ring.
+    assert_eq!(
+        counter_value(&families, "doacross_profile_solves_total"),
+        3.0
+    );
+    assert_eq!(
+        counter_value(&families, "doacross_profile_dropped_spans_total") as u64,
+        profiles.iter().map(|p| p.dropped).sum::<u64>()
+    );
+
+    // Per-kind span counters reconcile, series by series.
+    let span_family = &families["doacross_profile_spans_total"];
+    assert_eq!(span_family.kind, "counter");
+    for kind in SpanKind::ALL {
+        let expect: u64 = profiles.iter().map(|p| p.kind_spans[kind.index()]).sum();
+        let scraped: f64 = span_family
+            .samples
+            .iter()
+            .filter(|(labels, _)| labels.get("kind").is_some_and(|v| v == kind.as_str()))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(scraped as u64, expect, "kind {:?}", kind);
+    }
+
+    // The realized-critical-path gauge carries the latest wavefront
+    // profile; the priced gauge is absent (this engine never calibrated,
+    // so there is no honest unit to price in).
+    let last = profiles.last().unwrap();
+    let realized: f64 = families["doacross_profile_realized_critical_ns"]
+        .samples
+        .iter()
+        .filter(|(labels, _)| labels.get("variant").is_some_and(|v| v == "wavefront"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(realized as u64, last.realized_critical_ns);
+    assert!(
+        !families.contains_key("doacross_profile_priced_ns"),
+        "uncalibrated engine must not price"
+    );
+
+    // The barrier-wait histogram collapses levels 2..19 under "other"
+    // and its total count is exactly the barrier-wait spans harvested:
+    // one per worker per crossing.
+    let hist = &families["doacross_profile_barrier_wait_ns"];
+    assert_eq!(hist.kind, "histogram");
+    let mut levels: Vec<String> = hist
+        .samples
+        .iter()
+        .filter_map(|(labels, _)| labels.get("level").cloned())
+        .collect();
+    levels.sort();
+    levels.dedup();
+    assert_eq!(
+        levels,
+        ["0", "1", "other"],
+        "cardinality cap at max_levels=2"
+    );
+    let count_total: f64 = hist
+        .samples
+        .iter()
+        .filter(|(labels, _)| {
+            labels
+                .get("__series")
+                .is_some_and(|s| s == "doacross_profile_barrier_wait_ns_count")
+        })
+        .map(|(_, v)| v)
+        .sum();
+    let barrier_spans: u64 = profiles
+        .iter()
+        .map(|p| p.kind_spans[SpanKind::BarrierWait.index()])
+        .sum();
+    assert_eq!(count_total as u64, barrier_spans);
+    assert_eq!(
+        barrier_spans,
+        3 * stats.workers as u64 * stats.barrier_crossings,
+        "one barrier-wait span per worker per crossing, every solve"
+    );
+
+    // The JSON view exports the same profiler state.
+    let json = engine.metrics_json();
+    assert!(json.contains("\"profile\":{\"solves\":3"), "{json}");
 }

@@ -1,0 +1,260 @@
+//! End-to-end tests of the solve profiler: per-worker span timelines
+//! harvested from real solves must reconcile *exactly* with the
+//! executor's own [`RunStats`] accounting (stalls, wait polls, barrier
+//! crossings, iterations), the exported Chrome trace must validate
+//! structurally with one track per worker, and the span arenas must be
+//! lossless under concurrent deposits (property-tested).
+
+use doacross_core::{seq::run_sequential, AccessPattern, IndirectLoop};
+use doacross_engine::{validate_chrome_trace, Engine, ProfConfig, SolveProfile, SpanKind};
+use doacross_obs::profile::ProfArena;
+use proptest::prelude::*;
+
+fn profiled_engine(workers: usize) -> Engine {
+    Engine::builder()
+        .workers(workers)
+        .pools(1)
+        .profiling(ProfConfig::default())
+        .build()
+}
+
+fn fresh_y(len: usize) -> Vec<f64> {
+    (0..len).map(|e| 1.0 + (e % 10) as f64 / 10.0).collect()
+}
+
+/// Dependence-free, non-linear (reversed) subscript: the flat inspected
+/// doacross.
+fn flat_victim() -> IndirectLoop {
+    let n = 4_000;
+    let a: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
+    IndirectLoop::new(n, a, vec![vec![]; n], vec![vec![]; n]).unwrap()
+}
+
+/// Interleaved distance-1 chains: flat executor with real cross-worker
+/// flag waits (claim-ordered).
+fn chained_victim() -> IndirectLoop {
+    let (chains, len) = (32, 16);
+    let n = chains * len;
+    let a: Vec<usize> = (0..n).collect();
+    let rhs: Vec<Vec<usize>> = (0..n)
+        .map(|i| if i % len == 0 { vec![] } else { vec![i - 1] })
+        .collect();
+    let coeff: Vec<Vec<f64>> = rhs.iter().map(|r| vec![0.5; r.len()]).collect();
+    IndirectLoop::new(n, a, rhs, coeff).unwrap()
+}
+
+/// Wide dependence grid: level-scheduled wavefront, one barrier per level.
+fn wavefront_victim() -> IndirectLoop {
+    doacross_plan::testgrid::deep_grid(64, 20, 3, 7)
+}
+
+fn solve_profiled(
+    engine: &Engine,
+    loop_: &IndirectLoop,
+) -> (doacross_core::RunStats, SolveProfile) {
+    let prepared = engine.prepare(loop_).unwrap();
+    let y0 = fresh_y(loop_.data_len());
+    let mut oracle = y0.clone();
+    run_sequential(loop_, &mut oracle);
+    let mut y = y0;
+    let stats = prepared.execute(loop_, &mut y).unwrap();
+    assert_eq!(y, oracle, "profiling never changes the answer");
+    let profile = engine
+        .recent_profiles()
+        .pop()
+        .expect("profiled solve landed in the ring");
+    (stats, profile)
+}
+
+#[test]
+fn flat_executor_spans_reconcile_with_run_stats() {
+    for loop_ in [flat_victim(), chained_victim()] {
+        let engine = profiled_engine(4);
+        let (stats, profile) = solve_profiled(&engine, &loop_);
+        assert!(
+            matches!(profile.variant.as_str(), "doacross" | "reordered"),
+            "{:?}",
+            profile.variant
+        );
+        assert_eq!(profile.dropped, 0);
+
+        // One Work span per worker per region; their payloads sum to the
+        // iterations actually executed.
+        let work: Vec<_> = profile
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Work)
+            .collect();
+        assert_eq!(work.len(), stats.workers);
+        assert_eq!(
+            work.iter().map(|s| s.aux).sum::<u64>(),
+            stats.iterations as u64
+        );
+
+        // One FlagWait span per counted stall, and the poll payloads sum
+        // to the executor's own wait-poll counter — wait attribution is
+        // the same bookkeeping the stats already kept, with timestamps.
+        let waits: Vec<_> = profile
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::FlagWait)
+            .collect();
+        assert_eq!(waits.len() as u64, stats.stalls);
+        assert_eq!(waits.iter().map(|s| s.aux).sum::<u64>(), stats.wait_polls);
+
+        // No barriers in the flat executor; the dispatcher track carries
+        // the admission wait.
+        assert_eq!(profile.kind_spans[SpanKind::BarrierWait.index()], 0);
+        assert_eq!(profile.kind_spans[SpanKind::DispatchWait.index()], 1);
+    }
+}
+
+#[test]
+fn wavefront_spans_reconcile_with_barrier_crossings() {
+    let engine = profiled_engine(4);
+    let loop_ = wavefront_victim();
+    let (stats, profile) = solve_profiled(&engine, &loop_);
+    assert_eq!(profile.variant.as_str(), "wavefront");
+    assert_eq!(profile.dropped, 0);
+    assert!(stats.barrier_crossings > 0);
+
+    // Every worker records one BarrierWait per crossing — the per-worker
+    // count *is* the stats counter, and the level stamps cover exactly
+    // the levels before each barrier.
+    for worker in 0..stats.workers as u32 {
+        let crossings = profile
+            .spans
+            .iter()
+            .filter(|s| s.worker == worker && s.kind == SpanKind::BarrierWait)
+            .count() as u64;
+        assert_eq!(crossings, stats.barrier_crossings, "worker {worker}");
+    }
+    assert_eq!(
+        profile.kind_spans[SpanKind::BarrierWait.index()],
+        stats.workers as u64 * stats.barrier_crossings
+    );
+
+    // Per worker per level at most one Work span; the payloads sum to
+    // the full iteration space.
+    let nlevels = stats.barrier_crossings + 1;
+    for worker in 0..stats.workers as u32 {
+        let per_level = profile
+            .spans
+            .iter()
+            .filter(|s| s.worker == worker && s.kind == SpanKind::Work)
+            .count() as u64;
+        assert!(per_level <= nlevels, "worker {worker}: {per_level} levels");
+    }
+    assert_eq!(
+        profile
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Work)
+            .map(|s| s.aux)
+            .sum::<u64>(),
+        stats.iterations as u64
+    );
+
+    // The realized critical path is at least the longest single span and
+    // at most the whole solve's span budget.
+    let kind_total: u64 = profile.kind_ns.iter().sum();
+    assert!(profile.realized_critical_ns <= kind_total);
+    assert!(profile.realized_critical_ns >= profile.spans.iter().map(|s| s.dur_ns).max().unwrap());
+}
+
+#[test]
+fn chrome_trace_exports_one_track_per_worker() {
+    let engine = profiled_engine(4);
+    let loop_ = wavefront_victim();
+    let (stats, profile) = solve_profiled(&engine, &loop_);
+
+    let trace = engine.profile_chrome_trace();
+    let summary = validate_chrome_trace(&trace).expect("structurally valid trace");
+    assert_eq!(summary.events as u64, profile.spans.len() as u64);
+
+    // One track per worker (plus the dispatcher track), all under the
+    // solve's pid, and each track carries exactly that worker's spans.
+    let pid = profile.seq;
+    let tids: Vec<u64> = summary
+        .tracks
+        .keys()
+        .filter(|(p, _)| *p == pid)
+        .map(|(_, t)| *t)
+        .collect();
+    assert_eq!(
+        tids,
+        (0..=stats.workers as u64).collect::<Vec<_>>(),
+        "worker tracks 0..workers plus dispatcher"
+    );
+    for ((_, tid), count) in summary.tracks.iter().filter(|((p, _), _)| *p == pid) {
+        let expect = profile
+            .spans
+            .iter()
+            .filter(|s| u64::from(s.worker) == *tid)
+            .count();
+        assert_eq!(*count, expect, "track {tid}");
+    }
+
+    // A disarmed engine exports the empty document, not an error.
+    let off = Engine::builder().workers(2).build();
+    assert!(!off.profiling_enabled());
+    let empty = validate_chrome_trace(&off.profile_chrome_trace()).unwrap();
+    assert_eq!(empty.events, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Concurrent deposits are lossless: for arbitrary per-worker span
+    /// loads under the arena cap, every span deposited from its worker's
+    /// own thread is harvested — none lost, none duplicated, per-kind
+    /// payload totals intact, and the harvest sorted by (worker, start).
+    #[test]
+    fn concurrent_arena_deposits_lose_no_spans(
+        loads in proptest::collection::vec(1usize..120, 1..6),
+        cap_slack in 0usize..64,
+    ) {
+        let workers = loads.len();
+        let cap = loads.iter().copied().max().unwrap() + cap_slack;
+        let arena = ProfArena::new(workers, cap);
+        std::thread::scope(|scope| {
+            for (worker, &n) in loads.iter().enumerate() {
+                let arena = &arena;
+                scope.spawn(move || {
+                    for i in 0..n {
+                        let kind = SpanKind::ALL[i % SpanKind::ALL.len()];
+                        arena.record(worker, kind, i as u32, i as u64 * 10, 5, i as u64);
+                    }
+                });
+            }
+        });
+        let (spans, dropped) = arena.take();
+        prop_assert_eq!(dropped, 0);
+        prop_assert_eq!(spans.len(), loads.iter().sum::<usize>());
+        for (worker, &n) in loads.iter().enumerate() {
+            let mine: Vec<_> = spans.iter().filter(|s| s.worker == worker as u32).collect();
+            prop_assert_eq!(mine.len(), n, "worker {}", worker);
+            // Payloads survive verbatim: aux was the deposit index.
+            let aux_sum: u64 = mine.iter().map(|s| s.aux).sum();
+            prop_assert_eq!(aux_sum, (n as u64 * (n as u64 - 1)) / 2);
+        }
+        prop_assert!(spans.windows(2).all(|w| (w[0].worker, w[0].start_ns) <= (w[1].worker, w[1].start_ns)));
+    }
+
+    /// Over-cap deposits drop oldest-first and are *counted*: the arena
+    /// never lies about truncation.
+    #[test]
+    fn overfull_arena_counts_every_dropped_span(extra in 1usize..40) {
+        let cap = 8usize;
+        let arena = ProfArena::new(1, cap);
+        let total = cap + extra;
+        for i in 0..total {
+            arena.record(0, SpanKind::Work, 0, i as u64, 1, i as u64);
+        }
+        let (spans, dropped) = arena.take();
+        prop_assert_eq!(spans.len(), cap);
+        prop_assert_eq!(dropped, extra as u64);
+        // Drop-oldest: the retained spans are the newest `cap` deposits.
+        prop_assert!(spans.iter().all(|s| s.aux >= extra as u64));
+    }
+}

@@ -64,6 +64,45 @@ fn warm_flat_doacross_solves_allocate_nothing() {
     }
 }
 
+/// The profiler's off-path discipline, audited: an engine built
+/// *without* profiling pays one branch per site and no heap — the warm
+/// flat-doacross solve stays at exactly zero allocations with the
+/// profiling code compiled in. (The armed path deposits spans into
+/// pre-grown arenas, but harvesting copies them out per solve, so only
+/// the disarmed path is part of the zero-alloc contract.)
+#[test]
+fn disabled_profiling_keeps_warm_solves_allocation_free() {
+    let engine = Engine::builder().workers(4).pools(1).build();
+    assert!(!engine.profiling_enabled());
+    let loop_ = scattered_doall(4_000);
+    let prepared = engine.prepare(&loop_).expect("plannable");
+    assert_eq!(prepared.variant(), PlanVariant::Doacross);
+
+    let mut y = vec![1.0; 4_000];
+    prepared.execute(&loop_, &mut y).expect("cold solve");
+    for round in 0..3 {
+        let mut y = vec![1.0; 4_000];
+        let stats = prepared.execute(&loop_, &mut y).expect("valid");
+        assert_eq!(
+            stats.allocations, 0,
+            "disarmed profiling leaked a warm-path allocation (round {round})"
+        );
+    }
+    assert!(engine.recent_profiles().is_empty(), "nothing harvested");
+
+    // Cross-check: the *armed* engine actually profiles the same shape —
+    // the zero above is the off-switch working, not the feature missing.
+    let armed = Engine::builder()
+        .workers(4)
+        .pools(1)
+        .profiling_default()
+        .build();
+    let prepared = armed.prepare(&loop_).expect("plannable");
+    let mut y = vec![1.0; 4_000];
+    prepared.execute(&loop_, &mut y).expect("valid");
+    assert_eq!(armed.recent_profiles().len(), 1);
+}
+
 #[test]
 fn the_audit_allocator_actually_counts() {
     // Self-check that the harness is live: an explicit heap allocation on

@@ -227,6 +227,33 @@ pub struct SolveRecord {
     pub outcome: SolveOutcome,
 }
 
+/// One plan-soundness verification, as kept by the verify ring (the
+/// flight recorder's parallel ring — latest verdict per fingerprint).
+/// Sound records carry the verified dependence census; unsound records
+/// carry zeros (the verifier stops at the first uncovered edge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyRecord {
+    /// Fingerprint of the verified structure.
+    pub fp: FpId,
+    /// Variant of the verified plan.
+    pub variant: ObsVariant,
+    /// Whether the plan's synchronization schedule covered every
+    /// dependence its index arrays imply.
+    pub sound: bool,
+    /// Right-hand-side references checked.
+    pub references: u64,
+    /// Flow (true) dependence edges covered.
+    pub flow_edges: u64,
+    /// Antidependence edges covered.
+    pub anti_edges: u64,
+    /// Intra-iteration references routed to the accumulator.
+    pub intra_refs: u64,
+    /// References to elements no iteration writes.
+    pub unwritten_refs: u64,
+    /// Output-dependence pairs covered (blocked variant only).
+    pub output_pairs: u64,
+}
+
 /// Per-candidate predicted prices recorded with a plan build, indexed by
 /// [`ObsVariant::index`]; `None` = the planner never priced that family.
 pub type CandidatePrices = [Option<f64>; 6];
@@ -357,6 +384,28 @@ pub enum TraceEvent {
         /// Suffix index of the quarantine file.
         index: u64,
     },
+    /// The profiler harvested a solve's span arena: the per-kind time
+    /// attribution and realized critical path, as a summary event so
+    /// streaming sinks see profiles without holding the full span vector.
+    /// Only emitted by engines built with `profiling(..)`, so traces from
+    /// unprofiled engines read exactly as before.
+    SolveProfiled {
+        fp: FpId,
+        variant: ObsVariant,
+        /// Longest realized per-worker chain of work + barrier waits,
+        /// plus the dispatch wait.
+        realized_critical_ns: u64,
+        /// Total time across workers attributed to executing iterations.
+        work_ns: u64,
+        /// Total time across workers stalled on ready flags.
+        flag_wait_ns: u64,
+        /// Total time across workers stalled at wavefront barriers.
+        barrier_wait_ns: u64,
+        /// Time the solve waited for a free sub-pool before running.
+        dispatch_wait_ns: u64,
+        /// Spans harvested into the profile (after drop-oldest bounding).
+        spans: u64,
+    },
 }
 
 /// A trace-ring entry: the event plus its global sequence number and
@@ -397,6 +446,191 @@ impl TraceEvent {
             TraceEvent::SolveFellBack { .. } => "solve_fell_back",
             TraceEvent::SolveRetried { .. } => "solve_retried",
             TraceEvent::StoreQuarantined { .. } => "store_quarantined",
+            TraceEvent::SolveProfiled { .. } => "solve_profiled",
         }
+    }
+
+    /// Appends the event as a single-line JSON object (`{"kind":...}`) —
+    /// the NDJSON record format used by
+    /// [`profile::StreamingSink`](crate::profile::StreamingSink). Every
+    /// field of every variant is carried; fingerprints render as the same
+    /// 32-hex-digit string used in metric labels.
+    pub fn to_json(&self, buf: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(buf, "{{\"kind\":\"{}\"", self.kind());
+        match self {
+            TraceEvent::PlanBuilt {
+                fp,
+                variant,
+                build_ns,
+                iterations,
+                true_deps,
+                critical_path,
+                chosen_price,
+                candidate_prices,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{fp}\",\"variant\":\"{variant}\",\"build_ns\":{build_ns},\"iterations\":{iterations},\"true_deps\":{true_deps},\"critical_path\":{critical_path},\"chosen_price\":{chosen_price},\"candidate_prices\":{{"
+                );
+                let mut first = true;
+                for v in ObsVariant::ALL {
+                    if let Some(price) = candidate_prices[v.index()] {
+                        if !first {
+                            buf.push(',');
+                        }
+                        first = false;
+                        let _ = write!(buf, "\"{v}\":{price}");
+                    }
+                }
+                buf.push('}');
+            }
+            TraceEvent::PlanVerified { fp, variant, sound } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{fp}\",\"variant\":\"{variant}\",\"sound\":{sound}"
+                );
+            }
+            TraceEvent::CacheHit { fp }
+            | TraceEvent::CacheMiss { fp }
+            | TraceEvent::CacheEvicted { fp } => {
+                let _ = write!(buf, ",\"fp\":\"{fp}\"");
+            }
+            TraceEvent::CacheInvalidated {
+                fp,
+                generation,
+                dropped,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{fp}\",\"generation\":{generation},\"dropped\":{dropped}"
+                );
+            }
+            TraceEvent::PlanSwapped {
+                fp,
+                variant,
+                generation,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{fp}\",\"variant\":\"{variant}\",\"generation\":{generation}"
+                );
+            }
+            TraceEvent::StoreSaved { plans } => {
+                let _ = write!(buf, ",\"plans\":{plans}");
+            }
+            TraceEvent::StoreLoaded { plans, restored } => {
+                let _ = write!(buf, ",\"plans\":{plans},\"restored\":{restored}");
+            }
+            TraceEvent::ColdStart { reason } => {
+                let _ = write!(buf, ",\"reason\":\"{}\"", reason.as_str());
+            }
+            TraceEvent::Divergence {
+                fp,
+                variant,
+                static_price,
+                refined_price,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{fp}\",\"variant\":\"{variant}\",\"static_price\":{static_price},\"refined_price\":{refined_price}"
+                );
+            }
+            TraceEvent::TrialStarted {
+                fp,
+                challenger,
+                incumbent,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{fp}\",\"challenger\":\"{challenger}\",\"incumbent\":\"{incumbent}\""
+                );
+            }
+            TraceEvent::TrialCommitted { fp, variant }
+            | TraceEvent::TrialDemoted { fp, variant } => {
+                let _ = write!(buf, ",\"fp\":\"{fp}\",\"variant\":\"{variant}\"");
+            }
+            TraceEvent::BaselineProbed { fp, ns } => {
+                let _ = write!(buf, ",\"fp\":\"{fp}\",\"ns\":{ns}");
+            }
+            TraceEvent::SolveFinished { record } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{}\",\"variant\":\"{}\",\"provenance\":\"{}\",\"generation\":{},\"total_ns\":{},\"inspector_ns\":{},\"executor_ns\":{},\"post_ns\":{},\"iterations\":{},\"workers\":{},\"stalls\":{},\"wait_polls\":{},\"barrier_crossings\":{},\"pool\":{},\"outcome\":\"{}\"",
+                    record.fp,
+                    record.variant,
+                    record.provenance,
+                    record.generation,
+                    record.total_ns,
+                    record.inspector_ns,
+                    record.executor_ns,
+                    record.post_ns,
+                    record.iterations,
+                    record.workers,
+                    record.stalls,
+                    record.wait_polls,
+                    record.barrier_crossings,
+                    record.pool,
+                    record.outcome.as_str()
+                );
+            }
+            TraceEvent::PoolDispatched {
+                pool,
+                stolen,
+                wait_ns,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"pool\":{pool},\"stolen\":{stolen},\"wait_ns\":{wait_ns}"
+                );
+            }
+            TraceEvent::BatchSubmitted { jobs, coalesced } => {
+                let _ = write!(buf, ",\"jobs\":{jobs},\"coalesced\":{coalesced}");
+            }
+            TraceEvent::SolvePoisoned {
+                fp,
+                variant,
+                pool,
+                fault,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{fp}\",\"variant\":\"{variant}\",\"pool\":{pool}"
+                );
+                match fault {
+                    ObsFault::WorkerPanic { worker } => {
+                        let _ = write!(buf, ",\"fault\":\"worker_panic\",\"worker\":{worker}");
+                    }
+                    ObsFault::DeadlineExpired => {
+                        buf.push_str(",\"fault\":\"deadline_expired\"");
+                    }
+                }
+            }
+            TraceEvent::SolveFellBack { fp, from } => {
+                let _ = write!(buf, ",\"fp\":\"{fp}\",\"from\":\"{from}\"");
+            }
+            TraceEvent::SolveRetried { fp, attempt } => {
+                let _ = write!(buf, ",\"fp\":\"{fp}\",\"attempt\":{attempt}");
+            }
+            TraceEvent::StoreQuarantined { index } => {
+                let _ = write!(buf, ",\"index\":{index}");
+            }
+            TraceEvent::SolveProfiled {
+                fp,
+                variant,
+                realized_critical_ns,
+                work_ns,
+                flag_wait_ns,
+                barrier_wait_ns,
+                dispatch_wait_ns,
+                spans,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"fp\":\"{fp}\",\"variant\":\"{variant}\",\"realized_critical_ns\":{realized_critical_ns},\"work_ns\":{work_ns},\"flag_wait_ns\":{flag_wait_ns},\"barrier_wait_ns\":{barrier_wait_ns},\"dispatch_wait_ns\":{dispatch_wait_ns},\"spans\":{spans}"
+                );
+            }
+        }
+        buf.push('}');
     }
 }

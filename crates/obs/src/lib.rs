@@ -55,6 +55,16 @@
 //! | `doacross_structure_solves_total` | counter | `fingerprint`, `variant` | Per-structure solve counts (bounded; overflow aggregates under `fingerprint="other"`). |
 //! | `doacross_structure_solve_ns_total` | counter | `fingerprint`, `variant` | Per-structure total solve time. |
 //!
+//! Engines built with `EngineBuilder::profiling(..)` additionally render
+//! the [`profile`] module's families (only once at least one solve has
+//! been profiled, so unprofiled scrapes are byte-identical):
+//! `doacross_profile_solves_total`, `doacross_profile_spans_total{kind}`,
+//! `doacross_profile_dropped_spans_total`,
+//! `doacross_profile_realized_critical_ns{variant}`,
+//! `doacross_profile_priced_ns{variant}`, and the per-level
+//! `doacross_profile_barrier_wait_ns{level}` histograms (levels past the
+//! configured bound collapse under `level="other"`).
+//!
 //! The engine's `metrics_text()` prepends engine-sampled values that live
 //! outside this registry (documented on the engine): `doacross_workers`,
 //! `doacross_cache_plans`, `doacross_cache_capacity`,
@@ -68,16 +78,17 @@
 mod event;
 mod flight;
 pub mod metrics;
+pub mod profile;
 pub mod render;
 mod trace;
 
 pub use event::{
     CandidatePrices, ColdStartReason, FpId, ObsFault, ObsProvenance, ObsVariant, SolveOutcome,
-    SolveRecord, TraceEvent, TracedEvent,
+    SolveRecord, TraceEvent, TracedEvent, VerifyRecord,
 };
 pub use metrics::{HistogramSnapshot, VariantLatency};
 
-use flight::FlightRecorder;
+use flight::{FlightRecorder, VerifyRing};
 use metrics::Registry;
 
 /// Static `pool` label values for the bounded per-sub-pool series
@@ -128,6 +139,7 @@ struct ObsInner {
     trace: trace::TraceRing,
     registry: Registry,
     flight: FlightRecorder,
+    verify: VerifyRing,
     sinks: RwLock<Vec<Arc<dyn ObsSink>>>,
     has_sinks: AtomicBool,
 }
@@ -154,6 +166,7 @@ impl Obs {
                 trace: trace::TraceRing::new(config.trace_capacity, config.trace_shards),
                 registry: Registry::default(),
                 flight: FlightRecorder::new(config.flight_capacity),
+                verify: VerifyRing::new(config.flight_capacity),
                 sinks: RwLock::new(Vec::new()),
                 has_sinks: AtomicBool::new(false),
             })),
@@ -319,6 +332,11 @@ impl Obs {
                 // engine samples at scrape time; the registry does not
                 // duplicate them. The trace ring still records each one.
             }
+            TraceEvent::SolveProfiled { .. } => {
+                // Counted by the engine's Profiler, which renders its own
+                // doacross_profile_* families; the registry does not
+                // duplicate them. The ring and sinks still see the event.
+            }
         }
         inner.trace.push(at_ns, event);
         if inner.has_sinks.load(Ordering::Acquire) {
@@ -345,6 +363,25 @@ impl Obs {
         self.inner
             .as_ref()
             .map(|i| i.flight.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Deposits a plan-soundness verdict into the verify ring (the
+    /// flight recorder's parallel ring — latest verdict per
+    /// fingerprint). A no-op on a disabled handle; the caller emits the
+    /// matching [`TraceEvent::PlanVerified`] separately.
+    pub fn record_verification(&self, record: VerifyRecord) {
+        if let Some(inner) = &self.inner {
+            inner.verify.push(record);
+        }
+    }
+
+    /// Retained verification verdicts, oldest first — at most one (the
+    /// latest) per fingerprint. Empty when observability is disabled.
+    pub fn recent_verifications(&self) -> Vec<VerifyRecord> {
+        self.inner
+            .as_ref()
+            .map(|i| i.verify.snapshot())
             .unwrap_or_default()
     }
 

@@ -156,6 +156,22 @@ impl SpinBarrier {
         }
         Ok(false)
     }
+
+    /// [`Self::wait_guarded`], timed: also reports the nanoseconds this
+    /// participant spent at the barrier, so a profiler can attribute
+    /// per-level barrier-wait time per worker. Unlike the flag wait's
+    /// timed variant, the clock is read unconditionally — every arrival
+    /// (the leader included, with a near-zero duration) yields exactly one
+    /// measurement, so span counts reconcile with barrier crossings.
+    pub fn wait_guarded_timed(
+        &self,
+        poison: &crate::RegionPoison,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(bool, u64), crate::WaitAbort> {
+        let started = std::time::Instant::now();
+        let leader = self.wait_guarded(poison, deadline)?;
+        Ok((leader, started.elapsed().as_nanos() as u64))
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +319,41 @@ mod tests {
         poison.poison_worker(0);
         // The last arriver never spins; poison is the wait sites' concern.
         assert_eq!(barrier.wait_guarded(&poison, None), Ok(true));
+    }
+
+    #[test]
+    fn timed_barrier_yields_one_measurement_per_arrival() {
+        use crate::RegionPoison;
+        const THREADS: usize = 4;
+        const PHASES: usize = 10;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let poison = Arc::new(RegionPoison::new());
+        let leaders = Arc::new(AtomicU64::new(0));
+        let measured = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let poison = Arc::clone(&poison);
+                let leaders = Arc::clone(&leaders);
+                let measured = Arc::clone(&measured);
+                std::thread::spawn(move || {
+                    for _ in 0..PHASES {
+                        let (leader, _ns) = barrier
+                            .wait_guarded_timed(&poison, None)
+                            .expect("clean region");
+                        measured.fetch_add(1, Ordering::SeqCst);
+                        if leader {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(measured.load(Ordering::SeqCst), (THREADS * PHASES) as u64);
+        assert_eq!(leaders.load(Ordering::SeqCst), PHASES as u64);
     }
 
     #[test]

@@ -141,6 +141,31 @@ impl WaitStrategy {
             Some(abort) => Err(abort),
         }
     }
+
+    /// [`Self::wait_until_guarded`], timed: additionally reports how many
+    /// nanoseconds the wait spent blocked, for profilers that attribute
+    /// stall time per worker. The satisfied-on-first-poll fast path reads
+    /// no clock at all — an iteration whose dependency is already
+    /// published pays one branch here, nothing more. Only an actual stall
+    /// (first poll misses) takes two `Instant` reads.
+    ///
+    /// Returns `Ok((misses, wait_ns))`; `misses` is at least 1 whenever
+    /// `wait_ns` is measured, so `wait_ns > 0 ⇒ misses > 0` and a caller
+    /// can treat the pair as one stall event.
+    #[inline]
+    pub fn wait_until_guarded_timed<F: FnMut() -> bool>(
+        &self,
+        mut cond: F,
+        poison: &crate::RegionPoison,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(u64, u64), crate::WaitAbort> {
+        if cond() {
+            return Ok((0, 0));
+        }
+        let started = std::time::Instant::now();
+        let polls = self.wait_until_guarded(cond, poison, deadline)?;
+        Ok((polls + 1, started.elapsed().as_nanos() as u64))
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +297,54 @@ mod tests {
                 !poison.is_poisoned(),
                 "the wait itself must not poison; that is the caller's job"
             );
+        }
+    }
+
+    #[test]
+    fn timed_wait_fast_path_reports_zero_without_clock_cost() {
+        let poison = RegionPoison::new();
+        for s in strategies() {
+            assert_eq!(
+                s.wait_until_guarded_timed(|| true, &poison, None),
+                Ok((0, 0)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn timed_wait_measures_a_real_stall() {
+        let poison = RegionPoison::new();
+        for s in strategies() {
+            let flag = Arc::new(AtomicBool::new(false));
+            let setter = {
+                let flag = Arc::clone(&flag);
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    flag.store(true, Ordering::Release);
+                })
+            };
+            let (misses, ns) = s
+                .wait_until_guarded_timed(|| flag.load(Ordering::Acquire), &poison, None)
+                .expect("clean region");
+            setter.join().unwrap();
+            assert!(misses >= 1, "{s:?}");
+            assert!(
+                ns >= 1_000_000,
+                "{s:?}: a 5ms stall must measure at least 1ms, got {ns}"
+            );
+        }
+    }
+
+    #[test]
+    fn timed_wait_propagates_aborts() {
+        let poison = RegionPoison::new();
+        poison.poison_worker(3);
+        for s in strategies() {
+            let abort = s
+                .wait_until_guarded_timed(|| false, &poison, None)
+                .expect_err("poisoned region must abort the timed wait too");
+            assert!(matches!(abort, WaitAbort::Poisoned(_)), "{s:?}");
         }
     }
 

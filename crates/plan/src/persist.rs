@@ -203,6 +203,15 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// Failpoint site consulted at the top of [`PlanStore::save`]: a
+/// `Saturate` action injects a typed [`PersistError::Io`] before any
+/// bytes touch the filesystem, a `DelayNs` action stretches the save.
+pub const FAILPOINT_SAVE: &str = "plan::persist::save";
+
+/// Failpoint site consulted at the top of [`PlanStore::load`]
+/// (same actions as [`FAILPOINT_SAVE`], injected before the read).
+pub const FAILPOINT_LOAD: &str = "plan::persist::load";
+
 // ---------------------------------------------------------------------
 // Little-endian primitives.
 
@@ -1203,6 +1212,12 @@ impl PlanStore {
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
         use std::sync::atomic::{AtomicU64, Ordering};
         static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        if failpoint::enabled() {
+            failpoint::maybe_delay(FAILPOINT_SAVE);
+            if failpoint::fire_saturate(FAILPOINT_SAVE) {
+                return Err(PersistError::Io("failpoint: injected save fault".into()));
+            }
+        }
         let path = path.as_ref();
         let bytes = self.to_bytes();
         let tmp = path.with_extension(format!(
@@ -1217,6 +1232,12 @@ impl PlanStore {
 
     /// Reads and validates the store at `path`.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        if failpoint::enabled() {
+            failpoint::maybe_delay(FAILPOINT_LOAD);
+            if failpoint::fire_saturate(FAILPOINT_LOAD) {
+                return Err(PersistError::Io("failpoint: injected load fault".into()));
+            }
+        }
         let bytes = std::fs::read(path.as_ref())?;
         Self::from_bytes(&bytes)
     }

@@ -33,6 +33,7 @@ use doacross_core::{
     seq::run_sequential, BlockedDoacross, Doacross, DoacrossConfig, DoacrossError, DoacrossLoop,
     LinearDoacross, PlanProvenance, RunStats, WavefrontDoacross,
 };
+use doacross_obs::profile::{ProfArena, SpanKind, NO_LEVEL};
 use doacross_par::ThreadPool;
 use std::time::Instant;
 
@@ -99,6 +100,28 @@ impl PlanExecutor {
         y: &mut [f64],
         plan: &ExecutionPlan,
     ) -> Result<RunStats, DoacrossError> {
+        self.execute_profiled(pool, loop_, y, plan, None)
+    }
+
+    /// Like [`PlanExecutor::execute`], but deposits per-worker profiling
+    /// spans into `prof` when one is supplied (`None` keeps the exact
+    /// unprofiled code paths).
+    ///
+    /// Span fidelity varies by variant. The flat doacross variants
+    /// (`Doacross`/`Reordered`) record fine-grained work spans and
+    /// per-stall flag waits; `Wavefront` records per-level work and
+    /// barrier-wait spans. `Sequential`, `Linear`, and `Blocked` record
+    /// one coarse whole-run work span on worker 0 — enough for the
+    /// critical-path and wait-fraction accounting to stay total-correct,
+    /// without threading timers through their inner loops.
+    pub fn execute_profiled<L: DoacrossLoop + ?Sized>(
+        &mut self,
+        pool: &ThreadPool,
+        loop_: &L,
+        y: &mut [f64],
+        plan: &ExecutionPlan,
+        prof: Option<&ProfArena>,
+    ) -> Result<RunStats, DoacrossError> {
         let data_len = loop_.data_len();
         if plan.census().iterations != loop_.iterations() || plan.census().data_len != data_len {
             return Err(DoacrossError::PlanMismatch {
@@ -116,30 +139,36 @@ impl PlanExecutor {
         }
         match plan.variant() {
             PlanVariant::Sequential => {
+                let span_start = prof.map(|arena| arena.now_ns());
                 let start = Instant::now();
                 run_sequential(loop_, y);
-                Ok(RunStats {
+                let stats = RunStats {
                     iterations: loop_.iterations(),
                     workers: 1,
                     blocks: 1,
                     total: start.elapsed(),
                     provenance: PlanProvenance::PlanCold,
                     ..Default::default()
-                })
+                };
+                coarse_work_span(prof, span_start, loop_.iterations());
+                Ok(stats)
             }
             PlanVariant::Doacross => {
                 let prepared = plan.prepared().expect("doacross plan carries a map");
-                self.inspected.run_planned(pool, loop_, y, prepared, None)
+                self.inspected
+                    .run_planned_profiled(pool, loop_, y, prepared, None, prof)
             }
             PlanVariant::Reordered => {
                 let prepared = plan.prepared().expect("reordered plan carries a map");
                 let order = plan.order().expect("reordered plan carries an order");
                 self.inspected
-                    .run_planned(pool, loop_, y, prepared, Some(order))
+                    .run_planned_profiled(pool, loop_, y, prepared, Some(order), prof)
             }
             PlanVariant::Linear(subscript) => {
+                let span_start = prof.map(|arena| arena.now_ns());
                 let mut stats = self.linear.run(pool, loop_, subscript, y)?;
                 stats.provenance = PlanProvenance::PlanCold;
+                coarse_work_span(prof, span_start, loop_.iterations());
                 Ok(stats)
             }
             PlanVariant::Blocked { block_size } => {
@@ -149,19 +178,41 @@ impl PlanExecutor {
                         e.insert(BlockedDoacross::with_config(block_size, self.config)?)
                     }
                 };
+                let span_start = prof.map(|arena| arena.now_ns());
                 let mut stats = blocked.run(pool, loop_, y)?;
                 stats.provenance = PlanProvenance::PlanCold;
+                coarse_work_span(prof, span_start, loop_.iterations());
                 Ok(stats)
             }
             PlanVariant::Wavefront => {
                 let schedule = plan
                     .level_schedule()
                     .expect("wavefront plan carries its level schedule");
-                let stats = self.wavefront.run(pool, loop_, y, schedule)?;
+                let stats = self
+                    .wavefront
+                    .run_chunked_profiled(pool, loop_, y, schedule, None, prof)?;
                 debug_assert_eq!(stats.wait_polls, 0, "wavefront runs never poll");
                 Ok(stats)
             }
         }
+    }
+}
+
+/// Deposits the single coarse whole-run work span the non-instrumented
+/// variants (`Sequential`/`Linear`/`Blocked`) report — attributed to
+/// worker 0, `aux` = iterations (see [`PlanExecutor::execute_profiled`]).
+#[inline]
+fn coarse_work_span(prof: Option<&ProfArena>, span_start: Option<u64>, iterations: usize) {
+    if let (Some(arena), Some(started)) = (prof, span_start) {
+        let end = arena.now_ns();
+        arena.record(
+            0,
+            SpanKind::Work,
+            NO_LEVEL,
+            started,
+            end.saturating_sub(started),
+            iterations as u64,
+        );
     }
 }
 

@@ -57,6 +57,7 @@ check_structure BENCH_wavefront.json doacross_ns wavefront_ns wait_polls levels 
 check_structure BENCH_adaptive.json static_ns adaptive_ns trials promotions samples
 check_structure BENCH_obs.json off_ns on_ns overhead trace_events
 check_structure BENCH_fault.json off_ns on_ns overhead disarmed_overhead
+check_structure BENCH_profile.json off_ns on_ns overhead disarmed_overhead
 
 # BENCH_throughput.json is tenant-keyed, not problem-keyed: every tenant
 # point must carry its throughput metrics, and the _meta no-regression
@@ -127,6 +128,27 @@ if [ -f BENCH_fault.json ]; then
   fi
 fi
 
+# Internal invariant: the profile snapshot's disarmed per-solve bill must
+# sit within the 2% acceptance bound it declares, and the armed profiling
+# on/off ratio within its declared armed bound.
+if [ -f BENCH_profile.json ]; then
+  bound="$(jq -r '._meta.bound // empty' BENCH_profile.json)"
+  armed_bound="$(jq -r '._meta.armed_bound // empty' BENCH_profile.json)"
+  if [ -z "$bound" ] || [ -z "$armed_bound" ]; then
+    violation "BENCH_profile.json: missing ._meta.bound / ._meta.armed_bound"
+  else
+    while read -r prob disarmed armed; do
+      if jq -n --argjson o "$disarmed" --argjson b "$bound" '$o > $b' | grep -qx true; then
+        violation "BENCH_profile.json: $prob disarmed_overhead $disarmed exceeds declared bound $bound"
+      fi
+      if jq -n --argjson o "$armed" --argjson b "$armed_bound" '$o > $b' | grep -qx true; then
+        violation "BENCH_profile.json: $prob armed overhead $armed exceeds declared bound $armed_bound"
+      fi
+    done < <(jq -r 'to_entries[] | select(.key != "_meta") | "\(.key) \(.value.disarmed_overhead) \(.value.overhead)"' BENCH_profile.json)
+    say "bench_gate: BENCH_profile.json: disarmed bill within ${bound}x, armed within ${armed_bound}x"
+  fi
+fi
+
 # --- trajectory mode -------------------------------------------------------
 
 # compare FILE METRIC FRESH_DIR — fresh metric may not exceed committed by
@@ -168,13 +190,14 @@ if [ "${1:-}" = "--measure" ]; then
   trap 'rm -rf "$fresh_dir"' EXIT
   say "bench_gate: regenerating snapshots (this runs the bench binaries)..."
   cargo build --release -p doacross-bench --bins
-  for bin in wavefront adaptive obs throughput fault; do
+  for bin in wavefront adaptive obs throughput fault profile; do
     (cd "$fresh_dir" && "$OLDPWD/target/release/$bin" >/dev/null)
   done
   compare BENCH_wavefront.json wavefront_ns "$fresh_dir"
   compare BENCH_adaptive.json adaptive_ns "$fresh_dir"
   compare BENCH_obs.json on_ns "$fresh_dir"
   compare BENCH_fault.json on_ns "$fresh_dir"
+  compare BENCH_profile.json on_ns "$fresh_dir"
   compare_throughput "$fresh_dir"
 fi
 

@@ -101,6 +101,34 @@
 //! split. Disabled (the default), the whole layer is one branch per
 //! would-be event. `examples/observe.rs` walks the surface.
 //!
+//! ## Profiling
+//!
+//! Where observability answers *what happened*, the profiler answers
+//! *where the nanoseconds went*. `Engine::builder().profiling_default()`
+//! (or `.profiling(`[`ProfConfig`]`)`) arms per-worker span recording:
+//! every profiled solve deposits timestamped [`SpanKind`] spans — work,
+//! ready-flag stalls, barrier waits per wavefront level, and the
+//! dispatcher's admission wait — into bounded per-solve arenas, harvested
+//! into a [`SolveProfile`] ring ([`engine::Engine::recent_profiles`]).
+//! The harvest computes the **realized critical path** (longest
+//! per-worker work + barrier-wait chain, plus the dispatch wait) and
+//! pairs it with the plan's *priced* cost on calibrated engines, so the
+//! cost model's prediction can be audited against measured truth per
+//! variant — the same evidence the adaptive layer reads via
+//! `Engine::profile_evidence`.
+//!
+//! The timelines export: `Engine::profile_chrome_trace()` renders the
+//! ring as Chrome trace-event JSON (load it in `chrome://tracing` or
+//! Perfetto; one process per solve, one track per worker —
+//! [`validate_chrome_trace`] checks the structure), [`StreamingSink`]
+//! fans live trace events out as NDJSON, and the scrape gains
+//! `doacross_profile_*` families including per-level barrier-wait
+//! histograms (bounded cardinality: deep levels collapse under
+//! `level="other"`). Off (the default), every deposit site is one branch
+//! on a stack-local `Option` — the zero-alloc warm path is unchanged,
+//! and `BENCH_profile.json` pins the bill both armed and disarmed.
+//! `examples/profile.rs` walks the surface.
+//!
 //! ## Multi-tenant throughput
 //!
 //! One engine serving many concurrent callers partitions its workers into
@@ -212,7 +240,9 @@ pub use doacross_sparse as sparse;
 pub use doacross_trisolve as trisolve;
 
 pub use doacross_engine::{
-    Engine, EngineBuilder, EngineError, FallbackPolicy, PreparedLoop, RetryPolicy, SolveBatch,
+    validate_chrome_trace, ChromeTraceStats, Engine, EngineBuilder, EngineError, FallbackPolicy,
+    PreparedLoop, ProfConfig, ProfileSummary, RetryPolicy, SolveBatch, SolveProfile, SpanKind,
+    StreamingSink,
 };
 pub use doacross_obs::{ObsConfig, ObsSink, SolveOutcome, SolveRecord, TraceEvent};
 pub use doacross_plan::{PersistError, PlanStore};
